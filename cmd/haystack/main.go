@@ -1,0 +1,200 @@
+// Command haystack runs the reproduction experiments and inspects the
+// compiled IoT dictionary.
+//
+// Usage:
+//
+//	haystack catalog                         print the Table 1 inventory
+//	haystack rules                           print the compiled detection rules
+//	haystack experiment <ID>|all [flags]     run experiment(s)
+//	haystack list                            list experiment IDs
+//	haystack detect [-proto P] [-i file]     detect from a flowgen stream
+//
+// Flags:
+//
+//	-seed N       world seed (default 1)
+//	-lines N      wild-ISP subscriber lines (default 30000)
+//	-scale N      counts multiplier to paper scale (default 500)
+//	-format F     text | csv | summary (default text)
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	haystack "repro"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "haystack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "world seed")
+	lines := fs.Int("lines", 30_000, "wild-ISP subscriber lines")
+	scale := fs.Int("scale", 500, "scale factor to paper size")
+	format := fs.String("format", "text", "output format: text|csv|summary")
+
+	switch cmd {
+	case "list":
+		for _, e := range haystack.Registry() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return nil
+
+	case "detect":
+		// Read a length-prefixed NetFlow/IPFIX stream (flowgen's
+		// format) from stdin or a file and report detections:
+		//   flowgen -proto netflow -hours 24 | haystack detect
+		proto := fs.String("proto", "netflow", "stream protocol: netflow|ipfix")
+		threshold := fs.Float64("threshold", 0.4, "detection threshold D")
+		input := fs.String("i", "-", "input file (- for stdin)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		sys, err := newSystem(*seed, *lines, *scale)
+		if err != nil {
+			return err
+		}
+		return detectStream(sys, *proto, *threshold, *input)
+
+	case "catalog", "rules":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		sys, err := newSystem(*seed, *lines, *scale)
+		if err != nil {
+			return err
+		}
+		if cmd == "catalog" {
+			tbl, err := sys.Run("T1")
+			if err != nil {
+				return err
+			}
+			return render(*format, tbl)
+		}
+		for _, r := range sys.Rules() {
+			parent := ""
+			if r.Parent != "" {
+				parent = " parent=" + r.Parent
+			}
+			fmt.Printf("%-22s level=%-4s domains=%-3d products=%v%s\n",
+				r.Name, r.Level, len(r.Domains), r.Products, parent)
+		}
+		return nil
+
+	case "experiment":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: haystack experiment <ID>|all [flags]")
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		sys, err := newSystem(*seed, *lines, *scale)
+		if err != nil {
+			return err
+		}
+		if id == "all" {
+			for _, tbl := range sys.RunAll() {
+				if err := render(*format, tbl); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		tbl, err := sys.Run(id)
+		if err != nil {
+			return err
+		}
+		return render(*format, tbl)
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func detectStream(sys *haystack.System, proto string, threshold float64, input string) error {
+	var r io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	det := sys.NewDetector(threshold)
+	feed := det.FeedNetFlow
+	if proto == "ipfix" {
+		feed = det.FeedIPFIX
+	} else if proto != "netflow" {
+		return fmt.Errorf("unknown protocol %q", proto)
+	}
+
+	messages := 0
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("reading length prefix: %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > 1<<20 {
+			return fmt.Errorf("implausible message length %d", n)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return fmt.Errorf("reading message: %w", err)
+		}
+		if err := feed(msg); err != nil {
+			return fmt.Errorf("message %d: %w", messages, err)
+		}
+		messages++
+	}
+
+	dets := det.Detections()
+	fmt.Printf("processed %d messages; %d (subscriber, rule) detections\n", messages, len(dets))
+	for _, d := range dets {
+		fmt.Printf("  %016x  %-22s %-4s first seen %s\n",
+			d.Subscriber, d.Rule, d.Level, d.First.Format("2006-01-02 15h"))
+	}
+	return nil
+}
+
+func newSystem(seed uint64, lines, scale int) (*haystack.System, error) {
+	cfg := haystack.DefaultConfig(seed)
+	cfg.ISP.Lines = lines
+	cfg.ISP.Scale = scale
+	return haystack.New(cfg)
+}
+
+func render(format string, tbl *experiments.Table) error {
+	switch format {
+	case "text":
+		return report.Text(os.Stdout, tbl)
+	case "csv":
+		return report.CSV(os.Stdout, tbl)
+	case "summary":
+		return report.Summary(os.Stdout, tbl)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}

@@ -1,0 +1,270 @@
+// Package haystack reproduces "A Haystack Full of Needles: Scalable
+// Detection of IoT Devices in the Wild" (Saidi et al., IMC 2020): a
+// methodology for detecting consumer IoT devices at subscriber lines
+// from passive, sparsely-sampled flow data (NetFlow/IPFIX) at an ISP or
+// IXP, without any payload.
+//
+// The package exposes three layers:
+//
+//   - System: the assembled simulated world (testbeds, hosting, passive
+//     DNS, certificate scans) with the §4 pipeline already run, plus
+//     one driver per table/figure of the paper's evaluation;
+//   - Detector: the streaming detection engine applied to NetFlow v9 or
+//     IPFIX messages, the operational artifact an ISP would deploy;
+//   - the experiment registry, used by the CLI and the benchmarks.
+//
+// Everything is deterministic in the seed. See DESIGN.md for the
+// substitution map (what the paper measured vs what is simulated here)
+// and EXPERIMENTS.md for paper-vs-measured results.
+package haystack
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/detect"
+	"repro/internal/experiments"
+	"repro/internal/ipfix"
+	"repro/internal/netflow"
+	"repro/internal/simtime"
+)
+
+// Config sizes the simulation. The zero value is not usable; start from
+// DefaultConfig.
+type Config = experiments.Config
+
+// Table is the uniform experiment result: printable rows plus the
+// machine-readable statistics asserted in EXPERIMENTS.md.
+type Table = experiments.Table
+
+// DefaultConfig returns the test-scale configuration (1:500 of the
+// paper's 15 M subscriber lines) for the given seed.
+func DefaultConfig(seed uint64) Config { return experiments.DefaultConfig(seed) }
+
+// PaperScaleConfig returns a 1:100 scale model (150k lines), the
+// configuration used for the EXPERIMENTS.md headline numbers. Budget a
+// few minutes of CPU for the full wild sweep.
+func PaperScaleConfig(seed uint64) Config {
+	cfg := experiments.DefaultConfig(seed)
+	cfg.ISP.Lines = 150_000
+	cfg.ISP.Scale = 100
+	return cfg
+}
+
+// System is the assembled world with the detection dictionary compiled.
+type System struct {
+	lab *experiments.Lab
+}
+
+// New builds a system. The heavyweight simulations (ground truth, wild
+// ISP, wild IXP) run lazily on first use.
+func New(cfg Config) (*System, error) {
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{lab: lab}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Experiment identifies one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*System) *Table
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: device inventory", func(s *System) *Table { return s.lab.Table1() }},
+		{"S41", "§4.1 domain classification census", func(s *System) *Table { return s.lab.Sec41() }},
+		{"S42", "§4.2 dedicated vs shared infrastructure", func(s *System) *Table { return s.lab.Sec42() }},
+		{"S43", "§4.3 detection-rule census", func(s *System) *Table { return s.lab.Sec43() }},
+		{"F5a", "Fig 5(a) service IPs per hour", func(s *System) *Table { return s.lab.Fig5a() }},
+		{"F5b", "Fig 5(b) domains per hour", func(s *System) *Table { return s.lab.Fig5b() }},
+		{"F5c", "Fig 5(c) cumulative IPs per port class", func(s *System) *Table { return s.lab.Fig5c() }},
+		{"F5d", "Fig 5(d) devices per hour", func(s *System) *Table { return s.lab.Fig5d() }},
+		{"F6", "Fig 6 heavy-hitter visibility", func(s *System) *Table { return s.lab.Fig6() }},
+		{"F8", "Fig 8 packets/hour per domain", func(s *System) *Table { return s.lab.Fig8() }},
+		{"F9", "Fig 9 ECDF of packets/hour", func(s *System) *Table { return s.lab.Fig9() }},
+		{"F10", "Fig 10 time to detection per threshold", func(s *System) *Table { return s.lab.Fig10() }},
+		{"F11", "Fig 11 wild-ISP subscribers per hour/day", func(s *System) *Table { return s.lab.Fig11() }},
+		{"F12", "Fig 12 Amazon/Samsung drill-down", func(s *System) *Table { return s.lab.Fig12() }},
+		{"F13", "Fig 13 cumulative subscribers and /24s", func(s *System) *Table { return s.lab.Fig13() }},
+		{"F14", "Fig 14 other 32 device types per day", func(s *System) *Table { return s.lab.Fig14() }},
+		{"F15", "Fig 15 wild-IXP unique IPs per day", func(s *System) *Table { return s.lab.Fig15() }},
+		{"F16", "Fig 16 per-AS distribution at the IXP", func(s *System) *Table { return s.lab.Fig16() }},
+		{"F17", "Fig 17 single Alexa device at both VPs", func(s *System) *Table { return s.lab.Fig17() }},
+		{"F18", "Fig 18 actively-used Alexa lines per hour", func(s *System) *Table { return s.lab.Fig18() }},
+		{"S5FP", "§5 false-positive crosscheck", func(s *System) *Table { return s.lab.Sec5FalsePositive() }},
+	}
+}
+
+// Run executes one experiment by ID.
+func (s *System) Run(id string) (*Table, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run(s), nil
+		}
+	}
+	return nil, fmt.Errorf("haystack: unknown experiment %q (see Registry)", id)
+}
+
+// RunAll executes every experiment in registry order.
+func (s *System) RunAll() []*Table {
+	var out []*Table
+	for _, e := range Registry() {
+		out = append(out, e.Run(s))
+	}
+	return out
+}
+
+// RuleSummary describes one compiled detection rule.
+type RuleSummary struct {
+	Name     string
+	Level    string
+	Parent   string
+	Domains  []string
+	Products []string
+}
+
+// Rules returns the compiled IoT dictionary's rules, sorted by name.
+func (s *System) Rules() []RuleSummary {
+	dict := s.lab.Dict
+	out := make([]RuleSummary, 0, len(dict.Rules))
+	for i := range dict.Rules {
+		r := &dict.Rules[i]
+		parent := ""
+		if r.Parent >= 0 {
+			parent = dict.Rules[r.Parent].Name
+		}
+		out = append(out, RuleSummary{
+			Name:     r.Name,
+			Level:    r.Level.String(),
+			Parent:   parent,
+			Domains:  append([]string(nil), r.Domains...),
+			Products: append([]string(nil), r.Products...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Catalog returns the testbed inventory backing the system.
+func (s *System) Catalog() *catalog.Catalog { return s.lab.W.Catalog }
+
+// StudyStart returns the start of the simulated study window
+// (Nov 15, 2019 — the paper's first measurement day).
+func (s *System) StudyStart() time.Time { return s.lab.W.Window.Start.Time() }
+
+// ServiceIPs returns the addresses a domain resolves to on the first
+// study day — the view a device opening a connection would get. It
+// returns nil for unhosted domains.
+func (s *System) ServiceIPs(domain string) []netip.Addr {
+	return s.lab.W.ResolverOn(s.lab.W.Window.Days()[0]).Resolve(domain)
+}
+
+// Detection is one (subscriber, rule) detection event.
+type Detection struct {
+	// Subscriber is the opaque anonymized subscriber key (the hash of
+	// the subscriber-side address for wire-fed detectors).
+	Subscriber uint64
+	Rule       string
+	Level      string
+	// First is the start of the hour bin in which the rule fired.
+	First time.Time
+}
+
+// Detector applies the compiled dictionary to NetFlow v9 / IPFIX
+// messages — the operational deployment of the methodology. Not safe
+// for concurrent use.
+type Detector struct {
+	eng *detect.Engine
+	nf  *netflow.Collector
+	ix  *ipfix.Collector
+}
+
+// NewDetector returns a detector at detection threshold d (the paper's
+// conservative default is 0.4).
+func (s *System) NewDetector(d float64) *Detector {
+	return &Detector{
+		eng: detect.New(s.lab.Dict, d),
+		nf:  netflow.NewCollector(),
+		ix:  ipfix.NewCollector(),
+	}
+}
+
+// subscriberKey anonymizes the subscriber-side address by hashing, as
+// §2.1 requires ("anonymize by hashing all user IPs").
+func subscriberKey(a netip.Addr) detect.SubID {
+	b := a.As4()
+	x := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	x ^= 0x9e3779b97f4a7c15
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return detect.SubID(x)
+}
+
+// FeedNetFlow parses one NetFlow v9 message and feeds its records to
+// the engine. The flow source is treated as the subscriber side.
+func (d *Detector) FeedNetFlow(msg []byte) error {
+	recs, err := d.nf.Feed(msg)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		d.eng.Observe(subscriberKey(r.Key.Src), r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
+	}
+	return nil
+}
+
+// FeedIPFIX parses one IPFIX message and feeds its records.
+func (d *Detector) FeedIPFIX(msg []byte) error {
+	recs, err := d.ix.Feed(msg)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		d.eng.Observe(subscriberKey(r.Key.Src), r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
+	}
+	return nil
+}
+
+// Detections returns every (subscriber, rule) detection so far, sorted
+// for determinism.
+func (d *Detector) Detections() []Detection {
+	dict := d.eng.Dictionary()
+	var out []Detection
+	d.eng.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+		out = append(out, Detection{
+			Subscriber: uint64(sub),
+			Rule:       dict.Rules[rule].Name,
+			Level:      dict.Rules[rule].Level.String(),
+			First:      first.Time(),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subscriber != out[j].Subscriber {
+			return out[i].Subscriber < out[j].Subscriber
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Reset clears detector state (start of a new aggregation window).
+func (d *Detector) Reset() { d.eng.Reset() }

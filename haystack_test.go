@@ -1,0 +1,202 @@
+package haystack
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/netflow"
+	"repro/internal/simtime"
+)
+
+var (
+	sysOnce sync.Once
+	sys     *System
+)
+
+func sharedSystem(t testing.TB) *System {
+	sysOnce.Do(func() {
+		sys = MustNew(DefaultConfig(1))
+	})
+	return sys
+}
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"T1", "S41", "S42", "S43", "S5FP",
+		"F5a", "F5b", "F5c", "F5d", "F6", "F8", "F9", "F10",
+		"F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18",
+	} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+	if len(ids) != 21 {
+		t.Errorf("registry has %d experiments, want 21", len(ids))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := sharedSystem(t)
+	if _, err := s.Run("F99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	s := sharedSystem(t)
+	tbl, err := s.Run("S42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats["dedicated_pdns"] != 217 {
+		t.Fatalf("S42 dedicated = %v", tbl.Stats["dedicated_pdns"])
+	}
+}
+
+func TestRulesSummary(t *testing.T) {
+	s := sharedSystem(t)
+	rs := s.Rules()
+	if len(rs) != 37 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	byName := map[string]RuleSummary{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	ftv := byName["Fire TV"]
+	if ftv.Parent != "Amazon Product" || ftv.Level != "Pr." || len(ftv.Domains) != 33 {
+		t.Fatalf("Fire TV summary wrong: %+v", ftv)
+	}
+	if len(byName["Alexa Enabled"].Products) != 5 {
+		t.Fatalf("Alexa products: %v", byName["Alexa Enabled"].Products)
+	}
+}
+
+func TestCatalogAccessor(t *testing.T) {
+	s := sharedSystem(t)
+	if got := len(s.Catalog().Products); got != 56 {
+		t.Fatalf("catalog products = %d", got)
+	}
+}
+
+// TestDetectorEndToEndNetFlow exercises the operational path: flow
+// records → NetFlow v9 wire messages → collector → engine → detections.
+func TestDetectorEndToEndNetFlow(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+
+	// A subscriber at 100.64.9.9 talks to Meross's MQTT endpoint — a
+	// single-domain manufacturer rule.
+	day := s.lab.W.Window.Days()[0]
+	ips := s.lab.W.ResolverOn(day).Resolve("mqtt.simmeross.example")
+	if len(ips) == 0 {
+		t.Fatal("meross does not resolve")
+	}
+	sub := netip.MustParseAddr("100.64.9.9")
+	dom := s.lab.W.Catalog.Domains["mqtt.simmeross.example"]
+	if dom.Port != 8883 {
+		t.Fatalf("meross MQTT port = %d, want 8883", dom.Port)
+	}
+	rec := flow.Record{
+		Key: flow.Key{
+			Src: sub, Dst: ips[0],
+			SrcPort: 50123, DstPort: dom.Port, Proto: flow.ProtoTCP,
+		},
+		Packets: 3, Bytes: 1800, TCPFlags: 0x18,
+		Hour: day.FirstHour() + 9,
+	}
+	exp := netflow.NewExporter(1)
+	msgs, err := exp.Export([]flow.Record{rec}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if err := det.FeedNetFlow(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets := det.Detections()
+	if len(dets) != 1 {
+		t.Fatalf("detections = %+v", dets)
+	}
+	if dets[0].Rule != "Meross Dooropener" || dets[0].Level != "Man." {
+		t.Fatalf("detection = %+v", dets[0])
+	}
+	if got := simtime.HourOf(dets[0].First); got != rec.Hour {
+		t.Fatalf("first detection hour %v, want %v", got, rec.Hour)
+	}
+
+	det.Reset()
+	if len(det.Detections()) != 0 {
+		t.Fatal("reset did not clear detections")
+	}
+}
+
+func TestDetectorIgnoresUnknownDestinations(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+	day := s.lab.W.Window.Days()[0]
+	rec := flow.Record{
+		Key: flow.Key{
+			Src:     netip.MustParseAddr("100.64.1.1"),
+			Dst:     netip.MustParseAddr("203.0.113.7"), // not in any hitlist
+			SrcPort: 1000, DstPort: 443, Proto: flow.ProtoTCP,
+		},
+		Packets: 100, Bytes: 60000,
+		Hour: day.FirstHour(),
+	}
+	exp := netflow.NewExporter(2)
+	msgs, _ := exp.Export([]flow.Record{rec}, 30)
+	for _, m := range msgs {
+		if err := det.FeedNetFlow(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(det.Detections()) != 0 {
+		t.Fatal("unknown destination produced a detection")
+	}
+}
+
+func TestDetectorRejectsGarbage(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+	if err := det.FeedNetFlow([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage NetFlow accepted")
+	}
+	if err := det.FeedIPFIX([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage IPFIX accepted")
+	}
+}
+
+func TestSubscriberKeyAnonymizesButIsStable(t *testing.T) {
+	a := netip.MustParseAddr("100.64.9.9")
+	if subscriberKey(a) != subscriberKey(a) {
+		t.Fatal("key not stable")
+	}
+	b := netip.MustParseAddr("100.64.9.10")
+	if subscriberKey(a) == subscriberKey(b) {
+		t.Fatal("adjacent addresses collide")
+	}
+	if uint64(subscriberKey(a)) == uint64(0x64400909) {
+		t.Fatal("key is the raw address — not anonymized")
+	}
+}
+
+func TestPaperScaleConfig(t *testing.T) {
+	cfg := PaperScaleConfig(7)
+	if cfg.ISP.Lines != 150_000 || cfg.ISP.Scale != 100 {
+		t.Fatalf("paper-scale config: %+v", cfg.ISP)
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+}

@@ -1,0 +1,420 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/hosting"
+)
+
+// The catalog is hand-balanced to the paper's §4 census; these tests
+// pin every number.
+
+func TestTable1Counts(t *testing.T) {
+	c := Build()
+	if got := len(c.Vendors); got != 40 {
+		t.Errorf("vendors = %d, want 40", got)
+	}
+	if got := len(c.Products); got != 56 {
+		t.Errorf("products = %d, want 56", got)
+	}
+	if got := len(c.Devices()); got != 96 {
+		t.Errorf("devices = %d, want 96", got)
+	}
+}
+
+func TestVendorsConsistent(t *testing.T) {
+	c := Build()
+	valid := map[string]bool{}
+	for _, v := range c.Vendors {
+		if valid[v] {
+			t.Errorf("duplicate vendor %q", v)
+		}
+		valid[v] = true
+	}
+	used := map[string]bool{}
+	for _, p := range c.Products {
+		if !valid[p.Vendor] {
+			t.Errorf("product %q has unlisted vendor %q", p.Name, p.Vendor)
+		}
+		used[p.Vendor] = true
+	}
+	for _, v := range c.Vendors {
+		if !used[v] {
+			t.Errorf("vendor %q has no products", v)
+		}
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	c := Build()
+	got := map[Category]int{}
+	for _, p := range c.Products {
+		got[p.Category]++
+	}
+	want := map[Category]int{
+		CatSurveillance: 13, CatSmartHubs: 8, CatHomeAutomation: 14,
+		CatVideo: 5, CatAudio: 6, CatAppliances: 10,
+	}
+	for cat, n := range want {
+		if got[cat] != n {
+			t.Errorf("%s: %d products, want %d", cat, got[cat], n)
+		}
+	}
+}
+
+func TestDomainCensus(t *testing.T) {
+	c := Build()
+	if got := len(c.Domains); got != 524 {
+		t.Errorf("total domains = %d, want 524", got)
+	}
+	roles := map[Role]int{}
+	for _, d := range c.Domains {
+		roles[d.Role]++
+	}
+	if roles[RolePrimary] != 415 {
+		t.Errorf("primary = %d, want 415", roles[RolePrimary])
+	}
+	if roles[RoleSupport] != 19 {
+		t.Errorf("support = %d, want 19", roles[RoleSupport])
+	}
+	if roles[RoleGeneric] != 90 {
+		t.Errorf("generic = %d, want 90", roles[RoleGeneric])
+	}
+}
+
+func TestDedicatedSharedNoRecordSplit(t *testing.T) {
+	c := Build()
+	var dedicated, shared, noRecord, recoverable int
+	for _, d := range c.Domains {
+		if d.Role == RoleGeneric {
+			continue
+		}
+		switch {
+		case !d.PDNSCovered:
+			noRecord++
+			if d.HTTPS {
+				recoverable++
+			}
+		case d.Kind == hosting.KindDedicated || d.Kind == hosting.KindCloudTenant:
+			dedicated++
+		default:
+			shared++
+		}
+	}
+	if dedicated != 217 {
+		t.Errorf("dedicated (pdns-visible) = %d, want 217", dedicated)
+	}
+	if shared != 202 {
+		t.Errorf("shared = %d, want 202", shared)
+	}
+	if noRecord != 15 {
+		t.Errorf("no-record = %d, want 15", noRecord)
+	}
+	if recoverable != 8 {
+		t.Errorf("censys-recoverable = %d, want 8", recoverable)
+	}
+}
+
+func TestRecoverableDomainsBelongToFiveDevices(t *testing.T) {
+	c := Build()
+	products := map[string]bool{}
+	for _, p := range c.Products {
+		for _, u := range p.Uses {
+			if !u.Domain.PDNSCovered && u.Domain.HTTPS {
+				products[p.Name] = true
+			}
+		}
+	}
+	if len(products) != 5 {
+		t.Errorf("censys-recoverable domains span %d products (%v), want 5", len(products), products)
+	}
+}
+
+func TestEveryDomainIsUsed(t *testing.T) {
+	c := Build()
+	used := map[string]bool{}
+	for _, p := range c.Products {
+		for _, u := range p.Uses {
+			used[u.Domain.Name] = true
+		}
+	}
+	for name := range c.Domains {
+		if !used[name] {
+			t.Errorf("domain %q contacted by no product", name)
+		}
+	}
+}
+
+func TestEveryProductHasTraffic(t *testing.T) {
+	c := Build()
+	for _, p := range c.Products {
+		if len(p.Uses) == 0 {
+			t.Errorf("product %q has no domain uses", p.Name)
+			continue
+		}
+		idle := 0.0
+		for _, u := range p.Uses {
+			idle += u.IdlePPH
+			if u.IdlePPH < 0 || u.ActivePPH < 0 {
+				t.Errorf("product %q has negative rate on %s", p.Name, u.Domain.Name)
+			}
+		}
+		if idle <= 0 {
+			t.Errorf("product %q has zero idle traffic", p.Name)
+		}
+	}
+}
+
+func TestRuleCensus(t *testing.T) {
+	c := Build()
+	if got := len(c.Rules); got != 37 {
+		t.Errorf("rules = %d, want 37", got)
+	}
+	levels := map[Level]int{}
+	for _, r := range c.Rules {
+		levels[r.Level]++
+	}
+	if levels[LevelPlatform] != 6 {
+		t.Errorf("platform rules = %d, want 6", levels[LevelPlatform])
+	}
+	if levels[LevelManufacturer] != 20 {
+		t.Errorf("manufacturer rules = %d, want 20", levels[LevelManufacturer])
+	}
+	if levels[LevelProduct] != 11 {
+		t.Errorf("product rules = %d, want 11", levels[LevelProduct])
+	}
+}
+
+func TestRuleDomainGroups(t *testing.T) {
+	// Fig 10 groups rules by monitored-domain count:
+	// 9 with one domain, 11 with two, 2 with three, 5 with four,
+	// 10 with five or more.
+	c := Build()
+	groups := map[int]int{}
+	for _, r := range c.Rules {
+		n := len(r.Domains)
+		switch {
+		case n >= 5:
+			groups[5]++
+		default:
+			groups[n]++
+		}
+	}
+	want := map[int]int{1: 9, 2: 11, 3: 2, 4: 5, 5: 10}
+	for k, v := range want {
+		if groups[k] != v {
+			t.Errorf("rules with %d(+) domains = %d, want %d", k, groups[k], v)
+		}
+	}
+}
+
+func TestRuleHierarchy(t *testing.T) {
+	c := Build()
+	amazon, ok := c.Rule("Amazon Product")
+	if !ok || amazon.Parent != "Alexa Enabled" || len(amazon.Domains) != 34 {
+		t.Fatalf("Amazon Product rule wrong: %+v", amazon)
+	}
+	ftv, ok := c.Rule("Fire TV")
+	if !ok || ftv.Parent != "Amazon Product" || !ftv.RequireParent || len(ftv.Domains) != 33 {
+		t.Fatalf("Fire TV rule wrong: %+v", ftv)
+	}
+	sam, ok := c.Rule("Samsung IoT")
+	if !ok || len(sam.Domains) != 14 || sam.MinOverride != 1 {
+		t.Fatalf("Samsung IoT rule wrong: %+v", sam)
+	}
+	stv, ok := c.Rule("Samsung TV")
+	if !ok || !stv.RequireParent || len(stv.Domains) != 16 {
+		t.Fatalf("Samsung TV rule wrong: %+v", stv)
+	}
+	// Child rules monitor domains disjoint from their parents, so a
+	// parent's traffic can never fire the child (the §5 false-positive
+	// guard). Totals incl. ancestors match the paper: 34+33 = 67 for
+	// Fire TV, 14+16 = 30 for Samsung TV.
+	in := func(set []string) map[string]bool {
+		m := map[string]bool{}
+		for _, d := range set {
+			m[d] = true
+		}
+		return m
+	}
+	amzSet := in(amazon.Domains)
+	for _, d := range ftv.Domains {
+		if amzSet[d] {
+			t.Errorf("Fire TV monitors parent domain %q", d)
+		}
+	}
+	samSet := in(sam.Domains)
+	for _, d := range stv.Domains {
+		if samSet[d] {
+			t.Errorf("Samsung TV monitors parent domain %q", d)
+		}
+	}
+	if got := len(amazon.Domains) + len(ftv.Domains); got != 67 {
+		t.Errorf("Fire TV total monitored incl. ancestors = %d, want 67", got)
+	}
+	if got := len(sam.Domains) + len(stv.Domains); got != 30 {
+		t.Errorf("Samsung TV total monitored incl. ancestors = %d, want 30", got)
+	}
+}
+
+func TestRuleReferencesResolve(t *testing.T) {
+	c := Build()
+	for _, r := range c.Rules {
+		if r.Parent != "" {
+			if _, ok := c.Rule(r.Parent); !ok {
+				t.Errorf("rule %q has unknown parent %q", r.Name, r.Parent)
+			}
+		}
+		for _, d := range r.Domains {
+			dom, ok := c.Domains[d]
+			if !ok {
+				t.Errorf("rule %q monitors unknown domain %q", r.Name, d)
+				continue
+			}
+			if dom.Role != RolePrimary {
+				t.Errorf("rule %q monitors non-primary domain %q (%s)", r.Name, d, dom.Role)
+			}
+			if dom.Kind != hosting.KindDedicated && dom.Kind != hosting.KindCloudTenant {
+				t.Errorf("rule %q monitors shared-hosted domain %q", r.Name, d)
+			}
+		}
+		if len(r.Products) == 0 {
+			t.Errorf("rule %q detects no products", r.Name)
+		}
+		for _, p := range r.Products {
+			if _, ok := c.Product(p); !ok {
+				t.Errorf("rule %q references unknown product %q", r.Name, p)
+			}
+		}
+	}
+}
+
+func TestRecognizedManufacturers(t *testing.T) {
+	// §4.3.2: rules recognize devices from 31 of the 40 manufacturers
+	// (77 %). Multi-vendor platform rules (Alexa Enabled, Smartlife)
+	// cannot attribute a manufacturer.
+	c := Build()
+	recognized := map[string]bool{}
+	for _, r := range c.Rules {
+		if r.MultiVendor {
+			continue
+		}
+		for _, pname := range r.Products {
+			p, _ := c.Product(pname)
+			if p != nil {
+				recognized[p.Vendor] = true
+			}
+		}
+	}
+	if len(recognized) != 31 {
+		t.Errorf("recognized manufacturers = %d, want 31: %v", len(recognized), recognized)
+	}
+}
+
+func TestSharedOnlyProductsHaveNoDedicatedDomains(t *testing.T) {
+	c := Build()
+	var sharedOnly []string
+	for _, p := range c.Products {
+		if !p.SharedOnly {
+			continue
+		}
+		sharedOnly = append(sharedOnly, p.Name)
+		for _, u := range p.Uses {
+			if u.Domain.Role == RoleGeneric {
+				continue
+			}
+			if u.Domain.Kind == hosting.KindDedicated || u.Domain.Kind == hosting.KindCloudTenant {
+				t.Errorf("shared-only product %q uses dedicated domain %q", p.Name, u.Domain.Name)
+			}
+		}
+	}
+	// §4.2.3 names exactly these: Google Home, Google Home Mini,
+	// Apple TV, Lefun camera.
+	if len(sharedOnly) != 4 {
+		t.Errorf("shared-only products = %v, want 4", sharedOnly)
+	}
+}
+
+func TestIdleOnlyProducts(t *testing.T) {
+	c := Build()
+	var idleOnly []string
+	for _, p := range c.Products {
+		if p.IdleOnly {
+			idleOnly = append(idleOnly, p.Name)
+			for _, u := range p.Uses {
+				if u.ActivePPH != 0 {
+					t.Errorf("idle-only product %q has active traffic on %q", p.Name, u.Domain.Name)
+				}
+			}
+		}
+	}
+	if len(idleOnly) != 2 { // Samsung Dryer, Samsung Fridge (Table 1)
+		t.Errorf("idle-only products = %v, want 2", idleOnly)
+	}
+}
+
+func TestDevicesSplitAcrossTestbeds(t *testing.T) {
+	c := Build()
+	per := map[int]int{}
+	for _, d := range c.Devices() {
+		per[d.Testbed]++
+	}
+	if per[1] != 56 {
+		t.Errorf("testbed 1 has %d devices, want 56", per[1])
+	}
+	if per[2] != 40 {
+		t.Errorf("testbed 2 has %d devices, want 40", per[2])
+	}
+}
+
+func TestDeviceIDsUnique(t *testing.T) {
+	c := Build()
+	seen := map[int]bool{}
+	for _, d := range c.Devices() {
+		if seen[d.ID] {
+			t.Errorf("duplicate device ID %d", d.ID)
+		}
+		seen[d.ID] = true
+	}
+}
+
+func TestRulesDetecting(t *testing.T) {
+	c := Build()
+	rules := c.RulesDetecting("Echo Dot")
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name] = true
+	}
+	if !names["Alexa Enabled"] || !names["Amazon Product"] || names["Fire TV"] {
+		t.Errorf("Echo Dot detected by %v", names)
+	}
+}
+
+func TestProvidersResolvable(t *testing.T) {
+	c := Build()
+	known := map[string]bool{}
+	for _, p := range c.Providers {
+		if known[p.Name] {
+			t.Errorf("duplicate provider %q", p.Name)
+		}
+		known[p.Name] = true
+	}
+	for _, d := range c.Domains {
+		if !known[d.Provider] {
+			t.Errorf("domain %q references unknown provider %q", d.Name, d.Provider)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := Build(), Build()
+	an, bn := a.DomainNames(), b.DomainNames()
+	if len(an) != len(bn) {
+		t.Fatal("nondeterministic domain count")
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("domain order differs at %d: %s vs %s", i, an[i], bn[i])
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/hosting"
+)
+
+// Build constructs the full testbed inventory. The construction is
+// deterministic and pure data — no randomness — so every experiment
+// sees the identical world.
+func Build() *Catalog {
+	b := &builder{c: &Catalog{Domains: map[string]*Domain{}}}
+	b.providers()
+	b.domains()
+	b.products()
+	b.rules()
+	b.c.Vendors = vendorList
+	return b.c
+}
+
+// vendorList is the paper's 40 manufacturers (Table 1). "MagicHome"
+// covers both the Magichome strip and the Flux bulb (same app/platform
+// family); "Allure" reaches only the Alexa voice service.
+var vendorList = []string{
+	// Surveillance
+	"Amcrest", "Blink", "Icsee", "Lefun", "Luohe", "Microseven",
+	"Reolink", "Ring", "Ubell", "Wansview", "Yi", "ZModo",
+	// Hubs
+	"Insteon", "Osram", "Philips", "Sengled", "SmartThings",
+	"SwitchBot", "Wink", "Xiaomi",
+	// Home automation
+	"D-Link", "Honeywell", "MagicHome", "Meross", "Nest", "Tuya",
+	"TP-Link", "Belkin",
+	// Video
+	"Apple", "LG", "Roku", "Samsung", "Amazon",
+	// Audio
+	"Allure", "Google",
+	// Appliances
+	"Anova", "Appkettle", "GE", "Netatmo", "Smarter",
+}
+
+type builder struct {
+	c *Catalog
+}
+
+func (b *builder) providers() {
+	ps := []ProviderSpec{
+		{"simcloud", hosting.KindCloudTenant, 64900, "186.1.0.0/16", "ec2compute.simcloud.example"},
+		{"simaws", hosting.KindCloudTenant, 64901, "186.2.0.0/16", "iotcloud.simaws.example"},
+		{"simakamai", hosting.KindCDN, 64902, "187.1.0.0/16", "cdn.simakamai.example"},
+		{"simweb", hosting.KindGeneric, 64903, "187.2.0.0/16", ""},
+		{"simntp", hosting.KindNTPPool, 64904, "187.3.0.0/20", ""},
+	}
+	// One dedicated data-centre block per vendor that operates its own
+	// backend.
+	dedicated := []string{
+		"amazon", "samsung", "philips", "xiaomi", "tplink", "honeywell",
+		"smartthings", "blink", "wansview", "amcrest", "dlink", "ge",
+		"netatmo", "sengled", "insteon", "osram", "nest", "roku",
+		"zmodo", "icsee", "luohe", "microseven", "lg", "belkin", "wink",
+		"switchbot", "whisk",
+	}
+	for i, v := range dedicated {
+		ps = append(ps, ProviderSpec{
+			Name: "dc-" + v,
+			Kind: hosting.KindDedicated,
+			ASN:  uint32(64601 + i),
+			CIDR: fmt.Sprintf("185.%d.0.0/16", i+1),
+			Zone: "",
+		})
+	}
+	b.c.Providers = ps
+}
+
+// dom registers a domain once; repeated names panic (the inventory is
+// hand-balanced and duplicates would corrupt the §4 counts).
+func (b *builder) dom(d Domain) *Domain {
+	if d.PoolSize == 0 {
+		d.PoolSize = 2
+	}
+	if d.Port == 0 {
+		d.Port = 443
+	}
+	if d.Proto == 0 {
+		d.Proto = flow.ProtoTCP
+	}
+	if d.BytesPerPkt == 0 {
+		d.BytesPerPkt = 600
+	}
+	if _, dup := b.c.Domains[d.Name]; dup {
+		panic("catalog: duplicate domain " + d.Name)
+	}
+	dd := d
+	b.c.Domains[d.Name] = &dd
+	b.c.domainSeq = append(b.c.domainSeq, d.Name)
+	return &dd
+}
+
+// ded registers a covered, HTTPS, dedicated primary domain.
+func (b *builder) ded(name, provider string, pool int) *Domain {
+	return b.dom(Domain{
+		Name: name, Role: RolePrimary, Kind: hosting.KindDedicated,
+		Provider: provider, PoolSize: pool, HTTPS: true, PDNSCovered: true,
+	})
+}
+
+// cloud registers a covered, HTTPS, cloud-tenant primary domain.
+func (b *builder) cloud(name, provider string, pool int) *Domain {
+	return b.dom(Domain{
+		Name: name, Role: RolePrimary, Kind: hosting.KindCloudTenant,
+		Provider: provider, PoolSize: pool, HTTPS: true, PDNSCovered: true,
+	})
+}
+
+// shared registers a CDN/generic-hosted primary domain.
+func (b *builder) shared(name, provider string, pool int) *Domain {
+	return b.dom(Domain{
+		Name: name, Role: RolePrimary, Kind: kindOf(provider),
+		Provider: provider, PoolSize: pool, HTTPS: true, PDNSCovered: true,
+	})
+}
+
+func kindOf(provider string) hosting.Kind {
+	switch provider {
+	case "simakamai":
+		return hosting.KindCDN
+	case "simweb":
+		return hosting.KindGeneric
+	case "simntp":
+		return hosting.KindNTPPool
+	case "simcloud", "simaws":
+		return hosting.KindCloudTenant
+	}
+	return hosting.KindDedicated
+}
+
+// Domain-name bucket generators. The global counts are asserted in
+// catalog_test.go against the §4 totals.
+
+func seq(prefix string, n int, format string) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf(format, prefix, i)
+	}
+	return out
+}
+
+func (b *builder) domains() {
+	// ---- Rule domains (dedicated or cloud; bucket A, 187 names) ----
+	b.ded("avs-alexa.simamazon.example", "dc-amazon", 8)
+	for _, n := range seq("amz", 33, "%s%02d.simamazon.example") {
+		b.ded(n, "dc-amazon", 3)
+	}
+	for _, n := range seq("ftv", 33, "%s%02d.simamazon.example") {
+		b.ded(n, "dc-amazon", 3)
+	}
+	b.ded("ota.simsamsung.example", "dc-samsung", 6)
+	for _, n := range seq("sam", 13, "%s%02d.simsamsung.example") {
+		b.ded(n, "dc-samsung", 3)
+	}
+	for _, n := range seq("tv", 16, "%s%02d.simsamsung.example") {
+		b.ded(n, "dc-samsung", 3)
+	}
+	// One-domain rules.
+	b.cloud("api.simanova.example", "simcloud", 2)
+	b.cloud("kettle.simsmarter.example", "simaws", 2)
+	b.ded("hub.siminsteon.example", "dc-insteon", 2)
+	b.cloud("api.simmagichome.example", "simaws", 2)
+	meross := b.cloud("mqtt.simmeross.example", "simcloud", 3)
+	meross.Port = 8883 // MQTT over TLS — an "other services" port (Fig 5c)
+	m7cam := b.ded("cam.simmicroseven.example", "dc-microseven", 1)
+	m7cam.Port = 9100 // proprietary camera streaming port
+	b.ded("api.simnetatmo.example", "dc-netatmo", 2)
+	b.cloud("coffee.simsmarter.example", "simaws", 2)
+	// Two-domain rules.
+	for _, v := range []struct{ label, prov string }{
+		{"simappkettle", "simcloud"}, {"simblink", "dc-blink"},
+		{"simflux", "simaws"}, {"simge", "dc-ge"},
+		{"simicsee", "dc-icsee"}, {"simlightify", "dc-osram"},
+		{"simluohe", "dc-luohe"}, {"simreolink", "simcloud"},
+		{"simsengled", "dc-sengled"}, {"simsmartthings", "dc-smartthings"},
+		{"simwansview", "dc-wansview"},
+	} {
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("r%d.%s.example", i, v.label)
+			if kindOf(v.prov) == hosting.KindCloudTenant {
+				b.cloud(name, v.prov, 2)
+			} else {
+				b.ded(name, v.prov, 2)
+			}
+		}
+	}
+	// Three-domain rules.
+	for i := 0; i < 3; i++ {
+		b.ded(fmt.Sprintf("r%d.simhoneywell.example", i), "dc-honeywell", 2)
+		b.ded(fmt.Sprintf("r%d.simxiaomi.example", i), "dc-xiaomi", 3)
+	}
+	// Four-domain rules.
+	for i := 0; i < 4; i++ {
+		b.ded(fmt.Sprintf("r%d.simnest.example", i), "dc-nest", 2)
+		b.cloud(fmt.Sprintf("r%d.simring.example", i), "simcloud", 3)
+		b.cloud(fmt.Sprintf("r%d.simtuya.example", i), "simaws", 4)
+		b.cloud(fmt.Sprintf("r%d.simubell.example", i), "simcloud", 1)
+		b.cloud(fmt.Sprintf("r%d.simyi.example", i), "simcloud", 2)
+	}
+	// Remaining 5+-domain rules.
+	for i := 0; i < 5; i++ {
+		b.ded(fmt.Sprintf("r%d.simamcrest.example", i), "dc-amcrest", 2)
+		b.ded(fmt.Sprintf("r%d.simdlink.example", i), "dc-dlink", 2)
+		b.ded(fmt.Sprintf("r%d.simzmodo.example", i), "dc-zmodo", 2)
+	}
+	for i := 0; i < 6; i++ {
+		b.ded(fmt.Sprintf("r%d.simphilips.example", i), "dc-philips", 3)
+		b.ded(fmt.Sprintf("r%d.simtplink.example", i), "dc-tplink", 3)
+	}
+	for i := 0; i < 7; i++ {
+		b.ded(fmt.Sprintf("r%d.simroku.example", i), "dc-roku", 3)
+	}
+
+	// The 15 no-record domains (§4.2.2): 8 rule domains of 5 devices
+	// are recoverable via certificate scans …
+	for _, n := range []string{
+		"r1.simreolink.example", "r2.simubell.example", "r3.simubell.example",
+		"r1.simluohe.example", "r1.simicsee.example",
+		"r2.simamcrest.example", "r3.simamcrest.example", "r4.simamcrest.example",
+	} {
+		d, ok := b.c.Domains[n]
+		if !ok {
+			panic("catalog: no-record target missing: " + n)
+		}
+		d.PDNSCovered = false // HTTPS stays true → Censys recovers it
+	}
+
+	// ---- Non-rule dedicated domains (bucket B, 38 names) ----
+	b.ded("svc.simlg.example", "dc-lg", 2) // LG's one dedicated domain
+	// Dedicated Support domains (complementary services, §4.1).
+	for _, n := range []string{
+		"samsung-recipes.simwhisk.example", "samsung-img.simwhisk.example",
+		"hue-cloud.simwhisk.example", "alexa-skills.simwhisk.example",
+		"mi-cloud.simwhisk.example", "nest-weather.simwhisk.example",
+	} {
+		d := b.ded(n, "dc-whisk", 2)
+		d.Role = RoleSupport
+	}
+	// Extra dedicated primary domains, contacted but not monitored.
+	for _, e := range []struct {
+		vendor string
+		n      int
+	}{
+		{"amazon", 4}, {"samsung", 4}, {"philips", 3}, {"xiaomi", 3},
+		{"smartthings", 2}, {"nest", 2}, {"roku", 2}, {"tplink", 2},
+		{"honeywell", 1}, {"blink", 1}, {"wansview", 1}, {"amcrest", 1},
+		{"ge", 1}, {"netatmo", 1}, {"osram", 1},
+	} {
+		for i := 0; i < e.n; i++ {
+			b.ded(fmt.Sprintf("x%d.sim%s.example", i, e.vendor), "dc-"+e.vendor, 2)
+		}
+	}
+	// Ring's two extra domains live in its cloud tenancy.
+	b.cloud("x0.simring.example", "simcloud", 2)
+	b.cloud("x1.simring.example", "simcloud", 2)
+
+	// ---- Shared-infrastructure domains (bucket C, 202 names) ----
+	for _, n := range seq("atv", 40, "%s%02d.simappletv.example") {
+		b.shared(n, "simakamai", 4)
+	}
+	for _, n := range seq("gh", 30, "%s%02d.simgoogle.example") {
+		b.shared(n, "simweb", 6)
+	}
+	for i := 0; i < 3; i++ {
+		b.shared(fmt.Sprintf("s%d.simlefun.example", i), "simakamai", 2)
+		b.shared(fmt.Sprintf("s%d.simlg.example", i), "simakamai", 3)
+	}
+	// Shared Support domains.
+	for i, owner := range []string{
+		"amazon", "amazon", "amazon", "samsung", "samsung",
+		"appletv", "appletv", "google", "google",
+		"roku", "lg", "yi", "tplink",
+	} {
+		d := b.shared(fmt.Sprintf("sup%d.sim%s-assets.example", i, owner), "simakamai", 3)
+		d.Role = RoleSupport
+	}
+	// Gossip extras on shared infrastructure per vendor.
+	for _, v := range []struct {
+		vendor string
+		n      int
+	}{
+		{"amazon", 20}, {"samsung", 15}, {"xiaomi", 10}, {"philips", 8},
+		{"roku", 8}, {"ring", 6}, {"nest", 6}, {"tplink", 6},
+		{"honeywell", 4}, {"smartthings", 5}, {"blink", 4}, {"yi", 4},
+		{"wansview", 3}, {"amcrest", 3}, {"dlink", 3}, {"ge", 2},
+		{"netatmo", 2}, {"sengled", 2}, {"insteon", 2},
+	} {
+		for i := 0; i < v.n; i++ {
+			b.shared(fmt.Sprintf("c%d.sim%s-cdn.example", i, v.vendor), "simakamai", 4)
+		}
+	}
+
+	// ---- Unrecoverable no-record domains (bucket D, 7 names) ----
+	// Dedicated in reality, but passive DNS never saw them and they do
+	// not speak HTTPS, so the pipeline cannot place them (§4.2.3:
+	// "for Wemo Plug and Wink-hub, we could not identify sufficient
+	// information").
+	for _, v := range []struct {
+		name, prov string
+	}{
+		{"p0.simwemo.example", "dc-belkin"}, {"p1.simwemo.example", "dc-belkin"},
+		{"p0.simwink.example", "dc-wink"}, {"p1.simwink.example", "dc-wink"},
+		{"p0.simswitchbot.example", "dc-switchbot"},
+		{"p1.simswitchbot.example", "dc-switchbot"},
+		{"p2.simswitchbot.example", "dc-switchbot"},
+	} {
+		d := b.dom(Domain{
+			Name: v.name, Role: RolePrimary, Kind: hosting.KindDedicated,
+			Provider: v.prov, PoolSize: 1, HTTPS: false, PDNSCovered: false,
+		})
+		d.Port = 8883
+	}
+
+	// ---- Generic domains (bucket E, 90 names) ----
+	for _, n := range seq("pool", 20, "%s%02d.simntp.example") {
+		d := b.dom(Domain{
+			Name: n, Role: RoleGeneric, Kind: hosting.KindNTPPool,
+			Provider: "simntp", PoolSize: 4, PDNSCovered: true,
+		})
+		d.Port = 123
+		d.Proto = flow.ProtoUDP
+		d.BytesPerPkt = 76
+	}
+	for _, n := range seq("g", 70, "%s%02d.simgenericweb.example") {
+		d := b.shared(n, "simweb", 8)
+		d.Role = RoleGeneric
+		d.BytesPerPkt = 1000
+	}
+}

@@ -1,0 +1,389 @@
+package catalog
+
+import "fmt"
+
+// prodSpec is one row of the product table; uses are attached after.
+type prodSpec struct {
+	name   string
+	vendor string
+	cat    Category
+	both   bool // deployed in both testbeds (two device instances)
+	idle   bool // Table 1 "idle": interactions not automatable
+	shared bool // backend entirely on shared infrastructure (§4.2.3)
+	tier   int  // Fig 14 market band, 0 = Top 10 … 7 = other/no rank
+	pen    float64
+}
+
+func (b *builder) product(s prodSpec) *Product {
+	p := &Product{
+		Name: s.name, Vendor: s.vendor, Category: s.cat,
+		InBothTestbeds: s.both, IdleOnly: s.idle, SharedOnly: s.shared,
+		MarketTier: s.tier, WildPenetration: s.pen,
+	}
+	b.c.Products = append(b.c.Products, p)
+	return p
+}
+
+// u attaches a domain use; the domain must already be registered.
+func (b *builder) u(p *Product, domain string, idle, active float64) {
+	d, ok := b.c.Domains[domain]
+	if !ok {
+		panic("catalog: product " + p.Name + " uses unknown domain " + domain)
+	}
+	p.Uses = append(p.Uses, Use{Domain: d, IdlePPH: idle, ActivePPH: active})
+}
+
+// useq attaches a numbered domain range, e.g. useq(p, "amz",
+// "%s%02d.simamazon.example", 33, 15, 60).
+func (b *builder) useq(p *Product, prefix, format string, n int, idle, active float64) {
+	for _, name := range seq(prefix, n, format) {
+		b.u(p, name, idle, active)
+	}
+}
+
+func (b *builder) products() {
+	// ---------------- Audio ----------------
+	// Alexa's voice service idles at ~700 pkts/h, which under 1:1024
+	// sampling yields ≈50 % per-hour visibility — the calibration that
+	// reproduces "daily counts roughly double hourly counts" (§6.2).
+	dot := b.product(prodSpec{name: "Echo Dot", vendor: "Amazon", cat: CatAudio, both: true, tier: 7, pen: 0.45})
+	b.u(dot, "avs-alexa.simamazon.example", 700, 3000)
+	b.useq(dot, "amz", "%s%02d.simamazon.example", 33, 15, 60)
+	b.u(dot, "pool00.simntp.example", 12, 0)
+	b.u(dot, "g00.simgenericweb.example", 8, 30)
+
+	spot := b.product(prodSpec{name: "Echo Spot", vendor: "Amazon", cat: CatAudio, both: true, tier: 7, pen: 0.07})
+	b.u(spot, "avs-alexa.simamazon.example", 650, 2500)
+	b.useq(spot, "amz", "%s%02d.simamazon.example", 33, 12, 50)
+	b.u(spot, "pool01.simntp.example", 12, 0)
+
+	plus := b.product(prodSpec{name: "Echo Plus", vendor: "Amazon", cat: CatAudio, both: true, tier: 7, pen: 0.14})
+	b.u(plus, "avs-alexa.simamazon.example", 680, 2800)
+	b.useq(plus, "amz", "%s%02d.simamazon.example", 33, 14, 55)
+	b.u(plus, "pool02.simntp.example", 12, 0)
+
+	allure := b.product(prodSpec{name: "Allure with Alexa", vendor: "Allure", cat: CatAudio, tier: 7, pen: 0.012})
+	b.u(allure, "avs-alexa.simamazon.example", 400, 1500)
+	b.u(allure, "pool03.simntp.example", 10, 0)
+
+	gh := b.product(prodSpec{name: "Google Home", vendor: "Google", cat: CatAudio, both: true, shared: true, tier: 7, pen: 0.30})
+	b.useq(gh, "gh", "%s%02d.simgoogle.example", 30, 40, 300)
+	b.u(gh, "sup7.simgoogle-assets.example", 15, 40)
+	b.u(gh, "pool04.simntp.example", 12, 0)
+	b.u(gh, "g01.simgenericweb.example", 20, 80)
+
+	ghm := b.product(prodSpec{name: "Google Home Mini", vendor: "Google", cat: CatAudio, shared: true, tier: 7, pen: 0.25})
+	b.useq(ghm, "gh", "%s%02d.simgoogle.example", 20, 30, 200)
+	b.u(ghm, "sup8.simgoogle-assets.example", 12, 30)
+	b.u(ghm, "pool05.simntp.example", 12, 0)
+
+	// ---------------- Video ----------------
+	ftv := b.product(prodSpec{name: "Fire TV", vendor: "Amazon", cat: CatVideo, both: true, tier: 7, pen: 0.17})
+	b.u(ftv, "avs-alexa.simamazon.example", 300, 1200)
+	b.useq(ftv, "amz", "%s%02d.simamazon.example", 33, 10, 40)
+	b.useq(ftv, "ftv", "%s%02d.simamazon.example", 33, 8, 80)
+	b.u(ftv, "sup0.simamazon-assets.example", 20, 100)
+	b.u(ftv, "sup1.simamazon-assets.example", 15, 80)
+	b.useq(ftv, "g1", "%s%d.simgenericweb.example", 9, 150, 1500)
+	b.u(ftv, "pool06.simntp.example", 12, 0)
+
+	atv := b.product(prodSpec{name: "Apple TV", vendor: "Apple", cat: CatVideo, shared: true, tier: 7, pen: 0.10})
+	b.useq(atv, "atv", "%s%02d.simappletv.example", 40, 25, 250)
+	b.u(atv, "sup5.simappletv-assets.example", 20, 60)
+	b.u(atv, "sup6.simappletv-assets.example", 15, 50)
+	b.u(atv, "g02.simgenericweb.example", 150, 1200)
+	b.u(atv, "pool07.simntp.example", 12, 0)
+
+	lgtv := b.product(prodSpec{name: "LG TV", vendor: "LG", cat: CatVideo, tier: 7, pen: 0.15})
+	b.u(lgtv, "svc.simlg.example", 300, 400)
+	b.u(lgtv, "s0.simlg.example", 30, 200)
+	b.u(lgtv, "s1.simlg.example", 25, 150)
+	b.u(lgtv, "s2.simlg.example", 20, 120)
+	b.u(lgtv, "sup10.simlg-assets.example", 10, 40)
+	b.u(lgtv, "g03.simgenericweb.example", 45, 450)
+
+	roku := b.product(prodSpec{name: "Roku TV", vendor: "Roku", cat: CatVideo, both: true, tier: 7, pen: 0.020})
+	b.useq(roku, "r", "%s%d.simroku.example", 7, 80, 300)
+	b.u(roku, "x0.simroku.example", 10, 30)
+	b.u(roku, "x1.simroku.example", 10, 30)
+	b.useq(roku, "c", "%s%d.simroku-cdn.example", 8, 15, 80)
+	b.u(roku, "sup9.simroku-assets.example", 12, 50)
+	b.useq(roku, "g2", "%s%d.simgenericweb.example", 5, 40, 400)
+
+	stv := b.product(prodSpec{name: "Samsung TV", vendor: "Samsung", cat: CatVideo, both: true, tier: 7, pen: 0.25})
+	// The OTA domain idles at ~180 pkts/h (~16 % hourly visibility),
+	// reproducing the ×6 day-over-hour detection gain of §6.2.
+	b.u(stv, "ota.simsamsung.example", 150, 120)
+	b.useq(stv, "sam", "%s%02d.simsamsung.example", 13, 8, 40)
+	b.useq(stv, "tv", "%s%02d.simsamsung.example", 16, 3, 220)
+	b.useq(stv, "c", "%s%d.simsamsung-cdn.example", 15, 12, 90)
+	b.u(stv, "sup3.simsamsung-assets.example", 10, 40)
+	b.u(stv, "sup4.simsamsung-assets.example", 8, 30)
+	b.u(stv, "g04.simgenericweb.example", 35, 350)
+
+	// ---------------- Surveillance ----------------
+	amc := b.product(prodSpec{name: "Amcrest Cam", vendor: "Amcrest", cat: CatSurveillance, both: true, tier: 3, pen: 0.006})
+	b.u(amc, "r0.simamcrest.example", 2500, 3000)
+	for i := 1; i < 5; i++ {
+		b.u(amc, fmt.Sprintf("r%d.simamcrest.example", i), 60, 200)
+	}
+	b.useq(amc, "c", "%s%d.simamcrest-cdn.example", 3, 20, 50)
+	b.u(amc, "x0.simamcrest.example", 10, 20)
+	b.u(amc, "pool08.simntp.example", 12, 0)
+
+	bcam := b.product(prodSpec{name: "Blink Cam", vendor: "Blink", cat: CatSurveillance, both: true, tier: 7, pen: 0.006})
+	b.u(bcam, "r0.simblink.example", 1500, 1000)
+	b.u(bcam, "r1.simblink.example", 300, 400)
+	b.u(bcam, "x0.simblink.example", 20, 40)
+	b.useq(bcam, "c", "%s%d.simblink-cdn.example", 4, 15, 40)
+
+	bhub := b.product(prodSpec{name: "Blink Hub", vendor: "Blink", cat: CatSurveillance, both: true, tier: 7, pen: 0.005})
+	b.u(bhub, "r0.simblink.example", 400, 350)
+	b.u(bhub, "r1.simblink.example", 300, 280)
+	b.u(bhub, "pool09.simntp.example", 12, 0)
+
+	// Icsee/Luohe/Microseven/Ubell (+ Magichome below) are the five
+	// devices whose idle traffic is too sparse for NetFlow to ever see
+	// (§5: "invisible in the NetFlow data").
+	icsee := b.product(prodSpec{name: "Icsee Doorbell", vendor: "Icsee", cat: CatSurveillance, tier: 7, pen: 0.003})
+	b.u(icsee, "r0.simicsee.example", 0.15, 2500)
+	b.u(icsee, "r1.simicsee.example", 0.1, 350)
+
+	lefun := b.product(prodSpec{name: "Lefun Cam", vendor: "Lefun", cat: CatSurveillance, shared: true, tier: 7, pen: 0.002})
+	b.u(lefun, "s0.simlefun.example", 900, 800)
+	b.u(lefun, "s1.simlefun.example", 60, 200)
+	b.u(lefun, "s2.simlefun.example", 40, 150)
+
+	luohe := b.product(prodSpec{name: "Luohe Cam", vendor: "Luohe", cat: CatSurveillance, tier: 7, pen: 0.0008})
+	b.u(luohe, "r0.simluohe.example", 0.15, 2500)
+	b.u(luohe, "r1.simluohe.example", 0.1, 300)
+
+	m7 := b.product(prodSpec{name: "Microseven Cam", vendor: "Microseven", cat: CatSurveillance, tier: 6, pen: 0.00002})
+	b.u(m7, "cam.simmicroseven.example", 0.3, 4000)
+
+	reo := b.product(prodSpec{name: "Reolink Cam", vendor: "Reolink", cat: CatSurveillance, both: true, tier: 2, pen: 0.010})
+	b.u(reo, "r0.simreolink.example", 2200, 1200)
+	b.u(reo, "r1.simreolink.example", 400, 350)
+	b.u(reo, "pool10.simntp.example", 12, 0)
+
+	ring := b.product(prodSpec{name: "Ring Doorbell", vendor: "Ring", cat: CatSurveillance, both: true, tier: 7, pen: 0.012})
+	b.useq(ring, "r", "%s%d.simring.example", 4, 700, 900)
+	b.u(ring, "x0.simring.example", 10, 20)
+	b.u(ring, "x1.simring.example", 10, 20)
+	b.useq(ring, "c", "%s%d.simring-cdn.example", 6, 8, 30)
+	b.u(ring, "pool11.simntp.example", 12, 0)
+
+	ubell := b.product(prodSpec{name: "Ubell Doorbell", vendor: "Ubell", cat: CatSurveillance, tier: 7, pen: 0.0006})
+	b.useq(ubell, "r", "%s%d.simubell.example", 4, 0.08, 2000)
+
+	wans := b.product(prodSpec{name: "Wansview Cam", vendor: "Wansview", cat: CatSurveillance, both: true, tier: 0, pen: 0.022})
+	b.u(wans, "r0.simwansview.example", 2500, 1500)
+	b.u(wans, "r1.simwansview.example", 500, 400)
+	b.u(wans, "x0.simwansview.example", 15, 30)
+	b.useq(wans, "c", "%s%d.simwansview-cdn.example", 3, 10, 25)
+
+	yi := b.product(prodSpec{name: "Yi Cam", vendor: "Yi", cat: CatSurveillance, both: true, tier: 1, pen: 0.015})
+	b.useq(yi, "r", "%s%d.simyi.example", 4, 1500, 900)
+	b.useq(yi, "c", "%s%d.simyi-cdn.example", 4, 12, 35)
+	b.u(yi, "sup11.simyi-assets.example", 8, 20)
+
+	zmodo := b.product(prodSpec{name: "ZModo Doorbell", vendor: "ZModo", cat: CatSurveillance, both: true, tier: 4, pen: 0.003})
+	b.useq(zmodo, "r", "%s%d.simzmodo.example", 5, 600, 500)
+
+	// ---------------- Smart hubs ----------------
+	insteon := b.product(prodSpec{name: "Insteon", vendor: "Insteon", cat: CatSmartHubs, both: true, tier: 5, pen: 0.0015})
+	b.u(insteon, "hub.siminsteon.example", 600, 300)
+	b.u(insteon, "c0.siminsteon-cdn.example", 10, 25)
+	b.u(insteon, "c1.siminsteon-cdn.example", 8, 20)
+
+	lightify := b.product(prodSpec{name: "Lightify", vendor: "Osram", cat: CatSmartHubs, both: true, tier: 3, pen: 0.004})
+	b.u(lightify, "r0.simlightify.example", 500, 280)
+	b.u(lightify, "r1.simlightify.example", 350, 220)
+	b.u(lightify, "x0.simosram.example", 10, 20)
+
+	hue := b.product(prodSpec{name: "Philips Hue", vendor: "Philips", cat: CatSmartHubs, both: true, tier: 0, pen: 0.040})
+	b.useq(hue, "r", "%s%d.simphilips.example", 6, 120, 280)
+	b.u(hue, "x0.simphilips.example", 15, 30)
+	b.u(hue, "x1.simphilips.example", 15, 30)
+	b.u(hue, "hue-cloud.simwhisk.example", 12, 25)
+	b.useq(hue, "c", "%s%d.simphilips-cdn.example", 8, 10, 25)
+	b.u(hue, "pool12.simntp.example", 12, 0)
+
+	sengled := b.product(prodSpec{name: "Sengled", vendor: "Sengled", cat: CatSmartHubs, both: true, tier: 7, pen: 0.003})
+	b.u(sengled, "r0.simsengled.example", 450, 250)
+	b.u(sengled, "r1.simsengled.example", 350, 200)
+	b.u(sengled, "c0.simsengled-cdn.example", 8, 16)
+	b.u(sengled, "c1.simsengled-cdn.example", 6, 12)
+
+	smtt := b.product(prodSpec{name: "Smartthings", vendor: "SmartThings", cat: CatSmartHubs, both: true, tier: 1, pen: 0.018})
+	b.u(smtt, "r0.simsmartthings.example", 600, 380)
+	b.u(smtt, "r1.simsmartthings.example", 500, 320)
+	b.u(smtt, "x0.simsmartthings.example", 20, 40)
+	b.u(smtt, "x1.simsmartthings.example", 15, 30)
+	b.useq(smtt, "c", "%s%d.simsmartthings-cdn.example", 5, 10, 20)
+	b.u(smtt, "pool13.simntp.example", 12, 0)
+
+	switchbot := b.product(prodSpec{name: "SwitchBot", vendor: "SwitchBot", cat: CatSmartHubs, tier: 7, pen: 0.004})
+	b.u(switchbot, "p0.simswitchbot.example", 2, 30)
+	b.u(switchbot, "p1.simswitchbot.example", 1.5, 20)
+	b.u(switchbot, "p2.simswitchbot.example", 1, 15)
+
+	wink := b.product(prodSpec{name: "Wink 2", vendor: "Wink", cat: CatSmartHubs, tier: 7, pen: 0.004})
+	b.u(wink, "p0.simwink.example", 150, 120)
+	b.u(wink, "p1.simwink.example", 120, 100)
+
+	xhub := b.product(prodSpec{name: "Xiaomi Hub", vendor: "Xiaomi", cat: CatSmartHubs, both: true, tier: 7, pen: 0.025})
+	b.useq(xhub, "r", "%s%d.simxiaomi.example", 3, 200, 320)
+	b.u(xhub, "x0.simxiaomi.example", 15, 30)
+	b.u(xhub, "x1.simxiaomi.example", 12, 25)
+	b.u(xhub, "x2.simxiaomi.example", 10, 20)
+	b.u(xhub, "mi-cloud.simwhisk.example", 10, 20)
+	b.useq(xhub, "c", "%s%d.simxiaomi-cdn.example", 10, 8, 20)
+	b.u(xhub, "pool14.simntp.example", 12, 0)
+
+	// ---------------- Home automation ----------------
+	dlink := b.product(prodSpec{name: "D-Link Mov Sensor", vendor: "D-Link", cat: CatHomeAutomation, both: true, tier: 3, pen: 0.0045})
+	b.useq(dlink, "r", "%s%d.simdlink.example", 5, 100, 200)
+	b.useq(dlink, "c", "%s%d.simdlink-cdn.example", 3, 8, 16)
+
+	flux := b.product(prodSpec{name: "Flux Bulb", vendor: "MagicHome", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.004})
+	b.u(flux, "r0.simflux.example", 70, 160)
+	b.u(flux, "r1.simflux.example", 55, 130)
+
+	honey := b.product(prodSpec{name: "Honeywell T-stat", vendor: "Honeywell", cat: CatHomeAutomation, both: true, tier: 2, pen: 0.008})
+	b.useq(honey, "r", "%s%d.simhoneywell.example", 3, 350, 280)
+	b.u(honey, "x0.simhoneywell.example", 12, 25)
+	b.useq(honey, "c", "%s%d.simhoneywell-cdn.example", 4, 8, 16)
+
+	magic := b.product(prodSpec{name: "Magichome Strip", vendor: "MagicHome", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.004})
+	b.u(magic, "api.simmagichome.example", 0.2, 350)
+
+	meross := b.product(prodSpec{name: "Meross Door Opener", vendor: "Meross", cat: CatHomeAutomation, both: true, tier: 0, pen: 0.030})
+	b.u(meross, "mqtt.simmeross.example", 700, 400)
+
+	nest := b.product(prodSpec{name: "Nest T-stat", vendor: "Nest", cat: CatHomeAutomation, both: true, tier: 4, pen: 0.0035})
+	// Nest idles slowly across several domains, reproducing its long
+	// detection times in Fig 10.
+	b.useq(nest, "r", "%s%d.simnest.example", 4, 6, 120)
+	b.u(nest, "x0.simnest.example", 8, 16)
+	b.u(nest, "x1.simnest.example", 6, 12)
+	b.u(nest, "nest-weather.simwhisk.example", 6, 12)
+	b.useq(nest, "c", "%s%d.simnest-cdn.example", 6, 5, 10)
+
+	pbulb := b.product(prodSpec{name: "Philips Bulb", vendor: "Philips", cat: CatHomeAutomation, both: true, tier: 0, pen: 0.012})
+	b.useq(pbulb, "r", "%s%d.simphilips.example", 6, 70, 160)
+	b.u(pbulb, "x2.simphilips.example", 8, 16)
+
+	slBulb := b.product(prodSpec{name: "Smartlife Bulb", vendor: "Tuya", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.015})
+	b.useq(slBulb, "r", "%s%d.simtuya.example", 4, 60, 150)
+
+	slRemote := b.product(prodSpec{name: "Smartlife Remote", vendor: "Tuya", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.008})
+	b.useq(slRemote, "r", "%s%d.simtuya.example", 4, 50, 130)
+
+	tplBulb := b.product(prodSpec{name: "TP-Link Bulb", vendor: "TP-Link", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.030})
+	b.useq(tplBulb, "r", "%s%d.simtplink.example", 6, 100, 220)
+	b.u(tplBulb, "sup12.simtplink-assets.example", 8, 16)
+	b.useq(tplBulb, "c", "%s%d.simtplink-cdn.example", 6, 8, 16)
+
+	// Plugs barely talk (§7.1: active use visible for only ~3.5 % of
+	// TP-Link devices).
+	tplPlug := b.product(prodSpec{name: "TP-Link Plug", vendor: "TP-Link", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.030})
+	b.useq(tplPlug, "r", "%s%d.simtplink.example", 6, 20, 80)
+
+	wemo := b.product(prodSpec{name: "WeMo Plug", vendor: "Belkin", cat: CatHomeAutomation, tier: 7, pen: 0.02})
+	b.u(wemo, "p0.simwemo.example", 200, 180)
+	b.u(wemo, "p1.simwemo.example", 150, 140)
+
+	xstrip := b.product(prodSpec{name: "Xiaomi Strip", vendor: "Xiaomi", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.012})
+	b.useq(xstrip, "r", "%s%d.simxiaomi.example", 3, 150, 200)
+
+	xplug := b.product(prodSpec{name: "Xiaomi Plug", vendor: "Xiaomi", cat: CatHomeAutomation, both: true, tier: 7, pen: 0.018})
+	b.useq(xplug, "r", "%s%d.simxiaomi.example", 3, 80, 120)
+
+	// ---------------- Appliances ----------------
+	anova := b.product(prodSpec{name: "Anova Sousvide", vendor: "Anova", cat: CatAppliances, both: true, tier: 2, pen: 0.009})
+	b.u(anova, "api.simanova.example", 700, 350)
+
+	appk := b.product(prodSpec{name: "Appkettle", vendor: "Appkettle", cat: CatAppliances, both: true, tier: 3, pen: 0.005})
+	b.u(appk, "r0.simappkettle.example", 500, 300)
+	b.u(appk, "r1.simappkettle.example", 400, 250)
+
+	ge := b.product(prodSpec{name: "GE Microwave", vendor: "GE", cat: CatAppliances, both: true, tier: 5, pen: 0.002})
+	b.u(ge, "r0.simge.example", 400, 250)
+	b.u(ge, "r1.simge.example", 300, 200)
+	b.u(ge, "x0.simge.example", 8, 16)
+
+	netatmo := b.product(prodSpec{name: "Netatmo Weather", vendor: "Netatmo", cat: CatAppliances, both: true, tier: 1, pen: 0.020})
+	b.u(netatmo, "api.simnetatmo.example", 800, 400)
+	b.u(netatmo, "x0.simnetatmo.example", 10, 20)
+	b.u(netatmo, "c0.simnetatmo-cdn.example", 8, 16)
+	b.u(netatmo, "c1.simnetatmo-cdn.example", 6, 12)
+
+	dryer := b.product(prodSpec{name: "Samsung Dryer", vendor: "Samsung", cat: CatAppliances, idle: true, tier: 7, pen: 0.035})
+	b.u(dryer, "ota.simsamsung.example", 120, 0)
+	b.useq(dryer, "sam", "%s%02d.simsamsung.example", 13, 5, 0)
+
+	fridge := b.product(prodSpec{name: "Samsung Fridge", vendor: "Samsung", cat: CatAppliances, idle: true, tier: 7, pen: 0.035})
+	b.u(fridge, "ota.simsamsung.example", 130, 0)
+	b.useq(fridge, "sam", "%s%02d.simsamsung.example", 13, 6, 0)
+	b.u(fridge, "samsung-recipes.simwhisk.example", 15, 0)
+	b.u(fridge, "samsung-img.simwhisk.example", 12, 0)
+
+	brewer := b.product(prodSpec{name: "Smarter Brewer", vendor: "Smarter", cat: CatAppliances, tier: 5, pen: 0.002})
+	b.u(brewer, "kettle.simsmarter.example", 550, 280)
+
+	scoffee := b.product(prodSpec{name: "Smarter Coffee Machine", vendor: "Smarter", cat: CatAppliances, tier: 5, pen: 0.0025})
+	b.u(scoffee, "coffee.simsmarter.example", 600, 300)
+
+	ikettle := b.product(prodSpec{name: "Smarter iKettle", vendor: "Smarter", cat: CatAppliances, both: true, tier: 1, pen: 0.012})
+	b.u(ikettle, "kettle.simsmarter.example", 600, 300)
+
+	xrice := b.product(prodSpec{name: "Xiaomi Rice Cooker", vendor: "Xiaomi", cat: CatAppliances, both: true, tier: 7, pen: 0.006})
+	b.useq(xrice, "r", "%s%d.simxiaomi.example", 3, 120, 160)
+
+	// ---- Remaining inventory attachments ----
+	// Every domain in the §4.1 census is observed in the ground-truth
+	// experiments, so each must be contacted by at least one device.
+	for i := 0; i < 4; i++ {
+		b.u(dot, fmt.Sprintf("x%d.simamazon.example", i), 10, 20)
+		b.u(stv, fmt.Sprintf("x%d.simsamsung.example", i), 8, 16)
+	}
+	b.u(tplBulb, "x0.simtplink.example", 8, 16)
+	b.u(tplBulb, "x1.simtplink.example", 8, 16)
+	b.u(dot, "alexa-skills.simwhisk.example", 10, 30)
+	for i := 0; i < 10; i++ {
+		b.u(dot, fmt.Sprintf("c%d.simamazon-cdn.example", i), 10, 30)
+	}
+	for i := 10; i < 20; i++ {
+		b.u(ftv, fmt.Sprintf("c%d.simamazon-cdn.example", i), 8, 40)
+	}
+	b.u(ftv, "sup2.simamazon-assets.example", 10, 40)
+	b.u(ge, "c0.simge-cdn.example", 8, 16)
+	b.u(ge, "c1.simge-cdn.example", 6, 12)
+	b.u(lgtv, "pool15.simntp.example", 10, 0)
+	b.u(roku, "pool16.simntp.example", 10, 0)
+	b.u(wemo, "pool17.simntp.example", 10, 0)
+	b.u(wink, "pool18.simntp.example", 10, 0)
+	b.u(switchbot, "pool19.simntp.example", 10, 0)
+	b.u(gh, "g05.simgenericweb.example", 20, 100)
+	b.u(ghm, "g06.simgenericweb.example", 15, 80)
+	b.u(atv, "g07.simgenericweb.example", 30, 300)
+	b.u(stv, "g08.simgenericweb.example", 20, 150)
+	b.u(lgtv, "g09.simgenericweb.example", 20, 150)
+	b.u(roku, "g19.simgenericweb.example", 30, 250)
+	genSpread := []struct {
+		p      *Product
+		lo, hi int
+		idle   float64
+		act    float64
+	}{
+		{ftv, 25, 35, 15, 120}, {atv, 35, 45, 15, 120},
+		{stv, 45, 53, 12, 100}, {roku, 53, 60, 12, 100},
+		{gh, 60, 65, 10, 60}, {lgtv, 65, 70, 10, 60},
+	}
+	for _, g := range genSpread {
+		for i := g.lo; i < g.hi; i++ {
+			b.u(g.p, fmt.Sprintf("g%02d.simgenericweb.example", i), g.idle, g.act)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package catalog
+
+// rules declares the 37 detection-rule specs of Fig 10: 6 platform-,
+// 20 manufacturer-, and 11 product-level rules, including the two
+// hierarchies of §4.3.2 (Alexa Enabled ⊃ Amazon Product ⊃ Fire TV, and
+// Samsung IoT ⊃ Samsung TV).
+func (b *builder) rules() {
+	avs := []string{"avs-alexa.simamazon.example"}
+	amz := append(append([]string{}, avs...), seq("amz", 33, "%s%02d.simamazon.example")...)
+	// Child rules monitor their *additional* domains only and require a
+	// confirmed parent: "we also try to avoid false positives by
+	// ensuring that the domain sets per device differ" (§5). Fire TV's
+	// 67 total monitored domains are the 34 Amazon ones (via the
+	// parent) plus these 33; Samsung TV's 30 are the 14 core ones plus
+	// these 16.
+	ftv := seq("ftv", 33, "%s%02d.simamazon.example")
+	sam := append([]string{"ota.simsamsung.example"}, seq("sam", 13, "%s%02d.simsamsung.example")...)
+	samTV := seq("tv", 16, "%s%02d.simsamsung.example")
+
+	add := func(r RuleSpec) { b.c.Rules = append(b.c.Rules, r) }
+
+	add(RuleSpec{
+		Name: "Alexa Enabled", Level: LevelPlatform, Domains: avs, MultiVendor: true,
+		Products: []string{"Echo Dot", "Echo Spot", "Echo Plus", "Allure with Alexa", "Fire TV"},
+	})
+	add(RuleSpec{
+		Name: "Amazon Product", Level: LevelManufacturer, Parent: "Alexa Enabled",
+		RequireParent: true, Domains: amz,
+		Products: []string{"Echo Dot", "Echo Spot", "Echo Plus", "Fire TV"},
+	})
+	add(RuleSpec{
+		Name: "Fire TV", Level: LevelProduct, Parent: "Amazon Product",
+		RequireParent: true, Domains: ftv,
+		Products: []string{"Fire TV"},
+	})
+	add(RuleSpec{
+		Name: "Samsung IoT", Level: LevelManufacturer, Domains: sam, MinOverride: 1,
+		Products: []string{"Samsung TV", "Samsung Dryer", "Samsung Fridge"},
+	})
+	add(RuleSpec{
+		Name: "Samsung TV", Level: LevelProduct, Parent: "Samsung IoT", RequireParent: true,
+		Domains:  samTV,
+		Products: []string{"Samsung TV"},
+	})
+
+	// One-domain rules.
+	add(RuleSpec{Name: "Anova Sousvide", Level: LevelProduct,
+		Domains: []string{"api.simanova.example"}, Products: []string{"Anova Sousvide"}})
+	add(RuleSpec{Name: "iKettle", Level: LevelPlatform,
+		Domains: []string{"kettle.simsmarter.example"}, Products: []string{"Smarter iKettle", "Smarter Brewer"}})
+	add(RuleSpec{Name: "Insteon Hub", Level: LevelProduct,
+		Domains: []string{"hub.siminsteon.example"}, Products: []string{"Insteon"}})
+	add(RuleSpec{Name: "Magichome Stripe", Level: LevelProduct,
+		Domains: []string{"api.simmagichome.example"}, Products: []string{"Magichome Strip"}})
+	add(RuleSpec{Name: "Meross Dooropener", Level: LevelManufacturer,
+		Domains: []string{"mqtt.simmeross.example"}, Products: []string{"Meross Door Opener"}})
+	add(RuleSpec{Name: "Microseven Cam.", Level: LevelProduct,
+		Domains: []string{"cam.simmicroseven.example"}, Products: []string{"Microseven Cam"}})
+	add(RuleSpec{Name: "Netatmo Weather St.", Level: LevelManufacturer,
+		Domains: []string{"api.simnetatmo.example"}, Products: []string{"Netatmo Weather"}})
+	add(RuleSpec{Name: "Smarter Coffee", Level: LevelPlatform,
+		Domains: []string{"coffee.simsmarter.example"}, Products: []string{"Smarter Coffee Machine"}})
+
+	// Two-domain rules.
+	two := func(name string, level Level, label string, products ...string) {
+		add(RuleSpec{Name: name, Level: level,
+			Domains: seq("r", 2, "%s%d."+label+".example"), Products: products})
+	}
+	two("AppKettle", LevelProduct, "simappkettle", "Appkettle")
+	two("Blink Hub & Cam.", LevelManufacturer, "simblink", "Blink Cam", "Blink Hub")
+	two("Flux Bulb", LevelPlatform, "simflux", "Flux Bulb")
+	two("GE Microwave", LevelManufacturer, "simge", "GE Microwave")
+	two("Icsee Doorbell", LevelProduct, "simicsee", "Icsee Doorbell")
+	two("Lightify Hub", LevelPlatform, "simlightify", "Lightify")
+	two("Luohe Cam.", LevelProduct, "simluohe", "Luohe Cam")
+	two("Reolink Cam.", LevelProduct, "simreolink", "Reolink Cam")
+	two("Sengled Dev.", LevelManufacturer, "simsengled", "Sengled")
+	two("Smartthings Dev.", LevelManufacturer, "simsmartthings", "Smartthings")
+	two("Wansview Cam.", LevelManufacturer, "simwansview", "Wansview Cam")
+
+	// Three- and four-domain rules.
+	add(RuleSpec{Name: "Honeywell T-stat", Level: LevelManufacturer,
+		Domains: seq("r", 3, "%s%d.simhoneywell.example"), Products: []string{"Honeywell T-stat"}})
+	add(RuleSpec{Name: "Xiaomi Dev.", Level: LevelManufacturer,
+		Domains:  seq("r", 3, "%s%d.simxiaomi.example"),
+		Products: []string{"Xiaomi Hub", "Xiaomi Strip", "Xiaomi Plug", "Xiaomi Rice Cooker"}})
+	add(RuleSpec{Name: "Nest Device", Level: LevelManufacturer,
+		Domains: seq("r", 4, "%s%d.simnest.example"), Products: []string{"Nest T-stat"}})
+	add(RuleSpec{Name: "Ring Doorbell", Level: LevelManufacturer,
+		Domains: seq("r", 4, "%s%d.simring.example"), Products: []string{"Ring Doorbell"}})
+	add(RuleSpec{Name: "Smartlife", Level: LevelPlatform, MultiVendor: true,
+		Domains:  seq("r", 4, "%s%d.simtuya.example"),
+		Products: []string{"Smartlife Bulb", "Smartlife Remote"}})
+	add(RuleSpec{Name: "Ubell Doorbell", Level: LevelManufacturer,
+		Domains: seq("r", 4, "%s%d.simubell.example"), Products: []string{"Ubell Doorbell"}})
+	add(RuleSpec{Name: "Yi Camera", Level: LevelManufacturer,
+		Domains: seq("r", 4, "%s%d.simyi.example"), Products: []string{"Yi Cam"}})
+
+	// Five-plus-domain rules.
+	add(RuleSpec{Name: "Amcrest Cam.", Level: LevelManufacturer,
+		Domains: seq("r", 5, "%s%d.simamcrest.example"), Products: []string{"Amcrest Cam"}})
+	add(RuleSpec{Name: "Dlink Motion Sens.", Level: LevelManufacturer,
+		Domains: seq("r", 5, "%s%d.simdlink.example"), Products: []string{"D-Link Mov Sensor"}})
+	add(RuleSpec{Name: "ZModo Doorbell", Level: LevelManufacturer,
+		Domains: seq("r", 5, "%s%d.simzmodo.example"), Products: []string{"ZModo Doorbell"}})
+	add(RuleSpec{Name: "Philips Dev.", Level: LevelManufacturer,
+		Domains: seq("r", 6, "%s%d.simphilips.example"), Products: []string{"Philips Hue", "Philips Bulb"}})
+	add(RuleSpec{Name: "TP-link Dev.", Level: LevelManufacturer,
+		Domains: seq("r", 6, "%s%d.simtplink.example"), Products: []string{"TP-Link Bulb", "TP-Link Plug"}})
+	add(RuleSpec{Name: "Roku TV", Level: LevelProduct,
+		Domains: seq("r", 7, "%s%d.simroku.example"), Products: []string{"Roku TV"}})
+}

@@ -1,0 +1,187 @@
+// Package certscan implements an internet-wide TLS-scan dataset in the
+// style of Censys, the fallback data source of §4.2.2: when passive DNS
+// has no record for a domain, the methodology finds the domain's
+// service IPs by matching the certificate (and HTTPS banner checksum)
+// presented by scanned hosts.
+//
+// The §4.2.2 matching rule is implemented verbatim: a certificate is
+// associated with a domain iff one of its names matches the domain at
+// the SLD or deeper (exact or single-wildcard), and the certificate
+// carries no other subject alternative name.
+package certscan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/names"
+)
+
+// Certificate is a scanned X.509 leaf reduced to the fields the
+// methodology reads: the subject names and a fingerprint.
+type Certificate struct {
+	// Names holds the subject common name plus all SANs.
+	Names []string
+	// Fingerprint is the hex SHA-256 of the (simulated) DER encoding.
+	Fingerprint string
+}
+
+// NewCertificate builds a certificate over the given names with a
+// deterministic fingerprint.
+func NewCertificate(certNames ...string) *Certificate {
+	normalized := make([]string, len(certNames))
+	for i, n := range certNames {
+		normalized[i] = names.Normalize(n)
+	}
+	sort.Strings(normalized)
+	sum := sha256.Sum256([]byte(strings.Join(normalized, "\n")))
+	return &Certificate{Names: normalized, Fingerprint: hex.EncodeToString(sum[:])}
+}
+
+// MatchesDomain implements the §4.2.2 association rule for domain:
+// some name matches at SLD or deeper, and there is no other SAN.
+func (c *Certificate) MatchesDomain(domain string) bool {
+	domain = names.Normalize(domain)
+	sld := names.SLD(domain)
+	if sld == "" {
+		return false
+	}
+	matched := false
+	for _, n := range c.Names {
+		ok := names.MatchesPattern(n, domain) || names.Normalize(n) == domain
+		if !ok {
+			// A name like "*.devE.com" also covers the bare domain
+			// query "c.devE.com"; anything not under the same SLD is
+			// a foreign SAN and disqualifies the certificate.
+			if !names.SameSLD(n, domain) && strings.TrimPrefix(n, "*.") != sld {
+				return false
+			}
+			continue
+		}
+		matched = true
+	}
+	return matched
+}
+
+// Host is one scanned endpoint: an IP/port presenting a certificate and
+// an HTTPS banner with a stable checksum.
+type Host struct {
+	IP             netip.Addr
+	Port           uint16
+	Cert           *Certificate
+	BannerChecksum uint64
+}
+
+// DB is the scan dataset. The zero value is not usable; use New.
+type DB struct {
+	hosts  []Host
+	byFP   map[string][]int // fingerprint -> host indices
+	byAddr map[netip.Addr][]int
+	seen   map[hostKey]bool
+}
+
+type hostKey struct {
+	ip     netip.Addr
+	port   uint16
+	fp     string
+	banner uint64
+}
+
+// New returns an empty scan dataset.
+func New() *DB {
+	return &DB{
+		byFP:   make(map[string][]int),
+		byAddr: make(map[netip.Addr][]int),
+		seen:   make(map[hostKey]bool),
+	}
+}
+
+// AddHost records a scanned endpoint. Re-scanning an identical endpoint
+// (same address, port, certificate and banner) is a no-op, so periodic
+// scan sweeps can be replayed into the same dataset.
+func (db *DB) AddHost(h Host) {
+	k := hostKey{ip: h.IP, port: h.Port, banner: h.BannerChecksum}
+	if h.Cert != nil {
+		k.fp = h.Cert.Fingerprint
+	}
+	if db.seen[k] {
+		return
+	}
+	db.seen[k] = true
+	idx := len(db.hosts)
+	db.hosts = append(db.hosts, h)
+	if h.Cert != nil {
+		db.byFP[h.Cert.Fingerprint] = append(db.byFP[h.Cert.Fingerprint], idx)
+	}
+	db.byAddr[h.IP] = append(db.byAddr[h.IP], idx)
+}
+
+// Len returns the number of scanned endpoints.
+func (db *DB) Len() int { return len(db.hosts) }
+
+// HostsAt returns the endpoints scanned at ip.
+func (db *DB) HostsAt(ip netip.Addr) []Host {
+	idxs := db.byAddr[ip]
+	out := make([]Host, len(idxs))
+	for i, idx := range idxs {
+		out[i] = db.hosts[idx]
+	}
+	return out
+}
+
+// IPsWithFingerprint returns all IPs presenting the certificate with
+// the given fingerprint, sorted.
+func (db *DB) IPsWithFingerprint(fp string) []netip.Addr {
+	var out []netip.Addr
+	for _, idx := range db.byFP[fp] {
+		out = append(out, db.hosts[idx].IP)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return dedup(out)
+}
+
+// ServiceIPsForDomain implements the §4.2.2 lookup: find any host whose
+// certificate matches domain, then return every IP presenting the same
+// certificate fingerprint *and* the same HTTPS banner checksum. The
+// boolean reports whether any matching certificate was found at all —
+// a domain that does not use HTTPS yields (nil, false), which is how
+// devices drop out with "could not identify sufficient information".
+func (db *DB) ServiceIPsForDomain(domain string) ([]netip.Addr, bool) {
+	type key struct {
+		fp     string
+		banner uint64
+	}
+	seeds := map[key]bool{}
+	for _, h := range db.hosts {
+		if h.Cert != nil && h.Cert.MatchesDomain(domain) {
+			seeds[key{h.Cert.Fingerprint, h.BannerChecksum}] = true
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, false
+	}
+	var out []netip.Addr
+	for _, h := range db.hosts {
+		if h.Cert == nil {
+			continue
+		}
+		if seeds[key{h.Cert.Fingerprint, h.BannerChecksum}] {
+			out = append(out, h.IP)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return dedup(out), true
+}
+
+func dedup(in []netip.Addr) []netip.Addr {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

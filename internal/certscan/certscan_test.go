@@ -1,0 +1,130 @@
+package certscan
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestCertificateFingerprintDeterministic(t *testing.T) {
+	a := NewCertificate("c.deve.example", "*.deve.example")
+	b := NewCertificate("*.DEVE.example", "c.deve.example") // order/case-insensitive
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatal("fingerprint depends on name order or case")
+	}
+	c := NewCertificate("c.deve.example")
+	if a.Fingerprint == c.Fingerprint {
+		t.Fatal("different name sets share a fingerprint")
+	}
+}
+
+func TestMatchesDomain(t *testing.T) {
+	cases := []struct {
+		names  []string
+		domain string
+		want   bool
+	}{
+		// Paper example: Name matches c.devE.com or *.devE.com, no other SAN.
+		{[]string{"c.deve.example"}, "c.deve.example", true},
+		{[]string{"*.deve.example"}, "c.deve.example", true},
+		{[]string{"*.deve.example", "deve.example"}, "c.deve.example", true},
+		// Foreign SAN disqualifies.
+		{[]string{"*.deve.example", "cdn.simakamai.example"}, "c.deve.example", false},
+		{[]string{"othersite.example"}, "c.deve.example", false},
+		// Shared CDN certificate with many tenant SANs.
+		{[]string{"*.cdnshared.example", "tenant1.example", "tenant2.example"}, "tenant1.example", false},
+	}
+	for _, c := range cases {
+		cert := NewCertificate(c.names...)
+		if got := cert.MatchesDomain(c.domain); got != c.want {
+			t.Errorf("MatchesDomain(%v, %q) = %v, want %v", c.names, c.domain, got, c.want)
+		}
+	}
+}
+
+func TestServiceIPsForDomain(t *testing.T) {
+	db := New()
+	cert := NewCertificate("*.deve.example")
+	// Three IPs present the same cert+banner; one IP presents the same
+	// cert with a different banner (e.g. a different service tier) and
+	// must still be counted only when its banner matches a seed.
+	for i, ip := range []string{"185.5.0.1", "185.5.0.2", "185.5.0.3"} {
+		_ = i
+		db.AddHost(Host{IP: addr(ip), Port: 443, Cert: cert, BannerChecksum: 777})
+	}
+	db.AddHost(Host{IP: addr("185.5.0.9"), Port: 443, Cert: cert, BannerChecksum: 888})
+	// Unrelated host.
+	db.AddHost(Host{IP: addr("185.6.0.1"), Port: 443, Cert: NewCertificate("x.other.example"), BannerChecksum: 777})
+
+	ips, ok := db.ServiceIPsForDomain("c.deve.example")
+	if !ok {
+		t.Fatal("no match found")
+	}
+	// Both banner variants seed (both hosts match the domain), so all
+	// four deve IPs are returned, but never the unrelated one.
+	want := map[string]bool{"185.5.0.1": true, "185.5.0.2": true, "185.5.0.3": true, "185.5.0.9": true}
+	if len(ips) != len(want) {
+		t.Fatalf("got %v", ips)
+	}
+	for _, ip := range ips {
+		if !want[ip.String()] {
+			t.Fatalf("unexpected IP %v", ip)
+		}
+	}
+}
+
+func TestServiceIPsForDomainNoHTTPS(t *testing.T) {
+	db := New()
+	db.AddHost(Host{IP: addr("185.5.0.1"), Port: 443, Cert: NewCertificate("a.example")})
+	ips, ok := db.ServiceIPsForDomain("plaintext.devf.example")
+	if ok || ips != nil {
+		t.Fatal("domain without HTTPS matched")
+	}
+}
+
+func TestBannerChecksumSeparatesTenants(t *testing.T) {
+	// Two tenants of a hosting provider present certificates with the
+	// same wildcard name (misissued/shared cert) but different banners;
+	// only same-banner IPs group together.
+	db := New()
+	shared := NewCertificate("*.sharedhost.example")
+	db.AddHost(Host{IP: addr("185.5.1.1"), Port: 443, Cert: shared, BannerChecksum: 1})
+	db.AddHost(Host{IP: addr("185.5.1.2"), Port: 443, Cert: shared, BannerChecksum: 2})
+	// Query can't disambiguate: both banners seed. This documents the
+	// behaviour; the dedicated-infra pipeline applies the pdns test
+	// afterwards, so over-approximation here is safe.
+	ips, ok := db.ServiceIPsForDomain("a.sharedhost.example")
+	if !ok || len(ips) != 2 {
+		t.Fatalf("ips = %v ok = %v", ips, ok)
+	}
+}
+
+func TestHostsAtAndLen(t *testing.T) {
+	db := New()
+	ip := addr("185.5.0.1")
+	db.AddHost(Host{IP: ip, Port: 443, Cert: NewCertificate("a.example"), BannerChecksum: 5})
+	db.AddHost(Host{IP: ip, Port: 8443, Cert: NewCertificate("b.example"), BannerChecksum: 6})
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	hosts := db.HostsAt(ip)
+	if len(hosts) != 2 {
+		t.Fatalf("HostsAt = %d", len(hosts))
+	}
+}
+
+func TestIPsWithFingerprint(t *testing.T) {
+	db := New()
+	cert := NewCertificate("fw.simblink.example")
+	db.AddHost(Host{IP: addr("185.4.0.2"), Port: 443, Cert: cert})
+	db.AddHost(Host{IP: addr("185.4.0.1"), Port: 443, Cert: cert})
+	db.AddHost(Host{IP: addr("185.4.0.1"), Port: 8443, Cert: cert}) // dup IP
+	ips := db.IPsWithFingerprint(cert.Fingerprint)
+	if len(ips) != 2 || ips[0] != addr("185.4.0.1") || ips[1] != addr("185.4.0.2") {
+		t.Fatalf("ips = %v", ips)
+	}
+	if got := db.IPsWithFingerprint("nope"); len(got) != 0 {
+		t.Fatalf("unknown fingerprint returned %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package classify implements the §4.1 domain classification: every
+// domain observed in the ground-truth traffic is sorted into
+// IoT-specific Primary, IoT-specific Support, or Generic.
+//
+// The paper did this with "pattern matching, manual inspection, and by
+// visiting their websites"; the equivalent here is a small curated
+// knowledge base of generic-service suffixes and
+// complementary-service patterns, applied mechanically. The knowledge
+// base is data, not code, so tests can extend it.
+package classify
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/names"
+)
+
+// KnowledgeBase holds the curated classification hints.
+type KnowledgeBase struct {
+	// GenericSLDs are registrable domains of generic service
+	// providers heavily used by non-IoT clients (public NTP pools,
+	// streaming, wikis, ad networks).
+	GenericSLDs []string
+	// SupportSLDs are registrable domains of complementary-service
+	// operators (the paper's whisk.com example).
+	SupportSLDs []string
+	// SupportPatterns are label substrings marking vendor-adjacent
+	// asset services.
+	SupportPatterns []string
+}
+
+// DefaultKB returns the knowledge base curated for the simulated
+// world, the analogue of the paper's manual inspection results.
+func DefaultKB() *KnowledgeBase {
+	return &KnowledgeBase{
+		GenericSLDs:     []string{"simntp.example", "simgenericweb.example"},
+		SupportSLDs:     []string{"simwhisk.example"},
+		SupportPatterns: []string{"-assets"},
+	}
+}
+
+// Classify assigns a role to one domain name.
+func (kb *KnowledgeBase) Classify(domain string) catalog.Role {
+	domain = names.Normalize(domain)
+	sld := names.SLD(domain)
+	for _, g := range kb.GenericSLDs {
+		if sld == g || names.IsSubdomainOf(domain, g) {
+			return catalog.RoleGeneric
+		}
+	}
+	for _, s := range kb.SupportSLDs {
+		if sld == s || names.IsSubdomainOf(domain, s) {
+			return catalog.RoleSupport
+		}
+	}
+	for _, p := range kb.SupportPatterns {
+		if strings.Contains(sld, p) {
+			return catalog.RoleSupport
+		}
+	}
+	return catalog.RolePrimary
+}
+
+// Census is the outcome of classifying a domain set.
+type Census struct {
+	Primary []string
+	Support []string
+	Generic []string
+}
+
+// IoTSpecific returns Primary ∪ Support — the §4.2 input set.
+func (c *Census) IoTSpecific() []string {
+	out := make([]string, 0, len(c.Primary)+len(c.Support))
+	out = append(out, c.Primary...)
+	return append(out, c.Support...)
+}
+
+// Counts returns (#primary, #support, #generic).
+func (c *Census) Counts() (int, int, int) {
+	return len(c.Primary), len(c.Support), len(c.Generic)
+}
+
+// ClassifyAll classifies a domain list, preserving order within each
+// class.
+func (kb *KnowledgeBase) ClassifyAll(domains []string) *Census {
+	var c Census
+	for _, d := range domains {
+		switch kb.Classify(d) {
+		case catalog.RoleGeneric:
+			c.Generic = append(c.Generic, d)
+		case catalog.RoleSupport:
+			c.Support = append(c.Support, d)
+		default:
+			c.Primary = append(c.Primary, d)
+		}
+	}
+	return &c
+}

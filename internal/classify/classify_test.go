@@ -1,0 +1,67 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestClassifyExamples(t *testing.T) {
+	kb := DefaultKB()
+	cases := map[string]catalog.Role{
+		"avs-alexa.simamazon.example":      catalog.RolePrimary,
+		"r0.simring.example":               catalog.RolePrimary,
+		"c3.simxiaomi-cdn.example":         catalog.RolePrimary,
+		"samsung-recipes.simwhisk.example": catalog.RoleSupport,
+		"sup0.simamazon-assets.example":    catalog.RoleSupport,
+		"pool07.simntp.example":            catalog.RoleGeneric,
+		"g42.simgenericweb.example":        catalog.RoleGeneric,
+	}
+	for d, want := range cases {
+		if got := kb.Classify(d); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestCensusMatchesPaperCounts(t *testing.T) {
+	// §4.1: of 524 observed domains, 415 Primary, 19 Support, the rest
+	// Generic.
+	c := catalog.Build()
+	kb := DefaultKB()
+	census := kb.ClassifyAll(c.DomainNames())
+	p, s, g := census.Counts()
+	if p != 415 {
+		t.Errorf("primary = %d, want 415", p)
+	}
+	if s != 19 {
+		t.Errorf("support = %d, want 19", s)
+	}
+	if g != 90 {
+		t.Errorf("generic = %d, want 90", g)
+	}
+	if got := len(census.IoTSpecific()); got != 434 {
+		t.Errorf("IoT-specific = %d, want 434", got)
+	}
+}
+
+func TestClassifierAgreesWithCatalogGroundTruth(t *testing.T) {
+	c := catalog.Build()
+	kb := DefaultKB()
+	for name, d := range c.Domains {
+		if got := kb.Classify(name); got != d.Role {
+			t.Errorf("Classify(%q) = %v, catalog says %v", name, got, d.Role)
+		}
+	}
+}
+
+func TestClassifyAllPreservesDuplicates(t *testing.T) {
+	// ClassifyAll takes an observation list as-is; deduplication is
+	// the caller's job (DomainNames is already unique).
+	kb := DefaultKB()
+	census := kb.ClassifyAll([]string{"a.simx.example", "a.simx.example", "pool00.simntp.example"})
+	p, _, g := census.Counts()
+	if p != 2 || g != 1 {
+		t.Fatalf("primary=%d generic=%d, want 2 and 1", p, g)
+	}
+}

@@ -1,0 +1,179 @@
+package dedicated
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/classify"
+	"repro/internal/world"
+)
+
+func pipelineOver(w *world.World) *Pipeline {
+	days := w.Window.Days()
+	return New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+}
+
+func TestPaperCounts(t *testing.T) {
+	// §4.2: of 434 IoT-specific domains, 217 dedicated via passive
+	// DNS, 202 shared, 15 without records of which 8 recovered via
+	// certificate scans (leaving 7 no-record).
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	if len(iot) != 434 {
+		t.Fatalf("IoT-specific input = %d, want 434", len(iot))
+	}
+	census := p.ClassifyAll(iot)
+	ded, shared, noRec, viaCensys := census.Counts()
+	if ded != 217 {
+		t.Errorf("dedicated via pdns = %d, want 217", ded)
+	}
+	if shared != 202 {
+		t.Errorf("shared = %d, want 202", shared)
+	}
+	if viaCensys != 8 {
+		t.Errorf("recovered via censys = %d, want 8", viaCensys)
+	}
+	if noRec != 7 {
+		t.Errorf("remaining no-record = %d, want 7", noRec)
+	}
+}
+
+func TestVerdictsMatchHostingGroundTruth(t *testing.T) {
+	w := world.MustBuild(2)
+	p := pipelineOver(w)
+	for name, d := range w.Catalog.Domains {
+		if d.Role == catalog.RoleGeneric {
+			continue
+		}
+		res := p.Classify(name)
+		switch {
+		case !d.PDNSCovered && d.HTTPS:
+			if res.Verdict != VerdictDedicated || !res.ViaCensys {
+				t.Errorf("%s: want censys-dedicated, got %v (viaCensys=%v)", name, res.Verdict, res.ViaCensys)
+			}
+		case !d.PDNSCovered:
+			if res.Verdict != VerdictNoRecord {
+				t.Errorf("%s: want no-record, got %v", name, res.Verdict)
+			}
+		case d.Kind.Shared():
+			if res.Verdict != VerdictShared {
+				t.Errorf("%s: want shared, got %v", name, res.Verdict)
+			}
+		default:
+			if res.Verdict != VerdictDedicated || res.ViaCensys {
+				t.Errorf("%s: want pdns-dedicated, got %v (viaCensys=%v)", name, res.Verdict, res.ViaCensys)
+			}
+		}
+	}
+}
+
+func TestDedicatedResultsCarryIPs(t *testing.T) {
+	w := world.MustBuild(3)
+	p := pipelineOver(w)
+	res := p.Classify("avs-alexa.simamazon.example")
+	if res.Verdict != VerdictDedicated {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if len(res.IPs) < 8 {
+		t.Fatalf("window IP set %d, want >= pool size 8", len(res.IPs))
+	}
+}
+
+func TestSharedOnlyDevicesExcluded(t *testing.T) {
+	// §4.2.3: Google Home (+Mini), Apple TV and Lefun have no usable
+	// domain at all.
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	census := p.ClassifyAll(w.Catalog.DomainNames())
+	for _, pname := range []string{"Google Home", "Google Home Mini", "Apple TV", "Lefun Cam"} {
+		prod, ok := w.Catalog.Product(pname)
+		if !ok {
+			t.Fatalf("product %s missing", pname)
+		}
+		for _, u := range prod.Uses {
+			if u.Domain.Role == catalog.RoleGeneric {
+				continue
+			}
+			if census.Usable(u.Domain.Name) {
+				t.Errorf("%s: domain %s usable despite shared-only backend", pname, u.Domain.Name)
+			}
+		}
+	}
+}
+
+func TestLGTVLeftWithOneDomain(t *testing.T) {
+	// §4.2.3: "for LG TV, we are left with only one out of 4 domains".
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	prod, _ := w.Catalog.Product("LG TV")
+	usable := 0
+	total := 0
+	for _, u := range prod.Uses {
+		if u.Domain.Role != catalog.RolePrimary {
+			continue
+		}
+		total++
+		if p.Classify(u.Domain.Name).Verdict == VerdictDedicated {
+			usable++
+		}
+	}
+	if total != 4 || usable != 1 {
+		t.Fatalf("LG TV primary domains usable %d/%d, want 1/4", usable, total)
+	}
+}
+
+func TestWemoWinkInsufficientInformation(t *testing.T) {
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	for _, pname := range []string{"WeMo Plug", "Wink 2"} {
+		prod, _ := w.Catalog.Product(pname)
+		for _, u := range prod.Uses {
+			if u.Domain.Role == catalog.RoleGeneric {
+				continue
+			}
+			if res := p.Classify(u.Domain.Name); res.Verdict != VerdictNoRecord {
+				t.Errorf("%s domain %s: %v, want no-record", pname, u.Domain.Name, res.Verdict)
+			}
+		}
+	}
+}
+
+func TestCensysRecoveredSpanFiveDevices(t *testing.T) {
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	census := p.ClassifyAll(w.Catalog.DomainNames())
+	devices := map[string]bool{}
+	for _, prod := range w.Catalog.Products {
+		for _, u := range prod.Uses {
+			r, ok := census.Results[u.Domain.Name]
+			if ok && r.ViaCensys {
+				devices[prod.Name] = true
+			}
+		}
+	}
+	if len(devices) != 5 {
+		t.Fatalf("censys recoveries span %v (%d devices), want 5", devices, len(devices))
+	}
+}
+
+func TestUsableDomainsOrderStable(t *testing.T) {
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	in := []string{"avs-alexa.simamazon.example", "ota.simsamsung.example", "gh00.simgoogle.example"}
+	census := p.ClassifyAll(in)
+	usable := census.UsableDomains()
+	if len(usable) != 2 || usable[0] != "avs-alexa.simamazon.example" || usable[1] != "ota.simsamsung.example" {
+		t.Fatalf("usable = %v", usable)
+	}
+}
+
+func BenchmarkClassifyAll434(b *testing.B) {
+	w := world.MustBuild(1)
+	p := pipelineOver(w)
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.ClassifyAll(iot)
+	}
+}

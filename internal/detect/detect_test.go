@@ -1,0 +1,296 @@
+package detect
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dedicated"
+	"repro/internal/rules"
+	"repro/internal/simtime"
+	"repro/internal/world"
+)
+
+func testDict(t testing.TB) (*rules.Dictionary, *world.World) {
+	w := world.MustBuild(1)
+	days := w.Window.Days()
+	pipe := dedicated.New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	census := pipe.ClassifyAll(iot)
+	dict, err := rules.Compile(w.Catalog, census, w.PDNS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dict, w
+}
+
+// feed sends one sampled packet for the domain's current address.
+func feed(t testing.TB, e *Engine, w *world.World, sub SubID, h simtime.Hour, domain string) []int {
+	t.Helper()
+	day := h.Day()
+	ips := w.ResolverOn(day).Resolve(domain)
+	if len(ips) == 0 {
+		t.Fatalf("%s does not resolve", domain)
+	}
+	d := w.Catalog.Domains[domain]
+	return e.Observe(sub, h, ips[0], d.Port, 1)
+}
+
+func TestSingleDomainRuleFiresImmediately(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	fired := feed(t, e, w, 7, h, "mqtt.simmeross.example")
+	ri := dict.RuleIndex("Meross Dooropener")
+	found := false
+	for _, f := range fired {
+		if f == ri {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Meross rule did not fire; fired=%v", fired)
+	}
+	if !e.Detected(7, ri) {
+		t.Fatal("Detected() disagrees")
+	}
+	if hh, ok := e.FirstDetection(7, ri); !ok || hh != h {
+		t.Fatalf("first detection %v %v", hh, ok)
+	}
+}
+
+func TestThresholdRequiresEnoughDomains(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	ri := dict.RuleIndex("Amcrest Cam.") // 5 domains → need 2 at D=0.4
+	feed(t, e, w, 1, h, "r0.simamcrest.example")
+	if e.Detected(1, ri) {
+		t.Fatal("fired with 1/5 domains at D=0.4")
+	}
+	feed(t, e, w, 1, h+1, "r3.simamcrest.example")
+	if !e.Detected(1, ri) {
+		t.Fatal("did not fire with 2/5 domains at D=0.4")
+	}
+}
+
+func TestRepeatDomainDoesNotAccumulate(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	ri := dict.RuleIndex("Amcrest Cam.")
+	for i := 0; i < 10; i++ {
+		feed(t, e, w, 1, w.Window.Start+simtime.Hour(i), "r0.simamcrest.example")
+	}
+	if e.Detected(1, ri) {
+		t.Fatal("ten hits on one domain counted as two domains")
+	}
+}
+
+func TestAlexaHierarchyCascades(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	alexa := dict.RuleIndex("Alexa Enabled")
+	amz := dict.RuleIndex("Amazon Product")
+	// One avs contact: Alexa platform fires (1 domain rule), Amazon
+	// Product (34 domains → need 13) does not.
+	feed(t, e, w, 3, h, "avs-alexa.simamazon.example")
+	if !e.Detected(3, alexa) {
+		t.Fatal("Alexa Enabled did not fire on avs contact")
+	}
+	if e.Detected(3, amz) {
+		t.Fatal("Amazon Product fired on a single domain")
+	}
+	// Add 12 more amz domains → 13/34 ≥ ⌊0.4·34⌋=13.
+	for i := 0; i < 12; i++ {
+		feed(t, e, w, 3, h, dict.Rules[amz].Domains[i+1])
+	}
+	if !e.Detected(3, amz) {
+		t.Fatalf("Amazon Product did not fire with 13 domains (need %d)", dict.Rules[amz].MinDomains(0.4))
+	}
+}
+
+func TestSamsungTVRequiresParent(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	stv := dict.RuleIndex("Samsung TV")
+	sam := dict.RuleIndex("Samsung IoT")
+	// Touch 12 of the 16 TV-specific domains: ≥ ⌊0.4·16⌋ = 6, but the
+	// parent (critical OTA domain) is silent.
+	for i := 0; i < 12; i++ {
+		feed(t, e, w, 9, h, dict.Rules[stv].Domains[i])
+	}
+	if e.Detected(9, stv) {
+		t.Fatal("Samsung TV fired without Samsung IoT confirmation")
+	}
+	// Confirm the parent via its critical domain (MinOverride = 1).
+	feed(t, e, w, 9, h+1, dict.Rules[sam].Domains[0])
+	if !e.Detected(9, sam) {
+		t.Fatal("Samsung IoT did not fire on the critical domain")
+	}
+	// The waiting child is released by the parent confirmation; its
+	// own evidence was already sufficient.
+	if !e.Detected(9, stv) {
+		t.Fatal("Samsung TV not released after parent confirmation")
+	}
+}
+
+func TestSamsungDryerNeverFiresTV(t *testing.T) {
+	// A Samsung Dryer/Fridge household contacts only the 14 core
+	// domains; the TV rule must stay silent (the §5 false-positive
+	// guard).
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	sam := dict.RuleIndex("Samsung IoT")
+	stv := dict.RuleIndex("Samsung TV")
+	for _, d := range dict.Rules[sam].Domains {
+		feed(t, e, w, 11, h, d)
+	}
+	if !e.Detected(11, sam) {
+		t.Fatal("Samsung IoT did not fire")
+	}
+	if e.Detected(11, stv) {
+		t.Fatal("Samsung TV fired on core-domain traffic only")
+	}
+}
+
+func TestEchoDotNeverFiresFireTV(t *testing.T) {
+	// Echo Dot traffic covers all 34 Amazon Product domains but none
+	// of Fire TV's additional ones.
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	amz := dict.RuleIndex("Amazon Product")
+	ftv := dict.RuleIndex("Fire TV")
+	for _, d := range dict.Rules[amz].Domains {
+		feed(t, e, w, 12, h, d)
+	}
+	if !e.Detected(12, amz) {
+		t.Fatal("Amazon Product did not fire")
+	}
+	if e.Detected(12, ftv) {
+		t.Fatal("Fire TV fired on Amazon-only traffic")
+	}
+}
+
+func TestSubscribersIsolated(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	feed(t, e, w, 100, w.Window.Start, "mqtt.simmeross.example")
+	ri := dict.RuleIndex("Meross Dooropener")
+	if e.Detected(200, ri) {
+		t.Fatal("detection leaked across subscribers")
+	}
+	if e.CountDetected(ri) != 1 {
+		t.Fatalf("CountDetected = %d", e.CountDetected(ri))
+	}
+}
+
+func TestCountAnyDetected(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	feed(t, e, w, 1, h, "mqtt.simmeross.example")
+	feed(t, e, w, 2, h, "api.simnetatmo.example")
+	feed(t, e, w, 2, h, "mqtt.simmeross.example")
+	// Subscriber 3 only touches an unmonitored (shared) service: the
+	// engine must not even track it.
+	ips := w.ResolverOn(h.Day()).Resolve("gh00.simgoogle.example")
+	e.Observe(3, h, ips[0], 443, 1)
+	if got := e.CountAnyDetected(); got != 2 {
+		t.Fatalf("CountAnyDetected = %d, want 2", got)
+	}
+	if e.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want 2 (shared flows must not allocate)", e.Subscribers())
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	feed(t, e, w, 1, w.Window.Start, "mqtt.simmeross.example")
+	e.Reset()
+	ri := dict.RuleIndex("Meross Dooropener")
+	if e.Detected(1, ri) || e.CountDetected(ri) != 0 || e.Subscribers() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestUsageSignal(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	day := h.Day()
+	ips := w.ResolverOn(day).Resolve("avs-alexa.simamazon.example")
+	alexa := dict.RuleIndex("Alexa Enabled")
+	e.Observe(5, h, ips[0], 443, 4)
+	if e.ActiveUse(5, alexa) {
+		t.Fatal("4 packets flagged as active use")
+	}
+	e.Observe(5, h, ips[0], 443, 9)
+	if !e.ActiveUse(5, alexa) {
+		t.Fatalf("13 packets not flagged (have %d)", e.RulePackets(5, alexa))
+	}
+}
+
+func TestEachDetected(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	feed(t, e, w, 1, h, "mqtt.simmeross.example")
+	feed(t, e, w, 2, h+3, "api.simnetatmo.example")
+	got := map[SubID]simtime.Hour{}
+	e.EachDetected(func(sub SubID, rule int, first simtime.Hour) {
+		got[sub] = first
+	})
+	if len(got) != 2 || got[1] != h || got[2] != h+3 {
+		t.Fatalf("EachDetected = %v", got)
+	}
+}
+
+func TestDLevelOneRequiresAllDomains(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 1.0)
+	h := w.Window.Start
+	ri := dict.RuleIndex("Reolink Cam.") // 2 domains → need 2 at D=1
+	feed(t, e, w, 1, h, "r0.simreolink.example")
+	if e.Detected(1, ri) {
+		t.Fatal("fired with 1/2 at D=1.0")
+	}
+	feed(t, e, w, 1, h, "r1.simreolink.example")
+	if !e.Detected(1, ri) {
+		t.Fatal("did not fire with 2/2 at D=1.0")
+	}
+}
+
+func TestUnknownEndpointIgnored(t *testing.T) {
+	dict, _ := testDict(t)
+	e := New(dict, 0.4)
+	fired := e.Observe(1, 437000, netip.MustParseAddr("8.8.8.8"), 53, 100)
+	if fired != nil || e.Subscribers() != 0 {
+		t.Fatal("unknown endpoint created state")
+	}
+}
+
+func BenchmarkObserveHit(b *testing.B) {
+	dict, w := testDict(b)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	ips := w.ResolverOn(h.Day()).Resolve("avs-alexa.simamazon.example")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(SubID(i&0xffff), h, ips[0], 443, 1)
+	}
+}
+
+func BenchmarkObserveMiss(b *testing.B) {
+	dict, _ := testDict(b)
+	e := New(dict, 0.4)
+	ip := netip.MustParseAddr("8.8.8.8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(SubID(i&0xffff), 437000, ip, 53, 1)
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// The lab is expensive (full two-week wild sweep); share one across the
+// test binary.
+var (
+	labOnce sync.Once
+	lab     *Lab
+)
+
+func sharedLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		lab = MustNewLab(DefaultConfig(1))
+	})
+	return lab
+}
+
+func want(t *testing.T, tbl *Table, key string, lo, hi float64) {
+	t.Helper()
+	v, ok := tbl.Stats[key]
+	if !ok {
+		t.Fatalf("%s: stat %q missing (have %v)", tbl.ID, key, tbl.SortedStats())
+	}
+	if v < lo || v > hi {
+		t.Errorf("%s: %s = %v, want in [%v, %v]", tbl.ID, key, v, lo, hi)
+	}
+}
+
+func wantExact(t *testing.T, tbl *Table, key string, v float64) {
+	t.Helper()
+	want(t, tbl, key, v, v)
+}
+
+func TestTable1(t *testing.T) {
+	tbl := sharedLab(t).Table1()
+	wantExact(t, tbl, "products", 56)
+	wantExact(t, tbl, "vendors", 40)
+	wantExact(t, tbl, "devices", 96)
+	if len(tbl.Rows) != 56 {
+		t.Errorf("Table 1 lists %d products", len(tbl.Rows))
+	}
+}
+
+func TestSec41(t *testing.T) {
+	tbl := sharedLab(t).Sec41()
+	wantExact(t, tbl, "primary", 415)
+	wantExact(t, tbl, "support", 19)
+	wantExact(t, tbl, "generic", 90)
+	wantExact(t, tbl, "iot_specific", 434)
+}
+
+func TestSec42(t *testing.T) {
+	tbl := sharedLab(t).Sec42()
+	wantExact(t, tbl, "dedicated_pdns", 217)
+	wantExact(t, tbl, "shared", 202)
+	wantExact(t, tbl, "via_censys", 8)
+	wantExact(t, tbl, "no_record", 7)
+	wantExact(t, tbl, "censys_devices", 5)
+}
+
+func TestSec43(t *testing.T) {
+	tbl := sharedLab(t).Sec43()
+	wantExact(t, tbl, "platform_rules", 6)
+	wantExact(t, tbl, "manufacturer_rules", 20)
+	wantExact(t, tbl, "product_rules", 11)
+	wantExact(t, tbl, "recognized_manufacturers", 31)
+	want(t, tbl, "manufacturer_coverage", 0.77, 0.78)
+}
+
+func TestFig5a(t *testing.T) {
+	tbl := sharedLab(t).Fig5a()
+	// Paper: ~16 % hourly visibility, 500–1300 service IPs/h active.
+	want(t, tbl, "active_hourly_visibility", 0.10, 0.28)
+	want(t, tbl, "idle_hourly_visibility", 0.06, 0.25)
+	want(t, tbl, "active_home_ips_mean", 450, 1300)
+	// Whole-window visibility exceeds any hourly snapshot (§3).
+	if tbl.Stats["active_window_visibility"] <= tbl.Stats["active_hourly_visibility"] {
+		t.Error("window visibility should exceed hourly visibility")
+	}
+}
+
+func TestFig5b(t *testing.T) {
+	tbl := sharedLab(t).Fig5b()
+	want(t, tbl, "active_home_domains_mean", 400, 524)
+	lab := sharedLab(t)
+	a := lab.Fig5a()
+	// Fewer domains than service IPs per hour (§3).
+	if tbl.Stats["active_home_domains_mean"] > a.Stats["active_home_ips_mean"] {
+		t.Error("domains per hour should not exceed service IPs per hour")
+	}
+}
+
+func TestFig5c(t *testing.T) {
+	tbl := sharedLab(t).Fig5c()
+	// Cumulative IPs converge and every class is non-empty; the ISP
+	// sees a subset of the home view.
+	for _, mode := range []string{"active", "idle"} {
+		for _, class := range []string{"web", "ntp", "other"} {
+			home := tbl.Stats[mode+"_home_"+class+"_final"]
+			isp := tbl.Stats[mode+"_isp_"+class+"_final"]
+			if home <= 0 {
+				t.Errorf("%s home %s empty", mode, class)
+			}
+			if isp > home {
+				t.Errorf("%s isp %s (%v) exceeds home (%v)", mode, class, isp, home)
+			}
+		}
+	}
+	if tbl.Stats["active_home_web_final"] <= tbl.Stats["active_home_ntp_final"] {
+		t.Error("web service IPs should dominate NTP")
+	}
+}
+
+func TestFig5d(t *testing.T) {
+	tbl := sharedLab(t).Fig5d()
+	// Paper: 67 % active / 64 % idle device visibility per hour.
+	want(t, tbl, "active_device_visibility", 0.50, 0.85)
+	want(t, tbl, "idle_device_visibility", 0.40, 0.80)
+}
+
+func TestFig6(t *testing.T) {
+	tbl := sharedLab(t).Fig6()
+	want(t, tbl, "active_top10_visibility", 0.60, 0.95)
+	// Monotone: more popular ⇒ more visible.
+	for _, mode := range []string{"active", "idle"} {
+		t10 := tbl.Stats[mode+"_top10_visibility"]
+		t20 := tbl.Stats[mode+"_top20_visibility"]
+		t30 := tbl.Stats[mode+"_top30_visibility"]
+		if !(t10 > t20 && t20 > t30) {
+			t.Errorf("%s: heavy-hitter visibility not monotone: %v %v %v", mode, t10, t20, t30)
+		}
+	}
+	// Heavy hitters are far more visible than the ~16 % average.
+	a := sharedLab(t).Fig5a()
+	if tbl.Stats["active_top10_visibility"] < 2.5*a.Stats["active_hourly_visibility"] {
+		t.Error("top-10% visibility should far exceed the average")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	tbl := sharedLab(t).Fig8()
+	// 13 devices; gossips have large domain sets, laconic small ones.
+	if tbl.Stats["domains_Apple TV"] < 15 {
+		t.Errorf("Apple TV domains = %v, want gossiping (>=15)", tbl.Stats["domains_Apple TV"])
+	}
+	if tbl.Stats["domains_Echo Dot"] < 15 {
+		t.Errorf("Echo Dot domains = %v, want gossiping (>=15)", tbl.Stats["domains_Echo Dot"])
+	}
+	for _, laconic := range []string{"Meross Door Opener", "Anova Sousvide", "Netatmo Weather", "Smarter Brewer"} {
+		if tbl.Stats["domains_"+laconic] >= 10 {
+			t.Errorf("%s domains = %v, want laconic (<10)", laconic, tbl.Stats["domains_"+laconic])
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	tbl := sharedLab(t).Fig9()
+	if tbl.Stats["active_median_pph"] <= tbl.Stats["idle_median_pph"] {
+		t.Error("active median pkts/h should exceed idle")
+	}
+	if tbl.Stats["active_p90_pph"] <= tbl.Stats["idle_p90_pph"] {
+		t.Error("active p90 pkts/h should exceed idle")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	tbl := sharedLab(t).Fig10()
+	// Paper (D=0.4, active): 72/93/96 % of Man/Pr rules in 1/24/72 h.
+	want(t, tbl, "active_manpr_within_1h", 0.45, 0.90)
+	want(t, tbl, "active_manpr_within_24h", 0.85, 1.0)
+	want(t, tbl, "active_manpr_within_72h", 0.90, 1.0)
+	// Idle detection is slower than active at every horizon.
+	for _, k := range []string{"_manpr_within_1h", "_manpr_within_24h"} {
+		if tbl.Stats["idle"+k] > tbl.Stats["active"+k] {
+			t.Errorf("idle%s (%v) exceeds active%s (%v)", k, tbl.Stats["idle"+k], k, tbl.Stats["active"+k])
+		}
+	}
+	// Paper: 6 rules undetectable in idle (5 sparse + Samsung TV).
+	want(t, tbl, "idle_undetected_rules", 4, 7)
+}
+
+func TestFig11(t *testing.T) {
+	tbl := sharedLab(t).Fig11()
+	want(t, tbl, "alexa_daily_frac", 0.11, 0.17)   // paper ~14 %
+	want(t, tbl, "any_daily_frac", 0.15, 0.24)     // paper ~20 %
+	want(t, tbl, "alexa_day_hour_ratio", 1.3, 2.8) // paper ~2×
+	want(t, tbl, "samsung_day_hour_ratio", 2.5, 8) // paper ~6×
+	if tbl.Stats["samsung_day_hour_ratio"] <= tbl.Stats["alexa_day_hour_ratio"] {
+		t.Error("Samsung should gain more from daily aggregation than Alexa")
+	}
+	if tbl.Stats["samsung_diurnal_amplitude"] <= tbl.Stats["other_diurnal_amplitude"] {
+		t.Error("Samsung should show a diurnal pattern; the other 32 should not")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	tbl := sharedLab(t).Fig12()
+	for _, k := range []string{"amazon_over_alexa", "firetv_over_amazon", "samsungtv_over_samsung"} {
+		want(t, tbl, k, 0.01, 0.95) // specialized subsets are proper fractions
+	}
+}
+
+func TestFig13(t *testing.T) {
+	tbl := sharedLab(t).Fig13()
+	if tbl.Stats["subs_tail_growth"] <= tbl.Stats["slash24_tail_growth"] {
+		t.Error("identifier-churn double counting should outgrow /24 aggregation")
+	}
+	want(t, tbl, "slash24_tail_growth", 0, 0.05)
+}
+
+func TestFig14(t *testing.T) {
+	tbl := sharedLab(t).Fig14()
+	if len(tbl.Rows) != 32 {
+		t.Fatalf("Fig 14 lists %d device types, want 32", len(tbl.Rows))
+	}
+	if tbl.Stats["mean_Philips Dev."] <= tbl.Stats["mean_Microseven Cam."] {
+		t.Error("popular Philips should exceed no-market Microseven")
+	}
+	if tbl.Stats["mean_Philips Dev."] < 50_000 {
+		t.Errorf("Philips daily mean %v, want >50k at paper scale", tbl.Stats["mean_Philips Dev."])
+	}
+}
+
+func TestFig15(t *testing.T) {
+	tbl := sharedLab(t).Fig15()
+	want(t, tbl, "alexa_daily_mean", 100_000, 450_000)  // paper ~200k
+	want(t, tbl, "samsung_daily_mean", 30_000, 160_000) // paper ~90k
+	want(t, tbl, "other_daily_mean", 40_000, 250_000)   // paper >100k
+	if tbl.Stats["alexa_daily_mean"] <= tbl.Stats["samsung_daily_mean"] {
+		t.Error("Alexa should dominate Samsung at the IXP")
+	}
+}
+
+func TestFig16(t *testing.T) {
+	tbl := sharedLab(t).Fig16()
+	for _, class := range []string{"alexa", "samsung", "other"} {
+		want(t, tbl, class+"_eyeball_share", 0.55, 1.0)
+		want(t, tbl, class+"_top_as_share", 0.10, 0.80)
+		if tbl.Stats[class+"_ases_with_activity"] < 20 {
+			t.Errorf("%s: only %v ASes show activity; the tail is missing", class, tbl.Stats[class+"_ases_with_activity"])
+		}
+	}
+}
+
+func TestFig17(t *testing.T) {
+	tbl := sharedLab(t).Fig17()
+	if tbl.Stats["active_home_peak"] <= 1000 {
+		t.Error("active home spikes should exceed 1k pkts/h (§7.1)")
+	}
+	if tbl.Stats["active_isp_peak"] <= 10 {
+		t.Error("active ISP spikes should exceed 10 sampled pkts/h (§7.1)")
+	}
+	if tbl.Stats["idle_isp_peak"] > 10 {
+		t.Error("idle ISP traffic should never reach the usage threshold")
+	}
+}
+
+func TestFig18(t *testing.T) {
+	tbl := sharedLab(t).Fig18()
+	want(t, tbl, "active_peak", 8_000, 60_000) // paper ~27k
+	if tbl.Stats["active_diurnal_amplitude"] < 1.5 {
+		t.Errorf("active use should follow human diurnal activity, amplitude %v", tbl.Stats["active_diurnal_amplitude"])
+	}
+}
+
+func TestSec5FalsePositive(t *testing.T) {
+	tbl := sharedLab(t).Sec5FalsePositive()
+	wantExact(t, tbl, "false_positives", 0)
+	if tbl.Stats["fired_rules"] < 3 {
+		t.Errorf("only %v rules fired for the 4-device subset", tbl.Stats["fired_rules"])
+	}
+}
+
+func TestAllTablesWellFormed(t *testing.T) {
+	l := sharedLab(t)
+	tables := []*Table{
+		l.Table1(), l.Sec41(), l.Sec42(), l.Sec43(),
+		l.Fig5a(), l.Fig5b(), l.Fig5c(), l.Fig5d(), l.Fig6(), l.Fig8(),
+		l.Fig9(), l.Fig10(), l.Fig11(), l.Fig12(), l.Fig13(), l.Fig14(),
+		l.Fig15(), l.Fig16(), l.Fig17(), l.Fig18(), l.Sec5FalsePositive(),
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Errorf("table missing ID/title: %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate table ID %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", tbl.ID)
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("%s row %d has %d cells, want %d", tbl.ID, i, len(row), len(tbl.Columns))
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/vantage"
+	"repro/internal/world"
+)
+
+// portClass buckets destination ports like Fig 5(c): web, NTP, other.
+func portClass(port uint16) int {
+	switch port {
+	case 443, 80, 8080:
+		return 0
+	case 123:
+		return 1
+	default:
+		return 2
+	}
+}
+
+var portClassNames = [3]string{"web", "ntp", "other"}
+
+// ispOb is one ISP-sampled ground-truth observation, kept for detection
+// replays (Fig 10) without re-running the sampler.
+type ispOb struct {
+	h    simtime.Hour
+	ip   netip.Addr
+	port uint16
+	pkts uint64
+	dev  int
+}
+
+type devDom struct {
+	dev int
+	dom string
+}
+
+// gtHour aggregates one hour at both vantage points.
+type gtHour struct {
+	h          simtime.Hour
+	homeIPs    stats.Set[netip.Addr]
+	ispIPs     stats.Set[netip.Addr]
+	homeDoms   stats.Set[string]
+	ispDoms    stats.Set[string]
+	homeDevs   stats.Set[int]
+	ispDevs    stats.Set[int]
+	homeBytes  map[netip.Addr]uint64
+	homeClass  [3]stats.Set[netip.Addr]
+	ispClass   [3]stats.Set[netip.Addr]
+	homeDevPkt map[int]uint64
+	ispDevPkt  map[int]uint64
+}
+
+func newGTHour(h simtime.Hour) *gtHour {
+	g := &gtHour{
+		h:       h,
+		homeIPs: stats.Set[netip.Addr]{}, ispIPs: stats.Set[netip.Addr]{},
+		homeDoms: stats.Set[string]{}, ispDoms: stats.Set[string]{},
+		homeDevs: stats.Set[int]{}, ispDevs: stats.Set[int]{},
+		homeBytes:  map[netip.Addr]uint64{},
+		homeDevPkt: map[int]uint64{},
+		ispDevPkt:  map[int]uint64{},
+	}
+	for i := range g.homeClass {
+		g.homeClass[i] = stats.Set[netip.Addr]{}
+		g.ispClass[i] = stats.Set[netip.Addr]{}
+	}
+	return g
+}
+
+// gtCapture is one full ground-truth experiment (§2.3) observed at the
+// Home-VP and the ISP-VP.
+type gtCapture struct {
+	mode   traffic.Mode
+	window simtime.Window
+	hours  []*gtHour
+	// homePkts accumulates per (device, domain) packets at the home
+	// side across the window (Figs 8 and 9).
+	homePkts map[devDom]uint64
+	ispObs   []ispOb
+	// deviceName maps device IDs to names for reporting.
+	deviceName map[int]string
+	deviceProd map[int]string
+}
+
+// windowResolver adapts the world's per-day snapshots to the traffic
+// generator's single-resolver interface; the capture loop advances day.
+type windowResolver struct {
+	w   *world.World
+	day simtime.Day
+}
+
+func (r *windowResolver) Resolve(domain string) []netip.Addr {
+	return r.w.ResolverOn(r.day).Resolve(domain)
+}
+
+// groundTruth lazily runs (and caches) one experiment mode.
+func (l *Lab) groundTruth(mode traffic.Mode) *gtCapture {
+	switch {
+	case mode == traffic.ModeActive && l.gtActive != nil:
+		return l.gtActive
+	case mode == traffic.ModeIdle && l.gtIdle != nil:
+		return l.gtIdle
+	}
+	window := simtime.ActiveWindow
+	if mode == traffic.ModeIdle {
+		window = simtime.IdleWindow
+	}
+	res := &windowResolver{w: l.W}
+	gen := traffic.New(l.rng("gt-"+mode.String()), res, l.W.Catalog.Devices())
+	vp := vantage.NewISP(l.rng("gt-isp-" + mode.String()))
+
+	cap := &gtCapture{
+		mode: mode, window: window,
+		homePkts:   map[devDom]uint64{},
+		deviceName: map[int]string{},
+		deviceProd: map[int]string{},
+	}
+	for _, d := range l.W.Catalog.Devices() {
+		cap.deviceName[d.ID] = d.String()
+		cap.deviceProd[d.ID] = d.Product.Name
+	}
+
+	window.Each(func(h simtime.Hour) {
+		res.day = h.Day()
+		g := newGTHour(h)
+		for _, ob := range gen.HourFlows(h, mode, window) {
+			dst := ob.Rec.Key.Dst
+			cls := portClass(ob.Rec.Key.DstPort)
+			g.homeIPs.Add(dst)
+			g.homeDoms.Add(ob.Domain)
+			g.homeDevs.Add(ob.Device.ID)
+			g.homeBytes[dst] += ob.Rec.Bytes
+			g.homeClass[cls].Add(dst)
+			g.homeDevPkt[ob.Device.ID] += ob.Rec.Packets
+			cap.homePkts[devDom{ob.Device.ID, ob.Domain}] += ob.Rec.Packets
+
+			if sampled, ok := vp.Observe(ob.Rec); ok {
+				g.ispIPs.Add(dst)
+				g.ispDoms.Add(ob.Domain)
+				g.ispDevs.Add(ob.Device.ID)
+				g.ispClass[cls].Add(dst)
+				g.ispDevPkt[ob.Device.ID] += sampled.Packets
+				cap.ispObs = append(cap.ispObs, ispOb{
+					h: h, ip: dst, port: ob.Rec.Key.DstPort,
+					pkts: sampled.Packets, dev: ob.Device.ID,
+				})
+			}
+		}
+		cap.hours = append(cap.hours, g)
+	})
+
+	if mode == traffic.ModeActive {
+		l.gtActive = cap
+	} else {
+		l.gtIdle = cap
+	}
+	return cap
+}
+
+// Fig5a reproduces Fig 5(a): unique service IPs per hour at the Home-VP
+// vs the ISP-VP, for active and idle experiments.
+func (l *Lab) Fig5a() *Table {
+	t := &Table{
+		ID:      "F5a",
+		Title:   "Fig 5(a): unique service IPs per hour, Home-VP vs ISP-VP",
+		Columns: []string{"mode", "hour", "home-vp", "isp-vp"},
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		home, isp := stats.NewSeries[simtime.Hour](), stats.NewSeries[simtime.Hour]()
+		homeAll, ispAll := stats.Set[netip.Addr]{}, stats.Set[netip.Addr]{}
+		for _, g := range cap.hours {
+			home.Set(g.h, float64(g.homeIPs.Len()))
+			isp.Set(g.h, float64(g.ispIPs.Len()))
+			homeAll.AddAll(g.homeIPs)
+			ispAll.AddAll(g.ispIPs)
+			t.addRow(mode.String(), g.h.String(),
+				fmt.Sprintf("%d", g.homeIPs.Len()), fmt.Sprintf("%d", g.ispIPs.Len()))
+		}
+		ratio := stats.Ratio(isp, home)
+		windowRatio := float64(ispAll.Len()) / float64(max(homeAll.Len(), 1))
+		t.stat(mode.String()+"_hourly_visibility", ratio)
+		t.stat(mode.String()+"_window_visibility", windowRatio)
+		t.stat(mode.String()+"_home_ips_mean", home.Mean())
+		t.note("%s: mean hourly ISP/Home service-IP visibility %.1f%% (paper ≈16%%); whole-window %.1f%%",
+			mode, 100*ratio, 100*windowRatio)
+	}
+	return t
+}
+
+// Fig5b reproduces Fig 5(b): unique domains per hour at both VPs (the
+// ISP side uses the home-side DNS ground truth to name sampled IPs).
+func (l *Lab) Fig5b() *Table {
+	t := &Table{
+		ID:      "F5b",
+		Title:   "Fig 5(b): unique domains per hour, Home-VP vs ISP-VP",
+		Columns: []string{"mode", "hour", "home-vp", "isp-vp"},
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		home, isp := stats.NewSeries[simtime.Hour](), stats.NewSeries[simtime.Hour]()
+		for _, g := range cap.hours {
+			home.Set(g.h, float64(g.homeDoms.Len()))
+			isp.Set(g.h, float64(g.ispDoms.Len()))
+			t.addRow(mode.String(), g.h.String(),
+				fmt.Sprintf("%d", g.homeDoms.Len()), fmt.Sprintf("%d", g.ispDoms.Len()))
+		}
+		t.stat(mode.String()+"_hourly_visibility", stats.Ratio(isp, home))
+		t.stat(mode.String()+"_home_domains_mean", home.Mean())
+	}
+	t.note("domains are fewer than service IPs: many domains are hosted on multiple IPs (§3)")
+	return t
+}
+
+// Fig5c reproduces Fig 5(c): cumulative service IPs per port class
+// (web/NTP/other) at both VPs.
+func (l *Lab) Fig5c() *Table {
+	t := &Table{
+		ID:      "F5c",
+		Title:   "Fig 5(c): cumulative service IPs per port class",
+		Columns: []string{"mode", "hour", "home-web", "home-ntp", "home-other", "isp-web", "isp-ntp", "isp-other"},
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		var homeCum, ispCum [3]stats.Set[netip.Addr]
+		for i := range homeCum {
+			homeCum[i] = stats.Set[netip.Addr]{}
+			ispCum[i] = stats.Set[netip.Addr]{}
+		}
+		var lastRow [6]int
+		for hi, g := range cap.hours {
+			for c := 0; c < 3; c++ {
+				homeCum[c].AddAll(g.homeClass[c])
+				ispCum[c].AddAll(g.ispClass[c])
+			}
+			row := [6]int{
+				homeCum[0].Len(), homeCum[1].Len(), homeCum[2].Len(),
+				ispCum[0].Len(), ispCum[1].Len(), ispCum[2].Len(),
+			}
+			// Convergence: report every 6th hour plus the last.
+			if hi%6 == 0 || hi == len(cap.hours)-1 {
+				t.addRow(mode.String(), g.h.String(),
+					fmt.Sprintf("%d", row[0]), fmt.Sprintf("%d", row[1]), fmt.Sprintf("%d", row[2]),
+					fmt.Sprintf("%d", row[3]), fmt.Sprintf("%d", row[4]), fmt.Sprintf("%d", row[5]))
+			}
+			lastRow = row
+		}
+		for c := 0; c < 3; c++ {
+			t.stat(fmt.Sprintf("%s_home_%s_final", mode, portClassNames[c]), float64(lastRow[c]))
+			t.stat(fmt.Sprintf("%s_isp_%s_final", mode, portClassNames[c]), float64(lastRow[c+3]))
+		}
+	}
+	t.note("the ISP trend mirrors the Home-VP per port class and converges over time (§3)")
+	return t
+}
+
+// Fig5d reproduces Fig 5(d): unique devices observed per hour.
+func (l *Lab) Fig5d() *Table {
+	t := &Table{
+		ID:      "F5d",
+		Title:   "Fig 5(d): unique IoT devices observed per hour",
+		Columns: []string{"mode", "hour", "home-vp", "isp-vp"},
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		home, isp := stats.NewSeries[simtime.Hour](), stats.NewSeries[simtime.Hour]()
+		for _, g := range cap.hours {
+			home.Set(g.h, float64(g.homeDevs.Len()))
+			isp.Set(g.h, float64(g.ispDevs.Len()))
+			t.addRow(mode.String(), g.h.String(),
+				fmt.Sprintf("%d", g.homeDevs.Len()), fmt.Sprintf("%d", g.ispDevs.Len()))
+		}
+		ratio := stats.Ratio(isp, home)
+		t.stat(mode.String()+"_device_visibility", ratio)
+		t.note("%s: %.0f%% of active devices visible per hour at the ISP (paper: 67%% active / 64%% idle)",
+			mode, 100*ratio)
+	}
+	return t
+}
+
+// Fig6 reproduces Fig 6: per-hour visibility of the heavy-hitter
+// service IPs (top 10/20/30 % by byte count at the home side).
+func (l *Lab) Fig6() *Table {
+	t := &Table{
+		ID:      "F6",
+		Title:   "Fig 6: fraction of top-N% service IPs (by bytes) visible at the ISP",
+		Columns: []string{"mode", "hour", "top10%", "top20%", "top30%"},
+	}
+	fractions := []float64{0.10, 0.20, 0.30}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		sums := make([]float64, len(fractions))
+		n := 0
+		for _, g := range cap.hours {
+			if len(g.homeBytes) == 0 {
+				continue
+			}
+			counter := stats.Counter[string]{}
+			byKey := map[string]netip.Addr{}
+			for ip, b := range g.homeBytes {
+				k := ip.String()
+				counter.Inc(k, b)
+				byKey[k] = ip
+			}
+			vals := make([]float64, len(fractions))
+			for fi, f := range fractions {
+				top := stats.TopFraction(counter, f)
+				vis := 0
+				for _, k := range top {
+					if g.ispIPs.Has(byKey[k]) {
+						vis++
+					}
+				}
+				vals[fi] = float64(vis) / float64(len(top))
+				sums[fi] += vals[fi]
+			}
+			n++
+			t.addRow(mode.String(), g.h.String(),
+				fmt.Sprintf("%.2f", vals[0]), fmt.Sprintf("%.2f", vals[1]), fmt.Sprintf("%.2f", vals[2]))
+		}
+		for fi, f := range fractions {
+			t.stat(fmt.Sprintf("%s_top%.0f_visibility", mode, f*100), sums[fi]/float64(max(n, 1)))
+		}
+	}
+	t.note("popular service IPs are far more visible than the 16%% average (§3)")
+	return t
+}
+
+// fig8Devices is the 13-device subset plotted in Fig 8.
+var fig8Devices = []string{
+	"Apple TV", "Blink Hub", "Echo Dot", "Meross Door Opener",
+	"Netatmo Weather", "Philips Hue", "Smarter Brewer", "Smartlife Bulb",
+	"Smartthings", "Anova Sousvide", "TP-Link Bulb", "Xiaomi Hub", "Yi Cam",
+}
+
+// Fig8 reproduces Fig 8: average packets/hour per domain for 13
+// devices in idle mode, separating laconic from gossiping devices.
+func (l *Lab) Fig8() *Table {
+	t := &Table{
+		ID:      "F8",
+		Title:   "Fig 8: Home-VP average packets/hour per domain (13 devices, idle)",
+		Columns: []string{"device", "domain", "avg pkts/h", "profile"},
+	}
+	cap := l.groundTruth(traffic.ModeIdle)
+	hours := float64(cap.window.Hours())
+
+	type row struct {
+		dev, dom string
+		pph      float64
+	}
+	perDev := map[string][]row{}
+	for dd, pkts := range cap.homePkts {
+		prod := cap.deviceProd[dd.dev]
+		if !contains(fig8Devices, prod) {
+			continue
+		}
+		// Use the testbed-1 instance only (one copy per product).
+		if cap.deviceName[dd.dev] != prod+"#1" {
+			continue
+		}
+		perDev[prod] = append(perDev[prod], row{dev: prod, dom: dd.dom, pph: float64(pkts) / hours})
+	}
+	for _, dev := range fig8Devices {
+		rows := perDev[dev]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].pph > rows[j].pph })
+		profile := "laconic"
+		if len(rows) >= 15 {
+			profile = "gossiping"
+		}
+		for _, r := range rows {
+			t.addRow(r.dev, r.dom, fmt.Sprintf("%.1f", r.pph), profile)
+		}
+		t.stat("domains_"+dev, float64(len(rows)))
+	}
+	t.note("most devices are supported by a small domain set (<10); Apple TV and Echo-family gossip (§4.1)")
+	return t
+}
+
+// Fig9 reproduces Fig 9: ECDF of average packets/hour per (device,
+// domain) pair over IoT-specific domains, idle vs active.
+func (l *Lab) Fig9() *Table {
+	t := &Table{
+		ID:      "F9",
+		Title:   "Fig 9: ECDF of avg packets/hour per device+domain (IoT-specific)",
+		Columns: []string{"mode", "quantile", "pkts/h"},
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeIdle, traffic.ModeActive} {
+		cap := l.groundTruth(mode)
+		hours := float64(cap.window.Hours())
+		var e stats.ECDF
+		for dd, pkts := range cap.homePkts {
+			dom, ok := l.W.Catalog.Domains[dd.dom]
+			if !ok || dom.Role == catalog.RoleGeneric {
+				continue
+			}
+			e.Add(float64(pkts) / hours)
+		}
+		for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99} {
+			t.addRow(mode.String(), fmt.Sprintf("%.2f", q), fmt.Sprintf("%.1f", e.Quantile(q)))
+		}
+		t.stat(mode.String()+"_median_pph", e.Quantile(0.5))
+		t.stat(mode.String()+"_p90_pph", e.Quantile(0.9))
+	}
+	t.note("active experiments shift the upper tail beyond 10k pkts/h — the detection-friendly domains (§4.1)")
+	return t
+}
+
+// Fig17 reproduces Fig 17: packet counts per hour for a single Alexa
+// Enabled device (Echo Dot, testbed 1) at both VPs.
+func (l *Lab) Fig17() *Table {
+	t := &Table{
+		ID:      "F17",
+		Title:   "Fig 17: single Alexa Enabled device, packets/hour at Home-VP and ISP-VP",
+		Columns: []string{"mode", "hour", "home pkts", "isp pkts"},
+	}
+	devID := -1
+	for _, d := range l.W.Catalog.Devices() {
+		if d.Product.Name == "Echo Dot" && d.Testbed == 1 {
+			devID = d.ID
+			break
+		}
+	}
+	for _, mode := range []traffic.Mode{traffic.ModeActive, traffic.ModeIdle} {
+		cap := l.groundTruth(mode)
+		var homeMax, ispMax uint64
+		for _, g := range cap.hours {
+			hp, ip := g.homeDevPkt[devID], g.ispDevPkt[devID]
+			if hp > homeMax {
+				homeMax = hp
+			}
+			if ip > ispMax {
+				ispMax = ip
+			}
+			t.addRow(mode.String(), g.h.String(), fmt.Sprintf("%d", hp), fmt.Sprintf("%d", ip))
+		}
+		t.stat(mode.String()+"_home_peak", float64(homeMax))
+		t.stat(mode.String()+"_isp_peak", float64(ispMax))
+	}
+	t.note("activity spikes exceed 1k pkts/h at home and 10 sampled pkts/h at the ISP; idle never does (§7.1)")
+	return t
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

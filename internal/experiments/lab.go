@@ -1,0 +1,167 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows or
+// series from the simulated world.
+//
+// All drivers hang off a Lab, which assembles the world once (catalog,
+// hosting, passive DNS, certificate scans), runs the §4 pipeline, and
+// lazily executes the shared heavyweight simulations (ground-truth
+// capture, wild-ISP sweep, wild-IXP sweep) that several figures share.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/dedicated"
+	"repro/internal/detect"
+	"repro/internal/isp"
+	"repro/internal/ixp"
+	"repro/internal/rules"
+	"repro/internal/simrand"
+	"repro/internal/world"
+)
+
+// Table is the uniform result shape every driver returns: printable
+// rows plus machine-readable key statistics.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Stats holds the metrics EXPERIMENTS.md and the tests assert on.
+	Stats map[string]float64
+}
+
+func (t *Table) addRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func (t *Table) note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) stat(key string, v float64) {
+	if t.Stats == nil {
+		t.Stats = map[string]float64{}
+	}
+	t.Stats[key] = v
+}
+
+// SortedStats returns stat keys in order (deterministic rendering).
+func (t *Table) SortedStats() []string {
+	keys := make([]string, 0, len(t.Stats))
+	for k := range t.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Config sizes the Lab's heavyweight simulations.
+type Config struct {
+	Seed uint64
+	// ISP is the wild-ISP population sizing.
+	ISP isp.Config
+	// IXP is the wild-IXP fabric sizing.
+	IXP ixp.Config
+	// Threshold is the detection threshold D for wild runs (the
+	// paper's conservative 0.4).
+	Threshold float64
+}
+
+// DefaultConfig returns the test-scale configuration (1:500 of the
+// paper's 15 M lines). Examples and the CLI raise Lines for closer
+// absolute numbers.
+func DefaultConfig(seed uint64) Config {
+	ispCfg := isp.DefaultConfig()
+	ispCfg.Lines = 30_000
+	ispCfg.Scale = 500
+	ixpCfg := ixp.DefaultConfig()
+	ixpCfg.TotalClients = 24_000
+	ixpCfg.Scale = 100
+	ixpCfg.Members = 400
+	return Config{Seed: seed, ISP: ispCfg, IXP: ixpCfg, Threshold: 0.4}
+}
+
+// Lab is the shared experiment environment.
+type Lab struct {
+	Cfg  Config
+	W    *world.World
+	KB   *classify.KnowledgeBase
+	Dom  *classify.Census
+	Ded  *dedicated.Census
+	Dict *rules.Dictionary
+
+	gtActive *gtCapture
+	gtIdle   *gtCapture
+	wild     *wildRun
+	ixpRun   *ixpRun
+}
+
+// NewLab builds the world and runs the §4 pipeline.
+func NewLab(cfg Config) (*Lab, error) {
+	w, err := world.Build(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	kb := classify.DefaultKB()
+	dom := kb.ClassifyAll(w.Catalog.DomainNames())
+	days := w.Window.Days()
+	pipe := dedicated.New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+	ded := pipe.ClassifyAll(dom.IoTSpecific())
+	dict, err := rules.Compile(w.Catalog, ded, w.PDNS, days)
+	if err != nil {
+		return nil, err
+	}
+	if err := dict.Verify(); err != nil {
+		return nil, err
+	}
+	return &Lab{Cfg: cfg, W: w, KB: kb, Dom: dom, Ded: ded, Dict: dict}, nil
+}
+
+// MustNewLab is NewLab for tests and examples.
+func MustNewLab(cfg Config) *Lab {
+	l, err := NewLab(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// engine returns a fresh detection engine at the lab threshold.
+func (l *Lab) engine() *detect.Engine {
+	return detect.New(l.Dict, l.Cfg.Threshold)
+}
+
+// rng forks a deterministic stream for a named sub-simulation.
+func (l *Lab) rng(label string) *simrand.RNG {
+	return simrand.New(l.Cfg.Seed).Fork(label)
+}
+
+// classRules partitions the dictionary into the reporting classes used
+// throughout §6: the Alexa family, the Samsung family, and the "other
+// 32 IoT device types".
+type classRules struct {
+	alexa, amazon, fireTV, samsung, samsungTV int
+	other                                     []int
+}
+
+func (l *Lab) classes() classRules {
+	c := classRules{
+		alexa:     l.Dict.RuleIndex("Alexa Enabled"),
+		amazon:    l.Dict.RuleIndex("Amazon Product"),
+		fireTV:    l.Dict.RuleIndex("Fire TV"),
+		samsung:   l.Dict.RuleIndex("Samsung IoT"),
+		samsungTV: l.Dict.RuleIndex("Samsung TV"),
+	}
+	family := map[int]bool{
+		c.alexa: true, c.amazon: true, c.fireTV: true,
+		c.samsung: true, c.samsungTV: true,
+	}
+	for i := range l.Dict.Rules {
+		if !family[i] {
+			c.other = append(c.other, i)
+		}
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+// Package flow defines the flow abstraction shared by every vantage
+// point: the 5-tuple key, the per-flow record carried by NetFlow/IPFIX,
+// and an aggregation table that turns packets into records.
+//
+// Records are the only thing an ISP or IXP sees in this system — no
+// payload ever crosses a vantage point, mirroring the paper's
+// header-only NetFlow/IPFIX setting.
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/simtime"
+)
+
+// Proto is an IP protocol number.
+type Proto uint8
+
+// Protocol numbers used in the simulation.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String returns the protocol mnemonic.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	}
+	return fmt.Sprintf("Proto(%d)", uint8(p))
+}
+
+// Key is a unidirectional 5-tuple flow key.
+type Key struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// Reverse returns the key of the opposite direction.
+func (k Key) Reverse() Key {
+	return Key{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// String renders "src:sport -> dst:dport/PROTO".
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d -> %s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// Record is one exported flow record: a key plus its counters within a
+// collection interval.
+type Record struct {
+	Key      Key
+	Packets  uint64
+	Bytes    uint64
+	TCPFlags uint8 // OR of all flags seen (0 for non-TCP)
+	Hour     simtime.Hour
+}
+
+// Validate reports structural problems with a record.
+func (r *Record) Validate() error {
+	if !r.Key.Src.IsValid() || !r.Key.Dst.IsValid() {
+		return fmt.Errorf("flow: record with invalid address: %v", r.Key)
+	}
+	if r.Packets == 0 {
+		return fmt.Errorf("flow: record with zero packets: %v", r.Key)
+	}
+	if r.Bytes < r.Packets*20 {
+		return fmt.Errorf("flow: record with %d bytes for %d packets (below minimum header size)", r.Bytes, r.Packets)
+	}
+	return nil
+}
+
+// Table aggregates packets into per-key records for one hour bin.
+// The zero value is not usable; use NewTable.
+type Table struct {
+	hour simtime.Hour
+	m    map[Key]*Record
+}
+
+// NewTable returns an empty aggregation table for the given hour.
+func NewTable(hour simtime.Hour) *Table {
+	return &Table{hour: hour, m: make(map[Key]*Record)}
+}
+
+// Hour returns the table's hour bin.
+func (t *Table) Hour() simtime.Hour { return t.hour }
+
+// AddPacket accumulates one packet into its flow.
+func (t *Table) AddPacket(k Key, bytes uint64, tcpFlags uint8) {
+	r := t.m[k]
+	if r == nil {
+		r = &Record{Key: k, Hour: t.hour}
+		t.m[k] = r
+	}
+	r.Packets++
+	r.Bytes += bytes
+	r.TCPFlags |= tcpFlags
+}
+
+// AddCount accumulates an aggregate count (packets, bytes) into a flow.
+// This is the fast path used by the traffic simulator, equivalent to
+// calling AddPacket packets times with bytes/packets each.
+func (t *Table) AddCount(k Key, packets, bytes uint64, tcpFlags uint8) {
+	if packets == 0 {
+		return
+	}
+	r := t.m[k]
+	if r == nil {
+		r = &Record{Key: k, Hour: t.hour}
+		t.m[k] = r
+	}
+	r.Packets += packets
+	r.Bytes += bytes
+	r.TCPFlags |= tcpFlags
+}
+
+// Len returns the number of active flows.
+func (t *Table) Len() int { return len(t.m) }
+
+// Records drains the table into a slice (order unspecified).
+func (t *Table) Records() []Record {
+	out := make([]Record, 0, len(t.m))
+	for _, r := range t.m {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Each visits every record without copying the map out.
+func (t *Table) Each(fn func(*Record)) {
+	for _, r := range t.m {
+		fn(r)
+	}
+}

@@ -1,0 +1,150 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestKeyReverse(t *testing.T) {
+	k := Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9"), SrcPort: 1234, DstPort: 443, Proto: ProtoTCP}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.Dst != k.Src || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Fatalf("reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestKeyReverseInvolution(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, proto uint8) bool {
+		k := Key{
+			Src: netip.AddrFrom4(a), Dst: netip.AddrFrom4(b),
+			SrcPort: sp, DstPort: dp, Proto: Proto(proto),
+		}
+		return k.Reverse().Reverse() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAggregation(t *testing.T) {
+	tbl := NewTable(simtime.Hour(1000))
+	k := Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9"), SrcPort: 1234, DstPort: 443, Proto: ProtoTCP}
+	tbl.AddPacket(k, 100, 0x02)
+	tbl.AddPacket(k, 200, 0x10)
+	tbl.AddPacket(k.Reverse(), 50, 0x10)
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	recs := tbl.Records()
+	var fwd *Record
+	for i := range recs {
+		if recs[i].Key == k {
+			fwd = &recs[i]
+		}
+	}
+	if fwd == nil {
+		t.Fatal("forward flow missing")
+	}
+	if fwd.Packets != 2 || fwd.Bytes != 300 {
+		t.Fatalf("fwd counters %d/%d", fwd.Packets, fwd.Bytes)
+	}
+	if fwd.TCPFlags != 0x12 {
+		t.Fatalf("flags %#x", fwd.TCPFlags)
+	}
+	if fwd.Hour != 1000 {
+		t.Fatalf("hour %d", fwd.Hour)
+	}
+}
+
+func TestAddCountEquivalentToPackets(t *testing.T) {
+	k := Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9"), SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	a := NewTable(0)
+	for i := 0; i < 7; i++ {
+		a.AddPacket(k, 90, 0)
+	}
+	b := NewTable(0)
+	b.AddCount(k, 7, 630, 0)
+	ra, rb := a.Records()[0], b.Records()[0]
+	if ra.Packets != rb.Packets || ra.Bytes != rb.Bytes {
+		t.Fatalf("AddCount mismatch: %+v vs %+v", ra, rb)
+	}
+}
+
+func TestAddCountZeroIsNoop(t *testing.T) {
+	tbl := NewTable(0)
+	k := Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9")}
+	tbl.AddCount(k, 0, 0, 0)
+	if tbl.Len() != 0 {
+		t.Fatal("zero-packet AddCount created a flow")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	tbl := NewTable(0)
+	for i := 0; i < 10; i++ {
+		k := Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9"), SrcPort: uint16(i), DstPort: 443, Proto: ProtoTCP}
+		tbl.AddPacket(k, 60, 0)
+	}
+	n := 0
+	tbl.Each(func(r *Record) { n++ })
+	if n != 10 {
+		t.Fatalf("Each visited %d", n)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := Record{
+		Key:     Key{Src: addr("10.0.0.1"), Dst: addr("192.0.2.9"), Proto: ProtoTCP},
+		Packets: 2, Bytes: 120,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	bad := good
+	bad.Packets = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero-packet record accepted")
+	}
+	bad = good
+	bad.Bytes = 10
+	if bad.Validate() == nil {
+		t.Fatal("impossible byte count accepted")
+	}
+	bad = good
+	bad.Key.Src = netip.Addr{}
+	if bad.Validate() == nil {
+		t.Fatal("invalid address accepted")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "TCP" || ProtoUDP.String() != "UDP" || ProtoICMP.String() != "ICMP" {
+		t.Fatal("proto names wrong")
+	}
+	if Proto(200).String() != "Proto(200)" {
+		t.Fatalf("unknown proto = %s", Proto(200))
+	}
+}
+
+func BenchmarkAddPacket(b *testing.B) {
+	tbl := NewTable(0)
+	keys := make([]Key, 1024)
+	for i := range keys {
+		keys[i] = Key{
+			Src: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), Dst: addr("192.0.2.9"),
+			SrcPort: uint16(i), DstPort: 443, Proto: ProtoTCP,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.AddPacket(keys[i&1023], 120, 0x10)
+	}
+}

@@ -1,0 +1,426 @@
+// Package hosting models the Internet backend infrastructure that IoT
+// services run on: dedicated manufacturer-operated servers, exclusive
+// cloud tenancies reached through provider CNAMEs, shared CDN pools
+// serving many customers, generic web services, and the public NTP
+// pool.
+//
+// The model reproduces the three communication patterns of the paper's
+// Figure 1 and the two worked examples of §4.2.1:
+//
+//   - devA.com → devA-vm.ec2compute.<cloud> → IP used by no one else
+//     (cloud tenancy: exclusive, hence classifiable), and
+//   - devB.com → devB.<cdn> → IP shared with many other sites
+//     (shared, hence unclassifiable from flow data).
+//
+// Domain→IP mappings churn daily, which is why a single ground-truth
+// vantage point is not enough and passive DNS must be consulted.
+package hosting
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/certscan"
+	"repro/internal/names"
+	"repro/internal/pdns"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// Kind classifies how a domain's backend is hosted.
+type Kind uint8
+
+// Hosting kinds.
+const (
+	// KindDedicated: manufacturer-operated servers; every IP serves
+	// only this SLD.
+	KindDedicated Kind = iota + 1
+	// KindCloudTenant: a VM (or few) behind a cloud provider CNAME;
+	// the public IP is exclusive to the tenant while held.
+	KindCloudTenant
+	// KindCDN: shared content-delivery IPs serving many SLDs.
+	KindCDN
+	// KindGeneric: generic web infrastructure heavily used by non-IoT
+	// clients too (netflix/wikipedia class).
+	KindGeneric
+	// KindNTPPool: public NTP servers.
+	KindNTPPool
+)
+
+// String returns the kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case KindDedicated:
+		return "dedicated"
+	case KindCloudTenant:
+		return "cloud-tenant"
+	case KindCDN:
+		return "cdn"
+	case KindGeneric:
+		return "generic"
+	case KindNTPPool:
+		return "ntp-pool"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Shared reports whether IPs of this kind serve unrelated parties,
+// which makes domains on them undetectable from flow headers.
+func (k Kind) Shared() bool {
+	return k == KindCDN || k == KindGeneric || k == KindNTPPool
+}
+
+// Provider owns an address block and hands out service IPs.
+type Provider struct {
+	Name string
+	ASN  uint32
+	Kind Kind
+	// Zone is the provider DNS zone for CNAME-based hosting
+	// (cloud tenancy and CDN). Must be a registered public suffix in
+	// package names so SLD extraction treats tenants as registrations.
+	Zone string
+
+	prefix netip.Prefix
+	next   uint32
+	pool   []netip.Addr // shared pool for CDN/generic/NTP kinds
+}
+
+// AllocIP returns a fresh, never-used address from the provider block.
+func (p *Provider) AllocIP() netip.Addr {
+	base := p.prefix.Addr().As4()
+	bits := p.prefix.Bits()
+	size := uint32(1) << (32 - bits)
+	p.next++
+	if p.next >= size {
+		panic(fmt.Sprintf("hosting: provider %s exhausted %s", p.Name, p.prefix))
+	}
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += p.next
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Pool returns the shared pool (allocating it on first use).
+func (p *Provider) Pool(size int) []netip.Addr {
+	for len(p.pool) < size {
+		p.pool = append(p.pool, p.AllocIP())
+	}
+	return p.pool[:size]
+}
+
+// Assignment is the hosting state of one domain.
+type Assignment struct {
+	Domain   string
+	Kind     Kind
+	Provider *Provider
+	// CNAME is the intermediate provider name ("" for direct A records).
+	CNAME string
+	// IPs is the current address set the domain resolves to.
+	IPs []netip.Addr
+	// HTTPS marks domains that present a certificate on 443; the
+	// certificate names cover the domain's SLD wildcard.
+	HTTPS bool
+	// Cert is the presented certificate when HTTPS (shared-kind
+	// domains present the provider's multi-SAN certificate).
+	Cert *certscan.Certificate
+	// Banner is the HTTPS banner checksum.
+	Banner uint64
+
+	poolSize int
+}
+
+// Config tunes the infrastructure model.
+type Config struct {
+	// ChurnProb is the per-domain, per-day probability that one of the
+	// domain's IPs is remapped.
+	ChurnProb float64
+	// CDNBackgroundTenants is the number of unrelated customer domains
+	// observed per CDN provider (they make CDN IPs non-exclusive in
+	// passive DNS).
+	CDNBackgroundTenants int
+}
+
+// DefaultConfig returns the calibrated defaults.
+func DefaultConfig() Config {
+	return Config{ChurnProb: 0.25, CDNBackgroundTenants: 64}
+}
+
+// Infra is the simulated hosting world. Not safe for concurrent use.
+type Infra struct {
+	cfg         Config
+	rng         *simrand.RNG
+	providers   map[string]*Provider
+	assignments map[string]*Assignment
+	order       []string // deterministic iteration
+	backgrounds map[string][]string
+}
+
+// New returns an empty infrastructure using rng for churn decisions.
+func New(rng *simrand.RNG, cfg Config) *Infra {
+	return &Infra{
+		cfg:         cfg,
+		rng:         rng.Fork("hosting"),
+		providers:   make(map[string]*Provider),
+		assignments: make(map[string]*Assignment),
+		backgrounds: make(map[string][]string),
+	}
+}
+
+// AddProvider registers an address block owner.
+func (in *Infra) AddProvider(name string, kind Kind, asn uint32, cidr, zone string) (*Provider, error) {
+	if _, dup := in.providers[name]; dup {
+		return nil, fmt.Errorf("hosting: duplicate provider %q", name)
+	}
+	prefix, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return nil, fmt.Errorf("hosting: provider %q: %w", name, err)
+	}
+	p := &Provider{Name: name, ASN: asn, Kind: kind, Zone: zone, prefix: prefix}
+	in.providers[name] = p
+	return p, nil
+}
+
+// Provider returns a registered provider by name.
+func (in *Infra) Provider(name string) (*Provider, bool) {
+	p, ok := in.providers[name]
+	return p, ok
+}
+
+// Host assigns a domain to a provider with a target address-pool size.
+// The hosting pattern follows the provider kind. https controls whether
+// the domain presents a certificate on 443.
+func (in *Infra) Host(domain, providerName string, poolSize int, https bool) (*Assignment, error) {
+	domain = names.Normalize(domain)
+	if !names.Valid(domain) {
+		return nil, fmt.Errorf("hosting: invalid domain %q", domain)
+	}
+	if _, dup := in.assignments[domain]; dup {
+		return nil, fmt.Errorf("hosting: domain %q already hosted", domain)
+	}
+	p, ok := in.providers[providerName]
+	if !ok {
+		return nil, fmt.Errorf("hosting: unknown provider %q", providerName)
+	}
+	if poolSize <= 0 {
+		poolSize = 1
+	}
+	a := &Assignment{Domain: domain, Kind: p.Kind, Provider: p, HTTPS: https, poolSize: poolSize}
+	switch p.Kind {
+	case KindDedicated:
+		for i := 0; i < poolSize; i++ {
+			a.IPs = append(a.IPs, p.AllocIP())
+		}
+	case KindCloudTenant:
+		if p.Zone == "" {
+			return nil, fmt.Errorf("hosting: cloud provider %q has no zone", providerName)
+		}
+		a.CNAME = cnameLabel(domain) + "-vm." + p.Zone
+		for i := 0; i < poolSize; i++ {
+			a.IPs = append(a.IPs, p.AllocIP())
+		}
+	case KindCDN, KindGeneric, KindNTPPool:
+		pool := p.Pool(maxInt(poolSize*8, 64))
+		if p.Zone != "" {
+			a.CNAME = cnameLabel(domain) + "." + p.Zone
+		}
+		a.IPs = in.pickFromPool(pool, poolSize)
+	default:
+		return nil, fmt.Errorf("hosting: provider %q has unknown kind %v", providerName, p.Kind)
+	}
+	if https {
+		a.Cert, a.Banner = in.certFor(a)
+	}
+	in.assignments[domain] = a
+	in.order = append(in.order, domain)
+	return a, nil
+}
+
+// cnameLabel flattens a FQDN into a single provider-zone label.
+func cnameLabel(domain string) string {
+	out := make([]byte, 0, len(domain))
+	for i := 0; i < len(domain); i++ {
+		c := domain[i]
+		if c == '.' {
+			c = '-'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func (in *Infra) certFor(a *Assignment) (*certscan.Certificate, uint64) {
+	banner := in.rng.Uint64()
+	if a.Kind.Shared() {
+		// Shared infrastructure presents a multi-SAN certificate that
+		// never satisfies the §4.2.2 exclusivity rule.
+		sans := []string{"*." + a.Provider.Name + "-edge.example", names.SLD(a.Domain)}
+		for i := 0; i < 3; i++ {
+			sans = append(sans, fmt.Sprintf("customer%d.%s-edge.example", i, a.Provider.Name))
+		}
+		return certscan.NewCertificate(sans...), banner
+	}
+	// Dedicated services present per-host certificates naming exactly
+	// the served domain. A vendor-wide wildcard would make every
+	// sibling domain's scan query match this host, over-attributing
+	// service IPs across domains of the same SLD.
+	return certscan.NewCertificate(a.Domain), banner
+}
+
+func (in *Infra) pickFromPool(pool []netip.Addr, n int) []netip.Addr {
+	if n >= len(pool) {
+		out := make([]netip.Addr, len(pool))
+		copy(out, pool)
+		return out
+	}
+	perm := in.rng.Perm(len(pool))
+	out := make([]netip.Addr, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+// Assignment returns the hosting state of a domain.
+func (in *Infra) Assignment(domain string) (*Assignment, bool) {
+	a, ok := in.assignments[names.Normalize(domain)]
+	return a, ok
+}
+
+// Resolve returns the domain's current addresses (nil if unhosted).
+func (in *Infra) Resolve(domain string) []netip.Addr {
+	a, ok := in.assignments[names.Normalize(domain)]
+	if !ok {
+		return nil
+	}
+	out := make([]netip.Addr, len(a.IPs))
+	copy(out, a.IPs)
+	return out
+}
+
+// Domains returns all hosted domains in registration order.
+func (in *Infra) Domains() []string {
+	out := make([]string, len(in.order))
+	copy(out, in.order)
+	return out
+}
+
+// StepDay applies one day of DNS churn: for each assignment, with
+// probability ChurnProb one address is remapped. Dedicated and cloud
+// domains receive a fresh exclusive address (clouds never recycle a
+// tenant's IP to another tenant, per §4.2.1); shared kinds re-pick from
+// the provider pool.
+func (in *Infra) StepDay() {
+	for _, d := range in.order {
+		a := in.assignments[d]
+		if len(a.IPs) == 0 || !in.rng.Bernoulli(in.cfg.ChurnProb) {
+			continue
+		}
+		i := in.rng.Intn(len(a.IPs))
+		switch a.Kind {
+		case KindDedicated, KindCloudTenant:
+			a.IPs[i] = a.Provider.AllocIP()
+		default:
+			pool := a.Provider.Pool(maxInt(a.poolSize*8, 64))
+			a.IPs[i] = pool[in.rng.Intn(len(pool))]
+		}
+	}
+}
+
+// AddCDNBackground registers the CDN provider's unrelated customers so
+// passive DNS sees its IPs serving many SLDs. Idempotent per provider.
+func (in *Infra) AddCDNBackground(providerName string) error {
+	p, ok := in.providers[providerName]
+	if !ok {
+		return fmt.Errorf("hosting: unknown provider %q", providerName)
+	}
+	if !p.Kind.Shared() {
+		return fmt.Errorf("hosting: provider %q is not a shared kind", providerName)
+	}
+	if len(in.backgrounds[providerName]) > 0 {
+		return nil
+	}
+	var doms []string
+	for i := 0; i < in.cfg.CDNBackgroundTenants; i++ {
+		doms = append(doms, fmt.Sprintf("site%03d.%s-customers.example", i, p.Name))
+	}
+	in.backgrounds[providerName] = doms
+	return nil
+}
+
+// ObserveInto records the day's DNS state into a passive-DNS database:
+// every assignment's CNAME chain and A records, plus the CDN background
+// tenants spread over the shared pools.
+func (in *Infra) ObserveInto(db *pdns.DB, day simtime.Day) {
+	for _, d := range in.order {
+		a := in.assignments[d]
+		target := a.Domain
+		if a.CNAME != "" {
+			db.ObserveCNAME(a.Domain, a.CNAME, day)
+			target = a.CNAME
+		}
+		for _, ip := range a.IPs {
+			db.ObserveA(target, ip, day)
+		}
+	}
+	for pname, doms := range in.backgrounds {
+		p := in.providers[pname]
+		pool := p.Pool(64)
+		for i, bg := range doms {
+			// Each background tenant sits on a deterministic slice of
+			// the pool; together they blanket every shared IP.
+			for j := 0; j < 4; j++ {
+				ip := pool[(i*4+j)%len(pool)]
+				alias := cnameLabel(bg) + "." + zoneOrEdge(p)
+				db.ObserveCNAME(bg, alias, day)
+				db.ObserveA(alias, ip, day)
+			}
+		}
+	}
+}
+
+func zoneOrEdge(p *Provider) string {
+	if p.Zone != "" {
+		return p.Zone
+	}
+	return p.Name + "-edge.example"
+}
+
+// ScanInto records every HTTPS assignment into a certificate-scan
+// database, one scanned host per (IP, 443).
+func (in *Infra) ScanInto(db *certscan.DB) {
+	for _, d := range in.order {
+		a := in.assignments[d]
+		if !a.HTTPS || a.Cert == nil {
+			continue
+		}
+		for _, ip := range a.IPs {
+			db.AddHost(certscan.Host{IP: ip, Port: 443, Cert: a.Cert, BannerChecksum: a.Banner})
+		}
+	}
+}
+
+// OwnerASN returns the AS number announcing ip (0 if unknown).
+func (in *Infra) OwnerASN(ip netip.Addr) uint32 {
+	for _, p := range in.sortedProviders() {
+		if p.prefix.Contains(ip) {
+			return p.ASN
+		}
+	}
+	return 0
+}
+
+func (in *Infra) sortedProviders() []*Provider {
+	out := make([]*Provider, 0, len(in.providers))
+	for _, p := range in.providers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

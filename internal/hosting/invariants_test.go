@@ -1,0 +1,92 @@
+package hosting
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// The §4.2.1 classification correctness rests on two structural
+// invariants of the hosting model; these tests pin them directly.
+
+// Invariant 1: dedicated and cloud-tenant addresses are never shared
+// across domains of different SLDs, even under heavy churn.
+func TestInvariantExclusiveAddressesNeverShared(t *testing.T) {
+	in := New(simrand.New(3), Config{ChurnProb: 0.5, CDNBackgroundTenants: 8})
+	if _, err := in.AddProvider("dc", KindDedicated, 1, "185.3.0.0/16", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddProvider("cloud", KindCloudTenant, 2, "186.1.0.0/16", "ec2compute.simcloud.example"); err != nil {
+		t.Fatal(err)
+	}
+	domains := []string{
+		"a.simx.example", "b.simx.example", // same SLD — may collide harmlessly
+		"a.simy.example", "a.simz.example", "tenant.simw.example",
+	}
+	providers := []string{"dc", "dc", "cloud", "dc", "cloud"}
+	for i, d := range domains {
+		if _, err := in.Host(d, providers[i], 3, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner := map[netip.Addr]string{} // addr -> SLD suffix
+	sldOf := func(d string) string {
+		// all test domains are <label>.<sld>.example
+		return d[len(d)-len("simx.example"):]
+	}
+	for day := 0; day < 60; day++ {
+		for _, d := range domains {
+			for _, ip := range in.Resolve(d) {
+				if prev, ok := owner[ip]; ok && prev != sldOf(d) {
+					t.Fatalf("address %v served both %s and %s", ip, prev, sldOf(d))
+				}
+				owner[ip] = sldOf(d)
+			}
+		}
+		in.StepDay()
+	}
+}
+
+// Invariant 2: shared-kind addresses stay inside the provider pool, so
+// the background tenants blanket every address the tenants can land on.
+func TestInvariantSharedStaysInPool(t *testing.T) {
+	in := New(simrand.New(4), Config{ChurnProb: 0.9, CDNBackgroundTenants: 8})
+	p, err := in.AddProvider("cdn", KindCDN, 3, "187.1.0.0/16", "cdn.simakamai.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Host("devb.example", "cdn", 4, true); err != nil {
+		t.Fatal(err)
+	}
+	pool := map[netip.Addr]bool{}
+	for _, ip := range p.Pool(64) {
+		pool[ip] = true
+	}
+	for day := 0; day < 60; day++ {
+		for _, ip := range in.Resolve("devb.example") {
+			if !pool[ip] {
+				t.Fatalf("day %d: CDN-hosted domain left the shared pool: %v", day, ip)
+			}
+		}
+		in.StepDay()
+	}
+}
+
+// Invariant 3: AllocIP never repeats (clouds never recycle a tenant
+// address to another tenant, §4.2.1).
+func TestInvariantAllocNeverRepeats(t *testing.T) {
+	in := New(simrand.New(5), DefaultConfig())
+	p, err := in.AddProvider("cloud", KindCloudTenant, 9, "186.2.0.0/20", "iotcloud.simaws.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 2000; i++ {
+		ip := p.AllocIP()
+		if seen[ip] {
+			t.Fatalf("address %v allocated twice", ip)
+		}
+		seen[ip] = true
+	}
+}

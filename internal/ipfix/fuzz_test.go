@@ -1,0 +1,39 @@
+package ipfix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func TestFeedNeverPanicsOnRandomBytes(t *testing.T) {
+	col := NewCollector()
+	f := func(data []byte) bool {
+		_, _ = col.Feed(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedNeverPanicsOnMutatedMessages(t *testing.T) {
+	exp := NewExporter(1)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(mkRecords(12, 1000), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := msgs[0]
+	rng := simrand.New(123)
+	for i := 0; i < 5000; i++ {
+		m := append([]byte(nil), base...)
+		flips := 1 + rng.Intn(4)
+		for j := 0; j < flips; j++ {
+			m[rng.Intn(len(m))] ^= byte(1 + rng.Intn(255))
+		}
+		col := NewCollector()
+		_, _ = col.Feed(m)
+	}
+}

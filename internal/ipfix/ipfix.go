@@ -1,0 +1,330 @@
+// Package ipfix implements the subset of IPFIX (RFC 7011) used by the
+// IXP vantage point: template sets, data sets, and a collector with a
+// per-observation-domain template cache.
+//
+// IPFIX and NetFlow v9 share the IANA information-element numbering for
+// the fields we carry, but the message framing differs: IPFIX headers
+// carry an explicit message length and export time, template sets use
+// set ID 2, and the sequence number counts data records rather than
+// messages.
+package ipfix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/flow"
+	"repro/internal/simtime"
+)
+
+// Version is the IPFIX protocol version (RFC 7011 §3.1).
+const Version = 10
+
+// Information element IDs (IANA, same numbering as NetFlow v9 fields).
+const (
+	IEOctetDeltaCount    = 1
+	IEPacketDeltaCount   = 2
+	IEProtocolIdentifier = 4
+	IETCPControlBits     = 6
+	IESourcePort         = 7
+	IESourceIPv4Address  = 8
+	IEDestinationPort    = 11
+	IEDestinationIPv4    = 12
+)
+
+// FieldSpec is one (element ID, length) pair in a template record.
+type FieldSpec struct {
+	ID     uint16
+	Length uint16
+}
+
+// Template describes the layout of data records in a data set.
+type Template struct {
+	ID     uint16 // >= 256
+	Fields []FieldSpec
+}
+
+// RecordLen returns the encoded size of one data record.
+func (t Template) RecordLen() int {
+	n := 0
+	for _, f := range t.Fields {
+		n += int(f.Length)
+	}
+	return n
+}
+
+// FlowTemplate is the canonical template used by the simulated IXP
+// switching fabric.
+var FlowTemplate = Template{
+	ID: 300,
+	Fields: []FieldSpec{
+		{IESourceIPv4Address, 4},
+		{IEDestinationIPv4, 4},
+		{IESourcePort, 2},
+		{IEDestinationPort, 2},
+		{IEProtocolIdentifier, 1},
+		{IETCPControlBits, 1},
+		{IEPacketDeltaCount, 4},
+		{IEOctetDeltaCount, 4},
+	},
+}
+
+const (
+	headerLen     = 16
+	setHeaderLen  = 4
+	templateSetID = 2
+	minDataSetID  = 256
+)
+
+// Exporter packages flow records into IPFIX messages. Not safe for
+// concurrent use.
+type Exporter struct {
+	DomainID      uint32
+	TemplateEvery int
+
+	seq      uint32 // data records sent so far (RFC 7011 §3.1)
+	messages int
+}
+
+// NewExporter returns an exporter for one observation domain.
+func NewExporter(domainID uint32) *Exporter {
+	return &Exporter{DomainID: domainID, TemplateEvery: 20}
+}
+
+// Export encodes records into messages of at most maxRecords each.
+func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, error) {
+	if maxRecords <= 0 {
+		maxRecords = 30
+	}
+	var msgs [][]byte
+	for len(records) > 0 {
+		n := min(maxRecords, len(records))
+		msg, err := e.encodeMessage(records[:n])
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, msg)
+		records = records[n:]
+	}
+	return msgs, nil
+}
+
+func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
+	withTemplate := e.messages == 0 || (e.TemplateEvery > 0 && e.messages%e.TemplateEvery == 0)
+	e.messages++
+
+	var exportTime uint32
+	if len(records) > 0 {
+		exportTime = uint32(records[0].Hour.Time().Unix())
+	}
+
+	buf := make([]byte, 0, headerLen+len(records)*FlowTemplate.RecordLen()+64)
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, 0) // length patched below
+	buf = binary.BigEndian.AppendUint32(buf, exportTime)
+	buf = binary.BigEndian.AppendUint32(buf, e.seq)
+	buf = binary.BigEndian.AppendUint32(buf, e.DomainID)
+	e.seq += uint32(len(records))
+
+	if withTemplate {
+		buf = appendTemplateSet(buf, FlowTemplate)
+	}
+	var err error
+	buf, err = appendDataSet(buf, FlowTemplate, records)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > 0xffff {
+		return nil, fmt.Errorf("ipfix: message length %d exceeds 65535", len(buf))
+	}
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+	return buf, nil
+}
+
+func appendTemplateSet(buf []byte, t Template) []byte {
+	body := setHeaderLen + 4 + len(t.Fields)*4
+	buf = binary.BigEndian.AppendUint16(buf, templateSetID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(body))
+	buf = binary.BigEndian.AppendUint16(buf, t.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Fields)))
+	for _, f := range t.Fields {
+		buf = binary.BigEndian.AppendUint16(buf, f.ID)
+		buf = binary.BigEndian.AppendUint16(buf, f.Length)
+	}
+	return buf
+}
+
+func appendDataSet(buf []byte, t Template, records []flow.Record) ([]byte, error) {
+	recLen := t.RecordLen()
+	body := setHeaderLen + recLen*len(records)
+	pad := (4 - body%4) % 4 // RFC 7011 §3.3.1 permits padding
+	buf = binary.BigEndian.AppendUint16(buf, t.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(body+pad))
+	for i := range records {
+		r := &records[i]
+		if !r.Key.Src.Is4() || !r.Key.Dst.Is4() {
+			return nil, fmt.Errorf("ipfix: record %v is not IPv4", r.Key)
+		}
+		src, dst := r.Key.Src.As4(), r.Key.Dst.As4()
+		buf = append(buf, src[:]...)
+		buf = append(buf, dst[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, r.Key.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, r.Key.DstPort)
+		buf = append(buf, uint8(r.Key.Proto), r.TCPFlags)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(min(r.Packets, 0xffffffff)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(min(r.Bytes, 0xffffffff)))
+	}
+	for i := 0; i < pad; i++ {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// Collector parses IPFIX messages. Not safe for concurrent use.
+type Collector struct {
+	templates map[uint64]Template
+	// Dropped counts data sets skipped for lack of a template.
+	Dropped int
+	// Sequence gap detection.
+	lastSeq map[uint32]uint32
+	// Gaps counts messages whose sequence number did not match the
+	// expected continuation (lost or reordered transport).
+	Gaps int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		templates: make(map[uint64]Template),
+		lastSeq:   make(map[uint32]uint32),
+	}
+}
+
+// Errors returned by the collector.
+var (
+	ErrShortMessage = errors.New("ipfix: short message")
+	ErrBadVersion   = errors.New("ipfix: unexpected version")
+	ErrBadLength    = errors.New("ipfix: bad message length")
+)
+
+// Feed parses one message and returns the decoded flow records.
+func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+	if len(msg) < headerLen {
+		return nil, ErrShortMessage
+	}
+	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	length := int(binary.BigEndian.Uint16(msg[2:4]))
+	if length < headerLen || length > len(msg) {
+		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, len(msg))
+	}
+	exportTime := binary.BigEndian.Uint32(msg[4:8])
+	seq := binary.BigEndian.Uint32(msg[8:12])
+	domain := binary.BigEndian.Uint32(msg[12:16])
+	hour := simtime.Hour(int64(exportTime) / 3600)
+
+	if want, ok := c.lastSeq[domain]; ok && seq != want {
+		c.Gaps++
+	}
+
+	var out []flow.Record
+	rest := msg[headerLen:length]
+	for len(rest) >= setHeaderLen {
+		setID := binary.BigEndian.Uint16(rest[0:2])
+		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if setLen < setHeaderLen || setLen > len(rest) {
+			return out, fmt.Errorf("ipfix: set length %d exceeds remaining %d", setLen, len(rest))
+		}
+		body := rest[setHeaderLen:setLen]
+		switch {
+		case setID == templateSetID:
+			if err := c.parseTemplates(domain, body); err != nil {
+				return out, err
+			}
+		case setID >= minDataSetID:
+			recs := c.parseData(domain, setID, body, hour)
+			out = append(out, recs...)
+		}
+		rest = rest[setLen:]
+	}
+	c.lastSeq[domain] = seq + uint32(len(out))
+	return out, nil
+}
+
+func (c *Collector) parseTemplates(domain uint32, body []byte) error {
+	for len(body) >= 4 {
+		id := binary.BigEndian.Uint16(body[0:2])
+		n := int(binary.BigEndian.Uint16(body[2:4]))
+		body = body[4:]
+		if len(body) < n*4 {
+			return fmt.Errorf("ipfix: truncated template %d", id)
+		}
+		t := Template{ID: id, Fields: make([]FieldSpec, n)}
+		for i := 0; i < n; i++ {
+			t.Fields[i] = FieldSpec{
+				ID:     binary.BigEndian.Uint16(body[i*4:]),
+				Length: binary.BigEndian.Uint16(body[i*4+2:]),
+			}
+		}
+		body = body[n*4:]
+		c.templates[uint64(domain)<<16|uint64(id)] = t
+	}
+	return nil
+}
+
+func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) []flow.Record {
+	t, ok := c.templates[uint64(domain)<<16|uint64(setID)]
+	if !ok {
+		c.Dropped++
+		return nil
+	}
+	recLen := t.RecordLen()
+	if recLen == 0 {
+		return nil
+	}
+	var out []flow.Record
+	for len(body) >= recLen {
+		rec := flow.Record{Hour: hour}
+		off := 0
+		for _, f := range t.Fields {
+			fb := body[off : off+int(f.Length)]
+			switch f.ID {
+			case IESourceIPv4Address:
+				if len(fb) == 4 {
+					rec.Key.Src = netip.AddrFrom4([4]byte(fb))
+				}
+			case IEDestinationIPv4:
+				if len(fb) == 4 {
+					rec.Key.Dst = netip.AddrFrom4([4]byte(fb))
+				}
+			case IESourcePort:
+				rec.Key.SrcPort = uint16(beUint(fb))
+			case IEDestinationPort:
+				rec.Key.DstPort = uint16(beUint(fb))
+			case IEProtocolIdentifier:
+				rec.Key.Proto = flow.Proto(beUint(fb))
+			case IETCPControlBits:
+				rec.TCPFlags = uint8(beUint(fb))
+			case IEPacketDeltaCount:
+				rec.Packets = beUint(fb)
+			case IEOctetDeltaCount:
+				rec.Bytes = beUint(fb)
+			}
+			off += int(f.Length)
+		}
+		out = append(out, rec)
+		body = body[recLen:]
+	}
+	return out
+}
+
+func beUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+package isp
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/detect"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/world"
+)
+
+func smallCfg(lines int) Config {
+	cfg := DefaultConfig()
+	cfg.Lines = lines
+	return cfg
+}
+
+func TestPlacementPenetrations(t *testing.T) {
+	cat := catalog.Build()
+	pop := NewPopulation(simrand.New(1), cat, smallCfg(60_000), simtime.WildWindow)
+
+	adopterFrac := float64(pop.Adopters()) / float64(pop.Lines())
+	if math.Abs(adopterFrac-0.22) > 0.01 {
+		t.Fatalf("adopter fraction %v, want ~0.22", adopterFrac)
+	}
+
+	// Echo Dot at 45 % of adopters ≈ 9.9 % of lines.
+	dots := float64(pop.ProductCount("Echo Dot")) / float64(pop.Lines())
+	if math.Abs(dots-0.22*0.45) > 0.01 {
+		t.Fatalf("Echo Dot penetration %v, want ~%v", dots, 0.22*0.45)
+	}
+
+	// Any-IoT union stays near the paper's 20 %.
+	anyFrac := float64(pop.LinesWithAny()) / float64(pop.Lines())
+	if anyFrac < 0.17 || anyFrac > 0.22 {
+		t.Fatalf("lines with any device %v, want ~0.20", anyFrac)
+	}
+}
+
+func TestIdentifierStableWithinEpoch(t *testing.T) {
+	cat := catalog.Build()
+	pop := NewPopulation(simrand.New(2), cat, smallCfg(1000), simtime.WildWindow)
+	day := simtime.WildWindow.Start.Day()
+	a := pop.Identifier(42, day)
+	b := pop.Identifier(42, day)
+	if a != b {
+		t.Fatal("identifier not deterministic")
+	}
+	if pop.Identifier(43, day) == a {
+		t.Fatal("identifier collision between adjacent lines")
+	}
+}
+
+func TestIdentifierChurnRate(t *testing.T) {
+	cat := catalog.Build()
+	cfg := smallCfg(20_000)
+	pop := NewPopulation(simrand.New(3), cat, cfg, simtime.WildWindow)
+	days := simtime.WildWindow.Days()
+	changed := 0
+	for line := int32(0); line < 20000; line++ {
+		if pop.Identifier(line, days[0]) != pop.Identifier(line, days[1]) {
+			changed++
+		}
+	}
+	got := float64(changed) / 20000
+	if math.Abs(got-cfg.IdentifierChurn) > 0.01 {
+		t.Fatalf("daily identifier churn %v, want ~%v", got, cfg.IdentifierChurn)
+	}
+}
+
+func TestIdentifierNeverRepeatsAcrossEpochs(t *testing.T) {
+	cat := catalog.Build()
+	pop := NewPopulation(simrand.New(4), cat, smallCfg(1000), simtime.WildWindow)
+	days := simtime.WildWindow.Days()
+	seen := map[uint64]simtime.Day{}
+	for _, d := range days {
+		id := uint64(pop.Identifier(7, d))
+		if prev, ok := seen[id]; ok && pop.epoch(7, prev) != pop.epoch(7, d) {
+			t.Fatalf("identifier reused across epochs (%v and %v)", prev, d)
+		}
+		seen[id] = d
+	}
+}
+
+func TestSlash24Stable(t *testing.T) {
+	cat := catalog.Build()
+	pop := NewPopulation(simrand.New(5), cat, smallCfg(1000), simtime.WildWindow)
+	if pop.Slash24(255) != 0 || pop.Slash24(256) != 1 {
+		t.Fatal("/24 grouping wrong")
+	}
+}
+
+func TestSimulateHourEmitsSampledTraffic(t *testing.T) {
+	w := world.MustBuild(1)
+	pop := NewPopulation(simrand.New(6), w.Catalog, smallCfg(20_000), w.Window)
+	h := w.Window.Start + 18
+	r := w.ResolverOn(h.Day())
+	emits := 0
+	subs := map[detect.SubID]bool{}
+	pop.SimulateHour(h, r, func(line int32, sub detect.SubID, hh simtime.Hour, ip netip.Addr, port uint16, p uint64) {
+		emits++
+		subs[sub] = true
+		if p == 0 {
+			t.Fatal("zero-packet emission")
+		}
+		if hh != h {
+			t.Fatalf("hour %v, want %v", hh, h)
+		}
+		if !ip.IsValid() || port == 0 {
+			t.Fatal("invalid endpoint")
+		}
+	})
+	if emits == 0 {
+		t.Fatal("no sampled traffic from 20k lines")
+	}
+	if len(subs) < emits/20 {
+		t.Fatalf("observations concentrate on too few subscribers: %d subs, %d emits", len(subs), emits)
+	}
+}
+
+func TestDiurnalVisibility(t *testing.T) {
+	// Evening hours must show more Alexa traffic than deep night.
+	w := world.MustBuild(1)
+	pop := NewPopulation(simrand.New(7), w.Catalog, smallCfg(30_000), w.Window)
+	count := func(h simtime.Hour) int {
+		n := 0
+		r := w.ResolverOn(h.Day())
+		pop.SimulateHour(h, r, func(_ int32, _ detect.SubID, _ simtime.Hour, _ netip.Addr, _ uint16, p uint64) {
+			n += int(p)
+		})
+		return n
+	}
+	evening := 0
+	night := 0
+	for d := 0; d < 3; d++ {
+		base := w.Window.Start + simtime.Hour(24*d)
+		evening += count(base + 19) // 20:00 local
+		night += count(base + 2)    // 03:00 local
+	}
+	if evening <= night {
+		t.Fatalf("no diurnal pattern: evening %d <= night %d", evening, night)
+	}
+}
+
+func TestUsageFactorShape(t *testing.T) {
+	if usageFactor(diurnalEvening, 20) <= usageFactor(diurnalEvening, 3) {
+		t.Fatal("evening class not peaked in the evening")
+	}
+	if usageFactor(diurnalFlat, 20) != 1 || usageFactor(diurnalFlat, 3) != 1 {
+		t.Fatal("flat class not flat")
+	}
+	if usageFactor(diurnalEveningMorning, 7) <= usageFactor(diurnalEveningMorning, 3) {
+		t.Fatal("morning bump missing")
+	}
+}

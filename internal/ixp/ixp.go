@@ -1,0 +1,190 @@
+// Package ixp models the wild IXP of §6.3: hundreds of member ASes —
+// a few large eyeballs and a long tail — whose customers' IoT traffic
+// crosses the switching fabric subject to routing asymmetry, spoofing
+// (countered by the established-TCP requirement), and IPFIX sampling an
+// order of magnitude sparser than the ISP's.
+//
+// Detection at the IXP is keyed by client IP address, not subscriber
+// line: the IXP is in the middle of the network and has no subscriber
+// notion.
+package ixp
+
+import (
+	"net/netip"
+
+	"repro/internal/catalog"
+	"repro/internal/detect"
+	"repro/internal/isp"
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// Member is one IXP member AS.
+type Member struct {
+	ASN uint32
+	// Clients is the number of broadband lines whose traffic can
+	// appear behind this member.
+	Clients int
+	// Visibility is the fraction of the member's client traffic that
+	// actually crosses the IXP fabric (routing asymmetry and partial
+	// transit make this < 1).
+	Visibility float64
+	// Eyeball marks large residential access networks.
+	Eyeball bool
+}
+
+// Config sizes the IXP model.
+type Config struct {
+	// Members is the number of member ASes (the paper's IXP has >800).
+	Members int
+	// TotalClients is the total client-line count across members
+	// (already scaled like the ISP population).
+	TotalClients int
+	// Scale multiplies simulated counts up to the real fabric size.
+	Scale int
+	// EyeballCount is the number of large residential members; member
+	// sizes follow a Zipf law so these hold most clients.
+	EyeballCount int
+	// Skew is the Zipf exponent of the member-size distribution.
+	Skew float64
+	// SamplingRate is the IPFIX sampling denominator.
+	SamplingRate uint64
+	// AdopterFraction / UsageProbEvening mirror the ISP model.
+	AdopterFraction float64
+}
+
+// DefaultConfig returns the 1:100-scale IXP calibration.
+func DefaultConfig() Config {
+	return Config{
+		Members:         800,
+		TotalClients:    60_000,
+		Scale:           40,
+		EyeballCount:    12,
+		Skew:            1.45,
+		SamplingRate:    sampling.RateIXP,
+		AdopterFraction: 0.22,
+	}
+}
+
+// Fabric is the assembled IXP: members plus a device population across
+// their clients.
+type Fabric struct {
+	Cfg     Config
+	Members []Member
+	pop     *isp.Population
+	// lineAS maps a population line to its member index.
+	lineAS []int32
+	rng    *simrand.RNG
+}
+
+// New builds the fabric. Member sizes are Zipf-distributed; the first
+// EyeballCount members are eyeballs with high visibility, the rest
+// non-eyeball networks with lower visibility.
+func New(rng *simrand.RNG, cat *catalog.Catalog, cfg Config, window simtime.Window) *Fabric {
+	r := rng.Fork("ixp")
+	f := &Fabric{Cfg: cfg, rng: r}
+
+	z := simrand.NewZipf(cfg.Members, cfg.Skew)
+	sizes := make([]int, cfg.Members)
+	for i := range sizes {
+		sizes[i] = int(z.Weight(i) * float64(cfg.TotalClients))
+	}
+	for i, n := range sizes {
+		m := Member{
+			ASN:     uint32(65000 + i),
+			Clients: n,
+			Eyeball: i < cfg.EyeballCount,
+		}
+		if m.Eyeball {
+			m.Visibility = 0.55 + 0.4*r.Float64()
+		} else {
+			m.Visibility = 0.15 + 0.5*r.Float64()
+		}
+		f.Members = append(f.Members, m)
+	}
+
+	total := 0
+	for _, m := range f.Members {
+		total += m.Clients
+	}
+	popCfg := isp.Config{
+		Lines:            total,
+		Scale:            100,
+		AdopterFraction:  cfg.AdopterFraction,
+		IdentifierChurn:  0, // keyed by IP, not tracked across renumbering
+		SamplingRate:     cfg.SamplingRate,
+		UsageProbEvening: 0.03,
+	}
+	f.pop = isp.NewPopulation(rng, cat, popCfg, window)
+
+	f.lineAS = make([]int32, total)
+	line := 0
+	for mi, m := range f.Members {
+		for j := 0; j < m.Clients; j++ {
+			f.lineAS[line] = int32(mi)
+			line++
+		}
+	}
+	return f
+}
+
+// Population exposes the underlying device placement.
+func (f *Fabric) Population() *isp.Population { return f.pop }
+
+// MemberOf returns the member index of a line.
+func (f *Fabric) MemberOf(line int32) int32 { return f.lineAS[line] }
+
+// ClientIP returns the stable client address of a line: one address
+// per line inside its member's address space.
+func (f *Fabric) ClientIP(line int32) netip.Addr {
+	mi := f.lineAS[line]
+	return netip.AddrFrom4([4]byte{
+		byte(30 + mi>>8), byte(mi), byte(line >> 8), byte(line),
+	})
+}
+
+// Observation is one IPFIX-sampled record attributed to a client IP.
+type Observation struct {
+	Member int32
+	Client netip.Addr
+	Hour   simtime.Hour
+	IP     netip.Addr
+	Port   uint16
+	Pkts   uint64
+}
+
+// SimulateHour emits the hour's sampled observations as seen on the
+// fabric. Routing-asymmetry thinning applies on top of the IPFIX
+// sampling already performed by the population (thinned Poisson
+// composes), and the established-TCP requirement of §6.3 discards
+// sampled TCP flows whose sampled packets could all be handshake
+// packets.
+func (f *Fabric) SimulateHour(h simtime.Hour, r isp.Resolver, emit func(Observation)) {
+	f.pop.SimulateHour(h, r, func(line int32, _ detect.SubID, hh simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+		mi := f.lineAS[line]
+		m := &f.Members[mi]
+		seen := uint64(f.rng.Binomial(int(pkts), m.Visibility))
+		if seen == 0 {
+			return
+		}
+		// All catalog services are TCP except NTP (123/udp); the
+		// established filter applies to TCP only.
+		if port != 123 {
+			if f.rng.Binomial(int(seen), 0.9) == 0 {
+				return
+			}
+		}
+		emit(Observation{
+			Member: mi, Client: f.ClientIP(line), Hour: hh,
+			IP: ip, Port: port, Pkts: seen,
+		})
+	})
+}
+
+// SimulateWindow runs SimulateHour across a window.
+func (f *Fabric) SimulateWindow(w simtime.Window, resolve func(simtime.Day) isp.Resolver, emit func(Observation)) {
+	w.Each(func(h simtime.Hour) {
+		f.SimulateHour(h, resolve(h.Day()), emit)
+	})
+}

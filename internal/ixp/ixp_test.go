@@ -1,0 +1,120 @@
+package ixp
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/world"
+)
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TotalClients = 20_000
+	cfg.Members = 200
+	cfg.EyeballCount = 8
+	return cfg
+}
+
+func TestMemberSizesSkewed(t *testing.T) {
+	cat := catalog.Build()
+	f := New(simrand.New(1), cat, smallCfg(), simtime.WildWindow)
+	if len(f.Members) != 200 {
+		t.Fatalf("members = %d", len(f.Members))
+	}
+	eyeballClients, total := 0, 0
+	for _, m := range f.Members {
+		total += m.Clients
+		if m.Eyeball {
+			eyeballClients += m.Clients
+		}
+	}
+	if total == 0 {
+		t.Fatal("no clients")
+	}
+	frac := float64(eyeballClients) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("eyeballs hold only %v of clients; want a skewed fabric", frac)
+	}
+}
+
+func TestEyeballsMoreVisible(t *testing.T) {
+	cat := catalog.Build()
+	f := New(simrand.New(2), cat, smallCfg(), simtime.WildWindow)
+	var eSum, nSum float64
+	var eN, nN int
+	for _, m := range f.Members {
+		if m.Eyeball {
+			eSum += m.Visibility
+			eN++
+		} else {
+			nSum += m.Visibility
+			nN++
+		}
+	}
+	if eSum/float64(eN) <= nSum/float64(nN) {
+		t.Fatal("eyeball visibility not above non-eyeball average")
+	}
+}
+
+func TestClientIPStableAndScoped(t *testing.T) {
+	cat := catalog.Build()
+	f := New(simrand.New(3), cat, smallCfg(), simtime.WildWindow)
+	a := f.ClientIP(100)
+	b := f.ClientIP(100)
+	if a != b {
+		t.Fatal("client IP not stable")
+	}
+	if f.ClientIP(101) == a {
+		t.Fatal("client IP collision")
+	}
+}
+
+func TestSimulateHourSparserThanISP(t *testing.T) {
+	w := world.MustBuild(1)
+	f := New(simrand.New(4), w.Catalog, smallCfg(), w.Window)
+	h := w.Window.Start + 19
+	r := w.ResolverOn(h.Day())
+	obs := 0
+	f.SimulateHour(h, r, func(o Observation) {
+		obs++
+		if o.Pkts == 0 {
+			t.Fatal("zero-packet observation")
+		}
+		if int(o.Member) >= len(f.Members) {
+			t.Fatal("bad member index")
+		}
+	})
+	// 20k lines at 1:10240 with visibility thinning: sparse but not
+	// empty over an evening hour.
+	if obs == 0 {
+		t.Fatal("IXP fabric saw nothing")
+	}
+	if obs > 20000 {
+		t.Fatalf("IXP fabric saw %d observations; sampling looks broken", obs)
+	}
+}
+
+func TestObservationsConcentrateOnEyeballs(t *testing.T) {
+	w := world.MustBuild(1)
+	f := New(simrand.New(5), w.Catalog, smallCfg(), w.Window)
+	counts := map[int32]int{}
+	for d := 0; d < 2; d++ {
+		h := w.Window.Start + simtime.Hour(19+24*d)
+		f.SimulateHour(h, w.ResolverOn(h.Day()), func(o Observation) {
+			counts[o.Member]++
+		})
+	}
+	eyeball, rest := 0, 0
+	for mi, n := range counts {
+		if f.Members[mi].Eyeball {
+			eyeball += n
+		} else {
+			rest += n
+		}
+	}
+	if eyeball <= rest {
+		t.Fatalf("eyeball observations %d not dominant over %d", eyeball, rest)
+	}
+}

@@ -1,0 +1,152 @@
+// Package names provides domain-name utilities used by the detection
+// methodology: normalization, label handling, and second-level-domain
+// (SLD) extraction.
+//
+// The paper's dedicated-infrastructure test (§4.2.1) hinges on the SLD:
+// a service IP is "exclusively used" if every domain it serves shares a
+// single second-level domain (or is reachable from it via CNAMEs). We
+// implement SLD extraction against a small embedded public-suffix set
+// sufficient for the simulated world plus the common real suffixes that
+// appear in the paper's examples.
+package names
+
+import (
+	"fmt"
+	"strings"
+)
+
+// publicSuffixes holds effective TLDs under which registrations happen.
+// Multi-label suffixes are listed explicitly; all single labels are
+// treated as public suffixes by default.
+var publicSuffixes = map[string]bool{
+	"co.uk":  true,
+	"com.cn": true,
+	"com.au": true,
+	"co.jp":  true,
+	// Cloud-provider zones whose direct children are tenant
+	// registrations, mirroring *.amazonaws.com style delegation.
+	"ec2compute.simcloud.example": true,
+	"cdn.simakamai.example":       true,
+	"iotcloud.simaws.example":     true,
+}
+
+// Normalize lowercases a domain and strips any trailing dot. It does not
+// validate; use Valid for that.
+func Normalize(domain string) string {
+	domain = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(domain)), ".")
+	return domain
+}
+
+// Valid reports whether the domain is a plausible FQDN: non-empty
+// letters/digits/hyphen labels of length 1–63, at least two labels,
+// total length <= 253.
+func Valid(domain string) bool {
+	domain = Normalize(domain)
+	if len(domain) == 0 || len(domain) > 253 {
+		return false
+	}
+	labels := strings.Split(domain, ".")
+	if len(labels) < 2 {
+		return false
+	}
+	for li, l := range labels {
+		if len(l) == 0 || len(l) > 63 {
+			return false
+		}
+		if l == "*" {
+			// A wildcard is only legal as the leftmost label.
+			if li != 0 {
+				return false
+			}
+			continue
+		}
+		if l[0] == '-' || l[len(l)-1] == '-' {
+			return false
+		}
+		for i := 0; i < len(l); i++ {
+			c := l[i]
+			switch {
+			case c >= 'a' && c <= 'z':
+			case c >= '0' && c <= '9':
+			case c == '-':
+			case c == '_': // seen in the wild for service labels
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SLD returns the second-level domain of fqdn: the registrable domain
+// one label below the public suffix (e.g. "a.b.example.com" →
+// "example.com", "x.devA.ec2compute.simcloud.example" →
+// "devA.ec2compute.simcloud.example"). It returns "" if fqdn has no
+// registrable part.
+func SLD(fqdn string) string {
+	fqdn = Normalize(fqdn)
+	labels := strings.Split(fqdn, ".")
+	if len(labels) < 2 {
+		return ""
+	}
+	// Find the longest public suffix that is a proper suffix of fqdn.
+	suffixLen := 1 // default: the TLD alone is public
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		if publicSuffixes[cand] {
+			suffixLen = len(labels) - i
+			break
+		}
+	}
+	if len(labels) <= suffixLen {
+		return "" // the name is itself a public suffix
+	}
+	return strings.Join(labels[len(labels)-suffixLen-1:], ".")
+}
+
+// SameSLD reports whether two FQDNs share a registrable domain.
+func SameSLD(a, b string) bool {
+	sa, sb := SLD(a), SLD(b)
+	return sa != "" && sa == sb
+}
+
+// IsSubdomainOf reports whether child equals parent or lies underneath it.
+func IsSubdomainOf(child, parent string) bool {
+	child, parent = Normalize(child), Normalize(parent)
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// MatchesPattern reports whether fqdn matches a name pattern that may
+// carry a single leading wildcard label ("*.devE.example" matches
+// "c.devE.example" and "a.b.devE.example" but not "devE.example").
+// Patterns without a wildcard match exactly.
+func MatchesPattern(pattern, fqdn string) bool {
+	pattern, fqdn = Normalize(pattern), Normalize(fqdn)
+	if rest, ok := strings.CutPrefix(pattern, "*."); ok {
+		return IsSubdomainOf(fqdn, rest) && fqdn != rest
+	}
+	return pattern == fqdn
+}
+
+// Join concatenates labels into an FQDN, skipping empties.
+func Join(labels ...string) string {
+	parts := labels[:0:0]
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	return Normalize(strings.Join(parts, "."))
+}
+
+// Sub returns "<label>.<domain>", validating the result.
+func Sub(label, domain string) (string, error) {
+	d := Join(label, domain)
+	if !Valid(d) {
+		return "", fmt.Errorf("names: invalid domain %q", d)
+	}
+	return d, nil
+}

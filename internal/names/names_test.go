@@ -1,0 +1,172 @@
+package names
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"Example.COM.":   "example.com",
+		"  a.b.c ":       "a.b.c",
+		"already.fine":   "already.fine",
+		"TRAILING.DOT.":  "trailing.dot",
+		"MiXeD.ExAmPlE.": "mixed.example",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	valid := []string{
+		"example.com", "a.b.c.example", "avs-alexa.simamazon.example",
+		"xn--test.example", "a_b.example", "*.deve.example",
+	}
+	for _, d := range valid {
+		if !Valid(d) {
+			t.Errorf("Valid(%q) = false, want true", d)
+		}
+	}
+	invalid := []string{
+		"", "nodots", "-bad.example", "bad-.example", "sp ace.example",
+		"double..dot.example", "under*.example", "a.*" + ".example",
+	}
+	for _, d := range invalid {
+		if Valid(d) {
+			t.Errorf("Valid(%q) = true, want false", d)
+		}
+	}
+}
+
+func TestValidLongLabel(t *testing.T) {
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if Valid(string(long) + ".example") {
+		t.Error("64-char label accepted")
+	}
+	if !Valid(string(long[:63]) + ".example") {
+		t.Error("63-char label rejected")
+	}
+}
+
+func TestSLD(t *testing.T) {
+	cases := map[string]string{
+		"example.com":                         "example.com",
+		"a.b.example.com":                     "example.com",
+		"www.bbc.co.uk":                       "bbc.co.uk",
+		"bbc.co.uk":                           "bbc.co.uk",
+		"co.uk":                               "",
+		"com":                                 "",
+		"deva-vm.ec2compute.simcloud.example": "deva-vm.ec2compute.simcloud.example",
+		"x.devb.cdn.simakamai.example":        "devb.cdn.simakamai.example",
+		"avs-alexa.na.simamazon.example":      "simamazon.example",
+		"api.simring.example":                 "simring.example",
+		"ec2compute.simcloud.example":         "",
+	}
+	for in, want := range cases {
+		if got := SLD(in); got != want {
+			t.Errorf("SLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSLDIdempotentOnItself(t *testing.T) {
+	for _, d := range []string{"a.b.example.com", "x.y.z.simxiaomi.example", "w.bbc.co.uk"} {
+		s := SLD(d)
+		if s == "" {
+			t.Fatalf("SLD(%q) empty", d)
+		}
+		if got := SLD(s); got != s {
+			t.Errorf("SLD(SLD(%q)) = %q, want %q", d, got, s)
+		}
+	}
+}
+
+func TestSameSLD(t *testing.T) {
+	if !SameSLD("a.example.com", "b.c.example.com") {
+		t.Error("same SLD not detected")
+	}
+	if SameSLD("a.example.com", "a.example.org") {
+		t.Error("different TLD matched")
+	}
+	if SameSLD("com", "com") {
+		t.Error("bare public suffix matched")
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	if !IsSubdomainOf("a.b.example.com", "example.com") {
+		t.Error("subdomain not detected")
+	}
+	if !IsSubdomainOf("example.com", "example.com") {
+		t.Error("self not detected")
+	}
+	if IsSubdomainOf("badexample.com", "example.com") {
+		t.Error("suffix-in-label false positive")
+	}
+	if IsSubdomainOf("example.com", "a.example.com") {
+		t.Error("parent claimed as subdomain of child")
+	}
+}
+
+func TestMatchesPattern(t *testing.T) {
+	cases := []struct {
+		pattern, fqdn string
+		want          bool
+	}{
+		{"*.deve.example", "c.deve.example", true},
+		{"*.deve.example", "a.b.deve.example", true},
+		{"*.deve.example", "deve.example", false},
+		{"c.deve.example", "c.deve.example", true},
+		{"c.deve.example", "x.deve.example", false},
+		{"*.deve.example", "deve.example.evil.example", false},
+	}
+	for _, c := range cases {
+		if got := MatchesPattern(c.pattern, c.fqdn); got != c.want {
+			t.Errorf("MatchesPattern(%q, %q) = %v, want %v", c.pattern, c.fqdn, got, c.want)
+		}
+	}
+}
+
+func TestJoinAndSub(t *testing.T) {
+	if got := Join("api", "simring.example"); got != "api.simring.example" {
+		t.Fatalf("Join = %q", got)
+	}
+	if got := Join("", "x.example"); got != "x.example" {
+		t.Fatalf("Join with empty label = %q", got)
+	}
+	d, err := Sub("ota", "simsamsung.example")
+	if err != nil || d != "ota.simsamsung.example" {
+		t.Fatalf("Sub = %q, %v", d, err)
+	}
+	if _, err := Sub("bad label", "x.example"); err == nil {
+		t.Fatal("Sub accepted invalid label")
+	}
+}
+
+func TestSLDOfSubdomainMatchesParent(t *testing.T) {
+	// Property: for valid two-label-or-more domains under .example,
+	// prefixing labels never changes the SLD.
+	base := "simtplink.example"
+	for _, pre := range []string{"a", "a.b", "deep.er.still"} {
+		d := pre + "." + base
+		if SLD(d) != base {
+			t.Errorf("SLD(%q) = %q, want %q", d, SLD(d), base)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package netflow implements the subset of Cisco NetFlow v9 (RFC 3954)
+// used by the ISP vantage point: template FlowSets, data FlowSets, and a
+// collector with a per-exporter template cache.
+//
+// The exporter emits the paper's observable fields only — no payload is
+// representable at all in this format, which is precisely why the
+// methodology must work from (addresses, ports, protocol, counters).
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/flow"
+	"repro/internal/simtime"
+)
+
+// Version is the NetFlow export format version implemented here.
+const Version = 9
+
+// IANA field types (shared numbering with IPFIX information elements).
+const (
+	FieldInBytes          = 1
+	FieldInPkts           = 2
+	FieldProtocol         = 4
+	FieldTCPFlags         = 6
+	FieldL4SrcPort        = 7
+	FieldIPv4SrcAddr      = 8
+	FieldL4DstPort        = 11
+	FieldIPv4DstAddr      = 12
+	FieldLastSwitched     = 21
+	FieldFirstSwitched    = 22
+	FieldSamplingInterval = 34
+)
+
+// FieldSpec is one (type, length) pair in a template.
+type FieldSpec struct {
+	Type   uint16
+	Length uint16
+}
+
+// Template describes the layout of data records in a data FlowSet.
+type Template struct {
+	ID     uint16 // >= 256
+	Fields []FieldSpec
+}
+
+// RecordLen returns the encoded size of one data record.
+func (t Template) RecordLen() int {
+	n := 0
+	for _, f := range t.Fields {
+		n += int(f.Length)
+	}
+	return n
+}
+
+// FlowTemplate is the canonical template used by the simulated ISP's
+// border routers.
+var FlowTemplate = Template{
+	ID: 256,
+	Fields: []FieldSpec{
+		{FieldIPv4SrcAddr, 4},
+		{FieldIPv4DstAddr, 4},
+		{FieldL4SrcPort, 2},
+		{FieldL4DstPort, 2},
+		{FieldProtocol, 1},
+		{FieldTCPFlags, 1},
+		{FieldInPkts, 4},
+		{FieldInBytes, 4},
+		{FieldFirstSwitched, 4},
+		{FieldLastSwitched, 4},
+	},
+}
+
+const headerLen = 20
+
+// Exporter packages flow records into NetFlow v9 messages. Not safe for
+// concurrent use.
+type Exporter struct {
+	SourceID uint32
+	// TemplateEvery controls template refresh: a template FlowSet is
+	// included in the first message and then every TemplateEvery-th
+	// message (RFC 3954 §9 requires periodic resends over UDP).
+	TemplateEvery int
+
+	seq      uint32
+	messages int
+}
+
+// NewExporter returns an exporter for one observation point.
+func NewExporter(sourceID uint32) *Exporter {
+	return &Exporter{SourceID: sourceID, TemplateEvery: 20}
+}
+
+// Export encodes records into one or more messages of at most
+// maxRecords data records each.
+func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, error) {
+	if maxRecords <= 0 {
+		maxRecords = 30
+	}
+	var msgs [][]byte
+	for len(records) > 0 {
+		n := min(maxRecords, len(records))
+		msg, err := e.encodeMessage(records[:n])
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, msg)
+		records = records[n:]
+	}
+	return msgs, nil
+}
+
+func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
+	withTemplate := e.messages == 0 || (e.TemplateEvery > 0 && e.messages%e.TemplateEvery == 0)
+	e.messages++
+
+	// All records in one export share the hour of the first record via
+	// the header's UnixSecs; the simulator flushes tables hourly.
+	var unixSecs uint32
+	if len(records) > 0 {
+		unixSecs = uint32(records[0].Hour.Time().Unix())
+	}
+
+	count := len(records)
+	if withTemplate {
+		count++ // template records count toward the header count
+	}
+
+	buf := make([]byte, 0, headerLen+count*(FlowTemplate.RecordLen()+8))
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(count))
+	buf = binary.BigEndian.AppendUint32(buf, 3_600_000) // SysUptime: end of the hour bin
+	buf = binary.BigEndian.AppendUint32(buf, unixSecs)
+	buf = binary.BigEndian.AppendUint32(buf, e.seq)
+	buf = binary.BigEndian.AppendUint32(buf, e.SourceID)
+	e.seq++
+
+	if withTemplate {
+		buf = appendTemplateFlowSet(buf, FlowTemplate)
+	}
+	var err error
+	buf, err = appendDataFlowSet(buf, FlowTemplate, records)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendTemplateFlowSet(buf []byte, t Template) []byte {
+	body := 4 + 4 + len(t.Fields)*4             // set header + template header + fields
+	buf = binary.BigEndian.AppendUint16(buf, 0) // FlowSet ID 0 = template
+	buf = binary.BigEndian.AppendUint16(buf, uint16(body))
+	buf = binary.BigEndian.AppendUint16(buf, t.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Fields)))
+	for _, f := range t.Fields {
+		buf = binary.BigEndian.AppendUint16(buf, f.Type)
+		buf = binary.BigEndian.AppendUint16(buf, f.Length)
+	}
+	return buf
+}
+
+func appendDataFlowSet(buf []byte, t Template, records []flow.Record) ([]byte, error) {
+	recLen := t.RecordLen()
+	body := 4 + recLen*len(records)
+	pad := (4 - body%4) % 4
+	buf = binary.BigEndian.AppendUint16(buf, t.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(body+pad))
+	for i := range records {
+		var err error
+		buf, err = appendRecord(buf, &records[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < pad; i++ {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, r *flow.Record) ([]byte, error) {
+	if !r.Key.Src.Is4() || !r.Key.Dst.Is4() {
+		return nil, fmt.Errorf("netflow: record %v is not IPv4", r.Key)
+	}
+	src, dst := r.Key.Src.As4(), r.Key.Dst.As4()
+	buf = append(buf, src[:]...)
+	buf = append(buf, dst[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, r.Key.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, r.Key.DstPort)
+	buf = append(buf, uint8(r.Key.Proto), r.TCPFlags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(min(r.Packets, 0xffffffff)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(min(r.Bytes, 0xffffffff)))
+	buf = binary.BigEndian.AppendUint32(buf, 0)         // FirstSwitched (uptime ms at hour start)
+	buf = binary.BigEndian.AppendUint32(buf, 3_599_999) // LastSwitched
+	return buf, nil
+}
+
+// Collector parses NetFlow v9 messages, maintaining a template cache
+// per (source ID, template ID). Not safe for concurrent use.
+type Collector struct {
+	templates map[uint64]Template
+	// Dropped counts data FlowSets skipped because their template has
+	// not been seen yet (possible over UDP; RFC 3954 §10).
+	Dropped int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{templates: make(map[uint64]Template)}
+}
+
+// Errors returned by the collector.
+var (
+	ErrShortMessage = errors.New("netflow: short message")
+	ErrBadVersion   = errors.New("netflow: unexpected version")
+)
+
+// Feed parses one message and returns the decoded flow records.
+func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+	if len(msg) < headerLen {
+		return nil, ErrShortMessage
+	}
+	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	unixSecs := binary.BigEndian.Uint32(msg[8:12])
+	sourceID := binary.BigEndian.Uint32(msg[16:20])
+	hour := simtime.Hour(int64(unixSecs) / 3600)
+
+	var out []flow.Record
+	rest := msg[headerLen:]
+	for len(rest) >= 4 {
+		setID := binary.BigEndian.Uint16(rest[0:2])
+		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if setLen < 4 || setLen > len(rest) {
+			return out, fmt.Errorf("netflow: flowset length %d exceeds remaining %d", setLen, len(rest))
+		}
+		body := rest[4:setLen]
+		switch {
+		case setID == 0:
+			if err := c.parseTemplates(sourceID, body); err != nil {
+				return out, err
+			}
+		case setID >= 256:
+			recs, err := c.parseData(sourceID, setID, body, hour)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, recs...)
+		}
+		rest = rest[setLen:]
+	}
+	return out, nil
+}
+
+func (c *Collector) parseTemplates(sourceID uint32, body []byte) error {
+	for len(body) >= 4 {
+		id := binary.BigEndian.Uint16(body[0:2])
+		n := int(binary.BigEndian.Uint16(body[2:4]))
+		body = body[4:]
+		if len(body) < n*4 {
+			return fmt.Errorf("netflow: truncated template %d", id)
+		}
+		t := Template{ID: id, Fields: make([]FieldSpec, n)}
+		for i := 0; i < n; i++ {
+			t.Fields[i] = FieldSpec{
+				Type:   binary.BigEndian.Uint16(body[i*4:]),
+				Length: binary.BigEndian.Uint16(body[i*4+2:]),
+			}
+		}
+		body = body[n*4:]
+		c.templates[templateKey(sourceID, id)] = t
+	}
+	return nil
+}
+
+func templateKey(sourceID uint32, templateID uint16) uint64 {
+	return uint64(sourceID)<<16 | uint64(templateID)
+}
+
+func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, error) {
+	t, ok := c.templates[templateKey(sourceID, setID)]
+	if !ok {
+		c.Dropped++
+		return nil, nil
+	}
+	recLen := t.RecordLen()
+	if recLen == 0 {
+		return nil, fmt.Errorf("netflow: template %d has zero-length records", setID)
+	}
+	var out []flow.Record
+	for len(body) >= recLen {
+		rec := flow.Record{Hour: hour}
+		off := 0
+		for _, f := range t.Fields {
+			fb := body[off : off+int(f.Length)]
+			decodeField(&rec, f, fb)
+			off += int(f.Length)
+		}
+		out = append(out, rec)
+		body = body[recLen:]
+	}
+	// Remaining bytes < recLen are padding.
+	return out, nil
+}
+
+func decodeField(rec *flow.Record, f FieldSpec, b []byte) {
+	switch f.Type {
+	case FieldIPv4SrcAddr:
+		if len(b) == 4 {
+			rec.Key.Src = netip.AddrFrom4([4]byte(b))
+		}
+	case FieldIPv4DstAddr:
+		if len(b) == 4 {
+			rec.Key.Dst = netip.AddrFrom4([4]byte(b))
+		}
+	case FieldL4SrcPort:
+		rec.Key.SrcPort = uint16(beUint(b))
+	case FieldL4DstPort:
+		rec.Key.DstPort = uint16(beUint(b))
+	case FieldProtocol:
+		rec.Key.Proto = flow.Proto(beUint(b))
+	case FieldTCPFlags:
+		rec.TCPFlags = uint8(beUint(b))
+	case FieldInPkts:
+		rec.Packets = beUint(b)
+	case FieldInBytes:
+		rec.Bytes = beUint(b)
+	}
+}
+
+// beUint decodes a big-endian unsigned integer of 1–8 bytes.
+func beUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

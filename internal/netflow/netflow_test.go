@@ -1,0 +1,267 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/simtime"
+)
+
+func mkRecords(n int, hour simtime.Hour) []flow.Record {
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key: flow.Key{
+				Src:     netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+				Dst:     netip.AddrFrom4([4]byte{185, 1, 2, byte(i)}),
+				SrcPort: uint16(40000 + i),
+				DstPort: 443,
+				Proto:   flow.ProtoTCP,
+			},
+			Packets:  uint64(i + 1),
+			Bytes:    uint64((i + 1) * 600),
+			TCPFlags: 0x12,
+			Hour:     hour,
+		}
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	hour := simtime.HourOf(simtime.ActiveWindow.Start.Time())
+	in := mkRecords(10, hour)
+	exp := NewExporter(7)
+	msgs, err := exp.Export(in, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	col := NewCollector()
+	out, err := col.Feed(msgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Key != in[i].Key {
+			t.Fatalf("record %d key %v, want %v", i, out[i].Key, in[i].Key)
+		}
+		if out[i].Packets != in[i].Packets || out[i].Bytes != in[i].Bytes {
+			t.Fatalf("record %d counters %d/%d", i, out[i].Packets, out[i].Bytes)
+		}
+		if out[i].TCPFlags != 0x12 {
+			t.Fatalf("record %d flags %#x", i, out[i].TCPFlags)
+		}
+		if out[i].Hour != hour {
+			t.Fatalf("record %d hour %v, want %v", i, out[i].Hour, hour)
+		}
+	}
+}
+
+func TestMultiMessageSplit(t *testing.T) {
+	in := mkRecords(75, 1000)
+	exp := NewExporter(1)
+	msgs, err := exp.Export(in, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("got %d messages, want 3", len(msgs))
+	}
+	col := NewCollector()
+	total := 0
+	for _, m := range msgs {
+		recs, err := col.Feed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(recs)
+	}
+	if total != 75 {
+		t.Fatalf("decoded %d records", total)
+	}
+}
+
+func TestDataBeforeTemplateDropped(t *testing.T) {
+	in := mkRecords(5, 1000)
+	exp := NewExporter(1)
+	exp.TemplateEvery = 0 // template only in the very first message
+	msgs1, err := exp.Export(in, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs2, err := exp.Export(in, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	// Feed second message first: no template yet.
+	recs, err := col.Feed(msgs2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("decoded %d records without template", len(recs))
+	}
+	if col.Dropped != 1 {
+		t.Fatalf("Dropped = %d", col.Dropped)
+	}
+	// Now the templated message, then the data-only one again.
+	if _, err := col.Feed(msgs1[0]); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = col.Feed(msgs2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("decoded %d records after template", len(recs))
+	}
+}
+
+func TestSourceIDSeparatesTemplates(t *testing.T) {
+	in := mkRecords(3, 1000)
+	expA := NewExporter(1)
+	msgsA, _ := expA.Export(in, 30)
+	col := NewCollector()
+	if _, err := col.Feed(msgsA[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A data-only message from a different source must be dropped even
+	// though the template ID matches.
+	expB := NewExporter(2)
+	expB.TemplateEvery = 0
+	_, _ = expB.Export(in, 30) // first message has template; skip it
+	msgsB2, _ := expB.Export(in, 30)
+	recs, err := col.Feed(msgsB2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || col.Dropped != 1 {
+		t.Fatalf("cross-source template leak: %d records, dropped %d", len(recs), col.Dropped)
+	}
+}
+
+func TestRejectsWrongVersion(t *testing.T) {
+	msg := make([]byte, 20)
+	msg[1] = 5 // NetFlow v5
+	if _, err := NewCollector().Feed(msg); err == nil {
+		t.Fatal("v5 message accepted")
+	}
+}
+
+func TestRejectsShort(t *testing.T) {
+	if _, err := NewCollector().Feed(make([]byte, 10)); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestRejectsNonIPv4Record(t *testing.T) {
+	rec := flow.Record{
+		Key: flow.Key{
+			Src: netip.MustParseAddr("2001:db8::1"),
+			Dst: netip.MustParseAddr("2001:db8::2"),
+		},
+		Packets: 1, Bytes: 60,
+	}
+	if _, err := NewExporter(1).Export([]flow.Record{rec}, 30); err == nil {
+		t.Fatal("IPv6 record accepted by v9 IPv4 template")
+	}
+}
+
+func TestTruncatedFlowSetLength(t *testing.T) {
+	exp := NewExporter(1)
+	msgs, _ := exp.Export(mkRecords(2, 0), 30)
+	msg := msgs[0]
+	// Corrupt the first flowset length to exceed the message.
+	msg[22] = 0xff
+	msg[23] = 0xff
+	if _, err := NewCollector().Feed(msg); err == nil {
+		t.Fatal("oversized flowset accepted")
+	}
+}
+
+func TestMessagesAreFourByteAligned(t *testing.T) {
+	f := func(n uint8) bool {
+		cnt := int(n%40) + 1
+		exp := NewExporter(1)
+		msgs, err := exp.Export(mkRecords(cnt, 77), 30)
+		if err != nil {
+			return false
+		}
+		for _, m := range msgs {
+			if len(m)%4 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		cnt := int(seed%50) + 1
+		in := mkRecords(cnt, simtime.Hour(437000))
+		exp := NewExporter(uint32(seed))
+		msgs, err := exp.Export(in, 17)
+		if err != nil {
+			return false
+		}
+		col := NewCollector()
+		var out []flow.Record
+		for _, m := range msgs {
+			recs, err := col.Feed(m)
+			if err != nil {
+				return false
+			}
+			out = append(out, recs...)
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Key != in[i].Key || out[i].Packets != in[i].Packets || out[i].Bytes != in[i].Bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExport(b *testing.B) {
+	recs := mkRecords(30, 1000)
+	exp := NewExporter(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Export(recs, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	recs := mkRecords(30, 1000)
+	exp := NewExporter(1)
+	exp.TemplateEvery = 1
+	msgs, _ := exp.Export(recs, 30)
+	col := NewCollector()
+	b.SetBytes(int64(len(msgs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := col.Feed(msgs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	var p Parser
+	var decoded []LayerType
+	f := func(data []byte) bool {
+		decoded, _ = p.Parse(data, decoded)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanicsOnMutatedFrames(t *testing.T) {
+	base := sampleFrame(t, ProtoTCP, TCPAck, make([]byte, 64))
+	rng := simrand.New(7)
+	var p Parser
+	var decoded []LayerType
+	for i := 0; i < 10000; i++ {
+		m := append([]byte(nil), base...)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			m[rng.Intn(len(m))] ^= byte(1 + rng.Intn(255))
+		}
+		// Also randomly truncate.
+		if rng.Bernoulli(0.3) {
+			m = m[:rng.Intn(len(m)+1)]
+		}
+		decoded, _ = p.Parse(m, decoded)
+	}
+}
+
+func TestDecodersRejectEmpty(t *testing.T) {
+	var e Ethernet
+	if _, err := e.DecodeFromBytes(nil); err == nil {
+		t.Error("empty ethernet accepted")
+	}
+	var ip IPv4
+	if _, err := ip.DecodeFromBytes(nil); err == nil {
+		t.Error("empty ipv4 accepted")
+	}
+	var tc TCP
+	if _, err := tc.DecodeFromBytes(nil); err == nil {
+		t.Error("empty tcp accepted")
+	}
+	var u UDP
+	if _, err := u.DecodeFromBytes(nil); err == nil {
+		t.Error("empty udp accepted")
+	}
+}

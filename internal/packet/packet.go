@@ -1,0 +1,329 @@
+// Package packet implements wire-format encoding and decoding for the
+// protocol layers the vantage points observe: Ethernet, IPv4, TCP and
+// UDP.
+//
+// The design follows gopacket's DecodingLayer idiom: each layer type is
+// a reusable struct with DecodeFromBytes (zero-copy: decoded fields are
+// scalars, payloads are sub-slices of the input) and AppendTo for
+// serialization. Parser mirrors gopacket's DecodingLayerParser — one
+// allocation-free pass over a frame, appending the decoded layer types
+// to a caller-owned slice.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Layer types understood by this package.
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypePayload
+)
+
+// String returns the conventional layer name.
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(lt))
+}
+
+// ErrTruncated is returned when a buffer is too short for the layer
+// being decoded.
+var ErrTruncated = errors.New("packet: truncated")
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+const ethernetLen = 14
+
+// DecodeFromBytes parses the header and returns the payload.
+func (e *Ethernet) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < ethernetLen {
+		return nil, fmt.Errorf("%w: ethernet needs %d bytes, have %d", ErrTruncated, ethernetLen, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[ethernetLen:], nil
+}
+
+// AppendTo serializes the header onto b and returns the extended slice.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// LayerType implements the Layer contract.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// IPv4 is an IPv4 header without options support on the encode side
+// (options are tolerated and skipped when decoding).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length incl. header
+	ID       uint16
+	Flags    uint8  // 3 bits: reserved, DF, MF
+	FragOff  uint16 // 13 bits
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst netip.Addr
+	ihl      int // decoded header length in bytes
+}
+
+const ipv4MinLen = 20
+
+// DecodeFromBytes parses the header and returns the layer-4 payload
+// (truncated to the total-length field when the buffer is longer).
+func (ip *IPv4) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < ipv4MinLen {
+		return nil, fmt.Errorf("%w: ipv4 needs %d bytes, have %d", ErrTruncated, ipv4MinLen, len(data))
+	}
+	vi := data[0]
+	if vi>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", vi>>4)
+	}
+	ip.ihl = int(vi&0x0f) * 4
+	if ip.ihl < ipv4MinLen {
+		return nil, fmt.Errorf("packet: bad IHL %d", ip.ihl)
+	}
+	if len(data) < ip.ihl {
+		return nil, fmt.Errorf("%w: ipv4 header claims %d bytes, have %d", ErrTruncated, ip.ihl, len(data))
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	end := len(data)
+	if int(ip.Length) >= ip.ihl && int(ip.Length) < end {
+		end = int(ip.Length)
+	}
+	return data[ip.ihl:end], nil
+}
+
+// HeaderLen returns the decoded header length (20 when encoding).
+func (ip *IPv4) HeaderLen() int {
+	if ip.ihl >= ipv4MinLen {
+		return ip.ihl
+	}
+	return ipv4MinLen
+}
+
+// AppendTo serializes a 20-byte header (no options) with a correct
+// checksum, computing Length from payloadLen.
+func (ip *IPv4) AppendTo(b []byte, payloadLen int) ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("packet: ipv4 addresses must be 4-byte (src %v dst %v)", ip.Src, ip.Dst)
+	}
+	total := ipv4MinLen + payloadLen
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: ipv4 total length %d exceeds 65535", total)
+	}
+	start := len(b)
+	b = append(b, 0x45, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b = append(b, ip.TTL, ip.Protocol, 0, 0) // checksum placeholder
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	sum := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+10:], sum)
+	return b, nil
+}
+
+// LayerType implements the Layer contract.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// VerifyChecksum reports whether the decoded header bytes carry a valid
+// internet checksum. It must be called with the same slice passed to
+// DecodeFromBytes.
+func (ip *IPv4) VerifyChecksum(header []byte) bool {
+	if len(header) < ip.HeaderLen() {
+		return false
+	}
+	return Checksum(header[:ip.HeaderLen()]) == 0
+}
+
+// TCP is a TCP header. Options are tolerated and skipped when decoding;
+// encoding emits a 20-byte header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	dataOffset       int
+}
+
+const tcpMinLen = 20
+
+// DecodeFromBytes parses the header and returns the payload.
+func (t *TCP) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < tcpMinLen {
+		return nil, fmt.Errorf("%w: tcp needs %d bytes, have %d", ErrTruncated, tcpMinLen, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.dataOffset = int(data[12]>>4) * 4
+	if t.dataOffset < tcpMinLen {
+		return nil, fmt.Errorf("packet: bad TCP data offset %d", t.dataOffset)
+	}
+	if len(data) < t.dataOffset {
+		return nil, fmt.Errorf("%w: tcp header claims %d bytes, have %d", ErrTruncated, t.dataOffset, len(data))
+	}
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	return data[t.dataOffset:], nil
+}
+
+// AppendTo serializes a 20-byte header. The checksum field is written
+// as-is; use ChecksumLayer4 to compute it.
+func (t *TCP) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, 5<<4, t.Flags&0x3f)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = binary.BigEndian.AppendUint16(b, t.Checksum)
+	return binary.BigEndian.AppendUint16(b, t.Urgent)
+}
+
+// LayerType implements the Layer contract.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// Established reports whether the segment is part of an established
+// connection: at least one flag-less (or plain ACK) data segment. The
+// IXP vantage point uses this to discard spoofed traffic (§6.3).
+func (t *TCP) Established() bool {
+	return t.Flags&(TCPSyn|TCPRst|TCPFin) == 0
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+const udpLen = 8
+
+// DecodeFromBytes parses the header and returns the payload.
+func (u *UDP) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < udpLen {
+		return nil, fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, udpLen, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := len(data)
+	if int(u.Length) >= udpLen && int(u.Length) < end {
+		end = int(u.Length)
+	}
+	return data[udpLen:end], nil
+}
+
+// AppendTo serializes the header, computing Length from payloadLen.
+func (u *UDP) AppendTo(b []byte, payloadLen int) []byte {
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(udpLen+payloadLen))
+	return binary.BigEndian.AppendUint16(b, u.Checksum)
+}
+
+// LayerType implements the Layer contract.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// Checksum computes the internet checksum (RFC 1071) of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumLayer4 computes a TCP/UDP checksum over the IPv4 pseudo-header
+// plus the given layer-4 bytes (header with zeroed checksum field plus
+// payload).
+func ChecksumLayer4(src, dst netip.Addr, proto uint8, l4 []byte) (uint16, error) {
+	if !src.Is4() || !dst.Is4() {
+		return 0, fmt.Errorf("packet: pseudo-header needs IPv4 addresses")
+	}
+	pseudo := make([]byte, 12, 12+len(l4))
+	s, d := src.As4(), dst.As4()
+	copy(pseudo[0:4], s[:])
+	copy(pseudo[4:8], d[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(l4)))
+	pseudo = append(pseudo, l4...)
+	return Checksum(pseudo), nil
+}

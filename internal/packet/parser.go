@@ -1,0 +1,118 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Parser decodes Ethernet/IPv4/TCP|UDP frames in a single pass without
+// allocating, in the style of gopacket's DecodingLayerParser: the layer
+// structs are owned by the Parser and overwritten on every call, and the
+// decoded-layers slice is caller-provided and reused.
+//
+// Parser is not safe for concurrent use; give each goroutine its own.
+type Parser struct {
+	Eth     Ethernet
+	IP4     IPv4
+	TCP     TCP
+	UDP     UDP
+	Payload []byte // sub-slice of the input frame
+}
+
+// Parse decodes frame starting at Ethernet, appending each decoded
+// LayerType to decoded (which is reset first). Unknown layer-3 or
+// layer-4 protocols terminate the walk without error; the undecoded rest
+// is exposed as LayerTypePayload.
+func (p *Parser) Parse(frame []byte, decoded []LayerType) ([]LayerType, error) {
+	decoded = decoded[:0]
+	p.Payload = nil
+
+	rest, err := p.Eth.DecodeFromBytes(frame)
+	if err != nil {
+		return decoded, err
+	}
+	decoded = append(decoded, LayerTypeEthernet)
+
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		p.Payload = rest
+		return append(decoded, LayerTypePayload), nil
+	}
+	rest, err = p.IP4.DecodeFromBytes(rest)
+	if err != nil {
+		return decoded, err
+	}
+	decoded = append(decoded, LayerTypeIPv4)
+
+	switch p.IP4.Protocol {
+	case ProtoTCP:
+		rest, err = p.TCP.DecodeFromBytes(rest)
+		if err != nil {
+			return decoded, err
+		}
+		decoded = append(decoded, LayerTypeTCP)
+	case ProtoUDP:
+		rest, err = p.UDP.DecodeFromBytes(rest)
+		if err != nil {
+			return decoded, err
+		}
+		decoded = append(decoded, LayerTypeUDP)
+	}
+	p.Payload = rest
+	return append(decoded, LayerTypePayload), nil
+}
+
+// Build serializes a full Ethernet/IPv4/{TCP,UDP} frame. It is the
+// inverse of Parse for the supported layer combinations and computes
+// the IPv4 and layer-4 checksums.
+func Build(eth *Ethernet, ip *IPv4, l4 any, payload []byte) ([]byte, error) {
+	var l4buf []byte
+	var proto uint8
+	switch h := l4.(type) {
+	case *TCP:
+		proto = ProtoTCP
+		h.Checksum = 0
+		l4buf = h.AppendTo(nil)
+	case *UDP:
+		proto = ProtoUDP
+		h.Checksum = 0
+		l4buf = h.AppendTo(nil, len(payload))
+	case nil:
+		proto = ip.Protocol
+	default:
+		return nil, fmt.Errorf("packet: unsupported layer-4 type %T", l4)
+	}
+	l4buf = append(l4buf, payload...)
+
+	if l4 != nil {
+		ip.Protocol = proto
+		sum, err := ChecksumLayer4(ip.Src, ip.Dst, proto, l4buf)
+		if err != nil {
+			return nil, err
+		}
+		// Patch the checksum into the serialized header.
+		switch l4.(type) {
+		case *TCP:
+			l4buf[16], l4buf[17] = byte(sum>>8), byte(sum)
+		case *UDP:
+			l4buf[6], l4buf[7] = byte(sum>>8), byte(sum)
+		}
+	}
+
+	eth.EtherType = EtherTypeIPv4
+	out := eth.AppendTo(nil)
+	out, err := ip.AppendTo(out, len(l4buf))
+	if err != nil {
+		return nil, err
+	}
+	return append(out, l4buf...), nil
+}
+
+// MustAddr4 parses a dotted-quad IPv4 literal, panicking on error.
+// Intended for tests and static tables.
+func MustAddr4(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil || !a.Is4() {
+		panic(fmt.Sprintf("packet: bad IPv4 literal %q", s))
+	}
+	return a
+}

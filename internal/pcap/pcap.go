@@ -1,0 +1,160 @@
+// Package pcap reads and writes classic libpcap capture files
+// (the tcpdump format). The Home-VP of the paper is a full packet
+// capture; this package lets the simulated home vantage point persist
+// its ground truth in a form any standard tool can open, and lets the
+// examples replay captures through the packet parser.
+//
+// Only the classic format (magic 0xa1b2c3d4, microsecond timestamps,
+// Ethernet link type) is implemented; nanosecond and pcapng files are
+// rejected with a clear error.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers (host-endian on write; both endians accepted on read).
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type this package produces.
+const LinkTypeEthernet = 1
+
+// MaxSnapLen is the snapshot length written to file headers.
+const MaxSnapLen = 65535
+
+// Packet is one captured frame.
+type Packet struct {
+	// Time is the capture timestamp (microsecond resolution on disk).
+	Time time.Time
+	// Data is the frame starting at the Ethernet header. Len(Data) may
+	// be smaller than Orig if the frame was snapped.
+	Data []byte
+	// Orig is the original wire length.
+	Orig int
+}
+
+// Writer writes a pcap file. Create with NewWriter; Flush (or use a
+// buffered sink you flush yourself) before closing the underlying file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [16]byte
+}
+
+// NewWriter writes the global header and returns a writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WritePacket appends one frame.
+func (w *Writer) WritePacket(p Packet) error {
+	if len(p.Data) > MaxSnapLen {
+		return fmt.Errorf("pcap: frame of %d bytes exceeds snap length", len(p.Data))
+	}
+	orig := p.Orig
+	if orig < len(p.Data) {
+		orig = len(p.Data)
+	}
+	ts := p.Time.UnixMicro()
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(ts/1e6))
+	binary.LittleEndian.PutUint32(w.buf[4:8], uint32(ts%1e6))
+	binary.LittleEndian.PutUint32(w.buf[8:12], uint32(len(p.Data)))
+	binary.LittleEndian.PutUint32(w.buf[12:16], uint32(orig))
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(p.Data)
+	return err
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Errors returned by the reader.
+var (
+	ErrNotPcap     = errors.New("pcap: not a classic pcap file")
+	ErrNanosecond  = errors.New("pcap: nanosecond captures not supported")
+	ErrWrongLink   = errors.New("pcap: only Ethernet link type supported")
+	errShortPacket = errors.New("pcap: truncated packet record")
+)
+
+// Reader reads a pcap file sequentially.
+type Reader struct {
+	r    *bufio.Reader
+	bo   binary.ByteOrder
+	snap uint32
+}
+
+// NewReader validates the global header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotPcap, err)
+	}
+	var bo binary.ByteOrder
+	switch m := binary.LittleEndian.Uint32(hdr[0:4]); m {
+	case magicMicros:
+		bo = binary.LittleEndian
+	case magicNanos:
+		return nil, ErrNanosecond
+	default:
+		switch binary.BigEndian.Uint32(hdr[0:4]) {
+		case magicMicros:
+			bo = binary.BigEndian
+		case magicNanos:
+			return nil, ErrNanosecond
+		default:
+			return nil, ErrNotPcap
+		}
+	}
+	if link := bo.Uint32(hdr[20:24]); link != LinkTypeEthernet {
+		return nil, fmt.Errorf("%w: link type %d", ErrWrongLink, link)
+	}
+	return &Reader{r: br, bo: bo, snap: bo.Uint32(hdr[16:20])}, nil
+}
+
+// Next returns the next packet, or io.EOF at end of file.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: %v", errShortPacket, err)
+	}
+	sec := r.bo.Uint32(hdr[0:4])
+	usec := r.bo.Uint32(hdr[4:8])
+	capLen := r.bo.Uint32(hdr[8:12])
+	orig := r.bo.Uint32(hdr[12:16])
+	if capLen > r.snap || capLen > MaxSnapLen {
+		return Packet{}, fmt.Errorf("pcap: capture length %d exceeds snap length %d", capLen, r.snap)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("%w: %v", errShortPacket, err)
+	}
+	return Packet{
+		Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data: data,
+		Orig: int(orig),
+	}, nil
+}

@@ -1,0 +1,191 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func mkFrame(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	eth := &packet.Ethernet{}
+	ip := &packet.IPv4{TTL: 64, Src: packet.MustAddr4("100.100.0.17"), Dst: packet.MustAddr4("185.3.0.1")}
+	tcp := &packet.TCP{SrcPort: 40000, DstPort: 443, Flags: packet.TCPAck}
+	frame, err := packet.Build(eth, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 11, 15, 7, 30, 0, 123456000, time.UTC)
+	frames := [][]byte{
+		mkFrame(t, []byte("one")),
+		mkFrame(t, []byte("twotwo")),
+		mkFrame(t, nil),
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(Packet{Time: t0.Add(time.Duration(i) * time.Second), Data: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if i != len(frames) {
+				t.Fatalf("read %d packets, want %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Fatalf("packet %d differs", i)
+		}
+		if !p.Time.Equal(t0.Add(time.Duration(i) * time.Second)) {
+			t.Fatalf("packet %d time %v", i, p.Time)
+		}
+		if p.Orig != len(frames[i]) {
+			t.Fatalf("packet %d orig %d", i, p.Orig)
+		}
+		// Frames parse back through the packet layer.
+		var parser packet.Parser
+		if _, err := parser.Parse(p.Data, nil); err != nil {
+			t.Fatalf("packet %d unparseable: %v", i, err)
+		}
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("this is not pcap at all!"))); !errors.Is(err, ErrNotPcap) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+}
+
+func TestRejectsNanosecond(t *testing.T) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanos)
+	if _, err := NewReader(bytes.NewReader(hdr[:])); !errors.Is(err, ErrNanosecond) {
+		t.Fatalf("nanosecond magic accepted: %v", err)
+	}
+}
+
+func TestRejectsWrongLinkType(t *testing.T) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], 101) // raw IP
+	if _, err := NewReader(bytes.NewReader(hdr[:])); !errors.Is(err, ErrWrongLink) {
+		t.Fatalf("raw-IP link accepted: %v", err)
+	}
+}
+
+func TestBigEndianHeaderAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.BigEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1573776000)
+	binary.BigEndian.PutUint32(rec[8:12], 3)
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec[:])
+	buf.Write([]byte{1, 2, 3})
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil || len(p.Data) != 3 {
+		t.Fatalf("big-endian record: %v %v", p, err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WritePacket(Packet{Time: time.Unix(0, 0), Data: mkFrame(t, []byte("x"))})
+	_ = w.Flush()
+	cut := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record read without error")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WritePacket(Packet{Data: make([]byte, MaxSnapLen+1)}); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if len(payloads) > 20 {
+			payloads = payloads[:20]
+		}
+		var want [][]byte
+		for i, p := range payloads {
+			if len(p) > 1400 {
+				p = p[:1400]
+			}
+			frame := mkFrame(t, p)
+			want = append(want, frame)
+			if err := w.WritePacket(Packet{Time: time.Unix(int64(i), 0), Data: frame}); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			p, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return i == len(want)
+			}
+			if err != nil || !bytes.Equal(p.Data, want[i]) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

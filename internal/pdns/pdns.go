@@ -1,0 +1,306 @@
+// Package pdns implements a passive-DNS database in the style of
+// Farsight DNSDB, the data source the paper uses in §4.2.1 to decide
+// whether a service IP is exclusively used by one IoT service.
+//
+// The database stores time-ranged A and CNAME observations and answers
+// the two queries the methodology needs:
+//
+//   - all records for a name (including the CNAME chain), and
+//   - all names observed mapping to an IP within a window.
+//
+// Passive DNS sees only what its sensors see; Covered/SetCovered model
+// the paper's 15 ground-truth domains for which "we did not have
+// sufficient information in DNSDB".
+package pdns
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/names"
+	"repro/internal/simtime"
+)
+
+// RType is a DNS record type.
+type RType uint8
+
+// Record types stored by the database.
+const (
+	TypeA RType = iota + 1
+	TypeCNAME
+)
+
+// String returns the record-type mnemonic.
+func (t RType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeCNAME:
+		return "CNAME"
+	}
+	return fmt.Sprintf("RType(%d)", uint8(t))
+}
+
+// Entry is one passive-DNS observation aggregate: a (name, type, value)
+// triple with the first and last day it was seen.
+type Entry struct {
+	Name  string
+	Type  RType
+	IP    netip.Addr // TypeA
+	Value string     // TypeCNAME target
+	First simtime.Day
+	Last  simtime.Day
+}
+
+// Overlaps reports whether the entry was live during any day of [a, b].
+func (e *Entry) Overlaps(a, b simtime.Day) bool {
+	return e.First <= b && e.Last >= a
+}
+
+// DB is an in-memory passive-DNS store. The zero value is not usable;
+// use New. DB is not safe for concurrent mutation.
+type DB struct {
+	byName map[string][]*Entry
+	byIP   map[netip.Addr][]*Entry
+	count  int
+
+	uncovered map[string]bool // SLDs the sensors never saw
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		byName:    make(map[string][]*Entry),
+		byIP:      make(map[netip.Addr][]*Entry),
+		uncovered: make(map[string]bool),
+	}
+}
+
+// SetUncovered marks a fully-qualified name as invisible to the
+// sensors: past and future observations for it are dropped. This models
+// DNSDB's partial coverage of the DNS hierarchy (§4.2.2 reason (b)).
+func (db *DB) SetUncovered(fqdn string) {
+	db.uncovered[names.Normalize(fqdn)] = true
+}
+
+// Covered reports whether observations of fqdn are retained.
+func (db *DB) Covered(fqdn string) bool {
+	return !db.uncovered[names.Normalize(fqdn)]
+}
+
+// ObserveA records that name resolved to ip on the given day.
+func (db *DB) ObserveA(name string, ip netip.Addr, day simtime.Day) {
+	name = names.Normalize(name)
+	if db.uncovered[name] {
+		return
+	}
+	for _, e := range db.byName[name] {
+		if e.Type == TypeA && e.IP == ip {
+			extend(e, day)
+			return
+		}
+	}
+	e := &Entry{Name: name, Type: TypeA, IP: ip, First: day, Last: day}
+	db.byName[name] = append(db.byName[name], e)
+	db.byIP[ip] = append(db.byIP[ip], e)
+	db.count++
+}
+
+// ObserveCNAME records that name aliased target on the given day.
+func (db *DB) ObserveCNAME(name, target string, day simtime.Day) {
+	name, target = names.Normalize(name), names.Normalize(target)
+	if db.uncovered[name] {
+		return
+	}
+	for _, e := range db.byName[name] {
+		if e.Type == TypeCNAME && e.Value == target {
+			extend(e, day)
+			return
+		}
+	}
+	e := &Entry{Name: name, Type: TypeCNAME, Value: target, First: day, Last: day}
+	db.byName[name] = append(db.byName[name], e)
+	db.count++
+}
+
+func extend(e *Entry, day simtime.Day) {
+	if day < e.First {
+		e.First = day
+	}
+	if day > e.Last {
+		e.Last = day
+	}
+}
+
+// Len returns the number of distinct entries.
+func (db *DB) Len() int { return db.count }
+
+// LookupName returns all entries for a name (any type), sorted by
+// first-seen then value for determinism.
+func (db *DB) LookupName(name string) []Entry {
+	es := db.byName[names.Normalize(name)]
+	out := make([]Entry, len(es))
+	for i, e := range es {
+		out[i] = *e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		if out[i].Value != out[j].Value {
+			return out[i].Value < out[j].Value
+		}
+		return out[i].IP.Less(out[j].IP)
+	})
+	return out
+}
+
+// LookupIP returns all A entries whose address is ip.
+func (db *DB) LookupIP(ip netip.Addr) []Entry {
+	es := db.byIP[ip]
+	out := make([]Entry, len(es))
+	for i, e := range es {
+		out[i] = *e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ResolveA returns the addresses name mapped to during [a, b],
+// following CNAME chains up to 8 hops.
+func (db *DB) ResolveA(name string, a, b simtime.Day) []netip.Addr {
+	seen := map[string]bool{}
+	var out []netip.Addr
+	cur := []string{names.Normalize(name)}
+	for hop := 0; hop < 8 && len(cur) > 0; hop++ {
+		var next []string
+		for _, n := range cur {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for _, e := range db.byName[n] {
+				if !e.Overlaps(a, b) {
+					continue
+				}
+				switch e.Type {
+				case TypeA:
+					out = append(out, e.IP)
+				case TypeCNAME:
+					next = append(next, e.Value)
+				}
+			}
+		}
+		cur = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return dedupAddrs(out)
+}
+
+// NamesOnIP returns every name observed resolving (directly) to ip
+// during [a, b].
+func (db *DB) NamesOnIP(ip netip.Addr, a, b simtime.Day) []string {
+	var out []string
+	for _, e := range db.byIP[ip] {
+		if e.Overlaps(a, b) {
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return dedupStrings(out)
+}
+
+// CNAMEChainSLDs returns the registrable domains of the CNAME chain
+// *roots* serving the IP: walking aliases backwards from each name
+// directly on the IP, a name with no alias pointing at it is a root and
+// contributes its SLD; intermediate provider names that do have aliases
+// are transparent. This implements the §4.2.1 handling of cloud
+// tenancy, where devA.com → devA-vm.ec2compute… → IP counts as
+// belonging to devA.com ("the only CNAME associated with the IP").
+func (db *DB) CNAMEChainSLDs(ip netip.Addr, a, b simtime.Day) map[string]bool {
+	slds := map[string]bool{}
+	// Build a reverse alias index over entries relevant to the window.
+	// For the simulated dataset sizes this linear pass is fine.
+	reverse := map[string][]string{} // target -> aliases
+	for _, es := range db.byName {
+		for _, e := range es {
+			if e.Type == TypeCNAME && e.Overlaps(a, b) {
+				reverse[e.Value] = append(reverse[e.Value], e.Name)
+			}
+		}
+	}
+	var visit func(name string, depth int, seen map[string]bool)
+	visit = func(name string, depth int, seen map[string]bool) {
+		if depth > 8 || seen[name] {
+			// Cycles (or over-deep chains) have no root; count the
+			// name itself so the IP is not silently exclusive.
+			if s := names.SLD(name); s != "" {
+				slds[s] = true
+			}
+			return
+		}
+		seen[name] = true
+		aliases := reverse[name]
+		if len(aliases) == 0 {
+			if s := names.SLD(name); s != "" {
+				slds[s] = true
+			}
+			return
+		}
+		for _, alias := range aliases {
+			visit(alias, depth+1, seen)
+		}
+	}
+	for _, n := range db.NamesOnIP(ip, a, b) {
+		visit(n, 0, map[string]bool{})
+	}
+	return slds
+}
+
+// ExclusiveIP reports whether, during [a, b], ip served names from a
+// single registrable domain (directly or via CNAME aliases). This is
+// the §4.2.1 test: "a service IP is exclusively used if it only serves
+// domains from a single second-level domain and its CNAMEs".
+//
+// The returned SLD is set when exclusive is true. An IP with no
+// observations returns (false, ""): absence of data is not evidence of
+// exclusivity.
+func (db *DB) ExclusiveIP(ip netip.Addr, a, b simtime.Day) (exclusive bool, sld string) {
+	slds := db.CNAMEChainSLDs(ip, a, b)
+	if len(slds) != 1 {
+		return false, ""
+	}
+	for s := range slds {
+		return true, s
+	}
+	return false, ""
+}
+
+func dedupAddrs(in []netip.Addr) []netip.Addr {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package pdns
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+const (
+	d0 = simtime.Day(18000)
+	d1 = d0 + 1
+	d2 = d0 + 2
+	d9 = d0 + 9
+)
+
+func TestObserveAndLookup(t *testing.T) {
+	db := New()
+	db.ObserveA("api.simring.example", addr("185.3.0.1"), d0)
+	db.ObserveA("api.simring.example", addr("185.3.0.2"), d1)
+	db.ObserveA("api.simring.example", addr("185.3.0.1"), d2) // extends range
+
+	es := db.LookupName("api.simring.example")
+	if len(es) != 2 {
+		t.Fatalf("got %d entries", len(es))
+	}
+	if es[0].IP != addr("185.3.0.1") || es[0].First != d0 || es[0].Last != d2 {
+		t.Fatalf("entry 0 = %+v", es[0])
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	db := New()
+	db.ObserveA("API.SimRing.Example", addr("185.3.0.1"), d0)
+	if len(db.LookupName("api.simring.example")) != 1 {
+		t.Fatal("case-normalized lookup failed")
+	}
+}
+
+func TestLookupIP(t *testing.T) {
+	db := New()
+	db.ObserveA("a.simx.example", addr("185.3.0.9"), d0)
+	db.ObserveA("b.simy.example", addr("185.3.0.9"), d1)
+	es := db.LookupIP(addr("185.3.0.9"))
+	if len(es) != 2 {
+		t.Fatalf("got %d entries", len(es))
+	}
+}
+
+func TestResolveAFollowsCNAME(t *testing.T) {
+	db := New()
+	db.ObserveCNAME("deva.example", "deva-vm.ec2compute.simcloud.example", d0)
+	db.ObserveA("deva-vm.ec2compute.simcloud.example", addr("185.9.0.7"), d0)
+	got := db.ResolveA("deva.example", d0, d2)
+	if len(got) != 1 || got[0] != addr("185.9.0.7") {
+		t.Fatalf("ResolveA = %v", got)
+	}
+}
+
+func TestResolveAHonorsWindow(t *testing.T) {
+	db := New()
+	db.ObserveA("x.simx.example", addr("185.3.0.1"), d0)
+	db.ObserveA("x.simx.example", addr("185.3.0.2"), d9)
+	got := db.ResolveA("x.simx.example", d0, d1)
+	if len(got) != 1 || got[0] != addr("185.3.0.1") {
+		t.Fatalf("window leak: %v", got)
+	}
+}
+
+func TestResolveACycleSafe(t *testing.T) {
+	db := New()
+	db.ObserveCNAME("a.simx.example", "b.simx.example", d0)
+	db.ObserveCNAME("b.simx.example", "a.simx.example", d0)
+	if got := db.ResolveA("a.simx.example", d0, d1); len(got) != 0 {
+		t.Fatalf("cycle produced %v", got)
+	}
+}
+
+func TestNamesOnIP(t *testing.T) {
+	db := New()
+	ip := addr("185.7.0.1")
+	db.ObserveA("a.simcdn-tenant1.example", ip, d0)
+	db.ObserveA("b.simcdn-tenant2.example", ip, d1)
+	db.ObserveA("old.simcdn-tenant3.example", ip, d0)
+	got := db.NamesOnIP(ip, d1, d2)
+	if len(got) != 1 || got[0] != "b.simcdn-tenant2.example" {
+		t.Fatalf("NamesOnIP window filter broken: %v", got)
+	}
+	got = db.NamesOnIP(ip, d0, d2)
+	if len(got) != 3 {
+		t.Fatalf("NamesOnIP = %v", got)
+	}
+}
+
+func TestExclusiveIPDedicated(t *testing.T) {
+	db := New()
+	ip := addr("185.3.0.1")
+	db.ObserveA("api.simring.example", ip, d0)
+	db.ObserveA("fw.simring.example", ip, d1)
+	ok, sld := db.ExclusiveIP(ip, d0, d2)
+	if !ok || sld != "simring.example" {
+		t.Fatalf("dedicated IP not exclusive: %v %q", ok, sld)
+	}
+}
+
+func TestExclusiveIPCloudTenant(t *testing.T) {
+	// The paper's devA example: devA.com → devA-VM.ec2compute…,
+	// and the IP reverse-maps only to that VM name. The tenant zone is
+	// a public suffix, so the VM name's SLD is the tenant registration
+	// itself — one SLD, exclusive.
+	db := New()
+	ip := addr("185.9.0.7")
+	db.ObserveCNAME("deva.example", "deva-vm.ec2compute.simcloud.example", d0)
+	db.ObserveA("deva-vm.ec2compute.simcloud.example", ip, d0)
+	ok, _ := db.ExclusiveIP(ip, d0, d2)
+	if !ok {
+		t.Fatal("cloud tenant IP should be exclusive")
+	}
+	slds := db.CNAMEChainSLDs(ip, d0, d2)
+	if !slds["deva.example"] {
+		t.Fatalf("alias SLD missing: %v", slds)
+	}
+}
+
+func TestExclusiveIPSharedCDN(t *testing.T) {
+	// The paper's devB example: devB.com → devB.com.akadns…, but many
+	// other domains also map to the same IP → shared.
+	db := New()
+	ip := addr("185.8.0.1")
+	db.ObserveCNAME("devb.example", "devb.cdn.simakamai.example", d0)
+	db.ObserveA("devb.cdn.simakamai.example", ip, d0)
+	db.ObserveCNAME("anothersite.example", "anothersite.cdn.simakamai.example", d0)
+	db.ObserveA("anothersite.cdn.simakamai.example", ip, d0)
+	ok, _ := db.ExclusiveIP(ip, d0, d2)
+	if ok {
+		t.Fatal("CDN IP serving two tenants claimed exclusive")
+	}
+	slds := db.CNAMEChainSLDs(ip, d0, d2)
+	if !slds["devb.example"] || !slds["anothersite.example"] {
+		t.Fatalf("chain SLDs = %v", slds)
+	}
+}
+
+func TestExclusiveIPNoData(t *testing.T) {
+	db := New()
+	ok, sld := db.ExclusiveIP(addr("185.1.1.1"), d0, d1)
+	if ok || sld != "" {
+		t.Fatal("IP without observations must not be exclusive")
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	db := New()
+	db.SetUncovered("c.deve.example")
+	db.ObserveA("c.deve.example", addr("185.5.0.1"), d0)
+	if got := db.LookupName("c.deve.example"); len(got) != 0 {
+		t.Fatalf("uncovered name stored: %v", got)
+	}
+	if db.Covered("c.deve.example") {
+		t.Fatal("Covered = true for uncovered name")
+	}
+	if !db.Covered("other.example") {
+		t.Fatal("Covered = false for normal name")
+	}
+}
+
+func TestEntryOverlaps(t *testing.T) {
+	e := Entry{First: d1, Last: d2}
+	if !e.Overlaps(d0, d1) || !e.Overlaps(d2, d9) || !e.Overlaps(d0, d9) {
+		t.Fatal("overlap misses")
+	}
+	if e.Overlaps(d0, d0) || e.Overlaps(d2+1, d9) {
+		t.Fatal("false overlap")
+	}
+}
+
+func TestRTypeString(t *testing.T) {
+	if TypeA.String() != "A" || TypeCNAME.String() != "CNAME" {
+		t.Fatal("RType names")
+	}
+}
+
+func BenchmarkExclusiveIP(b *testing.B) {
+	db := New()
+	ip := addr("185.3.0.1")
+	for i := 0; i < 50; i++ {
+		db.ObserveA("api.simring.example", ip, d0+simtime.Day(i%3))
+	}
+	for i := 0; i < 1000; i++ {
+		db.ObserveCNAME("a.simother.example", "t.cdn.simakamai.example", d0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ExclusiveIP(ip, d0, d2)
+	}
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func sample() *experiments.Table {
+	return &experiments.Table{
+		ID:      "TX",
+		Title:   "sample table",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1"}, {"beta-longer", "22"}},
+		Notes:   []string{"a note"},
+		Stats:   map[string]float64{"zz": 2, "aa": 1},
+	}
+}
+
+func TestTextContainsEverything(t *testing.T) {
+	var b strings.Builder
+	if err := Text(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, wantSub := range []string{"TX — sample table", "name", "value", "alpha", "beta-longer", "a note", "aa", "zz"} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("text output missing %q:\n%s", wantSub, out)
+		}
+	}
+	// Stats render in sorted order.
+	if strings.Index(out, "aa") > strings.Index(out, "zz") {
+		t.Error("stats not sorted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "name,value" || lines[1] != "alpha,1" {
+		t.Fatalf("csv content wrong: %v", lines)
+	}
+}
+
+func TestSummaryOmitsRows(t *testing.T) {
+	var b strings.Builder
+	if err := Summary(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "alpha") {
+		t.Error("summary should omit rows")
+	}
+	if !strings.Contains(out, "sample table") || !strings.Contains(out, "aa") {
+		t.Error("summary missing title or stats")
+	}
+}

@@ -1,0 +1,190 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/classify"
+	"repro/internal/dedicated"
+	"repro/internal/world"
+)
+
+func compileDict(t testing.TB, seed uint64) (*Dictionary, *world.World) {
+	if t != nil {
+		t.Helper()
+	}
+	w := world.MustBuild(seed)
+	days := w.Window.Days()
+	pipe := dedicated.New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	census := pipe.ClassifyAll(iot)
+	dict, err := Compile(w.Catalog, census, w.PDNS, days)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return dict, w
+}
+
+func TestCompileKeepsAll37Rules(t *testing.T) {
+	dict, _ := compileDict(t, 1)
+	if len(dict.Rules) != 37 {
+		t.Fatalf("compiled %d rules, want 37 (dropped: %v)", len(dict.Rules), dict.Dropped)
+	}
+	if len(dict.Dropped) != 0 {
+		t.Fatalf("dropped rules: %v", dict.Dropped)
+	}
+	levels := dict.Levels()
+	if levels[catalog.LevelPlatform] != 6 || levels[catalog.LevelManufacturer] != 20 || levels[catalog.LevelProduct] != 11 {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestDictionaryVerifies(t *testing.T) {
+	dict, _ := compileDict(t, 1)
+	if err := dict.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleDomainsSurvivePipeline(t *testing.T) {
+	// Every monitored domain in the catalog specs is dedicated-hosted
+	// (possibly censys-recovered), so none may be lost.
+	dict, w := compileDict(t, 1)
+	for _, spec := range w.Catalog.Rules {
+		ri := dict.RuleIndex(spec.Name)
+		if ri < 0 {
+			t.Fatalf("rule %s dropped", spec.Name)
+		}
+		if got := len(dict.Rules[ri].Domains); got != len(spec.Domains) {
+			t.Errorf("rule %s kept %d/%d domains", spec.Name, got, len(spec.Domains))
+		}
+	}
+}
+
+func TestHierarchyLinks(t *testing.T) {
+	dict, _ := compileDict(t, 1)
+	ftv := dict.RuleIndex("Fire TV")
+	amz := dict.RuleIndex("Amazon Product")
+	alexa := dict.RuleIndex("Alexa Enabled")
+	if dict.Rules[ftv].Parent != amz || dict.Rules[amz].Parent != alexa {
+		t.Fatal("Amazon hierarchy broken")
+	}
+	stv := dict.RuleIndex("Samsung TV")
+	sam := dict.RuleIndex("Samsung IoT")
+	if dict.Rules[stv].Parent != sam || !dict.Rules[stv].RequireParent {
+		t.Fatal("Samsung hierarchy broken")
+	}
+	if dict.Rules[alexa].Parent != -1 {
+		t.Fatal("root rule has a parent")
+	}
+}
+
+func TestMinDomains(t *testing.T) {
+	r := Rule{Domains: make([]string, 10)}
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0.0, 1}, {0.05, 1}, {0.1, 1}, {0.4, 4}, {0.99, 9}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := r.MinDomains(c.d); got != c.want {
+			t.Errorf("MinDomains(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	one := Rule{Domains: make([]string, 1)}
+	if one.MinDomains(1.0) != 1 || one.MinDomains(0.1) != 1 {
+		t.Error("single-domain rule must always need exactly 1")
+	}
+}
+
+func TestLookupMatchesTrafficDestinations(t *testing.T) {
+	// Flows generated toward a monitored domain's current address must
+	// hit the dictionary on the same day.
+	dict, w := compileDict(t, 1)
+	day := w.Window.Days()[4]
+	r := w.ResolverOn(day)
+	dom := "avs-alexa.simamazon.example"
+	ips := r.Resolve(dom)
+	if len(ips) == 0 {
+		t.Fatal("avs does not resolve")
+	}
+	for _, ip := range ips {
+		targets := dict.Lookup(day, ip, 443)
+		if len(targets) == 0 {
+			t.Fatalf("no targets for %v on %v", ip, day)
+		}
+		// avs appears in two rules (Alexa Enabled and Amazon Product;
+		// Fire TV monitors only its additional domains).
+		if len(targets) != 2 {
+			t.Fatalf("avs IP maps to %d targets, want 2", len(targets))
+		}
+	}
+}
+
+func TestLookupWrongPortMisses(t *testing.T) {
+	dict, w := compileDict(t, 1)
+	day := w.Window.Days()[0]
+	ip := w.ResolverOn(day).Resolve("avs-alexa.simamazon.example")[0]
+	if got := dict.Lookup(day, ip, 8080); len(got) != 0 {
+		t.Fatalf("port-mismatched lookup returned %v", got)
+	}
+}
+
+func TestLookupDayClamping(t *testing.T) {
+	dict, w := compileDict(t, 1)
+	days := w.Window.Days()
+	ip := w.ResolverOn(days[0]).Resolve("mqtt.simmeross.example")[0]
+	dom := w.Catalog.Domains["mqtt.simmeross.example"]
+	before := dict.Lookup(days[0]-10, ip, dom.Port)
+	first := dict.Lookup(days[0], ip, dom.Port)
+	if len(before) != len(first) {
+		t.Fatal("clamped lookup differs from first day")
+	}
+}
+
+func TestCensysRecoveredDomainsInHitlist(t *testing.T) {
+	dict, w := compileDict(t, 1)
+	day := w.Window.Days()[0]
+	// r1.simreolink.example is pdns-uncovered but censys-recovered.
+	ips := dict.DomainIPs(day, "Reolink Cam.", "r1.simreolink.example")
+	if len(ips) == 0 {
+		t.Fatal("censys-recovered domain has no hitlist addresses")
+	}
+}
+
+func TestHitlistSizePositive(t *testing.T) {
+	dict, w := compileDict(t, 1)
+	for _, day := range w.Window.Days() {
+		if dict.HitlistSize(day) < 100 {
+			t.Fatalf("hitlist on %v has %d keys", day, dict.HitlistSize(day))
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	w := world.MustBuild(1)
+	days := w.Window.Days()
+	pipe := dedicated.New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	census := pipe.ClassifyAll(iot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(w.Catalog, census, w.PDNS, days); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	dict, w := compileDict(nil, 1)
+	day := w.Window.Days()[0]
+	ip := w.ResolverOn(day).Resolve("avs-alexa.simamazon.example")[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dict.Lookup(day, ip, 443)
+	}
+}

@@ -1,0 +1,127 @@
+// Package sampling implements the packet sampling performed by the
+// vantage points, which is the central obstacle the paper's methodology
+// must overcome.
+//
+// Two equivalent interfaces are provided:
+//
+//   - per-packet samplers (Deterministic, Uniform) for code paths that
+//     walk real packet streams, and
+//   - binomial thinning (Thin) for the simulator's aggregate fast path,
+//     which is statistically identical to uniform per-packet sampling
+//     of the same counts.
+//
+// The ISP samples at 1:SampleRateISP; the IXP is an order of magnitude
+// sparser (§2.1).
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/simrand"
+)
+
+// Paper-calibrated sampling denominators: the ISP uses a consistent
+// rate across all border routers; the IXP's rate is 10× lower.
+const (
+	RateISP = 1024  // 1-in-1024 packets
+	RateIXP = 10240 // 1-in-10240 packets
+)
+
+// Sampler decides packet-by-packet whether a packet is exported.
+type Sampler interface {
+	// Sample reports whether the next packet is selected.
+	Sample() bool
+	// Rate returns the selection probability.
+	Rate() float64
+}
+
+// Deterministic selects every n-th packet (count-based sampling, the
+// classic Cisco "sampled NetFlow" mode).
+type Deterministic struct {
+	n     uint64
+	count uint64
+}
+
+// NewDeterministic returns a 1-in-n sampler. It panics if n == 0.
+func NewDeterministic(n uint64) *Deterministic {
+	if n == 0 {
+		panic("sampling: 1-in-0 sampler")
+	}
+	return &Deterministic{n: n}
+}
+
+// Sample implements Sampler.
+func (d *Deterministic) Sample() bool {
+	d.count++
+	if d.count == d.n {
+		d.count = 0
+		return true
+	}
+	return false
+}
+
+// Rate implements Sampler.
+func (d *Deterministic) Rate() float64 { return 1 / float64(d.n) }
+
+// Uniform selects each packet independently with probability 1/n.
+type Uniform struct {
+	p   float64
+	rng *simrand.RNG
+}
+
+// NewUniform returns a probabilistic 1-in-n sampler drawing from rng.
+func NewUniform(n uint64, rng *simrand.RNG) *Uniform {
+	if n == 0 {
+		panic("sampling: 1-in-0 sampler")
+	}
+	return &Uniform{p: 1 / float64(n), rng: rng}
+}
+
+// Sample implements Sampler.
+func (u *Uniform) Sample() bool { return u.rng.Bernoulli(u.p) }
+
+// Rate implements Sampler.
+func (u *Uniform) Rate() float64 { return u.p }
+
+// Thin applies uniform 1-in-n sampling to an aggregate packet count,
+// returning the number of sampled packets. Exact binomial, not an
+// expectation: small flows routinely sample to zero, which is what
+// makes laconic IoT devices hard to see (§5).
+func Thin(rng *simrand.RNG, packets uint64, n uint64) uint64 {
+	if n == 0 {
+		panic("sampling: 1-in-0 thinning")
+	}
+	if n == 1 {
+		return packets
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if packets > uint64(maxInt) {
+		packets = uint64(maxInt)
+	}
+	return uint64(rng.Binomial(int(packets), 1/float64(n)))
+}
+
+// ThinRecord applies Thin to a flow record. It returns the sampled
+// record and true, or a zero record and false when no packet of the
+// flow was sampled (the flow is invisible at the vantage point).
+// Bytes are scaled by the mean packet size, preserving the byte/packet
+// ratio the heavy-hitter analysis depends on (Fig 6).
+func ThinRecord(rng *simrand.RNG, rec flow.Record, n uint64) (flow.Record, bool) {
+	sampled := Thin(rng, rec.Packets, n)
+	if sampled == 0 {
+		return flow.Record{}, false
+	}
+	out := rec
+	out.Packets = sampled
+	out.Bytes = rec.Bytes / rec.Packets * sampled
+	return out, true
+}
+
+// Validate checks that a claimed sampler configuration is usable.
+func Validate(n uint64) error {
+	if n == 0 {
+		return fmt.Errorf("sampling: rate denominator must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package sampling
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+	"repro/internal/simrand"
+)
+
+func TestDeterministicExact(t *testing.T) {
+	s := NewDeterministic(10)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("deterministic 1-in-10 over 1000 packets selected %d", hits)
+	}
+	if s.Rate() != 0.1 {
+		t.Fatalf("Rate = %v", s.Rate())
+	}
+}
+
+func TestDeterministicSpacing(t *testing.T) {
+	s := NewDeterministic(4)
+	var picks []int
+	for i := 0; i < 20; i++ {
+		if s.Sample() {
+			picks = append(picks, i)
+		}
+	}
+	for i := 1; i < len(picks); i++ {
+		if picks[i]-picks[i-1] != 4 {
+			t.Fatalf("uneven spacing: %v", picks)
+		}
+	}
+}
+
+func TestUniformRate(t *testing.T) {
+	rng := simrand.New(1)
+	s := NewUniform(100, rng)
+	hits := 0
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.01) > 0.001 {
+		t.Fatalf("uniform 1-in-100 rate %v", got)
+	}
+}
+
+func TestThinMean(t *testing.T) {
+	rng := simrand.New(2)
+	var total uint64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += Thin(rng, 10000, 1000)
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-10) > 0.5 {
+		t.Fatalf("thin mean %v, want ~10", mean)
+	}
+}
+
+func TestThinBounds(t *testing.T) {
+	rng := simrand.New(3)
+	f := func(pkts uint16, nRaw uint8) bool {
+		n := uint64(nRaw)%1000 + 1
+		got := Thin(rng, uint64(pkts), n)
+		return got <= uint64(pkts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThinIdentityAtRateOne(t *testing.T) {
+	rng := simrand.New(4)
+	if got := Thin(rng, 12345, 1); got != 12345 {
+		t.Fatalf("1-in-1 thinning changed count: %d", got)
+	}
+}
+
+func TestThinSmallFlowsOftenInvisible(t *testing.T) {
+	// A 100-packet/h laconic flow under 1:1024 sampling should be
+	// invisible most of the time — the paper's core detectability
+	// obstacle.
+	rng := simrand.New(5)
+	invisible := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if Thin(rng, 100, RateISP) == 0 {
+			invisible++
+		}
+	}
+	frac := float64(invisible) / trials
+	// P(invisible) = (1-1/1024)^100 ≈ 0.907
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("invisible fraction %v, want ~0.91", frac)
+	}
+}
+
+func TestThinRecord(t *testing.T) {
+	rng := simrand.New(6)
+	rec := flow.Record{
+		Key: flow.Key{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("185.1.2.3"),
+			SrcPort: 1000, DstPort: 443, Proto: flow.ProtoTCP,
+		},
+		Packets: 100000, Bytes: 60_000_000, TCPFlags: 0x10,
+	}
+	out, ok := ThinRecord(rng, rec, 1000)
+	if !ok {
+		t.Fatal("large flow sampled to zero (vanishingly unlikely)")
+	}
+	if out.Packets == 0 || out.Packets > rec.Packets {
+		t.Fatalf("sampled packets %d", out.Packets)
+	}
+	// Byte/packet ratio preserved.
+	if out.Bytes/out.Packets != rec.Bytes/rec.Packets {
+		t.Fatalf("mean packet size changed: %d vs %d", out.Bytes/out.Packets, rec.Bytes/rec.Packets)
+	}
+	if out.Key != rec.Key || out.TCPFlags != rec.TCPFlags {
+		t.Fatal("thinning altered key or flags")
+	}
+}
+
+func TestThinRecordInvisible(t *testing.T) {
+	rng := simrand.New(7)
+	rec := flow.Record{Packets: 1, Bytes: 60}
+	seen := 0
+	for i := 0; i < 5000; i++ {
+		if _, ok := ThinRecord(rng, rec, RateISP); ok {
+			seen++
+		}
+	}
+	got := float64(seen) / 5000
+	want := 1.0 / RateISP
+	if math.Abs(got-want) > 0.003 {
+		t.Fatalf("single-packet visibility %v, want ~%v", got, want)
+	}
+}
+
+func TestISPIXPRateRatio(t *testing.T) {
+	if RateIXP/RateISP != 10 {
+		t.Fatalf("IXP rate must be an order of magnitude lower (got ratio %d)", RateIXP/RateISP)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if Validate(0) == nil {
+		t.Fatal("zero denominator accepted")
+	}
+	if Validate(1024) != nil {
+		t.Fatal("valid denominator rejected")
+	}
+}
+
+func BenchmarkThin(b *testing.B) {
+	rng := simrand.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = Thin(rng, 5000, RateISP)
+	}
+}

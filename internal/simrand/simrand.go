@@ -1,0 +1,252 @@
+// Package simrand provides a deterministic, seedable random number
+// generator and the sampling distributions used throughout the haystack
+// simulation.
+//
+// Everything in the simulated world — device placement, DNS churn,
+// packet sampling — must be reproducible bit-for-bit from a seed, so the
+// simulation deliberately avoids math/rand's global state. The core
+// generator is xoshiro256**, seeded via splitmix64, which is the
+// initialization recommended by its authors.
+package simrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New. RNG is not safe for concurrent use; derive
+// independent streams with Fork.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork derives an independent generator from r and a stream label.
+// Two forks with different labels produce uncorrelated streams, which
+// lets subsystems (traffic, churn, sampling …) draw independently while
+// the whole world stays a pure function of the root seed.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(h ^ r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("simrand: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Binomial draws the number of successes in n independent trials with
+// success probability p. It is exact for all n: successes are counted by
+// geometric gap-skipping, so the expected cost is O(n·p) rather than
+// O(n), which matters when thinning millions of packets at 1:1000
+// sampling rates.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	// Geometric gap-skipping: the gap between successes is
+	// Geometric(p); jump gap-by-gap until past n.
+	lq := math.Log1p(-p)
+	count := 0
+	i := 0
+	for {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		gap := int(math.Log(u) / lq) // floor, gap >= 0
+		i += gap + 1
+		if i > n {
+			return count
+		}
+		count++
+	}
+}
+
+// Poisson draws from a Poisson distribution with the given mean.
+// Large means are decomposed using Poisson(a+b) = Poisson(a)+Poisson(b)
+// so Knuth's product method never underflows.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	const chunk = 30.0
+	n := 0
+	for mean > chunk {
+		n += r.poissonKnuth(chunk)
+		mean -= chunk
+	}
+	return n + r.poissonKnuth(mean)
+}
+
+func (r *RNG) poissonKnuth(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle over n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s via a precomputed CDF. It models device-popularity and
+// AS-size skew. Use NewZipf once and Sample many times.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a bounded Zipf sampler over n ranks with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("simrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("simrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Weight returns the probability mass of the given rank.
+func (z *Zipf) Weight(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
+// Sample draws a rank in [0, N) using r.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,338 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Fork("traffic")
+	root2 := New(7)
+	_ = root2.Fork("traffic")
+	b := New(7).Fork("churn")
+	// Different labels must give different streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forks with different labels matched %d/100 draws", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := New(7).Fork("x")
+	b := New(7).Fork("x")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same fork label diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(10)]++
+	}
+	for v, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Fatalf("value %d frequency %v, want ~0.1", v, got)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) rate %v", rate)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(10)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(100, 0); got != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", got)
+	}
+	if got := r.Binomial(100, 1); got != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", got)
+	}
+	if got := r.Binomial(-5, 0.5); got != 0 {
+		t.Fatalf("Binomial(-5, .5) = %d", got)
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	r := New(11)
+	f := func(n uint16, pRaw uint16) bool {
+		n16 := int(n % 1000)
+		p := float64(pRaw) / math.MaxUint16
+		got := r.Binomial(n16, p)
+		return got >= 0 && got <= n16
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(12)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10000, 0.001}, {1000, 0.3}, {50, 0.7}, {200, 0.5},
+	}
+	for _, c := range cases {
+		sum := 0
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			sum += r.Binomial(c.n, c.p)
+		}
+		mean := float64(sum) / trials
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(trials)+0.05 {
+			t.Errorf("Binomial(%d,%v) mean %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(13)
+	for _, mean := range []float64{0.5, 3, 29, 120} {
+		sum := 0
+		const trials = 3000
+		for i := 0; i < trials; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / trials
+		tol := 5 * math.Sqrt(mean/trials)
+		if math.Abs(got-mean) > tol+0.05 {
+			t.Errorf("Poisson(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(14)
+	if r.Poisson(0) != 0 || r.Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean must be 0")
+	}
+}
+
+func TestNormMeanVar(t *testing.T) {
+	r := New(15)
+	sum, sumSq := 0.0, 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(16)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(18)
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Fatalf("zipf not skewed: c0=%d c10=%d c90=%d", counts[0], counts[10], counts[90])
+	}
+	// Rank 0 of Zipf(s=1, n=100) has mass 1/H(100) ~ 0.193.
+	p0 := float64(counts[0]) / n
+	if math.Abs(p0-0.1928) > 0.01 {
+		t.Fatalf("zipf rank-0 mass %v, want ~0.193", p0)
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(50, 1.3)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("zipf weights sum %v", sum)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(19)
+	z := NewZipf(10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Fatalf("rank %d freq %v, want 0.1", i, got)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBinomialSparse(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(100000, 0.001)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	r := New(1)
+	z := NewZipf(10000, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(r)
+	}
+}

@@ -1,0 +1,129 @@
+// Package simtime provides the discrete time axis of the simulation.
+//
+// The paper's measurements are hourly and daily aggregates over a fixed
+// study period (November 15–28, 2019). All generators and vantage points
+// operate on hour bins; days and the canonical experiment windows are
+// derived views.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Hour is an hour bin: hours since the Unix epoch, UTC.
+type Hour int64
+
+// Day is a day bin: days since the Unix epoch, UTC.
+type Day int64
+
+// HourOf returns the hour bin containing t.
+func HourOf(t time.Time) Hour { return Hour(t.UTC().Unix() / 3600) }
+
+// DayOf returns the day bin containing t.
+func DayOf(t time.Time) Day { return Day(t.UTC().Unix() / 86400) }
+
+// Time returns the start of the hour bin.
+func (h Hour) Time() time.Time { return time.Unix(int64(h)*3600, 0).UTC() }
+
+// Day returns the day bin containing h.
+func (h Hour) Day() Day { return Day(floorDiv(int64(h), 24)) }
+
+// LocalHour returns the hour-of-day (0–23) at the given UTC offset,
+// used for diurnal activity patterns in the ISP's timezone.
+func (h Hour) LocalHour(utcOffset int) int {
+	v := (int(int64(h))%24 + utcOffset) % 24
+	if v < 0 {
+		v += 24
+	}
+	return v
+}
+
+// String formats the hour bin as "2019-11-15 13h".
+func (h Hour) String() string {
+	t := h.Time()
+	return fmt.Sprintf("%s %02dh", t.Format("2006-01-02"), t.Hour())
+}
+
+// Time returns the start of the day bin.
+func (d Day) Time() time.Time { return time.Unix(int64(d)*86400, 0).UTC() }
+
+// FirstHour returns the first hour bin of the day.
+func (d Day) FirstHour() Hour { return Hour(int64(d) * 24) }
+
+// String formats the day bin as "2019-11-15".
+func (d Day) String() string { return d.Time().Format("2006-01-02") }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Window is a half-open range of hour bins [Start, End).
+type Window struct {
+	Start, End Hour
+}
+
+// WindowFromTimes builds a window covering [start, end).
+func WindowFromTimes(start, end time.Time) Window {
+	return Window{Start: HourOf(start), End: HourOf(end)}
+}
+
+// Hours returns the number of hour bins in w (0 if empty or inverted).
+func (w Window) Hours() int {
+	if w.End <= w.Start {
+		return 0
+	}
+	return int(w.End - w.Start)
+}
+
+// Days returns the day bins intersecting w, in order.
+func (w Window) Days() []Day {
+	if w.Hours() == 0 {
+		return nil
+	}
+	var days []Day
+	for d := w.Start.Day(); d <= (w.End - 1).Day(); d++ {
+		days = append(days, d)
+	}
+	return days
+}
+
+// Contains reports whether h lies within w.
+func (w Window) Contains(h Hour) bool { return h >= w.Start && h < w.End }
+
+// Each calls fn for every hour bin in w, in order.
+func (w Window) Each(fn func(Hour)) {
+	for h := w.Start; h < w.End; h++ {
+		fn(h)
+	}
+}
+
+// String formats the window as "2019-11-15 00h – 2019-11-19 00h".
+func (w Window) String() string {
+	return fmt.Sprintf("%s – %s", w.Start, w.End)
+}
+
+func mustDate(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Canonical study windows from the paper (§2.3 and §6).
+var (
+	// ActiveWindow covers the active experiments: Nov 15–18, 2019
+	// (9,810 automated interactions).
+	ActiveWindow = WindowFromTimes(mustDate(2019, time.November, 15), mustDate(2019, time.November, 19))
+
+	// IdleWindow covers the idle experiments: Nov 23–25, 2019.
+	IdleWindow = WindowFromTimes(mustDate(2019, time.November, 23), mustDate(2019, time.November, 26))
+
+	// WildWindow covers the in-the-wild study: Nov 15–28, 2019.
+	WildWindow = WindowFromTimes(mustDate(2019, time.November, 15), mustDate(2019, time.November, 29))
+)
+
+// ISPUTCOffset is the UTC offset of the (European) ISP's local timezone
+// used for diurnal patterns (CET in November).
+const ISPUTCOffset = 1

@@ -1,0 +1,160 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHourRoundTrip(t *testing.T) {
+	tm := time.Date(2019, time.November, 15, 13, 45, 12, 0, time.UTC)
+	h := HourOf(tm)
+	got := h.Time()
+	want := time.Date(2019, time.November, 15, 13, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("Hour.Time() = %v, want %v", got, want)
+	}
+}
+
+func TestHourDay(t *testing.T) {
+	h := HourOf(time.Date(2019, time.November, 15, 23, 0, 0, 0, time.UTC))
+	d := h.Day()
+	if d.String() != "2019-11-15" {
+		t.Fatalf("day = %s", d)
+	}
+	h2 := h + 1 // midnight next day
+	if h2.Day().String() != "2019-11-16" {
+		t.Fatalf("next day = %s", h2.Day())
+	}
+}
+
+func TestDayFirstHour(t *testing.T) {
+	d := DayOf(time.Date(2019, time.November, 20, 17, 0, 0, 0, time.UTC))
+	fh := d.FirstHour()
+	if fh.Time().Hour() != 0 {
+		t.Fatalf("first hour of day = %v", fh.Time())
+	}
+	if fh.Day() != d {
+		t.Fatal("first hour not in its own day")
+	}
+}
+
+func TestHourDayConsistency(t *testing.T) {
+	f := func(raw int32) bool {
+		h := Hour(raw)
+		d := h.Day()
+		return d.FirstHour() <= h && h < d.FirstHour()+24
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	h := HourOf(time.Date(2019, time.November, 15, 23, 0, 0, 0, time.UTC))
+	if got := h.LocalHour(0); got != 23 {
+		t.Fatalf("LocalHour(0) = %d", got)
+	}
+	if got := h.LocalHour(1); got != 0 {
+		t.Fatalf("LocalHour(+1) = %d", got)
+	}
+	if got := h.LocalHour(-1); got != 22 {
+		t.Fatalf("LocalHour(-1) = %d", got)
+	}
+}
+
+func TestLocalHourRange(t *testing.T) {
+	f := func(raw int32, off int8) bool {
+		v := Hour(raw).LocalHour(int(off % 13))
+		return v >= 0 && v < 24
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowHours(t *testing.T) {
+	if got := ActiveWindow.Hours(); got != 4*24 {
+		t.Fatalf("active window hours = %d, want 96", got)
+	}
+	if got := IdleWindow.Hours(); got != 3*24 {
+		t.Fatalf("idle window hours = %d, want 72", got)
+	}
+	if got := WildWindow.Hours(); got != 14*24 {
+		t.Fatalf("wild window hours = %d, want 336", got)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := Window{Start: 10, End: 10}
+	if w.Hours() != 0 || w.Days() != nil {
+		t.Fatal("empty window not empty")
+	}
+	w = Window{Start: 10, End: 5}
+	if w.Hours() != 0 {
+		t.Fatal("inverted window has hours")
+	}
+}
+
+func TestWindowDays(t *testing.T) {
+	days := WildWindow.Days()
+	if len(days) != 14 {
+		t.Fatalf("wild window has %d days, want 14", len(days))
+	}
+	if days[0].String() != "2019-11-15" || days[13].String() != "2019-11-28" {
+		t.Fatalf("wild days span %s..%s", days[0], days[13])
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := ActiveWindow
+	if !w.Contains(w.Start) {
+		t.Fatal("window excludes its start")
+	}
+	if w.Contains(w.End) {
+		t.Fatal("window includes its end")
+	}
+	if w.Contains(w.Start - 1) {
+		t.Fatal("window includes hour before start")
+	}
+}
+
+func TestWindowEach(t *testing.T) {
+	var got []Hour
+	w := Window{Start: 100, End: 104}
+	w.Each(func(h Hour) { got = append(got, h) })
+	if len(got) != 4 || got[0] != 100 || got[3] != 103 {
+		t.Fatalf("Each visited %v", got)
+	}
+}
+
+func TestCanonicalWindowsDisjointOrNested(t *testing.T) {
+	// Active and idle windows must not overlap; both lie inside wild.
+	if ActiveWindow.End > IdleWindow.Start {
+		t.Fatal("active and idle windows overlap")
+	}
+	if ActiveWindow.Start < WildWindow.Start || IdleWindow.End > WildWindow.End {
+		t.Fatal("experiment windows outside wild window")
+	}
+}
+
+func TestHourString(t *testing.T) {
+	h := HourOf(time.Date(2019, time.November, 15, 7, 0, 0, 0, time.UTC))
+	if got := h.String(); got != "2019-11-15 07h" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFloorDivNegative(t *testing.T) {
+	// Hours before the epoch must still map into correct days.
+	h := Hour(-1)
+	if h.Day() != Day(-1) {
+		t.Fatalf("Hour(-1).Day() = %d, want -1", h.Day())
+	}
+	if Hour(-24).Day() != Day(-1) {
+		t.Fatalf("Hour(-24).Day() = %d, want -1", Hour(-24).Day())
+	}
+	if Hour(-25).Day() != Day(-2) {
+		t.Fatalf("Hour(-25).Day() = %d, want -2", Hour(-25).Day())
+	}
+}

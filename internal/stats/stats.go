@@ -1,0 +1,289 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: empirical CDFs, heavy-hitter selection, distinct counting, and
+// time-binned series.
+//
+// Everything is exact (no sketches): the simulated datasets fit in
+// memory, and the paper's figures are exact aggregates too.
+package stats
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples. The zero value is an empty distribution; Add samples, then
+// query. Queries sort lazily.
+type ECDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (e *ECDF) Add(v float64) {
+	e.samples = append(e.samples, v)
+	e.sorted = false
+}
+
+// AddN appends v n times.
+func (e *ECDF) AddN(v float64, n int) {
+	for i := 0; i < n; i++ {
+		e.Add(v)
+	}
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.samples) }
+
+func (e *ECDF) ensure() {
+	if !e.sorted {
+		slices.Sort(e.samples)
+		e.sorted = true
+	}
+}
+
+// At returns the fraction of samples <= x, in [0, 1]. It returns 0 for
+// an empty distribution.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	e.ensure()
+	i := sort.SearchFloat64s(e.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.samples))
+}
+
+// Quantile returns the q-th quantile (q in [0, 1]) using the nearest-rank
+// method. It panics on an empty distribution or out-of-range q.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.samples) == 0 {
+		panic("stats: Quantile of empty ECDF")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
+	}
+	e.ensure()
+	if q == 0 {
+		return e.samples[0]
+	}
+	idx := int(math.Ceil(q*float64(len(e.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.samples[idx]
+}
+
+// Mean returns the sample mean (0 for empty).
+func (e *ECDF) Mean() float64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range e.samples {
+		sum += v
+	}
+	return sum / float64(len(e.samples))
+}
+
+// Points returns up to n (x, F(x)) pairs evenly spaced through the
+// sorted samples, suitable for plotting the ECDF curve.
+func (e *ECDF) Points(n int) [][2]float64 {
+	if len(e.samples) == 0 || n <= 0 {
+		return nil
+	}
+	e.ensure()
+	if n > len(e.samples) {
+		n = len(e.samples)
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i * (len(e.samples) - 1)) / max(n-1, 1)
+		pts = append(pts, [2]float64{e.samples[idx], float64(idx+1) / float64(len(e.samples))})
+	}
+	return pts
+}
+
+// Counter counts occurrences of comparable keys.
+type Counter[K comparable] map[K]uint64
+
+// Inc adds n to key k's count.
+func (c Counter[K]) Inc(k K, n uint64) { c[k] += n }
+
+// Total returns the sum of all counts.
+func (c Counter[K]) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// KV is a key with its count.
+type KV[K comparable] struct {
+	Key   K
+	Count uint64
+}
+
+// TopK returns the k highest-count entries, ties broken arbitrarily but
+// deterministically unfriendly-free via full sort on count descending.
+func TopK[K cmp.Ordered](c Counter[K], k int) []KV[K] {
+	all := make([]KV[K], 0, len(c))
+	for key, n := range c {
+		all = append(all, KV[K]{key, n})
+	}
+	slices.SortFunc(all, func(a, b KV[K]) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
+		}
+		return cmp.Compare(a.Key, b.Key)
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// TopFraction returns the keys whose counts place them in the top f
+// (0 < f <= 1) fraction of keys by count. This mirrors the paper's
+// "top 10 %/20 %/30 % of service IPs by byte count" (Fig 6).
+func TopFraction[K cmp.Ordered](c Counter[K], f float64) []K {
+	if len(c) == 0 || f <= 0 {
+		return nil
+	}
+	k := int(math.Ceil(f * float64(len(c))))
+	top := TopK(c, k)
+	keys := make([]K, len(top))
+	for i, kv := range top {
+		keys[i] = kv.Key
+	}
+	return keys
+}
+
+// Set is a distinct-element set.
+type Set[K comparable] map[K]struct{}
+
+// NewSet returns a set containing the given elements.
+func NewSet[K comparable](ks ...K) Set[K] {
+	s := make(Set[K], len(ks))
+	for _, k := range ks {
+		s.Add(k)
+	}
+	return s
+}
+
+// Add inserts k.
+func (s Set[K]) Add(k K) { s[k] = struct{}{} }
+
+// Has reports membership.
+func (s Set[K]) Has(k K) bool { _, ok := s[k]; return ok }
+
+// Len returns the cardinality.
+func (s Set[K]) Len() int { return len(s) }
+
+// AddAll inserts every element of other.
+func (s Set[K]) AddAll(other Set[K]) {
+	for k := range other {
+		s.Add(k)
+	}
+}
+
+// IntersectCount returns |s ∩ other|.
+func (s Set[K]) IntersectCount(other Set[K]) int {
+	small, big := s, other
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	n := 0
+	for k := range small {
+		if big.Has(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Series is an ordered sequence of (bin, value) pairs keyed by an
+// integer-like bin (hour or day).
+type Series[B cmp.Ordered] struct {
+	m map[B]float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries[B cmp.Ordered]() *Series[B] { return &Series[B]{m: map[B]float64{}} }
+
+// Add accumulates v into bin b.
+func (s *Series[B]) Add(b B, v float64) { s.m[b] += v }
+
+// Set overwrites bin b.
+func (s *Series[B]) Set(b B, v float64) { s.m[b] = v }
+
+// Get returns the value at bin b (0 if absent).
+func (s *Series[B]) Get(b B) float64 { return s.m[b] }
+
+// Len returns the number of bins.
+func (s *Series[B]) Len() int { return len(s.m) }
+
+// Bins returns the bins in ascending order.
+func (s *Series[B]) Bins() []B {
+	bins := make([]B, 0, len(s.m))
+	for b := range s.m {
+		bins = append(bins, b)
+	}
+	slices.Sort(bins)
+	return bins
+}
+
+// Values returns the values in bin order.
+func (s *Series[B]) Values() []float64 {
+	bins := s.Bins()
+	vs := make([]float64, len(bins))
+	for i, b := range bins {
+		vs[i] = s.m[b]
+	}
+	return vs
+}
+
+// Max returns the maximum value (0 for empty).
+func (s *Series[B]) Max() float64 {
+	m := 0.0
+	first := true
+	for _, v := range s.m {
+		if first || v > m {
+			m, first = v, false
+		}
+	}
+	return m
+}
+
+// Mean returns the mean value across bins (0 for empty).
+func (s *Series[B]) Mean() float64 {
+	if len(s.m) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.m {
+		sum += v
+	}
+	return sum / float64(len(s.m))
+}
+
+// Ratio returns, bin by bin, num/den for bins where den > 0, averaged.
+// It reports the mean visibility ratio used throughout §3.
+func Ratio[B cmp.Ordered](num, den *Series[B]) float64 {
+	sum, n := 0.0, 0
+	for _, b := range den.Bins() {
+		d := den.Get(b)
+		if d <= 0 {
+			continue
+		}
+		sum += num.Get(b) / d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

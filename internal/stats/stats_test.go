@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	var e ECDF
+	for _, v := range []float64{1, 2, 3, 4} {
+		e.Add(v)
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	f := func(vs []float64, a, b float64) bool {
+		var e ECDF
+		for _, v := range vs {
+			if !math.IsNaN(v) {
+				e.Add(v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	var e ECDF
+	for i := 1; i <= 100; i++ {
+		e.Add(float64(i))
+	}
+	if q := e.Quantile(0.5); q != 50 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := e.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := e.Quantile(0.01); q != 1 {
+		t.Fatalf("q0.01 = %v", q)
+	}
+}
+
+func TestECDFQuantilePanics(t *testing.T) {
+	var e ECDF
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty ECDF did not panic")
+		}
+	}()
+	e.Quantile(0.5)
+}
+
+func TestECDFAddAfterQuery(t *testing.T) {
+	var e ECDF
+	e.Add(1)
+	_ = e.At(1)
+	e.Add(0) // must re-sort
+	if got := e.At(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(0) after late add = %v", got)
+	}
+}
+
+func TestECDFMeanAndAddN(t *testing.T) {
+	var e ECDF
+	e.AddN(2, 3)
+	e.Add(8)
+	if got := e.Mean(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	var e ECDF
+	for i := 0; i < 50; i++ {
+		e.Add(float64(i))
+	}
+	pts := e.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("Points returned %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Fatalf("last point F=%v, want 1", pts[len(pts)-1][1])
+	}
+}
+
+func TestCounterTopK(t *testing.T) {
+	c := Counter[string]{}
+	c.Inc("a", 5)
+	c.Inc("b", 10)
+	c.Inc("c", 1)
+	c.Inc("a", 1)
+	top := TopK(c, 2)
+	if len(top) != 2 || top[0].Key != "b" || top[1].Key != "a" || top[1].Count != 6 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if c.Total() != 17 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	c := Counter[string]{"x": 3, "y": 3, "z": 3}
+	a := TopK(c, 3)
+	b := TopK(c, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopK tie order not deterministic")
+		}
+	}
+	if a[0].Key != "x" {
+		t.Fatalf("tie order = %v", a)
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	c := Counter[int]{}
+	for i := 1; i <= 10; i++ {
+		c.Inc(i, uint64(i))
+	}
+	top := TopFraction(c, 0.2) // top 2 of 10
+	if len(top) != 2 {
+		t.Fatalf("TopFraction(0.2) returned %d keys", len(top))
+	}
+	want := NewSet(10, 9)
+	for _, k := range top {
+		if !want.Has(k) {
+			t.Fatalf("unexpected top key %d", k)
+		}
+	}
+	if got := TopFraction(c, 0); got != nil {
+		t.Fatal("TopFraction(0) should be nil")
+	}
+	if got := TopFraction(c, 1); len(got) != 10 {
+		t.Fatalf("TopFraction(1) = %d keys", len(got))
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet("a", "b")
+	s.Add("c")
+	if !s.Has("a") || !s.Has("c") || s.Has("d") {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	other := NewSet("c", "d", "e")
+	if got := s.IntersectCount(other); got != 1 {
+		t.Fatalf("IntersectCount = %d", got)
+	}
+	s.AddAll(other)
+	if s.Len() != 5 {
+		t.Fatalf("after AddAll Len = %d", s.Len())
+	}
+}
+
+func TestIntersectCountSymmetric(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa, sb := NewSet(a...), NewSet(b...)
+		return sa.IntersectCount(sb) == sb.IntersectCount(sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries[int64]()
+	s.Add(5, 2)
+	s.Add(3, 1)
+	s.Add(5, 3)
+	s.Set(7, 10)
+	if got := s.Get(5); got != 5 {
+		t.Fatalf("Get(5) = %v", got)
+	}
+	bins := s.Bins()
+	if len(bins) != 3 || bins[0] != 3 || bins[2] != 7 {
+		t.Fatalf("Bins = %v", bins)
+	}
+	vals := s.Values()
+	if vals[0] != 1 || vals[1] != 5 || vals[2] != 10 {
+		t.Fatalf("Values = %v", vals)
+	}
+	if s.Max() != 10 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if math.Abs(s.Mean()-16.0/3) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries[int]()
+	if s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	if s.Bins() != nil && len(s.Bins()) != 0 {
+		t.Fatal("empty series has bins")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	num, den := NewSeries[int](), NewSeries[int]()
+	den.Set(1, 100)
+	den.Set(2, 200)
+	den.Set(3, 0) // skipped
+	num.Set(1, 16)
+	num.Set(2, 32)
+	if got := Ratio(num, den); math.Abs(got-0.16) > 1e-12 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(num, NewSeries[int]()); got != 0 {
+		t.Fatalf("Ratio with empty denominator = %v", got)
+	}
+}

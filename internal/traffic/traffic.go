@@ -1,0 +1,171 @@
+// Package traffic generates the ground-truth IoT traffic of §2: the
+// hourly flow records that the testbed devices, tunnelled into one
+// subscriber line (Home-VP), exchange with their backend domains.
+//
+// The generator is intensity-driven: each (device, domain) pair has a
+// mean packets/hour for idle and active operation (from the catalog);
+// actual hourly counts are Poisson draws, plus interaction bursts
+// during active experiments (the paper ran 9,810 automated power and
+// functional interactions). Every record is tagged with the device that
+// produced it, which is exactly the ground truth a researcher has at
+// the home vantage point.
+package traffic
+
+import (
+	"net/netip"
+
+	"repro/internal/catalog"
+	"repro/internal/flow"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// Resolver supplies the DNS view the devices use when opening
+// connections. hosting.Infra satisfies it directly; the world package
+// provides per-day snapshot resolvers.
+type Resolver interface {
+	Resolve(domain string) []netip.Addr
+}
+
+// Mode is the experiment mode of §2.3.
+type Mode uint8
+
+// Experiment modes.
+const (
+	ModeIdle Mode = iota + 1
+	ModeActive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeIdle {
+		return "idle"
+	}
+	return "active"
+}
+
+// Observation is one flow record together with the device that
+// generated it (ground truth available only at the home side).
+type Observation struct {
+	Device catalog.Device
+	Domain string
+	Rec    flow.Record
+}
+
+// Generator produces hourly ground-truth traffic. Not safe for
+// concurrent use.
+type Generator struct {
+	rng     *simrand.RNG
+	infra   Resolver
+	devices []catalog.Device
+	// HomePrefix is the reserved /28 of the Home-VP subscriber line.
+	HomePrefix netip.Prefix
+	// BurstProb is the per-device per-hour probability of an
+	// interaction burst during active experiments.
+	BurstProb float64
+	// Testbed2LagHours delays testbed-2 devices at the start of the
+	// active window (§3: "experiments on devices from Testbed1 are
+	// started after Testbed2" — the two testbeds are staggered).
+	Testbed2LagHours int
+}
+
+// New returns a generator over the given devices.
+func New(rng *simrand.RNG, infra Resolver, devices []catalog.Device) *Generator {
+	return &Generator{
+		rng:              rng.Fork("traffic"),
+		infra:            infra,
+		devices:          devices,
+		HomePrefix:       netip.MustParsePrefix("100.100.0.16/28"),
+		BurstProb:        0.15,
+		Testbed2LagHours: 24,
+	}
+}
+
+// deviceAddr maps a device to an address within the home /28. All
+// testbed traffic egresses through the tunnel endpoint prefix, so
+// devices share the handful of addresses.
+func (g *Generator) deviceAddr(d catalog.Device) netip.Addr {
+	base := g.HomePrefix.Addr().As4()
+	host := uint8(1 + d.ID%14) // usable addresses of a /28
+	return netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + host})
+}
+
+// srcPort derives a stable ephemeral port per (device, domain, hour).
+func srcPort(devID int, domIdx int, h simtime.Hour) uint16 {
+	x := uint64(devID)*2654435761 + uint64(domIdx)*40503 + uint64(h)*97
+	return uint16(32768 + x%28000)
+}
+
+// HourFlows generates all ground-truth flow records for one hour bin.
+// activeWindow is the window of automated interactions; outside it (or
+// for IdleOnly products) devices idle.
+func (g *Generator) HourFlows(h simtime.Hour, mode Mode, activeWindow simtime.Window) []Observation {
+	var out []Observation
+	for _, dev := range g.devices {
+		out = g.deviceHour(out, dev, h, mode, activeWindow)
+	}
+	return out
+}
+
+func (g *Generator) deviceHour(out []Observation, dev catalog.Device, h simtime.Hour, mode Mode, activeWindow simtime.Window) []Observation {
+	active := mode == ModeActive && activeWindow.Contains(h) && !dev.Product.IdleOnly
+	if active && dev.Testbed == 2 && int(h-activeWindow.Start) < g.Testbed2LagHours {
+		active = false // staggered start
+	}
+	burst := active && g.rng.Bernoulli(g.BurstProb)
+	src := g.deviceAddr(dev)
+
+	for di, use := range dev.Product.Uses {
+		mean := use.IdlePPH
+		if active {
+			mean += use.ActivePPH * 0.3 // steady interaction load
+			if burst {
+				mean += use.ActivePPH // power/functional interaction burst
+			}
+		}
+		if mean <= 0 {
+			continue
+		}
+		pkts := g.rng.Poisson(mean)
+		if pkts == 0 {
+			continue
+		}
+		ips := g.infra.Resolve(use.Domain.Name)
+		if len(ips) == 0 {
+			continue
+		}
+		// A device talks to one resolved address per domain per hour
+		// (DNS answer caching), rotating across the pool over time.
+		ip := ips[int(uint64(dev.ID)+uint64(di)+uint64(h))%len(ips)]
+		rec := flow.Record{
+			Key: flow.Key{
+				Src: src, Dst: ip,
+				SrcPort: srcPort(dev.ID, di, h), DstPort: use.Domain.Port,
+				Proto: use.Domain.Proto,
+			},
+			Packets:  uint64(pkts),
+			Bytes:    uint64(pkts) * use.Domain.BytesPerPkt,
+			TCPFlags: flagsFor(use.Domain.Proto),
+			Hour:     h,
+		}
+		out = append(out, Observation{Device: dev, Domain: use.Domain.Name, Rec: rec})
+	}
+	return out
+}
+
+func flagsFor(p flow.Proto) uint8 {
+	if p == flow.ProtoTCP {
+		// Aggregated over the hour the flow carries handshake and data
+		// packets: SYN|ACK|PSH.
+		return 0x02 | 0x10 | 0x08
+	}
+	return 0
+}
+
+// RunWindow generates observations for every hour of a window, calling
+// emit per hour. Mode selects the §2.3 experiment type.
+func (g *Generator) RunWindow(w simtime.Window, mode Mode, emit func(simtime.Hour, []Observation)) {
+	w.Each(func(h simtime.Hour) {
+		emit(h, g.HourFlows(h, mode, w))
+	})
+}

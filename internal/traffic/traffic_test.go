@@ -1,0 +1,201 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/world"
+)
+
+func newGen(t *testing.T, seed uint64) (*Generator, *world.World) {
+	t.Helper()
+	w := world.MustBuild(seed)
+	r := w.ResolverOn(w.Window.Days()[0])
+	g := New(simrand.New(seed), r, w.Catalog.Devices())
+	return g, w
+}
+
+func TestHourFlowsNonEmpty(t *testing.T) {
+	g, _ := newGen(t, 1)
+	obs := g.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	if len(obs) < 300 {
+		t.Fatalf("idle hour produced only %d observations", len(obs))
+	}
+	for _, o := range obs {
+		if err := o.Rec.Validate(); err != nil {
+			t.Fatalf("invalid record from %s to %s: %v", o.Device, o.Domain, err)
+		}
+		if o.Rec.Hour != simtime.IdleWindow.Start {
+			t.Fatalf("record hour %v", o.Rec.Hour)
+		}
+	}
+}
+
+func TestActiveProducesMoreTrafficThanIdle(t *testing.T) {
+	g, _ := newGen(t, 2)
+	idleTotal, activeTotal := uint64(0), uint64(0)
+	// Compare the second active day (both testbeds running) to idle.
+	h := simtime.ActiveWindow.Start + 30
+	for _, o := range g.HourFlows(h, ModeIdle, simtime.ActiveWindow) {
+		idleTotal += o.Rec.Packets
+	}
+	for _, o := range g.HourFlows(h, ModeActive, simtime.ActiveWindow) {
+		activeTotal += o.Rec.Packets
+	}
+	if activeTotal < idleTotal*3/2 {
+		t.Fatalf("active %d pkts not clearly above idle %d", activeTotal, idleTotal)
+	}
+}
+
+func TestIdleOnlyProductsNeverActive(t *testing.T) {
+	g, w := newGen(t, 3)
+	h := simtime.ActiveWindow.Start + 30
+	byProduct := map[string]uint64{}
+	for _, o := range g.HourFlows(h, ModeActive, simtime.ActiveWindow) {
+		byProduct[o.Device.Product.Name] += o.Rec.Packets
+	}
+	idle := map[string]uint64{}
+	g2 := New(simrand.New(3), w.ResolverOn(w.Window.Days()[0]), w.Catalog.Devices())
+	for _, o := range g2.HourFlows(h, ModeIdle, simtime.ActiveWindow) {
+		idle[o.Device.Product.Name] += o.Rec.Packets
+	}
+	// The Samsung Dryer/Fridge must not grow in active mode beyond
+	// Poisson noise.
+	for _, name := range []string{"Samsung Dryer", "Samsung Fridge"} {
+		a, i := float64(byProduct[name]), float64(idle[name])
+		if i == 0 {
+			t.Fatalf("%s idle traffic missing", name)
+		}
+		if a > i*1.5 {
+			t.Fatalf("%s active %f >> idle %f despite IdleOnly", name, a, i)
+		}
+	}
+}
+
+func TestTestbed2Staggered(t *testing.T) {
+	g, _ := newGen(t, 4)
+	h0 := simtime.ActiveWindow.Start + 2 // within the lag
+	burst2 := uint64(0)
+	base2 := uint64(0)
+	for _, o := range g.HourFlows(h0, ModeActive, simtime.ActiveWindow) {
+		if o.Device.Testbed == 2 {
+			burst2 += o.Rec.Packets
+		}
+	}
+	g2, _ := newGen(t, 4)
+	for _, o := range g2.HourFlows(h0, ModeIdle, simtime.ActiveWindow) {
+		if o.Device.Testbed == 2 {
+			base2 += o.Rec.Packets
+		}
+	}
+	af, bf := float64(burst2), float64(base2)
+	if af > bf*1.4 {
+		t.Fatalf("testbed-2 devices active during stagger lag: %f vs %f", af, bf)
+	}
+}
+
+func TestDomainsResolveToServiceIPs(t *testing.T) {
+	g, w := newGen(t, 5)
+	obs := g.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	day := w.Window.Days()[0]
+	r := w.ResolverOn(day)
+	for _, o := range obs[:100] {
+		ips := r.Resolve(o.Domain)
+		found := false
+		for _, ip := range ips {
+			if ip == o.Rec.Key.Dst {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("flow to %v not in %s's resolved set %v", o.Rec.Key.Dst, o.Domain, ips)
+		}
+	}
+}
+
+func TestSourceAddressesInHomePrefix(t *testing.T) {
+	g, _ := newGen(t, 6)
+	obs := g.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	for _, o := range obs {
+		if !g.HomePrefix.Contains(o.Rec.Key.Src) {
+			t.Fatalf("source %v outside home prefix %v", o.Rec.Key.Src, g.HomePrefix)
+		}
+	}
+}
+
+func TestNTPFlowsAreUDP123(t *testing.T) {
+	g, _ := newGen(t, 7)
+	obs := g.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	sawNTP := false
+	for _, o := range obs {
+		d, _ := catalogDomain(t, o.Domain)
+		if d == nil {
+			continue
+		}
+		if d.Port == 123 {
+			sawNTP = true
+			if o.Rec.Key.DstPort != 123 || o.Rec.Key.Proto != 17 {
+				t.Fatalf("NTP flow mis-keyed: %v", o.Rec.Key)
+			}
+			if o.Rec.TCPFlags != 0 {
+				t.Fatalf("UDP flow carries TCP flags")
+			}
+		}
+	}
+	if !sawNTP {
+		t.Fatal("no NTP traffic generated in an hour")
+	}
+}
+
+var catCache *catalog.Catalog
+
+func catalogDomain(t *testing.T, name string) (*catalog.Domain, bool) {
+	t.Helper()
+	if catCache == nil {
+		catCache = catalog.Build()
+	}
+	d, ok := catCache.Domains[name]
+	return d, ok
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	g1, _ := newGen(t, 9)
+	g2, _ := newGen(t, 9)
+	a := g1.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	b := g2.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Rec != b[i].Rec || a[i].Domain != b[i].Domain {
+			t.Fatalf("observation %d differs", i)
+		}
+	}
+}
+
+func TestRunWindowCoversAllHours(t *testing.T) {
+	g, _ := newGen(t, 10)
+	w := simtime.Window{Start: simtime.IdleWindow.Start, End: simtime.IdleWindow.Start + 5}
+	hours := 0
+	g.RunWindow(w, ModeIdle, func(h simtime.Hour, obs []Observation) {
+		hours++
+		if len(obs) == 0 {
+			t.Fatalf("hour %v empty", h)
+		}
+	})
+	if hours != 5 {
+		t.Fatalf("visited %d hours", hours)
+	}
+}
+
+func BenchmarkHourFlows(b *testing.B) {
+	w := world.MustBuild(1)
+	g := New(simrand.New(1), w.ResolverOn(w.Window.Days()[0]), w.Catalog.Devices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HourFlows(simtime.IdleWindow.Start, ModeIdle, simtime.IdleWindow)
+	}
+}

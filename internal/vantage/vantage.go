@@ -1,0 +1,93 @@
+// Package vantage implements the three observation points of Figure 2:
+//
+//   - Home-VP: the subscriber line itself, full packet capture
+//     (sampling rate 1), domain knowledge available;
+//   - ISP-VP: the ISP border routers, NetFlow sampled at 1:1024,
+//     headers only;
+//   - IXP-VP: the IXP switching fabric, IPFIX sampled another order of
+//     magnitude lower, with an established-TCP filter standing in for
+//     the spoofing protection of §6.3.
+package vantage
+
+import (
+	"repro/internal/flow"
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+)
+
+// Kind identifies a vantage point type.
+type Kind uint8
+
+// Vantage point kinds.
+const (
+	KindHome Kind = iota + 1
+	KindISP
+	KindIXP
+)
+
+// String returns the paper's vantage-point label.
+func (k Kind) String() string {
+	switch k {
+	case KindHome:
+		return "Home-VP"
+	case KindISP:
+		return "ISP-VP"
+	case KindIXP:
+		return "IXP-VP"
+	}
+	return "VP(?)"
+}
+
+// Point is one vantage point. Not safe for concurrent use.
+type Point struct {
+	Kind Kind
+	// Rate is the packet sampling denominator (1 = full capture).
+	Rate uint64
+	// RequireEstablished drops TCP records for which no sampled packet
+	// is a flag-less data packet.
+	RequireEstablished bool
+	// DataPacketFraction is the fraction of a TCP flow's packets that
+	// are flag-less data packets (used by the established filter).
+	DataPacketFraction float64
+
+	rng *simrand.RNG
+}
+
+// NewHome returns a full-capture home vantage point.
+func NewHome() *Point {
+	return &Point{Kind: KindHome, Rate: 1}
+}
+
+// NewISP returns the ISP border-router vantage point.
+func NewISP(rng *simrand.RNG) *Point {
+	return &Point{Kind: KindISP, Rate: sampling.RateISP, rng: rng.Fork("vp-isp")}
+}
+
+// NewIXP returns the IXP vantage point.
+func NewIXP(rng *simrand.RNG) *Point {
+	return &Point{
+		Kind: KindIXP, Rate: sampling.RateIXP,
+		RequireEstablished: true, DataPacketFraction: 0.9,
+		rng: rng.Fork("vp-ixp"),
+	}
+}
+
+// Observe passes one ground-truth flow record through the vantage
+// point. It returns the record as seen there and whether it was seen at
+// all. Full-capture points return the record unchanged.
+func (p *Point) Observe(rec flow.Record) (flow.Record, bool) {
+	if p.Rate <= 1 {
+		return rec, true
+	}
+	out, ok := sampling.ThinRecord(p.rng, rec, p.Rate)
+	if !ok {
+		return flow.Record{}, false
+	}
+	if p.RequireEstablished && out.Key.Proto == flow.ProtoTCP {
+		data := p.rng.Binomial(int(out.Packets), p.DataPacketFraction)
+		if data == 0 {
+			return flow.Record{}, false
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,108 @@
+package vantage
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+)
+
+func rec(pkts uint64, proto flow.Proto) flow.Record {
+	return flow.Record{
+		Key: flow.Key{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("185.1.0.1"),
+			SrcPort: 40000, DstPort: 443, Proto: proto,
+		},
+		Packets: pkts, Bytes: pkts * 600, TCPFlags: 0x1a,
+	}
+}
+
+func TestHomeSeesEverything(t *testing.T) {
+	h := NewHome()
+	r := rec(1, flow.ProtoTCP)
+	out, ok := h.Observe(r)
+	if !ok || out != r {
+		t.Fatal("home vantage point altered or dropped a record")
+	}
+}
+
+func TestISPVisibilityMatchesSamplingRate(t *testing.T) {
+	p := NewISP(simrand.New(1))
+	if p.Rate != sampling.RateISP {
+		t.Fatalf("ISP rate = %d", p.Rate)
+	}
+	seen := 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		if _, ok := p.Observe(rec(1024, flow.ProtoTCP)); ok {
+			seen++
+		}
+	}
+	// P(visible) = 1-(1-1/1024)^1024 ≈ 0.632.
+	got := float64(seen) / trials
+	if math.Abs(got-0.632) > 0.04 {
+		t.Fatalf("1024-packet flow visibility %v, want ~0.63", got)
+	}
+}
+
+func TestIXPAnOrderSparserThanISP(t *testing.T) {
+	isp := NewISP(simrand.New(2))
+	ixp := NewIXP(simrand.New(2))
+	if ixp.Rate != 10*isp.Rate {
+		t.Fatalf("IXP rate %d vs ISP %d", ixp.Rate, isp.Rate)
+	}
+	ispSeen, ixpSeen := 0, 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if _, ok := isp.Observe(rec(700, flow.ProtoTCP)); ok {
+			ispSeen++
+		}
+		if _, ok := ixp.Observe(rec(700, flow.ProtoTCP)); ok {
+			ixpSeen++
+		}
+	}
+	if ixpSeen*3 > ispSeen {
+		t.Fatalf("IXP visibility %d not clearly below ISP %d", ixpSeen, ispSeen)
+	}
+}
+
+func TestIXPEstablishedFilterDropsUDPNever(t *testing.T) {
+	ixp := NewIXP(simrand.New(3))
+	// Large UDP flow: the established filter must not apply.
+	seen := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := ixp.Observe(rec(200000, flow.ProtoUDP)); ok {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("UDP flows never visible at IXP")
+	}
+}
+
+func TestObservePreservesKeyAndScalesCounters(t *testing.T) {
+	p := NewISP(simrand.New(4))
+	in := rec(1_000_000, flow.ProtoTCP)
+	out, ok := p.Observe(in)
+	if !ok {
+		t.Fatal("million-packet flow invisible")
+	}
+	if out.Key != in.Key {
+		t.Fatal("key altered")
+	}
+	if out.Packets >= in.Packets || out.Packets == 0 {
+		t.Fatalf("sampled packets %d", out.Packets)
+	}
+	if out.Bytes/out.Packets != in.Bytes/in.Packets {
+		t.Fatal("mean packet size not preserved")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindHome.String() != "Home-VP" || KindISP.String() != "ISP-VP" || KindIXP.String() != "IXP-VP" {
+		t.Fatal("vantage names wrong")
+	}
+}

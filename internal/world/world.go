@@ -1,0 +1,144 @@
+// Package world assembles the full simulated environment: the catalog's
+// testbed, the hosting infrastructure, and the external datasets
+// (passive DNS and certificate scans), advanced day by day through the
+// study window with DNS churn.
+//
+// A World is a pure function of its seed: building twice with the same
+// seed yields byte-identical state, which is what makes every
+// experiment in this repository reproducible.
+package world
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/catalog"
+	"repro/internal/certscan"
+	"repro/internal/hosting"
+	"repro/internal/pdns"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// World is the assembled simulation environment.
+type World struct {
+	Catalog *catalog.Catalog
+	Infra   *hosting.Infra
+	PDNS    *pdns.DB
+	Scans   *certscan.DB
+	Window  simtime.Window
+	RNG     *simrand.RNG
+
+	// dayIPs snapshots domain→addresses per day, so traffic for any
+	// day resolves against the DNS state of that day even though the
+	// infrastructure has churned since.
+	dayIPs map[simtime.Day]map[string][]netip.Addr
+}
+
+// Build constructs the world for the study window, observing the DNS
+// state of every day into the passive-DNS database and sweeping the
+// certificate scanner daily.
+func Build(seed uint64) (*World, error) {
+	rng := simrand.New(seed)
+	cat := catalog.Build()
+	infra := hosting.New(rng, hosting.DefaultConfig())
+
+	for _, ps := range cat.Providers {
+		if _, err := infra.AddProvider(ps.Name, ps.Kind, ps.ASN, ps.CIDR, ps.Zone); err != nil {
+			return nil, fmt.Errorf("world: %w", err)
+		}
+	}
+	for _, shared := range []string{"simakamai", "simweb"} {
+		if err := infra.AddCDNBackground(shared); err != nil {
+			return nil, fmt.Errorf("world: %w", err)
+		}
+	}
+
+	db := pdns.New()
+	scans := certscan.New()
+	w := &World{
+		Catalog: cat, Infra: infra, PDNS: db, Scans: scans,
+		Window: simtime.WildWindow, RNG: rng,
+		dayIPs: make(map[simtime.Day]map[string][]netip.Addr),
+	}
+
+	for _, name := range cat.DomainNames() {
+		d := cat.Domains[name]
+		a, err := infra.Host(d.Name, d.Provider, d.PoolSize, d.HTTPS)
+		if err != nil {
+			return nil, fmt.Errorf("world: hosting %s: %w", d.Name, err)
+		}
+		if !d.PDNSCovered {
+			db.SetUncovered(d.Name)
+			if a.CNAME != "" {
+				db.SetUncovered(a.CNAME)
+			}
+		}
+	}
+
+	for _, day := range w.Window.Days() {
+		infra.ObserveInto(db, day)
+		infra.ScanInto(scans)
+		snap := make(map[string][]netip.Addr, len(cat.Domains))
+		for _, name := range cat.DomainNames() {
+			snap[name] = infra.Resolve(name)
+		}
+		w.dayIPs[day] = snap
+		infra.StepDay()
+	}
+	return w, nil
+}
+
+// MustBuild is Build for tests and examples with static inputs.
+func MustBuild(seed uint64) *World {
+	w, err := Build(seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ResolverOn returns the DNS view of the given day (the address set a
+// device connecting on that day would use). Days outside the window
+// clamp to its edges.
+func (w *World) ResolverOn(day simtime.Day) DayResolver {
+	days := w.Window.Days()
+	if day < days[0] {
+		day = days[0]
+	}
+	if day > days[len(days)-1] {
+		day = days[len(days)-1]
+	}
+	return DayResolver{w: w, day: day}
+}
+
+// DayResolver resolves domains against one day's snapshot; it
+// implements traffic.Resolver.
+type DayResolver struct {
+	w   *World
+	day simtime.Day
+}
+
+// Resolve returns the domain's addresses on the resolver's day.
+func (r DayResolver) Resolve(domain string) []netip.Addr {
+	return r.w.dayIPs[r.day][domain]
+}
+
+// Day returns the snapshot day.
+func (r DayResolver) Day() simtime.Day { return r.day }
+
+// IPsOf returns every address the domain held across the whole window
+// (the union the daily hitlists draw from).
+func (w *World) IPsOf(domain string) []netip.Addr {
+	seen := map[netip.Addr]bool{}
+	var out []netip.Addr
+	for _, day := range w.Window.Days() {
+		for _, ip := range w.dayIPs[day][domain] {
+			if !seen[ip] {
+				seen[ip] = true
+				out = append(out, ip)
+			}
+		}
+	}
+	return out
+}

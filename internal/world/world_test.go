@@ -1,0 +1,143 @@
+package world
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestBuildSucceeds(t *testing.T) {
+	w := MustBuild(1)
+	if len(w.Catalog.Domains) != 524 {
+		t.Fatalf("domains = %d", len(w.Catalog.Domains))
+	}
+	if w.PDNS.Len() == 0 {
+		t.Fatal("passive DNS empty")
+	}
+	if w.Scans.Len() == 0 {
+		t.Fatal("scan dataset empty")
+	}
+}
+
+func TestEveryCoveredDomainResolvesDaily(t *testing.T) {
+	w := MustBuild(1)
+	for _, day := range w.Window.Days() {
+		r := w.ResolverOn(day)
+		for name := range w.Catalog.Domains {
+			if len(r.Resolve(name)) == 0 {
+				t.Fatalf("domain %s does not resolve on %s", name, day)
+			}
+		}
+	}
+}
+
+func TestUncoveredDomainsAbsentFromPDNS(t *testing.T) {
+	w := MustBuild(1)
+	days := w.Window.Days()
+	a, b := days[0], days[len(days)-1]
+	for name, d := range w.Catalog.Domains {
+		ips := w.PDNS.ResolveA(name, a, b)
+		if d.PDNSCovered && len(ips) == 0 {
+			t.Errorf("covered domain %s missing from passive DNS", name)
+		}
+		if !d.PDNSCovered && len(ips) != 0 {
+			t.Errorf("uncovered domain %s present in passive DNS", name)
+		}
+	}
+}
+
+func TestChurnChangesMappings(t *testing.T) {
+	w := MustBuild(1)
+	days := w.Window.Days()
+	changed := 0
+	for name := range w.Catalog.Domains {
+		first := w.ResolverOn(days[0]).Resolve(name)
+		last := w.ResolverOn(days[len(days)-1]).Resolve(name)
+		if len(first) != len(last) {
+			changed++
+			continue
+		}
+		for i := range first {
+			if first[i] != last[i] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed < 100 {
+		t.Fatalf("only %d/524 domains churned over two weeks; churn model inert", changed)
+	}
+}
+
+func TestIPsOfSupersetOfDaily(t *testing.T) {
+	w := MustBuild(1)
+	day := w.Window.Days()[3]
+	for _, name := range []string{"avs-alexa.simamazon.example", "ota.simsamsung.example"} {
+		all := map[string]bool{}
+		for _, ip := range w.IPsOf(name) {
+			all[ip.String()] = true
+		}
+		for _, ip := range w.ResolverOn(day).Resolve(name) {
+			if !all[ip.String()] {
+				t.Errorf("daily IP %v of %s missing from window union", ip, name)
+			}
+		}
+	}
+}
+
+func TestResolverClamping(t *testing.T) {
+	w := MustBuild(1)
+	days := w.Window.Days()
+	early := w.ResolverOn(days[0] - 100)
+	if early.Day() != days[0] {
+		t.Fatalf("early resolver day = %v", early.Day())
+	}
+	late := w.ResolverOn(days[len(days)-1] + 100)
+	if late.Day() != days[len(days)-1] {
+		t.Fatalf("late resolver day = %v", late.Day())
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	w1, w2 := MustBuild(7), MustBuild(7)
+	day := w1.Window.Days()[5]
+	r1, r2 := w1.ResolverOn(day), w2.ResolverOn(day)
+	for name := range w1.Catalog.Domains {
+		a, b := r1.Resolve(name), r2.Resolve(name)
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic pool size for %s", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic address for %s: %v vs %v", name, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	w1, w2 := MustBuild(1), MustBuild(2)
+	day := w1.Window.Days()[0]
+	same := 0
+	total := 0
+	r1, r2 := w1.ResolverOn(day), w2.ResolverOn(day)
+	for name := range w1.Catalog.Domains {
+		a, b := r1.Resolve(name), r2.Resolve(name)
+		total++
+		if len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+			same++
+		}
+	}
+	// Dedicated pools allocate sequentially per provider, so some
+	// overlap is expected, but shared pools and churn must differ.
+	if same == total {
+		t.Fatal("different seeds produced identical worlds")
+	}
+}
+
+func TestWindowIsWildWindow(t *testing.T) {
+	w := MustBuild(1)
+	if w.Window != simtime.WildWindow {
+		t.Fatalf("window = %v", w.Window)
+	}
+}
