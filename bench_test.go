@@ -21,6 +21,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/isp"
 	"repro/internal/netflow"
+	"repro/internal/pipeline"
 	"repro/internal/sampling"
 	"repro/internal/simrand"
 	"repro/internal/simtime"
@@ -148,6 +149,52 @@ func BenchmarkEngineObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Observe(detect.SubID(i&0xfffff), h, ips[i%len(ips)], 443, 1)
+	}
+}
+
+// BenchmarkPipelineObserve measures sharded pipeline throughput on the
+// same hitlist-match workload as BenchmarkEngineObserve. The producer
+// only hashes and batches; engine work runs on the shard workers, so
+// throughput scales with the shard count until the producer saturates.
+func BenchmarkPipelineObserve(b *testing.B) {
+	s := benchSystem(b)
+	ips := s.ServiceIPs("avs-alexa.simamazon.example")
+	h := simtime.HourOf(s.StudyStart())
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards_%d", n), func(b *testing.B) {
+			p := pipeline.New(s.lab.Dict, 0.4, n)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Observe(detect.SubID(i&0xfffff), h, ips[i%len(ips)], 443, 1)
+			}
+			p.Sync()
+		})
+	}
+}
+
+// BenchmarkPipelineWildHour is the shard-scaling benchmark for the §6.2
+// inner loop: one simulated wild-ISP hour (population draw + sampling)
+// fed through the sharded pipeline, comparable to BenchmarkWildHour.
+func BenchmarkPipelineWildHour(b *testing.B) {
+	s := benchSystem(b)
+	cfg := isp.DefaultConfig()
+	cfg.Lines = 10_000
+	pop := isp.NewPopulation(simrand.New(9), s.Catalog(), cfg, s.lab.W.Window)
+	h := s.lab.W.Window.Start + 19
+	r := s.lab.W.ResolverOn(h.Day())
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards_%d", n), func(b *testing.B) {
+			p := pipeline.New(s.lab.Dict, 0.4, n)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop.SimulateHour(h, r, func(_ int32, sub detect.SubID, hh simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+					p.Observe(sub, hh, ip, port, pkts)
+				})
+				p.Sync()
+			}
+		})
 	}
 }
 

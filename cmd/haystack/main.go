@@ -14,6 +14,8 @@
 //	-seed N       world seed (default 1)
 //	-lines N      wild-ISP subscriber lines (default 30000)
 //	-scale N      counts multiplier to paper scale (default 500)
+//	-shards N     parallel detection-engine shards for the wild sweeps
+//	              (default 1; any value produces identical outputs)
 //	-format F     text | csv | summary (default text)
 package main
 
@@ -48,6 +50,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "world seed")
 	lines := fs.Int("lines", 30_000, "wild-ISP subscriber lines")
 	scale := fs.Int("scale", 500, "scale factor to paper size")
+	shards := fs.Int("shards", 1, "parallel detection-engine shards (outputs are shard-invariant)")
 	format := fs.String("format", "text", "output format: text|csv|summary")
 
 	switch cmd {
@@ -67,7 +70,7 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		sys, err := newSystem(*seed, *lines, *scale)
+		sys, err := newSystem(*seed, *lines, *scale, *shards)
 		if err != nil {
 			return err
 		}
@@ -77,7 +80,7 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		sys, err := newSystem(*seed, *lines, *scale)
+		sys, err := newSystem(*seed, *lines, *scale, *shards)
 		if err != nil {
 			return err
 		}
@@ -106,7 +109,7 @@ func run(args []string) error {
 		if err := fs.Parse(rest[1:]); err != nil {
 			return err
 		}
-		sys, err := newSystem(*seed, *lines, *scale)
+		sys, err := newSystem(*seed, *lines, *scale, *shards)
 		if err != nil {
 			return err
 		}
@@ -180,10 +183,11 @@ func detectStream(sys *haystack.System, proto string, threshold float64, input s
 	return nil
 }
 
-func newSystem(seed uint64, lines, scale int) (*haystack.System, error) {
+func newSystem(seed uint64, lines, scale, shards int) (*haystack.System, error) {
 	cfg := haystack.DefaultConfig(seed)
 	cfg.ISP.Lines = lines
 	cfg.ISP.Scale = scale
+	cfg.Shards = shards
 	return haystack.New(cfg)
 }
 

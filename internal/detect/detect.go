@@ -230,12 +230,14 @@ func (e *Engine) EachDetected(fn func(sub SubID, rule int, first simtime.Hour)) 
 	}
 }
 
-// UsageThreshold is the §7.1 packets/hour cutoff above which a
-// detected device counts as actively used.
+// UsageThreshold is the §7.1 packets/hour threshold: a detected device
+// whose sampled packet count reaches it ("threshold 10/hour") counts as
+// actively used.
 const UsageThreshold = 10
 
 // ActiveUse reports whether the rule's sampled packet count for the
-// subscriber in this bin exceeds the usage threshold.
+// subscriber in this bin meets or exceeds UsageThreshold. The bound is
+// inclusive: exactly 10 sampled packets in an hour is active use.
 func (e *Engine) ActiveUse(sub SubID, rule int) bool {
-	return e.RulePackets(sub, rule) > UsageThreshold
+	return e.RulePackets(sub, rule) >= UsageThreshold
 }

@@ -229,9 +229,14 @@ func TestUsageSignal(t *testing.T) {
 	if e.ActiveUse(5, alexa) {
 		t.Fatal("4 packets flagged as active use")
 	}
-	e.Observe(5, h, ips[0], 443, 9)
+	e.Observe(5, h, ips[0], 443, 5)
+	if e.ActiveUse(5, alexa) {
+		t.Fatalf("9 packets flagged as active use (have %d)", e.RulePackets(5, alexa))
+	}
+	// The §7.1 threshold is inclusive: exactly 10 packets is active.
+	e.Observe(5, h, ips[0], 443, 1)
 	if !e.ActiveUse(5, alexa) {
-		t.Fatalf("13 packets not flagged (have %d)", e.RulePackets(5, alexa))
+		t.Fatalf("10 packets not flagged (have %d)", e.RulePackets(5, alexa))
 	}
 }
 

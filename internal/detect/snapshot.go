@@ -1,0 +1,132 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Detection is one (subscriber, rule) detection event.
+type Detection struct {
+	Sub   SubID
+	Rule  int
+	First simtime.Hour
+}
+
+// Snapshot is an immutable summary of an engine's detections at one
+// point in time. Snapshots taken from engines that track disjoint
+// subscriber sets (shards) merge losslessly with Merge, which is how
+// the sharded pipeline exposes a single coherent view.
+type Snapshot struct {
+	detections []int // per-rule detected-subscriber counts
+	any        int   // subscribers with at least one fired rule
+	subs       int   // tracked subscribers
+	list       []Detection
+	ruleFirst  []simtime.Hour // earliest firing hour per rule
+	ruleFired  []bool
+}
+
+// Snapshot captures the engine's current detections. The engine may
+// continue to mutate afterwards; the snapshot does not.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		detections: append([]int(nil), e.detections...),
+		subs:       len(e.subs),
+		ruleFirst:  make([]simtime.Hour, len(e.dict.Rules)),
+		ruleFired:  make([]bool, len(e.dict.Rules)),
+	}
+	for sub, st := range e.subs {
+		any := false
+		for i := range st.states {
+			rs := &st.states[i]
+			if !rs.detected {
+				continue
+			}
+			any = true
+			s.list = append(s.list, Detection{Sub: sub, Rule: rs.rule, First: rs.firstHour})
+			if !s.ruleFired[rs.rule] || rs.firstHour < s.ruleFirst[rs.rule] {
+				s.ruleFired[rs.rule] = true
+				s.ruleFirst[rs.rule] = rs.firstHour
+			}
+		}
+		if any {
+			s.any++
+		}
+	}
+	sortDetections(s.list)
+	return s
+}
+
+// Merge combines snapshots taken from engines with disjoint subscriber
+// sets into one. It returns an empty snapshot for no arguments.
+func Merge(parts ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if len(out.detections) < len(p.detections) {
+			out.detections = append(out.detections, make([]int, len(p.detections)-len(out.detections))...)
+			out.ruleFirst = append(out.ruleFirst, make([]simtime.Hour, len(p.ruleFirst)-len(out.ruleFirst))...)
+			out.ruleFired = append(out.ruleFired, make([]bool, len(p.ruleFired)-len(out.ruleFired))...)
+		}
+		for i, n := range p.detections {
+			out.detections[i] += n
+		}
+		for i, fired := range p.ruleFired {
+			if fired && (!out.ruleFired[i] || p.ruleFirst[i] < out.ruleFirst[i]) {
+				out.ruleFired[i] = true
+				out.ruleFirst[i] = p.ruleFirst[i]
+			}
+		}
+		out.any += p.any
+		out.subs += p.subs
+		out.list = append(out.list, p.list...)
+	}
+	sortDetections(out.list)
+	return out
+}
+
+func sortDetections(list []Detection) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Sub != list[j].Sub {
+			return list[i].Sub < list[j].Sub
+		}
+		return list[i].Rule < list[j].Rule
+	})
+}
+
+// CountDetected returns how many subscribers the rule fired for.
+func (s *Snapshot) CountDetected(rule int) int {
+	if rule < 0 || rule >= len(s.detections) {
+		return 0
+	}
+	return s.detections[rule]
+}
+
+// CountAnyDetected returns how many subscribers have at least one fired
+// rule.
+func (s *Snapshot) CountAnyDetected() int { return s.any }
+
+// Subscribers returns the number of tracked subscribers.
+func (s *Snapshot) Subscribers() int { return s.subs }
+
+// RuleFirstDetection returns the earliest hour the rule fired for any
+// subscriber, and whether it fired at all.
+func (s *Snapshot) RuleFirstDetection(rule int) (simtime.Hour, bool) {
+	if rule < 0 || rule >= len(s.ruleFired) || !s.ruleFired[rule] {
+		return 0, false
+	}
+	return s.ruleFirst[rule], true
+}
+
+// EachDetected visits every detection in (subscriber, rule) order.
+func (s *Snapshot) EachDetected(fn func(sub SubID, rule int, first simtime.Hour)) {
+	for _, d := range s.list {
+		fn(d.Sub, d.Rule, d.First)
+	}
+}
+
+// Detections returns the detections in (subscriber, rule) order. The
+// caller must not modify the returned slice.
+func (s *Snapshot) Detections() []Detection { return s.list }

@@ -1,0 +1,97 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestSnapshotMatchesEngine(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+	feed(t, e, w, 1, h, "mqtt.simmeross.example")
+	feed(t, e, w, 2, h+3, "api.simnetatmo.example")
+	feed(t, e, w, 2, h+5, "mqtt.simmeross.example")
+
+	s := e.Snapshot()
+	if s.CountAnyDetected() != e.CountAnyDetected() {
+		t.Fatalf("CountAnyDetected %d != %d", s.CountAnyDetected(), e.CountAnyDetected())
+	}
+	if s.Subscribers() != e.Subscribers() {
+		t.Fatalf("Subscribers %d != %d", s.Subscribers(), e.Subscribers())
+	}
+	meross := dict.RuleIndex("Meross Dooropener")
+	if s.CountDetected(meross) != e.CountDetected(meross) {
+		t.Fatalf("CountDetected %d != %d", s.CountDetected(meross), e.CountDetected(meross))
+	}
+	if first, ok := s.RuleFirstDetection(meross); !ok || first != h {
+		t.Fatalf("RuleFirstDetection = %v, %v; want %v, true", first, ok, h)
+	}
+	// Snapshots are immutable: further engine activity must not leak in.
+	feed(t, e, w, 9, h, "mqtt.simmeross.example")
+	if s.CountDetected(meross) == e.CountDetected(meross) {
+		t.Fatal("snapshot tracked engine mutation")
+	}
+}
+
+func TestSnapshotMergeDisjointShards(t *testing.T) {
+	dict, w := testDict(t)
+	h := w.Window.Start
+
+	// One engine fed everything vs two engines fed a disjoint split.
+	all := New(dict, 0.4)
+	a := New(dict, 0.4)
+	b := New(dict, 0.4)
+	type ev struct {
+		sub    SubID
+		h      simtime.Hour
+		domain string
+	}
+	evs := []ev{
+		{1, h, "mqtt.simmeross.example"},
+		{2, h + 3, "api.simnetatmo.example"},
+		{3, h + 1, "mqtt.simmeross.example"},
+		{2, h + 4, "mqtt.simmeross.example"},
+	}
+	for _, v := range evs {
+		feed(t, all, w, v.sub, v.h, v.domain)
+		if v.sub%2 == 0 {
+			feed(t, a, w, v.sub, v.h, v.domain)
+		} else {
+			feed(t, b, w, v.sub, v.h, v.domain)
+		}
+	}
+	merged := Merge(a.Snapshot(), b.Snapshot())
+	want := all.Snapshot()
+	if !reflect.DeepEqual(merged.Detections(), want.Detections()) {
+		t.Fatalf("merged detections %v != %v", merged.Detections(), want.Detections())
+	}
+	if merged.CountAnyDetected() != want.CountAnyDetected() ||
+		merged.Subscribers() != want.Subscribers() {
+		t.Fatalf("merged aggregates differ: any %d/%d subs %d/%d",
+			merged.CountAnyDetected(), want.CountAnyDetected(),
+			merged.Subscribers(), want.Subscribers())
+	}
+	for ri := range dict.Rules {
+		if merged.CountDetected(ri) != want.CountDetected(ri) {
+			t.Fatalf("rule %d count %d != %d", ri, merged.CountDetected(ri), want.CountDetected(ri))
+		}
+		mh, mok := merged.RuleFirstDetection(ri)
+		wh, wok := want.RuleFirstDetection(ri)
+		if mh != wh || mok != wok {
+			t.Fatalf("rule %d first detection %v,%v != %v,%v", ri, mh, mok, wh, wok)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	s := Merge()
+	if s.CountAnyDetected() != 0 || s.Subscribers() != 0 || len(s.Detections()) != 0 {
+		t.Fatal("empty merge not empty")
+	}
+	if _, ok := s.RuleFirstDetection(0); ok {
+		t.Fatal("empty merge has a first detection")
+	}
+}

@@ -266,7 +266,7 @@ func (l *Lab) Sec5FalsePositive() *Table {
 	res := &windowResolver{w: l.W}
 	gen := traffic.New(l.rng("fp-check"), res, devices)
 	// Use a private ISP sampler so the cached captures stay intact.
-	eng := detect.New(l.Dict, l.Cfg.Threshold)
+	eng := l.engine()
 	const sub = detect.SubID(99)
 	vp := vantage.NewISP(l.rng("fp-isp"))
 	simtime.ActiveWindow.Each(func(h simtime.Hour) {

@@ -38,7 +38,9 @@ func (l *Lab) ixpSweep() *ixpRun {
 		otherSet[ri] = true
 	}
 
-	dayEng := l.engine()
+	// The daily bin runs on the sharded pipeline (see wildRun).
+	dayEng := l.newPipeline()
+	defer dayEng.Close()
 	// The IXP keys detection state by client IP.
 	subOf := func(ip [4]byte) detect.SubID {
 		return detect.SubID(uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3]))

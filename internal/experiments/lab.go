@@ -17,6 +17,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/isp"
 	"repro/internal/ixp"
+	"repro/internal/pipeline"
 	"repro/internal/rules"
 	"repro/internal/simrand"
 	"repro/internal/world"
@@ -67,6 +68,10 @@ type Config struct {
 	// Threshold is the detection threshold D for wild runs (the
 	// paper's conservative 0.4).
 	Threshold float64
+	// Shards is the number of parallel detection-engine shards the
+	// wild sweeps run with. Results are shard-count invariant; more
+	// shards only make the sweeps faster. Values < 1 mean 1.
+	Shards int
 }
 
 // DefaultConfig returns the test-scale configuration (1:500 of the
@@ -80,7 +85,7 @@ func DefaultConfig(seed uint64) Config {
 	ixpCfg.TotalClients = 24_000
 	ixpCfg.Scale = 100
 	ixpCfg.Members = 400
-	return Config{Seed: seed, ISP: ispCfg, IXP: ixpCfg, Threshold: 0.4}
+	return Config{Seed: seed, ISP: ispCfg, IXP: ixpCfg, Threshold: 0.4, Shards: 1}
 }
 
 // Lab is the shared experiment environment.
@@ -131,6 +136,12 @@ func MustNewLab(cfg Config) *Lab {
 // engine returns a fresh detection engine at the lab threshold.
 func (l *Lab) engine() *detect.Engine {
 	return detect.New(l.Dict, l.Cfg.Threshold)
+}
+
+// newPipeline returns a sharded detection pipeline at the lab threshold
+// and configured shard count (the §6 wild sweeps' hot path).
+func (l *Lab) newPipeline() *pipeline.Pipeline {
+	return pipeline.New(l.Dict, l.Cfg.Threshold, l.Cfg.Shards)
 }
 
 // rng forks a deterministic stream for a named sub-simulation.

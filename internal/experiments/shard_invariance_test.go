@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWildSweepShardInvariance is the sharding determinism contract:
+// the §6.2 ISP sweep and §6.3 IXP sweep must produce byte-identical
+// figure tables whether the detection pipeline runs on 1 shard or 8.
+// A reduced world keeps the doubled sweep affordable in CI.
+func TestWildSweepShardInvariance(t *testing.T) {
+	build := func(shards int) *Lab {
+		cfg := DefaultConfig(1)
+		cfg.ISP.Lines = 6_000
+		cfg.ISP.Scale = 2500
+		cfg.IXP.TotalClients = 6_000
+		cfg.IXP.Members = 100
+		cfg.Shards = shards
+		return MustNewLab(cfg)
+	}
+	one := build(1)
+	eight := build(8)
+
+	figures := []struct {
+		id  string
+		run func(*Lab) *Table
+	}{
+		{"F11", (*Lab).Fig11},
+		{"F12", (*Lab).Fig12},
+		{"F13", (*Lab).Fig13},
+		{"F14", (*Lab).Fig14},
+		{"F18", (*Lab).Fig18},
+		{"F15", (*Lab).Fig15},
+		{"F16", (*Lab).Fig16},
+	}
+	for _, f := range figures {
+		a, b := f.run(one), f.run(eight)
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Errorf("%s: rows differ between shards=1 and shards=8", f.id)
+			for i := range a.Rows {
+				if i < len(b.Rows) && !reflect.DeepEqual(a.Rows[i], b.Rows[i]) {
+					t.Errorf("%s row %d: %v != %v", f.id, i, a.Rows[i], b.Rows[i])
+					break
+				}
+			}
+		}
+		if !reflect.DeepEqual(a.Stats, b.Stats) {
+			t.Errorf("%s: stats differ: %v != %v", f.id, a.Stats, b.Stats)
+		}
+	}
+}

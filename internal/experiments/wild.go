@@ -11,8 +11,9 @@ import (
 )
 
 // wildRun is the shared §6.2 sweep: one pass over the wild window
-// feeding three engines (hourly, daily, cumulative) and collecting the
-// series Figs 11–14 and 18 read.
+// feeding two sharded pipelines (hourly and daily bins; cumulative
+// series derive from the daily detections) and collecting the series
+// Figs 11–14 and 18 read.
 type wildRun struct {
 	pop *isp.Population
 
@@ -66,9 +67,15 @@ func (l *Lab) wildRun() *wildRun {
 		r.cum24[c] = stats.NewSeries[simtime.Day]()
 	}
 
-	hourEng := l.engine()
-	dayEng := l.engine()
-	cumEng := l.engine()
+	// Hourly and daily bins run on sharded pipelines: subscribers are
+	// partitioned by identifier hash across worker-owned engines, so
+	// the sweep parallelizes while every aggregate read below stays
+	// shard-count invariant. (Cumulative series derive from the daily
+	// detections; they need no engine of their own.)
+	hourEng := l.newPipeline()
+	defer hourEng.Close()
+	dayEng := l.newPipeline()
+	defer dayEng.Close()
 	otherSet := map[int]bool{}
 	for _, ri := range cls.other {
 		otherSet[ri] = true
@@ -88,7 +95,6 @@ func (l *Lab) wildRun() *wildRun {
 		idLine[sub] = line
 		hourEng.Observe(sub, h, ip, port, pkts)
 		dayEng.Observe(sub, h, ip, port, pkts)
-		cumEng.Observe(sub, h, ip, port, pkts)
 	}
 
 	flushHour := func(h simtime.Hour) {

@@ -230,27 +230,45 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		c.Gaps++
 	}
 
+	// The next expected sequence number is this message's sequence plus
+	// the number of data records it carries (RFC 7011 §3.1). That count
+	// is only known when every data set decodes: a set dropped for lack
+	// of a template carries an unknown number of records. Advancing by
+	// the decoded count in that case (or not at all for a message that
+	// errors mid-parse) would silently desynchronize gap detection for
+	// the rest of the stream, so sequence tracking is instead
+	// invalidated and re-anchored by the next clean message.
 	var out []flow.Record
+	counted := true
 	rest := msg[headerLen:length]
 	for len(rest) >= setHeaderLen {
 		setID := binary.BigEndian.Uint16(rest[0:2])
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < setHeaderLen || setLen > len(rest) {
+			delete(c.lastSeq, domain)
 			return out, fmt.Errorf("ipfix: set length %d exceeds remaining %d", setLen, len(rest))
 		}
 		body := rest[setHeaderLen:setLen]
 		switch {
 		case setID == templateSetID:
 			if err := c.parseTemplates(domain, body); err != nil {
+				delete(c.lastSeq, domain)
 				return out, err
 			}
 		case setID >= minDataSetID:
-			recs := c.parseData(domain, setID, body, hour)
+			recs, ok := c.parseData(domain, setID, body, hour)
+			if !ok {
+				counted = false
+			}
 			out = append(out, recs...)
 		}
 		rest = rest[setLen:]
 	}
-	c.lastSeq[domain] = seq + uint32(len(out))
+	if counted {
+		c.lastSeq[domain] = seq + uint32(len(out))
+	} else {
+		delete(c.lastSeq, domain)
+	}
 	return out, nil
 }
 
@@ -275,15 +293,18 @@ func (c *Collector) parseTemplates(domain uint32, body []byte) error {
 	return nil
 }
 
-func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) []flow.Record {
+// parseData decodes one data set. The boolean reports whether the set's
+// record count is fully known (false when the template is missing or
+// degenerate).
+func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool) {
 	t, ok := c.templates[uint64(domain)<<16|uint64(setID)]
 	if !ok {
 		c.Dropped++
-		return nil
+		return nil, false
 	}
 	recLen := t.RecordLen()
 	if recLen == 0 {
-		return nil
+		return nil, false
 	}
 	var out []flow.Record
 	for len(body) >= recLen {
@@ -318,7 +339,9 @@ func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour sim
 		out = append(out, rec)
 		body = body[recLen:]
 	}
-	return out
+	// Any remainder here is shorter than one record, which RFC 7011
+	// §3.3.1 permits as set padding, so the record count is exact.
+	return out, true
 }
 
 func beUint(b []byte) uint64 {

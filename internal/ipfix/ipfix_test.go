@@ -98,6 +98,62 @@ func TestGapDetection(t *testing.T) {
 	}
 }
 
+func TestSequenceAcrossTemplateRefresh(t *testing.T) {
+	exp := NewExporter(7)
+	exp.TemplateEvery = 2 // messages 0, 2, 4, … carry the template
+	var msgs [][]byte
+	for i := 0; i < 6; i++ {
+		m, err := exp.Export(mkRecords(5, 100), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m[0])
+	}
+
+	// Full round trip: a lossless stream shows no gaps across the
+	// template-refresh boundary.
+	col := NewCollector()
+	for i, m := range msgs {
+		if _, err := col.Feed(m); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("lossless stream reported %d gaps", col.Gaps)
+	}
+
+	// A collector joining mid-stream drops the untemplated data set
+	// (unknown record count) and must not report a false gap once the
+	// template refresh arrives.
+	late := NewCollector()
+	recs, err := late.Feed(msgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || late.Dropped != 1 {
+		t.Fatalf("untemplated set: %d records, Dropped = %d", len(recs), late.Dropped)
+	}
+	recs, err = late.Feed(msgs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("template refresh decoded %d records, want 5", len(recs))
+	}
+	if late.Gaps != 0 {
+		t.Fatalf("false gap after template refresh: Gaps = %d", late.Gaps)
+	}
+
+	// Sequence tracking re-anchored on the clean message: a genuinely
+	// lost message is still detected afterwards.
+	if _, err := late.Feed(msgs[4]); err != nil { // msgs[3] lost
+		t.Fatal(err)
+	}
+	if late.Gaps != 1 {
+		t.Fatalf("real loss after re-anchor: Gaps = %d, want 1", late.Gaps)
+	}
+}
+
 func TestTemplateCacheScopedByDomain(t *testing.T) {
 	expA := NewExporter(1)
 	mA, _ := expA.Export(mkRecords(2, 100), 30)

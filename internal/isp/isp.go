@@ -150,10 +150,7 @@ func hashBernoulli(a, b uint64, prob float64) bool {
 }
 
 func splitmix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return simrand.Mix64(x + 0x9e3779b97f4a7c15)
 }
 
 // Identifier returns the anonymized subscriber identifier of a line on

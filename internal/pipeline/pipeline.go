@@ -1,0 +1,261 @@
+// Package pipeline runs the detection engine sharded across worker
+// goroutines — the scalability layer the paper's §6 wild deployments
+// imply but a single detect.Engine (documented not safe for concurrent
+// use) cannot provide.
+//
+// Observations are partitioned by a hash of the subscriber identifier,
+// so every subscriber's stream lands on exactly one worker-owned
+// engine and is processed in arrival order. The compiled
+// rules.Dictionary is shared read-only across shards. Because all
+// per-subscriber state is confined to its owning shard, every merged
+// aggregate the pipeline exposes is independent of the shard count:
+// running with 1 shard or 8 produces identical results, only faster.
+//
+// The producer side batches observations per shard and hands full
+// batches to bounded channels; read accessors first drain all pending
+// work (Sync) so they always observe a quiescent, consistent state.
+package pipeline
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/rules"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// Obs is one sampled flow observation, the unit of work handed to
+// shard workers.
+type Obs struct {
+	Sub  detect.SubID
+	Hour simtime.Hour
+	IP   netip.Addr
+	Port uint16
+	Pkts uint64
+}
+
+// DefaultBatchSize is the number of observations buffered per shard
+// before a batch is handed to its worker.
+const DefaultBatchSize = 512
+
+// shardBacklog bounds how many batches may queue per shard before the
+// producer blocks (backpressure instead of unbounded memory).
+const shardBacklog = 4
+
+type shard struct {
+	eng   *detect.Engine
+	ch    chan []Obs
+	free  chan []Obs // recycled batch buffers
+	batch []Obs
+}
+
+// Pipeline is a sharded, batched detection engine. The producer API
+// (Observe, Sync, Reset, Close) must be driven from one goroutine;
+// engine work proceeds concurrently on the shard workers.
+type Pipeline struct {
+	dict      *rules.Dictionary
+	shards    []*shard
+	batchSize int
+	pending   sync.WaitGroup // batches dispatched but not yet processed
+	workers   sync.WaitGroup
+	// dirty is set by Observe and cleared by Sync, so back-to-back
+	// reads (e.g. point queries inside an EachDetected visit) skip the
+	// flush-and-wait entirely while the engines are quiescent.
+	dirty  bool
+	closed bool
+}
+
+// New starts a pipeline with n worker-owned engine shards at detection
+// threshold d. n < 1 is clamped to 1.
+func New(dict *rules.Dictionary, d float64, n int) *Pipeline {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pipeline{dict: dict, batchSize: DefaultBatchSize}
+	p.shards = make([]*shard, n)
+	for i := range p.shards {
+		s := &shard{
+			eng:   detect.New(dict, d),
+			ch:    make(chan []Obs, shardBacklog),
+			free:  make(chan []Obs, shardBacklog),
+			batch: make([]Obs, 0, DefaultBatchSize),
+		}
+		p.shards[i] = s
+		p.workers.Add(1)
+		go p.run(s)
+	}
+	return p
+}
+
+func (p *Pipeline) run(s *shard) {
+	defer p.workers.Done()
+	for batch := range s.ch {
+		for i := range batch {
+			o := &batch[i]
+			s.eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+		}
+		select {
+		case s.free <- batch[:0]:
+		default: // recycle ring full; let the buffer be collected
+		}
+		p.pending.Done()
+	}
+}
+
+// shardOf maps a subscriber to its owning shard. SubIDs are often
+// sequential (line indices) or biased hashes, so mix before reducing.
+func (p *Pipeline) shardOf(sub detect.SubID) int {
+	return int(simrand.Mix64(uint64(sub)) % uint64(len(p.shards)))
+}
+
+// Observe enqueues one sampled flow observation. Unlike
+// detect.Engine.Observe it does not report newly-fired rules: firing
+// happens asynchronously on the owning shard. Use the read accessors
+// (which synchronize) to inspect detections.
+func (p *Pipeline) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+	if p.closed {
+		panic("pipeline: Observe after Close")
+	}
+	p.dirty = true
+	s := p.shards[p.shardOf(sub)]
+	s.batch = append(s.batch, Obs{Sub: sub, Hour: h, IP: ip, Port: port, Pkts: pkts})
+	if len(s.batch) >= p.batchSize {
+		p.dispatch(s)
+	}
+}
+
+func (p *Pipeline) dispatch(s *shard) {
+	p.pending.Add(1)
+	s.ch <- s.batch
+	select {
+	case b := <-s.free:
+		s.batch = b
+	default:
+		s.batch = make([]Obs, 0, p.batchSize)
+	}
+}
+
+// Sync flushes partial batches and blocks until every dispatched
+// observation has been applied to its shard engine. All read accessors
+// call it implicitly; between Sync and the next Observe the shard
+// engines are quiescent and safe to read.
+func (p *Pipeline) Sync() {
+	if !p.dirty {
+		return
+	}
+	for _, s := range p.shards {
+		if len(s.batch) > 0 {
+			p.dispatch(s)
+		}
+	}
+	p.pending.Wait()
+	p.dirty = false
+}
+
+// Shards returns the number of engine shards.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// Dictionary returns the shared compiled dictionary.
+func (p *Pipeline) Dictionary() *rules.Dictionary { return p.dict }
+
+// Reset clears all shard state (start of a new aggregation bin).
+func (p *Pipeline) Reset() {
+	p.Sync()
+	for _, s := range p.shards {
+		s.eng.Reset()
+	}
+}
+
+// Close drains pending work and stops the shard workers. The pipeline
+// remains readable after Close but must not Observe again.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.Sync()
+	for _, s := range p.shards {
+		close(s.ch)
+	}
+	p.workers.Wait()
+}
+
+// Detected reports whether the rule has fired for the subscriber.
+func (p *Pipeline) Detected(sub detect.SubID, rule int) bool {
+	p.Sync()
+	return p.shards[p.shardOf(sub)].eng.Detected(sub, rule)
+}
+
+// FirstDetection returns the hour a rule first fired for a subscriber
+// and whether it fired at all.
+func (p *Pipeline) FirstDetection(sub detect.SubID, rule int) (simtime.Hour, bool) {
+	p.Sync()
+	return p.shards[p.shardOf(sub)].eng.FirstDetection(sub, rule)
+}
+
+// RulePackets returns the sampled packets attributed to (sub, rule) in
+// this bin.
+func (p *Pipeline) RulePackets(sub detect.SubID, rule int) uint64 {
+	p.Sync()
+	return p.shards[p.shardOf(sub)].eng.RulePackets(sub, rule)
+}
+
+// ActiveUse reports whether (sub, rule) meets the §7.1 usage threshold.
+func (p *Pipeline) ActiveUse(sub detect.SubID, rule int) bool {
+	p.Sync()
+	return p.shards[p.shardOf(sub)].eng.ActiveUse(sub, rule)
+}
+
+// CountDetected returns how many subscribers the rule currently fires
+// for, across all shards.
+func (p *Pipeline) CountDetected(rule int) int {
+	p.Sync()
+	n := 0
+	for _, s := range p.shards {
+		n += s.eng.CountDetected(rule)
+	}
+	return n
+}
+
+// CountAnyDetected returns how many subscribers have at least one fired
+// rule, across all shards.
+func (p *Pipeline) CountAnyDetected() int {
+	p.Sync()
+	n := 0
+	for _, s := range p.shards {
+		n += s.eng.CountAnyDetected()
+	}
+	return n
+}
+
+// Subscribers returns the number of tracked subscribers across shards.
+func (p *Pipeline) Subscribers() int {
+	p.Sync()
+	n := 0
+	for _, s := range p.shards {
+		n += s.eng.Subscribers()
+	}
+	return n
+}
+
+// EachDetected visits every (subscriber, rule) detection across shards.
+// Visit order follows shard order, not subscriber order; use Snapshot
+// for a globally ordered view.
+func (p *Pipeline) EachDetected(fn func(sub detect.SubID, rule int, first simtime.Hour)) {
+	p.Sync()
+	for _, s := range p.shards {
+		s.eng.EachDetected(fn)
+	}
+}
+
+// Snapshot captures a merged, immutable view of all shard detections.
+func (p *Pipeline) Snapshot() *detect.Snapshot {
+	p.Sync()
+	parts := make([]*detect.Snapshot, len(p.shards))
+	for i, s := range p.shards {
+		parts[i] = s.eng.Snapshot()
+	}
+	return detect.Merge(parts...)
+}

@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/dedicated"
+	"repro/internal/detect"
+	"repro/internal/rules"
+	"repro/internal/simtime"
+	"repro/internal/world"
+)
+
+func testDict(t testing.TB) (*rules.Dictionary, *world.World) {
+	t.Helper()
+	w := world.MustBuild(1)
+	days := w.Window.Days()
+	pipe := dedicated.New(w.PDNS, w.Scans, days[0], days[len(days)-1])
+	iot := classify.DefaultKB().ClassifyAll(w.Catalog.DomainNames()).IoTSpecific()
+	census := pipe.ClassifyAll(iot)
+	dict, err := rules.Compile(w.Catalog, census, w.PDNS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dict, w
+}
+
+// genObs builds a deterministic observation stream that exercises many
+// subscribers, every rule (parents included, so hierarchy rules can
+// fire), repeated hits, and hitlist misses.
+func genObs(t testing.TB, dict *rules.Dictionary, w *world.World) []Obs {
+	t.Helper()
+	var obs []Obs
+	add := func(sub detect.SubID, h simtime.Hour, domain string) {
+		ips := w.ResolverOn(h.Day()).Resolve(domain)
+		if len(ips) == 0 {
+			return
+		}
+		port := uint16(443)
+		if d, ok := w.Catalog.Domains[domain]; ok {
+			port = d.Port
+		}
+		obs = append(obs, Obs{Sub: sub, Hour: h, IP: ips[0], Port: port, Pkts: uint64(sub%7) + 1})
+	}
+	start := w.Window.Start
+	miss := netip.MustParseAddr("8.8.8.8")
+	for i := 0; i < 400; i++ {
+		// Scatter the identifier space like the anonymizing hash does.
+		sub := detect.SubID(uint64(i)*0x9e3779b97f4a7c15 + 17)
+		ri := i % len(dict.Rules)
+		r := &dict.Rules[ri]
+		h := start + simtime.Hour(i%48)
+		if r.Parent >= 0 {
+			for _, d := range dict.Rules[r.Parent].Domains {
+				add(sub, h, d)
+			}
+		}
+		for j, d := range r.Domains {
+			add(sub, h+simtime.Hour(j%5), d)
+		}
+		obs = append(obs, Obs{Sub: sub, Hour: h, IP: miss, Port: 53, Pkts: 3})
+	}
+	return obs
+}
+
+// TestPipelineMatchesEngine is the determinism contract: the sharded
+// pipeline must reproduce single-engine results exactly — same fired
+// rules, same counts, same first-detection hours — at every shard
+// count.
+func TestPipelineMatchesEngine(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+
+	eng := detect.New(dict, 0.4)
+	for _, o := range obs {
+		eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+	}
+	want := eng.Snapshot()
+	if want.CountAnyDetected() == 0 {
+		t.Fatal("reference engine detected nothing; stream is too weak to compare")
+	}
+
+	for _, n := range []int{1, 4, 8} {
+		p := New(dict, 0.4, n)
+		for _, o := range obs {
+			p.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+		}
+		got := p.Snapshot()
+		if !reflect.DeepEqual(got.Detections(), want.Detections()) {
+			t.Fatalf("shards=%d: detections diverge from single engine", n)
+		}
+		if got.CountAnyDetected() != want.CountAnyDetected() ||
+			got.Subscribers() != want.Subscribers() {
+			t.Fatalf("shards=%d: any %d/%d subs %d/%d", n,
+				got.CountAnyDetected(), want.CountAnyDetected(),
+				got.Subscribers(), want.Subscribers())
+		}
+		for ri := range dict.Rules {
+			if got.CountDetected(ri) != want.CountDetected(ri) {
+				t.Fatalf("shards=%d rule %d: count %d != %d", n, ri,
+					got.CountDetected(ri), want.CountDetected(ri))
+			}
+			gh, gok := got.RuleFirstDetection(ri)
+			wh, wok := want.RuleFirstDetection(ri)
+			if gh != wh || gok != wok {
+				t.Fatalf("shards=%d rule %d: first %v,%v != %v,%v", n, ri, gh, gok, wh, wok)
+			}
+		}
+		// Point queries route to the owning shard.
+		for _, d := range want.Detections()[:min(20, len(want.Detections()))] {
+			if !p.Detected(d.Sub, d.Rule) {
+				t.Fatalf("shards=%d: Detected(%d, %d) = false", n, d.Sub, d.Rule)
+			}
+			if fh, ok := p.FirstDetection(d.Sub, d.Rule); !ok || fh != d.First {
+				t.Fatalf("shards=%d: FirstDetection(%d, %d) = %v, %v; want %v", n, d.Sub, d.Rule, fh, ok, d.First)
+			}
+			if p.ActiveUse(d.Sub, d.Rule) != (p.RulePackets(d.Sub, d.Rule) >= detect.UsageThreshold) {
+				t.Fatalf("shards=%d: ActiveUse disagrees with RulePackets", n)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPipelineCountsAcrossShards(t *testing.T) {
+	dict, w := testDict(t)
+	p := New(dict, 0.4, 4)
+	defer p.Close()
+	h := w.Window.Start
+	feedDomain := func(sub detect.SubID, domain string) {
+		ips := w.ResolverOn(h.Day()).Resolve(domain)
+		p.Observe(sub, h, ips[0], w.Catalog.Domains[domain].Port, 1)
+	}
+	for i := 0; i < 64; i++ {
+		feedDomain(detect.SubID(i), "mqtt.simmeross.example")
+	}
+	meross := dict.RuleIndex("Meross Dooropener")
+	if got := p.CountDetected(meross); got != 64 {
+		t.Fatalf("CountDetected = %d, want 64", got)
+	}
+	if got := p.CountAnyDetected(); got != 64 {
+		t.Fatalf("CountAnyDetected = %d, want 64", got)
+	}
+	if got := p.Subscribers(); got != 64 {
+		t.Fatalf("Subscribers = %d, want 64", got)
+	}
+	seen := map[detect.SubID]bool{}
+	p.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+		if rule != meross || first != h {
+			t.Fatalf("EachDetected visited (%d, %d, %v)", sub, rule, first)
+		}
+		seen[sub] = true
+	})
+	if len(seen) != 64 {
+		t.Fatalf("EachDetected visited %d subscribers, want 64", len(seen))
+	}
+}
+
+func TestPipelineResetClearsAllShards(t *testing.T) {
+	dict, w := testDict(t)
+	p := New(dict, 0.4, 4)
+	defer p.Close()
+	h := w.Window.Start
+	ips := w.ResolverOn(h.Day()).Resolve("mqtt.simmeross.example")
+	for i := 0; i < 32; i++ {
+		p.Observe(detect.SubID(i), h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
+	}
+	if p.CountAnyDetected() == 0 {
+		t.Fatal("nothing detected before Reset")
+	}
+	p.Reset()
+	if p.CountAnyDetected() != 0 || p.Subscribers() != 0 {
+		t.Fatal("Reset did not clear all shards")
+	}
+	// The pipeline stays usable across bins, like Engine.Reset.
+	p.Observe(1, h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
+	if p.CountAnyDetected() != 1 {
+		t.Fatal("pipeline unusable after Reset")
+	}
+}
+
+// TestPipelineBinCycle exercises the wild-sweep access pattern —
+// observe, read, reset, repeat — with batches that rarely fill, so the
+// Sync flush path is covered. Run with -race to check the
+// producer/worker handoff.
+func TestPipelineBinCycle(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+	p := New(dict, 0.4, 8)
+	defer p.Close()
+	for bin := 0; bin < 5; bin++ {
+		for i, o := range obs {
+			if i%5 == bin {
+				p.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+			}
+		}
+		n := 0
+		p.EachDetected(func(detect.SubID, int, simtime.Hour) { n++ })
+		if snap := p.Snapshot(); len(snap.Detections()) != n {
+			t.Fatalf("bin %d: snapshot %d detections, EachDetected saw %d", bin, len(snap.Detections()), n)
+		}
+		p.Reset()
+	}
+}
+
+func TestPipelineShardClamp(t *testing.T) {
+	dict, _ := testDict(t)
+	p := New(dict, 0.4, 0)
+	defer p.Close()
+	if p.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", p.Shards())
+	}
+	if p.Dictionary() != dict {
+		t.Fatal("Dictionary() mismatch")
+	}
+}
+
+func TestPipelineObserveAfterClosePanics(t *testing.T) {
+	dict, _ := testDict(t)
+	p := New(dict, 0.4, 2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Close did not panic")
+		}
+	}()
+	p.Observe(1, 0, netip.MustParseAddr("8.8.8.8"), 53, 1)
+}

@@ -199,8 +199,8 @@ func (d *Dictionary) Levels() map[catalog.Level]int {
 func (d *Dictionary) Verify() error {
 	for i := range d.Rules {
 		r := &d.Rules[i]
-		if r.Parent >= len(d.Rules) {
-			return fmt.Errorf("rules: %s has out-of-range parent", r.Name)
+		if r.Parent < -1 || r.Parent >= len(d.Rules) {
+			return fmt.Errorf("rules: %s has out-of-range parent %d", r.Name, r.Parent)
 		}
 		seen := map[string]bool{}
 		for _, dom := range r.Domains {

@@ -49,6 +49,19 @@ func TestDictionaryVerifies(t *testing.T) {
 	}
 }
 
+func TestVerifyRejectsNegativeParent(t *testing.T) {
+	dict, _ := compileDict(t, 1)
+	old := dict.Rules[0].Parent
+	dict.Rules[0].Parent = -2
+	if err := dict.Verify(); err == nil {
+		t.Fatal("Verify accepted parent index -2")
+	}
+	dict.Rules[0].Parent = old
+	if err := dict.Verify(); err != nil {
+		t.Fatalf("Verify rejects restored dictionary: %v", err)
+	}
+}
+
 func TestRuleDomainsSurvivePipeline(t *testing.T) {
 	// Every monitored domain in the catalog specs is dedicated-hosted
 	// (possibly censys-recovered), so none may be lost.

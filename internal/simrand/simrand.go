@@ -27,12 +27,19 @@ func New(seed uint64) *RNG {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = Mix64(sm)
 	}
 	return r
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective bit mix that
+// turns correlated inputs (sequential ids, biased hashes) into
+// well-distributed words. Shared by seeding, identifier anonymization,
+// and shard partitioning so the mixing constants live in one place.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Fork derives an independent generator from r and a stream label.
