@@ -139,6 +139,73 @@ func BenchmarkDetectorNetFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorFeedParallel measures multi-producer wire-fed
+// throughput: N feed goroutines, each with its own exporter stream
+// over a disjoint subscriber range, against one 8-shard detector.
+// Compare feeds_1 (the single-producer baseline) with feeds_4/feeds_8
+// for producer-side scaling.
+func BenchmarkDetectorFeedParallel(b *testing.B) {
+	s := benchSystem(b)
+	ips := s.ServiceIPs("avs-alexa.simamazon.example")
+	h := simtime.HourOf(s.StudyStart())
+
+	// Pre-encode one NetFlow message stream per feed, subscribers
+	// partitioned by feed so per-subscriber ordering is preserved.
+	stream := func(feed int) []byte {
+		recs := make([]flow.Record, 30)
+		for i := range recs {
+			recs[i] = flow.Record{
+				Key: flow.Key{
+					Src:     netip.AddrFrom4([4]byte{100, 64 + byte(feed), byte(i >> 8), byte(i)}),
+					Dst:     ips[i%len(ips)],
+					SrcPort: uint16(40000 + i), DstPort: 443, Proto: flow.ProtoTCP,
+				},
+				Packets: 2, Bytes: 1200, Hour: h,
+			}
+		}
+		exp := netflow.NewExporter(uint32(feed + 1))
+		exp.TemplateEvery = 1
+		msgs, err := exp.Export(recs, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return msgs[0]
+	}
+
+	for _, feeds := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("feeds_%d", feeds), func(b *testing.B) {
+			det := s.NewShardedDetector(0.4, 8)
+			defer det.Close()
+			msgs := make([][]byte, feeds)
+			for g := range msgs {
+				msgs[g] = stream(g)
+			}
+			per := (b.N + feeds - 1) / feeds
+			b.SetBytes(int64(len(msgs[0])))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < feeds; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					f := det.NewFeed()
+					defer f.Close()
+					for i := 0; i < per; i++ {
+						if err := f.FeedNetFlow(msgs[g]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if len(det.Detections()) == 0 {
+				b.Fatal("no detections")
+			}
+		})
+	}
+}
+
 // BenchmarkEngineObserve measures raw engine throughput on hitlist
 // matches (flows/second an ISP deployment could sustain per core).
 func BenchmarkEngineObserve(b *testing.B) {
@@ -164,9 +231,10 @@ func BenchmarkPipelineObserve(b *testing.B) {
 		b.Run(fmt.Sprintf("shards_%d", n), func(b *testing.B) {
 			p := pipeline.New(s.lab.Dict, 0.4, n)
 			defer p.Close()
+			prod := p.NewProducer()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.Observe(detect.SubID(i&0xfffff), h, ips[i%len(ips)], 443, 1)
+				prod.Observe(detect.SubID(i&0xfffff), h, ips[i%len(ips)], 443, 1)
 			}
 			p.Sync()
 		})
@@ -187,10 +255,11 @@ func BenchmarkPipelineWildHour(b *testing.B) {
 		b.Run(fmt.Sprintf("shards_%d", n), func(b *testing.B) {
 			p := pipeline.New(s.lab.Dict, 0.4, n)
 			defer p.Close()
+			prod := p.NewProducer()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pop.SimulateHour(h, r, func(_ int32, sub detect.SubID, hh simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
-					p.Observe(sub, hh, ip, port, pkts)
+					prod.Observe(sub, hh, ip, port, pkts)
 				})
 				p.Sync()
 			}

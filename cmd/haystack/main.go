@@ -15,7 +15,8 @@
 //	-lines N      wild-ISP subscriber lines (default 30000)
 //	-scale N      counts multiplier to paper scale (default 500)
 //	-shards N     parallel detection-engine shards for the wild sweeps
-//	              (default 1; any value produces identical outputs)
+//	              and the wire-fed detect command (default 1; any value
+//	              produces identical outputs)
 //	-format F     text | csv | summary (default text)
 package main
 
@@ -143,10 +144,15 @@ func detectStream(sys *haystack.System, proto string, threshold float64, input s
 		r = f
 	}
 	br := bufio.NewReader(r)
+	// The detector runs the sharded pipeline under the hood (-shards
+	// flows through the system config); a single input stream drives
+	// one feed handle.
 	det := sys.NewDetector(threshold)
-	feed := det.FeedNetFlow
+	defer det.Close()
+	f := det.NewFeed()
+	feed := f.FeedNetFlow
 	if proto == "ipfix" {
-		feed = det.FeedIPFIX
+		feed = f.FeedIPFIX
 	} else if proto != "netflow" {
 		return fmt.Errorf("unknown protocol %q", proto)
 	}
@@ -176,6 +182,12 @@ func detectStream(sys *haystack.System, proto string, threshold float64, input s
 
 	dets := det.Detections()
 	fmt.Printf("processed %d messages; %d (subscriber, rule) detections\n", messages, len(dets))
+	if skipped := det.SkippedRecords(); skipped > 0 {
+		fmt.Printf("skipped %d records without a usable IPv4 subscriber address\n", skipped)
+	}
+	if st := f.Stats(); st.Dropped > 0 || st.Gaps > 0 {
+		fmt.Printf("transport: %d untemplated data sets dropped, %d sequence gaps\n", st.Dropped, st.Gaps)
+	}
 	for _, d := range dets {
 		fmt.Printf("  %016x  %-22s %-4s first seen %s\n",
 			d.Subscriber, d.Rule, d.Level, d.First.Format("2006-01-02 15h"))

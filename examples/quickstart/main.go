@@ -43,8 +43,12 @@ func main() {
 
 	// 4. Operational detection: a subscriber's sampled flow to the
 	//    Meross backend arrives as a NetFlow v9 message; the detector
-	//    decodes the wire format and applies the dictionary.
+	//    decodes the wire format and applies the dictionary on its
+	//    sharded pipeline. Each collector socket gets its own Feed
+	//    handle; here one feed suffices.
 	det := sys.NewDetector(0.4)
+	defer det.Close()
+	feed := det.NewFeed()
 	dom := sys.Catalog().Domains["mqtt.simmeross.example"]
 	ips := sys.ServiceIPs(dom.Name)
 	if len(ips) == 0 {
@@ -66,7 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, m := range msgs {
-		if err := det.FeedNetFlow(m); err != nil {
+		if err := feed.FeedNetFlow(m); err != nil {
 			log.Fatal(err)
 		}
 	}

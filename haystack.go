@@ -22,13 +22,17 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/detect"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/ipfix"
 	"repro/internal/netflow"
+	"repro/internal/pipeline"
 	"repro/internal/simtime"
 )
 
@@ -188,68 +192,175 @@ type Detection struct {
 }
 
 // Detector applies the compiled dictionary to NetFlow v9 / IPFIX
-// messages — the operational deployment of the methodology. Not safe
-// for concurrent use.
+// messages — the operational deployment of the methodology. Detection
+// runs on a sharded pipeline (see internal/pipeline): decoded records
+// are partitioned by anonymized subscriber key across worker-owned
+// engines, so results are independent of the shard count.
+//
+// # Concurrency
+//
+// Wire messages enter through Feed handles (NewFeed). Each Feed owns
+// its own wire-format decoders and pipeline producer and must be
+// driven from a single goroutine, but any number of Feeds may run
+// concurrently — one per collector socket in a deployment. Because
+// detection state is keyed by subscriber, feeds should partition the
+// subscriber space (as distinct exporters naturally do): a subscriber
+// whose records interleave across feeds may see its multi-hour
+// first-detection times vary with scheduling.
+//
+// The zero-setup methods FeedNetFlow/FeedIPFIX drive one implicit
+// Feed and are therefore not safe to call concurrently with each
+// other; use NewFeed handles for concurrent ingestion. Reading
+// (Detections) while feeds are still running is safe but approximate
+// — observations in flight may or may not be included, and under
+// sustained ingest saturation the read blocks until the pipeline sees
+// a momentary lull; quiesce or Close the feeds first for exact,
+// prompt results. Reset requires quiescent feeds.
 type Detector struct {
-	eng *detect.Engine
-	nf  *netflow.Collector
-	ix  *ipfix.Collector
+	pipe    *pipeline.Pipeline
+	skipped atomic.Uint64
+
+	mu  sync.Mutex
+	def *Feed // backs the Detector-level feed methods
 }
 
 // NewDetector returns a detector at detection threshold d (the paper's
-// conservative default is 0.4).
+// conservative default is 0.4), sharded per the system configuration.
+// Call Close when done to stop the shard workers.
 func (s *System) NewDetector(d float64) *Detector {
-	return &Detector{
-		eng: detect.New(s.lab.Dict, d),
-		nf:  netflow.NewCollector(),
-		ix:  ipfix.NewCollector(),
+	return s.NewShardedDetector(d, s.lab.Cfg.Shards)
+}
+
+// NewShardedDetector returns a detector at detection threshold d with
+// an explicit engine-shard count (outputs are shard-invariant).
+func (s *System) NewShardedDetector(d float64, shards int) *Detector {
+	return &Detector{pipe: pipeline.New(s.lab.Dict, d, shards)}
+}
+
+// Feed is one wire-format ingestion handle: a NetFlow v9 and IPFIX
+// decoder pair bound to its own pipeline producer. Each Feed must be
+// driven from a single goroutine; distinct Feeds may run concurrently.
+type Feed struct {
+	d    *Detector
+	prod *pipeline.Producer
+	nf   *netflow.Collector
+	ix   *ipfix.Collector
+}
+
+// NewFeed registers a new ingestion handle, one per collector
+// goroutine.
+func (d *Detector) NewFeed() *Feed {
+	return &Feed{
+		d:    d,
+		prod: d.pipe.NewProducer(),
+		nf:   netflow.NewCollector(),
+		ix:   ipfix.NewCollector(),
+	}
+}
+
+// Close flushes the feed's buffered observations and releases its
+// producer. The detector stays readable; closing twice is a no-op.
+func (f *Feed) Close() { f.prod.Close() }
+
+// FeedStats are transport-health counters for one feed.
+type FeedStats struct {
+	// Dropped counts data sets skipped because their template had not
+	// been seen yet.
+	Dropped int
+	// Gaps counts exporter messages whose sequence number did not
+	// match the expected continuation (lost or reordered transport).
+	Gaps int
+}
+
+// Stats returns the feed's transport-health counters, summed over its
+// NetFlow and IPFIX decoders.
+func (f *Feed) Stats() FeedStats {
+	return FeedStats{
+		Dropped: f.nf.Dropped + f.ix.Dropped,
+		Gaps:    f.nf.Gaps + f.ix.Gaps,
 	}
 }
 
 // subscriberKey anonymizes the subscriber-side address by hashing, as
-// §2.1 requires ("anonymize by hashing all user IPs").
-func subscriberKey(a netip.Addr) detect.SubID {
+// §2.1 requires ("anonymize by hashing all user IPs"). The boolean is
+// false for addresses that cannot identify an IPv4 subscriber line —
+// invalid (the exporter's template omitted the source-address field)
+// or not IPv4 — which callers must skip rather than observe.
+func subscriberKey(a netip.Addr) (detect.SubID, bool) {
+	a = a.Unmap()
+	if !a.Is4() {
+		return 0, false
+	}
 	b := a.As4()
 	x := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
 	x ^= 0x9e3779b97f4a7c15
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
-	return detect.SubID(x)
+	return detect.SubID(x), true
+}
+
+// observe feeds decoded records to the pipeline, skipping (and
+// counting) records whose subscriber-side address is unusable.
+func (f *Feed) observe(recs []flow.Record) {
+	for i := range recs {
+		r := &recs[i]
+		key, ok := subscriberKey(r.Key.Src)
+		if !ok {
+			f.d.skipped.Add(1)
+			continue
+		}
+		f.prod.Observe(key, r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
+	}
 }
 
 // FeedNetFlow parses one NetFlow v9 message and feeds its records to
-// the engine. The flow source is treated as the subscriber side.
-func (d *Detector) FeedNetFlow(msg []byte) error {
-	recs, err := d.nf.Feed(msg)
-	if err != nil {
-		return err
-	}
-	for i := range recs {
-		r := &recs[i]
-		d.eng.Observe(subscriberKey(r.Key.Src), r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
-	}
-	return nil
+// the detection pipeline. The flow source is treated as the subscriber
+// side.
+func (f *Feed) FeedNetFlow(msg []byte) error {
+	recs, err := f.nf.Feed(msg)
+	f.observe(recs) // records decoded before a mid-message error still count
+	return err
 }
 
 // FeedIPFIX parses one IPFIX message and feeds its records.
-func (d *Detector) FeedIPFIX(msg []byte) error {
-	recs, err := d.ix.Feed(msg)
-	if err != nil {
-		return err
-	}
-	for i := range recs {
-		r := &recs[i]
-		d.eng.Observe(subscriberKey(r.Key.Src), r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
-	}
-	return nil
+func (f *Feed) FeedIPFIX(msg []byte) error {
+	recs, err := f.ix.Feed(msg)
+	f.observe(recs)
+	return err
 }
 
+// defaultFeed lazily creates the feed behind the Detector-level
+// convenience methods.
+func (d *Detector) defaultFeed() *Feed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.def == nil {
+		d.def = d.NewFeed()
+	}
+	return d.def
+}
+
+// FeedNetFlow parses one NetFlow v9 message on the detector's implicit
+// feed. For concurrent ingestion use NewFeed handles instead.
+func (d *Detector) FeedNetFlow(msg []byte) error { return d.defaultFeed().FeedNetFlow(msg) }
+
+// FeedIPFIX parses one IPFIX message on the detector's implicit feed.
+func (d *Detector) FeedIPFIX(msg []byte) error { return d.defaultFeed().FeedIPFIX(msg) }
+
+// SkippedRecords returns how many decoded records were skipped across
+// all feeds because their subscriber-side address was invalid or not
+// IPv4 (e.g. the exporter's template omitted or mis-sized the source
+// address field). The counter survives Reset: it describes transport
+// health, not window state.
+func (d *Detector) SkippedRecords() uint64 { return d.skipped.Load() }
+
 // Detections returns every (subscriber, rule) detection so far, sorted
-// for determinism.
+// for determinism. It synchronizes the pipeline: all observations fed
+// before the call (on any quiescent feed) are reflected.
 func (d *Detector) Detections() []Detection {
-	dict := d.eng.Dictionary()
+	dict := d.pipe.Dictionary()
 	var out []Detection
-	d.eng.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+	d.pipe.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
 		out = append(out, Detection{
 			Subscriber: uint64(sub),
 			Rule:       dict.Rules[rule].Name,
@@ -266,5 +377,14 @@ func (d *Detector) Detections() []Detection {
 	return out
 }
 
-// Reset clears detector state (start of a new aggregation window).
-func (d *Detector) Reset() { d.eng.Reset() }
+// Shards returns the number of engine shards the detector runs on.
+func (d *Detector) Shards() int { return d.pipe.Shards() }
+
+// Reset clears detection state (start of a new aggregation window).
+// Feeds and their template caches survive, as they would across
+// windows in a deployment.
+func (d *Detector) Reset() { d.pipe.Reset() }
+
+// Close flushes all feeds and stops the shard workers. Detections
+// remain readable after Close; feeding afterwards panics.
+func (d *Detector) Close() { d.pipe.Close() }

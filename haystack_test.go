@@ -2,9 +2,11 @@ package haystack
 
 import (
 	"net/netip"
+	"reflect"
 	"sync"
 	"testing"
 
+	"repro/internal/detect"
 	"repro/internal/flow"
 	"repro/internal/netflow"
 	"repro/internal/simtime"
@@ -93,6 +95,7 @@ func TestCatalogAccessor(t *testing.T) {
 func TestDetectorEndToEndNetFlow(t *testing.T) {
 	s := sharedSystem(t)
 	det := s.NewDetector(0.4)
+	defer det.Close()
 
 	// A subscriber at 100.64.9.9 talks to Meross's MQTT endpoint — a
 	// single-domain manufacturer rule.
@@ -144,6 +147,7 @@ func TestDetectorEndToEndNetFlow(t *testing.T) {
 func TestDetectorIgnoresUnknownDestinations(t *testing.T) {
 	s := sharedSystem(t)
 	det := s.NewDetector(0.4)
+	defer det.Close()
 	day := s.lab.W.Window.Days()[0]
 	rec := flow.Record{
 		Key: flow.Key{
@@ -169,6 +173,7 @@ func TestDetectorIgnoresUnknownDestinations(t *testing.T) {
 func TestDetectorRejectsGarbage(t *testing.T) {
 	s := sharedSystem(t)
 	det := s.NewDetector(0.4)
+	defer det.Close()
 	if err := det.FeedNetFlow([]byte{1, 2, 3}); err == nil {
 		t.Fatal("garbage NetFlow accepted")
 	}
@@ -178,16 +183,167 @@ func TestDetectorRejectsGarbage(t *testing.T) {
 }
 
 func TestSubscriberKeyAnonymizesButIsStable(t *testing.T) {
+	key := func(a netip.Addr) detect.SubID {
+		k, ok := subscriberKey(a)
+		if !ok {
+			t.Fatalf("subscriberKey(%v) not usable", a)
+		}
+		return k
+	}
 	a := netip.MustParseAddr("100.64.9.9")
-	if subscriberKey(a) != subscriberKey(a) {
+	if key(a) != key(a) {
 		t.Fatal("key not stable")
 	}
 	b := netip.MustParseAddr("100.64.9.10")
-	if subscriberKey(a) == subscriberKey(b) {
+	if key(a) == key(b) {
 		t.Fatal("adjacent addresses collide")
 	}
-	if uint64(subscriberKey(a)) == uint64(0x64400909) {
+	if uint64(key(a)) == uint64(0x64400909) {
 		t.Fatal("key is the raw address — not anonymized")
+	}
+	// 4-in-6 mapped addresses identify the same subscriber line.
+	if key(netip.MustParseAddr("::ffff:100.64.9.9")) != key(a) {
+		t.Fatal("mapped address keys differently")
+	}
+	// Addresses that cannot identify an IPv4 subscriber are rejected,
+	// not hashed (and certainly not panicked over, as As4 would).
+	for _, bad := range []netip.Addr{{}, netip.MustParseAddr("2001:db8::1")} {
+		if _, ok := subscriberKey(bad); ok {
+			t.Fatalf("subscriberKey(%v) accepted", bad)
+		}
+	}
+}
+
+// TestDetectorSkipsRecordsWithoutUsableSubscriber feeds a data FlowSet
+// whose template omits the IPv4 source-address field entirely: decoded
+// records carry an invalid subscriber address, which used to panic the
+// detector and must now be counted and skipped.
+func TestDetectorSkipsRecordsWithoutUsableSubscriber(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+	defer det.Close()
+
+	// Hand-build a v9 message: template 260 with only (dstaddr,
+	// dstport), then one matching data record.
+	var msg []byte
+	be16 := func(v uint16) { msg = append(msg, byte(v>>8), byte(v)) }
+	be32 := func(v uint32) { msg = append(msg, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+	be16(9)    // version
+	be16(2)    // count
+	be32(0)    // uptime
+	be32(3600) // unix secs
+	be32(0)    // sequence
+	be32(77)   // source ID
+	be16(0)    // template flowset
+	be16(16)   // length
+	be16(260)  // template ID
+	be16(2)    // field count
+	be16(12)   // dstaddr
+	be16(4)
+	be16(11) // dstport
+	be16(2)
+	be16(260)                         // data flowset
+	be16(12)                          // length (4 hdr + 6 record + 2 pad)
+	msg = append(msg, 203, 0, 113, 7) // dstaddr
+	be16(443)                         // dstport
+	msg = append(msg, 0, 0)           // padding
+
+	if err := det.FeedNetFlow(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := det.SkippedRecords(); got != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", got)
+	}
+	if len(det.Detections()) != 0 {
+		t.Fatal("unusable record produced a detection")
+	}
+}
+
+// TestDetectorConcurrentFeedsMatchSingle is the acceptance contract:
+// the same exporter messages, partitioned across 4 concurrent feed
+// goroutines over an 8-shard pipeline, must produce Detections()
+// byte-identical to a single-feed single-shard detector. Run with
+// -race to check the feed/producer handoff.
+func TestDetectorConcurrentFeedsMatchSingle(t *testing.T) {
+	s := sharedSystem(t)
+
+	// One message stream per feed, each exporter covering a disjoint
+	// subscriber range and a mix of rule domains, hours, and misses.
+	const feeds = 4
+	day := s.lab.W.Window.Days()[0]
+	resolver := s.lab.W.ResolverOn(day)
+	streams := make([][][]byte, feeds)
+	for fi := 0; fi < feeds; fi++ {
+		var recs []flow.Record
+		for i, rule := range s.Rules() {
+			for j, name := range rule.Domains {
+				ips := resolver.Resolve(name)
+				if len(ips) == 0 {
+					continue
+				}
+				port := uint16(443)
+				if d, ok := s.lab.W.Catalog.Domains[name]; ok {
+					port = d.Port
+				}
+				recs = append(recs, flow.Record{
+					Key: flow.Key{
+						Src:     netip.AddrFrom4([4]byte{100, 64 + byte(fi), byte(i), byte(j)}),
+						Dst:     ips[0],
+						SrcPort: uint16(50000 + j), DstPort: port, Proto: flow.ProtoTCP,
+					},
+					Packets: uint64(j%5 + 1), Bytes: 900,
+					Hour: day.FirstHour() + simtime.Hour(i%36),
+				})
+			}
+		}
+		exp := netflow.NewExporter(uint32(fi + 1))
+		msgs, err := exp.Export(recs, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[fi] = msgs
+	}
+
+	single := s.NewShardedDetector(0.4, 1)
+	defer single.Close()
+	for _, msgs := range streams {
+		f := single.NewFeed()
+		for _, m := range msgs {
+			if err := f.FeedNetFlow(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	want := single.Detections()
+	if len(want) == 0 {
+		t.Fatal("reference detector detected nothing; stream is too weak to compare")
+	}
+
+	multi := s.NewShardedDetector(0.4, 8)
+	defer multi.Close()
+	var wg sync.WaitGroup
+	for _, msgs := range streams {
+		f := multi.NewFeed()
+		wg.Add(1)
+		go func(f *Feed, msgs [][]byte) {
+			defer wg.Done()
+			for _, m := range msgs {
+				if err := f.FeedNetFlow(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			f.Close()
+		}(f, msgs)
+	}
+	wg.Wait()
+	got := multi.Detections()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent detections diverge: got %d, want %d", len(got), len(want))
+	}
+	if multi.SkippedRecords() != 0 {
+		t.Fatalf("SkippedRecords = %d on a clean stream", multi.SkippedRecords())
 	}
 }
 

@@ -29,6 +29,7 @@ func TestIntegrationWildDayOverWire(t *testing.T) {
 	pop := isp.NewPopulation(simrand.New(5), s.Catalog(), cfg, s.lab.W.Window)
 
 	wireDet := s.NewDetector(0.4)
+	defer wireDet.Close()
 	directEng := detect.New(s.lab.Dict, 0.4)
 
 	exp := netflow.NewExporter(42)
@@ -55,7 +56,11 @@ func TestIntegrationWildDayOverWire(t *testing.T) {
 				},
 				Packets: pkts, Bytes: pkts * 600, Hour: h,
 			})
-			directEng.Observe(subscriberKey(src), h, ip, port, pkts)
+			key, ok := subscriberKey(src)
+			if !ok {
+				t.Fatalf("line %d address %v unusable", line, src)
+			}
+			directEng.Observe(key, h, ip, port, pkts)
 		})
 	if len(recs) == 0 {
 		t.Fatal("no sampled traffic in a day")

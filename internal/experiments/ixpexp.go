@@ -41,6 +41,7 @@ func (l *Lab) ixpSweep() *ixpRun {
 	// The daily bin runs on the sharded pipeline (see wildRun).
 	dayEng := l.newPipeline()
 	defer dayEng.Close()
+	dayProd := dayEng.NewProducer()
 	// The IXP keys detection state by client IP.
 	subOf := func(ip [4]byte) detect.SubID {
 		return detect.SubID(uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3]))
@@ -85,7 +86,7 @@ func (l *Lab) ixpSweep() *ixpRun {
 		fabric.SimulateHour(h, l.W.ResolverOn(h.Day()), func(o ixp.Observation) {
 			sub := subOf(o.Client.As4())
 			subMember[sub] = o.Member
-			dayEng.Observe(sub, o.Hour, o.IP, o.Port, o.Pkts)
+			dayProd.Observe(sub, o.Hour, o.IP, o.Port, o.Pkts)
 		})
 	})
 	flushDay(curDay)

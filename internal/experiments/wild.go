@@ -74,8 +74,10 @@ func (l *Lab) wildRun() *wildRun {
 	// detections; they need no engine of their own.)
 	hourEng := l.newPipeline()
 	defer hourEng.Close()
+	hourProd := hourEng.NewProducer()
 	dayEng := l.newPipeline()
 	defer dayEng.Close()
+	dayProd := dayEng.NewProducer()
 	otherSet := map[int]bool{}
 	for _, ri := range cls.other {
 		otherSet[ri] = true
@@ -93,8 +95,8 @@ func (l *Lab) wildRun() *wildRun {
 
 	emit := func(line int32, sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
 		idLine[sub] = line
-		hourEng.Observe(sub, h, ip, port, pkts)
-		dayEng.Observe(sub, h, ip, port, pkts)
+		hourProd.Observe(sub, h, ip, port, pkts)
+		dayProd.Observe(sub, h, ip, port, pkts)
 	}
 
 	flushHour := func(h simtime.Hour) {

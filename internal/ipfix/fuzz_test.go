@@ -18,6 +18,31 @@ func TestFeedNeverPanicsOnRandomBytes(t *testing.T) {
 	}
 }
 
+// FuzzFeed is the native fuzz target behind the quick-check tests:
+// whatever bytes arrive, Feed must return without panicking, and
+// decoded records must carry only addresses the Detector feed path can
+// handle (4-byte or invalid — never a mis-sized Addr).
+func FuzzFeed(f *testing.F) {
+	exp := NewExporter(1)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(mkRecords(12, 1000), 30)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(msgs[0])
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col := NewCollector()
+		recs, _ := col.Feed(data)
+		for i := range recs {
+			if a := recs[i].Key.Src; a.IsValid() && !a.Is4() {
+				t.Fatalf("decoded non-IPv4 source %v", a)
+			}
+		}
+	})
+}
+
 func TestFeedNeverPanicsOnMutatedMessages(t *testing.T) {
 	exp := NewExporter(1)
 	exp.TemplateEvery = 1

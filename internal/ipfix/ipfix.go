@@ -226,9 +226,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	domain := binary.BigEndian.Uint32(msg[12:16])
 	hour := simtime.Hour(int64(exportTime) / 3600)
 
-	if want, ok := c.lastSeq[domain]; ok && seq != want {
-		c.Gaps++
-	}
+	want, anchored := c.lastSeq[domain]
 
 	// The next expected sequence number is this message's sequence plus
 	// the number of data records it carries (RFC 7011 §3.1). That count
@@ -236,8 +234,12 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	// of a template carries an unknown number of records. Advancing by
 	// the decoded count in that case (or not at all for a message that
 	// errors mid-parse) would silently desynchronize gap detection for
-	// the rest of the stream, so sequence tracking is instead
-	// invalidated and re-anchored by the next clean message.
+	// the rest of the stream — and counting the gap up front would
+	// report phantom loss on e.g. an exporter restart whose first
+	// post-restart message is untemplated — so both the gap comparison
+	// and the anchor are deferred until the message is known clean;
+	// otherwise tracking is invalidated and re-anchored by the next
+	// clean message.
 	var out []flow.Record
 	counted := true
 	rest := msg[headerLen:length]
@@ -265,6 +267,9 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		rest = rest[setLen:]
 	}
 	if counted {
+		if anchored && seq != want {
+			c.Gaps++
+		}
 		c.lastSeq[domain] = seq + uint32(len(out))
 	} else {
 		delete(c.lastSeq, domain)

@@ -154,6 +154,41 @@ func TestSequenceAcrossTemplateRefresh(t *testing.T) {
 	}
 }
 
+// TestNoPhantomGapOnExporterRestart: an anchored domain whose exporter
+// restarts (sequence reset) and whose first post-restart message
+// carries a data set the collector has no template for must not count
+// a gap — the message's record count is unknown, so gap accounting
+// re-anchors instead.
+func TestNoPhantomGapOnExporterRestart(t *testing.T) {
+	exp := NewExporter(5)
+	exp.TemplateEvery = 0
+	m1, _ := exp.Export(mkRecords(3, 100), 30) // templated, seq 0
+	m2, _ := exp.Export(mkRecords(3, 100), 30) // data-only, seq 3
+	col := NewCollector()
+	for _, m := range [][]byte{m1[0], m2[0]} {
+		if _, err := col.Feed(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("Gaps = %d before restart", col.Gaps)
+	}
+	// Restarted exporter: sequence back to 0, data set referencing a
+	// template ID the collector has never seen.
+	restart := append([]byte(nil), m2[0]...)
+	binary.BigEndian.PutUint32(restart[8:12], 0)
+	binary.BigEndian.PutUint16(restart[16:18], 999)
+	if _, err := col.Feed(restart); err != nil {
+		t.Fatal(err)
+	}
+	if col.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps)
+	}
+}
+
 func TestTemplateCacheScopedByDomain(t *testing.T) {
 	expA := NewExporter(1)
 	mA, _ := expA.Export(mkRecords(2, 100), 30)

@@ -47,6 +47,40 @@ func TestFeedNeverPanicsOnMutatedMessages(t *testing.T) {
 	}
 }
 
+// FuzzFeed is the native fuzz target behind the two quick-check tests
+// above: whatever bytes arrive, Feed must return without panicking,
+// and decoded records must carry only addresses the Detector feed path
+// can handle (4-byte or invalid — never a mis-sized Addr).
+func FuzzFeed(f *testing.F) {
+	exp := NewExporter(1)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(mkRecords(12, 1000), 30)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(msgs[0])
+	f.Add([]byte{})
+	f.Add([]byte{0, 9, 0, 1})
+	// A template whose source-address field is 2 bytes wide, followed
+	// by a matching data FlowSet: decodes to records with an invalid
+	// Src, the case that used to panic the Detector.
+	short := make([]byte, 0, 64)
+	short = append(short, 0, 9, 0, 2)                                     // version 9, count 2
+	short = append(short, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7) // uptime, secs, seq, source
+	short = append(short, 0, 0, 0, 12, 1, 0, 0, 1, 0, 8, 0, 2)            // template 256: srcaddr len 2
+	short = append(short, 1, 0, 0, 6, 10, 1)                              // data set, one 2-byte record
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col := NewCollector()
+		recs, _ := col.Feed(data)
+		for i := range recs {
+			if a := recs[i].Key.Src; a.IsValid() && !a.Is4() {
+				t.Fatalf("decoded non-IPv4 source %v", a)
+			}
+		}
+	})
+}
+
 func TestTemplateWithHugeFieldCount(t *testing.T) {
 	// A malicious template claiming 65535 fields must be rejected, not
 	// allocate unbounded memory.

@@ -205,11 +205,21 @@ type Collector struct {
 	// Dropped counts data FlowSets skipped because their template has
 	// not been seen yet (possible over UDP; RFC 3954 §10).
 	Dropped int
+	// Per-source sequence tracking. Unlike IPFIX, the v9 sequence
+	// number counts export packets (RFC 3954 §5.1), so the expected
+	// continuation is simply seq+1.
+	lastSeq map[uint32]uint32
+	// Gaps counts messages whose sequence number did not match the
+	// expected continuation (lost or reordered transport).
+	Gaps int
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{templates: make(map[uint64]Template)}
+	return &Collector{
+		templates: make(map[uint64]Template),
+		lastSeq:   make(map[uint32]uint32),
+	}
 }
 
 // Errors returned by the collector.
@@ -227,31 +237,60 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	unixSecs := binary.BigEndian.Uint32(msg[8:12])
+	seq := binary.BigEndian.Uint32(msg[12:16])
 	sourceID := binary.BigEndian.Uint32(msg[16:20])
 	hour := simtime.Hour(int64(unixSecs) / 3600)
 
+	want, anchored := c.lastSeq[sourceID]
+
+	// The next expected sequence number is seq+1 (v9 counts export
+	// packets, not records). Both the gap comparison and the next
+	// anchor are only trusted when the whole message decodes cleanly:
+	// an untemplated or partial data FlowSet means we have lost
+	// template sync with the exporter — typically an exporter restart,
+	// which also resets its sequence counter — and a message that
+	// errors mid-parse is equally suspect. Counting those as ordinary
+	// gaps would report phantom loss and desynchronize accounting for
+	// the rest of the stream, so, exactly like internal/ipfix,
+	// sequence tracking is instead invalidated and re-anchored by the
+	// next clean message (gap accounting included).
 	var out []flow.Record
+	counted := true
 	rest := msg[headerLen:]
 	for len(rest) >= 4 {
 		setID := binary.BigEndian.Uint16(rest[0:2])
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < 4 || setLen > len(rest) {
+			delete(c.lastSeq, sourceID)
 			return out, fmt.Errorf("netflow: flowset length %d exceeds remaining %d", setLen, len(rest))
 		}
 		body := rest[4:setLen]
 		switch {
 		case setID == 0:
 			if err := c.parseTemplates(sourceID, body); err != nil {
+				delete(c.lastSeq, sourceID)
 				return out, err
 			}
 		case setID >= 256:
-			recs, err := c.parseData(sourceID, setID, body, hour)
+			recs, ok, err := c.parseData(sourceID, setID, body, hour)
 			if err != nil {
+				delete(c.lastSeq, sourceID)
 				return out, err
+			}
+			if !ok {
+				counted = false
 			}
 			out = append(out, recs...)
 		}
 		rest = rest[setLen:]
+	}
+	if counted {
+		if anchored && seq != want {
+			c.Gaps++
+		}
+		c.lastSeq[sourceID] = seq + 1
+	} else {
+		delete(c.lastSeq, sourceID)
 	}
 	return out, nil
 }
@@ -281,15 +320,18 @@ func templateKey(sourceID uint32, templateID uint16) uint64 {
 	return uint64(sourceID)<<16 | uint64(templateID)
 }
 
-func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, error) {
+// parseData decodes one data FlowSet. The boolean reports whether the
+// set decoded fully (false when the template is missing, which leaves
+// the stream's sequence continuation untrusted).
+func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool, error) {
 	t, ok := c.templates[templateKey(sourceID, setID)]
 	if !ok {
 		c.Dropped++
-		return nil, nil
+		return nil, false, nil
 	}
 	recLen := t.RecordLen()
 	if recLen == 0 {
-		return nil, fmt.Errorf("netflow: template %d has zero-length records", setID)
+		return nil, false, fmt.Errorf("netflow: template %d has zero-length records", setID)
 	}
 	var out []flow.Record
 	for len(body) >= recLen {
@@ -304,7 +346,7 @@ func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour s
 		body = body[recLen:]
 	}
 	// Remaining bytes < recLen are padding.
-	return out, nil
+	return out, true, nil
 }
 
 func decodeField(rec *flow.Record, f FieldSpec, b []byte) {

@@ -1,6 +1,7 @@
 package netflow
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -145,6 +146,163 @@ func TestSourceIDSeparatesTemplates(t *testing.T) {
 	}
 	if len(recs) != 0 || col.Dropped != 1 {
 		t.Fatalf("cross-source template leak: %d records, dropped %d", len(recs), col.Dropped)
+	}
+}
+
+func TestGapDetection(t *testing.T) {
+	exp := NewExporter(9)
+	exp.TemplateEvery = 1
+	m1, _ := exp.Export(mkRecords(5, 100), 30)
+	m2, _ := exp.Export(mkRecords(5, 100), 30)
+	m3, _ := exp.Export(mkRecords(5, 100), 30)
+	col := NewCollector()
+	if _, err := col.Feed(m1[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Skip m2: collector should flag a gap on m3.
+	_ = m2
+	if _, err := col.Feed(m3[0]); err != nil {
+		t.Fatal(err)
+	}
+	if col.Gaps != 1 {
+		t.Fatalf("Gaps = %d, want 1", col.Gaps)
+	}
+}
+
+func TestNoGapOnLosslessStream(t *testing.T) {
+	exp := NewExporter(3)
+	exp.TemplateEvery = 2 // messages 0, 2, 4, … carry the template
+	col := NewCollector()
+	for i := 0; i < 6; i++ {
+		msgs, err := exp.Export(mkRecords(5, 100), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := col.Feed(msgs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("Gaps = %d on a lossless stream", col.Gaps)
+	}
+}
+
+func TestSequencePerSource(t *testing.T) {
+	// Interleaved sources each track their own sequence; neither sees a
+	// gap from the other's numbering.
+	expA, expB := NewExporter(1), NewExporter(2)
+	expA.TemplateEvery, expB.TemplateEvery = 1, 1
+	col := NewCollector()
+	for i := 0; i < 4; i++ {
+		mA, _ := expA.Export(mkRecords(3, 100), 30)
+		mB, _ := expB.Export(mkRecords(3, 100), 30)
+		for _, m := range [][]byte{mA[0], mB[0]} {
+			if _, err := col.Feed(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("Gaps = %d across interleaved sources", col.Gaps)
+	}
+}
+
+// TestSequenceReanchorsAfterUntemplatedData mirrors the IPFIX
+// collector's contract: a data FlowSet dropped for lack of a template
+// invalidates sequence tracking (template desync usually means an
+// exporter restart, which also resets the sequence counter), and the
+// next clean message re-anchors instead of reporting phantom gaps.
+func TestSequenceReanchorsAfterUntemplatedData(t *testing.T) {
+	exp := NewExporter(5)
+	exp.TemplateEvery = 0 // template only in the first message
+	templated, _ := exp.Export(mkRecords(4, 100), 30)
+	dataOnly1, _ := exp.Export(mkRecords(4, 100), 30)
+	dataOnly2, _ := exp.Export(mkRecords(4, 100), 30)
+
+	// A fresh collector never saw the template: the data-only message
+	// must not anchor sequence tracking.
+	col := NewCollector()
+	if _, err := col.Feed(dataOnly1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if col.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	}
+	// Replay from the start: seq goes 1 → 0, which would be a gap if
+	// the dropped message had anchored, but tracking was invalidated.
+	if _, err := col.Feed(templated[0]); err != nil {
+		t.Fatal(err)
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("Gaps = %d after re-anchor, want 0", col.Gaps)
+	}
+	// From the re-anchored clean message, real gaps are seen again.
+	if _, err := col.Feed(dataOnly2[0]); err != nil { // seq 2, want 1
+		t.Fatal(err)
+	}
+	if col.Gaps != 1 {
+		t.Fatalf("Gaps = %d after genuine loss, want 1", col.Gaps)
+	}
+}
+
+// TestNoPhantomGapOnExporterRestart: an anchored source whose exporter
+// restarts (sequence reset) and whose first post-restart message
+// carries a data set the collector has no template for must not count
+// a gap — the message's continuation is untrusted, so gap accounting
+// re-anchors instead.
+func TestNoPhantomGapOnExporterRestart(t *testing.T) {
+	exp := NewExporter(5)
+	exp.TemplateEvery = 0
+	m1, _ := exp.Export(mkRecords(3, 100), 30) // templated, seq 0
+	m2, _ := exp.Export(mkRecords(3, 100), 30) // data-only, seq 1
+	col := NewCollector()
+	for _, m := range [][]byte{m1[0], m2[0]} {
+		if _, err := col.Feed(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("Gaps = %d before restart", col.Gaps)
+	}
+	// Restarted exporter: sequence back to 0, data set referencing a
+	// template ID the collector has never seen.
+	restart := append([]byte(nil), m2[0]...)
+	binary.BigEndian.PutUint32(restart[12:16], 0)
+	binary.BigEndian.PutUint16(restart[20:22], 999)
+	if _, err := col.Feed(restart); err != nil {
+		t.Fatal(err)
+	}
+	if col.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	}
+	if col.Gaps != 0 {
+		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps)
+	}
+}
+
+func TestSequenceReanchorsAfterParseError(t *testing.T) {
+	exp := NewExporter(8)
+	exp.TemplateEvery = 1
+	m1, _ := exp.Export(mkRecords(2, 0), 30)
+	m2, _ := exp.Export(mkRecords(2, 0), 30)
+	col := NewCollector()
+	if _, err := col.Feed(m1[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt m2's first flowset length so parsing errors mid-message.
+	bad := append([]byte(nil), m2[0]...)
+	bad[22], bad[23] = 0xff, 0xff
+	if _, err := col.Feed(bad); err == nil {
+		t.Fatal("oversized flowset accepted")
+	}
+	// The error invalidated tracking: replaying m2 cleanly (seq 1,
+	// which no longer has an anchor) reports no gap.
+	gaps := col.Gaps
+	if _, err := col.Feed(m2[0]); err != nil {
+		t.Fatal(err)
+	}
+	if col.Gaps != gaps {
+		t.Fatalf("Gaps advanced to %d after re-anchor", col.Gaps)
 	}
 }
 

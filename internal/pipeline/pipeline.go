@@ -11,14 +11,29 @@
 // aggregate the pipeline exposes is independent of the shard count:
 // running with 1 shard or 8 produces identical results, only faster.
 //
-// The producer side batches observations per shard and hands full
-// batches to bounded channels; read accessors first drain all pending
-// work (Sync) so they always observe a quiescent, consistent state.
+// # Producers
+//
+// The write side is driven through Producer handles. Each Producer
+// owns per-shard batch buffers and must be used from a single
+// goroutine, but any number of Producers may observe concurrently —
+// one per collector feed in an operational deployment. Within one
+// Producer a subscriber's observations are applied in call order;
+// across Producers the interleaving is unspecified, so feeds that must
+// agree on per-subscriber ordering (first-detection hours) should
+// partition subscribers between them, as distinct exporters naturally
+// do.
+//
+// Full batches are handed to bounded per-shard channels; read
+// accessors first drain all live producers and wait for the workers
+// (Sync), so they always observe a quiescent, consistent state. Reads
+// require that no Observe is concurrently in flight: quiesce the
+// producer goroutines (or Close their handles) before reading.
 package pipeline
 
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/detect"
 	"repro/internal/rules"
@@ -40,31 +55,48 @@ type Obs struct {
 // before a batch is handed to its worker.
 const DefaultBatchSize = 512
 
-// shardBacklog bounds how many batches may queue per shard before the
+// shardBacklog bounds how many batches may queue per shard before a
 // producer blocks (backpressure instead of unbounded memory).
 const shardBacklog = 4
 
 type shard struct {
-	eng   *detect.Engine
-	ch    chan []Obs
-	free  chan []Obs // recycled batch buffers
-	batch []Obs
+	// mu guards eng between the worker (write-locked per batch) and
+	// the read accessors (read-locked per shard visit), so reads
+	// concurrent with live producers are safe, merely approximate.
+	mu   sync.RWMutex
+	eng  *detect.Engine
+	ch   chan []Obs
+	free chan []Obs // recycled batch buffers
 }
 
-// Pipeline is a sharded, batched detection engine. The producer API
-// (Observe, Sync, Reset, Close) must be driven from one goroutine;
-// engine work proceeds concurrently on the shard workers.
+// Pipeline is a sharded, batched detection engine. Writes go through
+// Producer handles (NewProducer); engine work proceeds concurrently on
+// the shard workers; read accessors synchronize via Sync.
 type Pipeline struct {
 	dict      *rules.Dictionary
 	shards    []*shard
 	batchSize int
-	pending   sync.WaitGroup // batches dispatched but not yet processed
 	workers   sync.WaitGroup
-	// dirty is set by Observe and cleared by Sync, so back-to-back
-	// reads (e.g. point queries inside an EachDetected visit) skip the
-	// flush-and-wait entirely while the engines are quiescent.
-	dirty  bool
-	closed bool
+
+	// inflight counts batches dispatched but not yet processed. A
+	// plain counter under a mutex with a condition variable, not a
+	// WaitGroup: producers may dispatch while a reader waits for
+	// quiescence, and WaitGroup forbids Add concurrent with Wait.
+	inflightMu sync.Mutex
+	inflight   int
+	quiet      *sync.Cond // signaled when inflight drops to zero
+
+	// dirty is set by Producer.Observe and cleared by Sync, so
+	// back-to-back reads (e.g. point queries inside an EachDetected
+	// visit) skip the producer flush pass while the engines are
+	// quiescent.
+	dirty  atomic.Bool
+	closed atomic.Bool
+
+	mu        sync.Mutex // guards producers
+	producers map[*Producer]struct{}
+
+	syncMu sync.Mutex // serializes Sync flush passes between readers
 }
 
 // New starts a pipeline with n worker-owned engine shards at detection
@@ -73,14 +105,18 @@ func New(dict *rules.Dictionary, d float64, n int) *Pipeline {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pipeline{dict: dict, batchSize: DefaultBatchSize}
+	p := &Pipeline{
+		dict:      dict,
+		batchSize: DefaultBatchSize,
+		producers: make(map[*Producer]struct{}),
+	}
+	p.quiet = sync.NewCond(&p.inflightMu)
 	p.shards = make([]*shard, n)
 	for i := range p.shards {
 		s := &shard{
-			eng:   detect.New(dict, d),
-			ch:    make(chan []Obs, shardBacklog),
-			free:  make(chan []Obs, shardBacklog),
-			batch: make([]Obs, 0, DefaultBatchSize),
+			eng:  detect.New(dict, d),
+			ch:   make(chan []Obs, shardBacklog),
+			free: make(chan []Obs, shardBacklog),
 		}
 		p.shards[i] = s
 		p.workers.Add(1)
@@ -92,16 +128,35 @@ func New(dict *rules.Dictionary, d float64, n int) *Pipeline {
 func (p *Pipeline) run(s *shard) {
 	defer p.workers.Done()
 	for batch := range s.ch {
+		s.mu.Lock()
 		for i := range batch {
 			o := &batch[i]
 			s.eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
 		}
+		s.mu.Unlock()
 		select {
 		case s.free <- batch[:0]:
 		default: // recycle ring full; let the buffer be collected
 		}
-		p.pending.Done()
+		p.inflightMu.Lock()
+		p.inflight--
+		if p.inflight == 0 {
+			p.quiet.Broadcast()
+		}
+		p.inflightMu.Unlock()
 	}
+}
+
+// waitQuiesced blocks until no dispatched batch remains unprocessed.
+// Engine writes by the workers happen-before its return. Under
+// sustained producer saturation inflight may never reach zero, so a
+// racing reader waits for a lull; quiescent producers drain promptly.
+func (p *Pipeline) waitQuiesced() {
+	p.inflightMu.Lock()
+	for p.inflight > 0 {
+		p.quiet.Wait()
+	}
+	p.inflightMu.Unlock()
 }
 
 // shardOf maps a subscriber to its owning shard. SubIDs are often
@@ -110,48 +165,150 @@ func (p *Pipeline) shardOf(sub detect.SubID) int {
 	return int(simrand.Mix64(uint64(sub)) % uint64(len(p.shards)))
 }
 
+// dispatch hands one full or flushed batch to its shard worker.
+func (p *Pipeline) dispatch(s *shard, batch []Obs) {
+	p.inflightMu.Lock()
+	p.inflight++
+	p.inflightMu.Unlock()
+	s.ch <- batch
+}
+
+// Producer is a write handle onto the pipeline with its own per-shard
+// batch buffers. Each Producer must be driven from a single goroutine;
+// distinct Producers may observe concurrently. A subscriber's
+// observations keep their order within one Producer (they ride the
+// same per-shard buffer and channel); ordering across Producers is
+// unspecified.
+type Producer struct {
+	p *Pipeline
+	// mu guards the buffers against the flush Sync performs on behalf
+	// of readers. Uncontended in steady state: only Sync/Close take it
+	// from other goroutines.
+	mu     sync.Mutex
+	batch  [][]Obs // one buffer per shard, nil until first use
+	closed bool
+}
+
+// NewProducer registers a new write handle. Producers left open are
+// flushed and closed by Pipeline.Close.
+func (p *Pipeline) NewProducer() *Producer {
+	if p.closed.Load() {
+		panic("pipeline: NewProducer after Close")
+	}
+	pr := &Producer{p: p, batch: make([][]Obs, len(p.shards))}
+	p.mu.Lock()
+	p.producers[pr] = struct{}{}
+	p.mu.Unlock()
+	return pr
+}
+
 // Observe enqueues one sampled flow observation. Unlike
 // detect.Engine.Observe it does not report newly-fired rules: firing
-// happens asynchronously on the owning shard. Use the read accessors
-// (which synchronize) to inspect detections.
-func (p *Pipeline) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
-	if p.closed {
+// happens asynchronously on the owning shard. Use the pipeline's read
+// accessors (which synchronize) to inspect detections.
+func (pr *Producer) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+	p := pr.p
+	if p.closed.Load() {
 		panic("pipeline: Observe after Close")
 	}
-	p.dirty = true
-	s := p.shards[p.shardOf(sub)]
-	s.batch = append(s.batch, Obs{Sub: sub, Hour: h, IP: ip, Port: port, Pkts: pkts})
-	if len(s.batch) >= p.batchSize {
-		p.dispatch(s)
+	i := p.shardOf(sub)
+	s := p.shards[i]
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		panic("pipeline: Observe on closed Producer")
 	}
-}
-
-func (p *Pipeline) dispatch(s *shard) {
-	p.pending.Add(1)
-	s.ch <- s.batch
-	select {
-	case b := <-s.free:
-		s.batch = b
-	default:
-		s.batch = make([]Obs, 0, p.batchSize)
-	}
-}
-
-// Sync flushes partial batches and blocks until every dispatched
-// observation has been applied to its shard engine. All read accessors
-// call it implicitly; between Sync and the next Observe the shard
-// engines are quiescent and safe to read.
-func (p *Pipeline) Sync() {
-	if !p.dirty {
-		return
-	}
-	for _, s := range p.shards {
-		if len(s.batch) > 0 {
-			p.dispatch(s)
+	b := pr.batch[i]
+	if b == nil {
+		select {
+		case b = <-s.free:
+		default:
+			b = make([]Obs, 0, p.batchSize)
 		}
 	}
-	p.pending.Wait()
-	p.dirty = false
+	b = append(b, Obs{Sub: sub, Hour: h, IP: ip, Port: port, Pkts: pkts})
+	if len(b) >= p.batchSize {
+		p.dispatch(s, b)
+		b = nil
+	}
+	pr.batch[i] = b
+	// Set dirty after buffering, still under pr.mu: a Sync that
+	// cleared the flag before this point either takes pr.mu after us
+	// and flushes this observation, or left it buffered — in which
+	// case the store guarantees the next Sync flushes it. Setting
+	// dirty first would let a racing Sync clear it over an empty
+	// buffer and strand the observation invisible to later reads.
+	p.dirty.Store(true)
+	pr.mu.Unlock()
+}
+
+// Flush dispatches the producer's partial batches to their shard
+// workers without waiting for them to be applied.
+func (pr *Producer) Flush() {
+	pr.mu.Lock()
+	pr.flushLocked()
+	pr.mu.Unlock()
+}
+
+func (pr *Producer) flushLocked() {
+	for i, b := range pr.batch {
+		if len(b) > 0 {
+			pr.p.dispatch(pr.p.shards[i], b)
+			pr.batch[i] = nil
+		}
+	}
+}
+
+// Close flushes the producer's partial batches and unregisters the
+// handle. Closing an already-closed producer is a no-op.
+func (pr *Producer) Close() {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		return
+	}
+	pr.flushLocked()
+	pr.closed = true
+	pr.mu.Unlock()
+	p := pr.p
+	p.mu.Lock()
+	delete(p.producers, pr)
+	p.mu.Unlock()
+}
+
+// Producers returns the number of open producer handles.
+func (p *Pipeline) Producers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.producers)
+}
+
+// Sync flushes the partial batches of every live producer and blocks
+// until every dispatched observation has been applied to its shard
+// engine. All read accessors call it implicitly; between Sync and the
+// next Observe the shard engines are quiescent and safe to read.
+// Concurrent readers are safe (Sync serializes their flush passes),
+// and a Sync racing an Observe is safe but may or may not include
+// that observation — quiesce producers before reading for exact
+// results.
+func (p *Pipeline) Sync() {
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	if p.dirty.Swap(false) {
+		p.mu.Lock()
+		prs := make([]*Producer, 0, len(p.producers))
+		for pr := range p.producers {
+			prs = append(prs, pr)
+		}
+		p.mu.Unlock()
+		for _, pr := range prs {
+			pr.Flush()
+		}
+	}
+	// Wait even when the flush pass was skipped: it is what gives a
+	// reader that lost the dirty race to another Sync a happens-after
+	// edge with the workers' engine writes.
+	p.waitQuiesced()
 }
 
 // Shards returns the number of engine shards.
@@ -161,21 +318,35 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 func (p *Pipeline) Dictionary() *rules.Dictionary { return p.dict }
 
 // Reset clears all shard state (start of a new aggregation bin).
+// Producers stay registered and usable for the next bin, but must be
+// quiescent across the call or observations straddle the bins.
 func (p *Pipeline) Reset() {
 	p.Sync()
 	for _, s := range p.shards {
+		s.mu.Lock()
 		s.eng.Reset()
+		s.mu.Unlock()
 	}
 }
 
-// Close drains pending work and stops the shard workers. The pipeline
-// remains readable after Close but must not Observe again.
+// Close flushes and closes all live producers, drains pending work and
+// stops the shard workers. The pipeline remains readable after Close
+// but must not Observe again.
 func (p *Pipeline) Close() {
-	if p.closed {
+	if p.closed.Swap(true) {
 		return
 	}
-	p.closed = true
-	p.Sync()
+	p.mu.Lock()
+	prs := make([]*Producer, 0, len(p.producers))
+	for pr := range p.producers {
+		prs = append(prs, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range prs {
+		pr.Close()
+	}
+	p.waitQuiesced()
+	p.dirty.Store(false)
 	for _, s := range p.shards {
 		close(s.ch)
 	}
@@ -185,27 +356,39 @@ func (p *Pipeline) Close() {
 // Detected reports whether the rule has fired for the subscriber.
 func (p *Pipeline) Detected(sub detect.SubID, rule int) bool {
 	p.Sync()
-	return p.shards[p.shardOf(sub)].eng.Detected(sub, rule)
+	s := p.shards[p.shardOf(sub)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.Detected(sub, rule)
 }
 
 // FirstDetection returns the hour a rule first fired for a subscriber
 // and whether it fired at all.
 func (p *Pipeline) FirstDetection(sub detect.SubID, rule int) (simtime.Hour, bool) {
 	p.Sync()
-	return p.shards[p.shardOf(sub)].eng.FirstDetection(sub, rule)
+	s := p.shards[p.shardOf(sub)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.FirstDetection(sub, rule)
 }
 
 // RulePackets returns the sampled packets attributed to (sub, rule) in
 // this bin.
 func (p *Pipeline) RulePackets(sub detect.SubID, rule int) uint64 {
 	p.Sync()
-	return p.shards[p.shardOf(sub)].eng.RulePackets(sub, rule)
+	s := p.shards[p.shardOf(sub)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.RulePackets(sub, rule)
 }
 
 // ActiveUse reports whether (sub, rule) meets the §7.1 usage threshold.
 func (p *Pipeline) ActiveUse(sub detect.SubID, rule int) bool {
 	p.Sync()
-	return p.shards[p.shardOf(sub)].eng.ActiveUse(sub, rule)
+	s := p.shards[p.shardOf(sub)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.ActiveUse(sub, rule)
 }
 
 // CountDetected returns how many subscribers the rule currently fires
@@ -214,7 +397,9 @@ func (p *Pipeline) CountDetected(rule int) int {
 	p.Sync()
 	n := 0
 	for _, s := range p.shards {
+		s.mu.RLock()
 		n += s.eng.CountDetected(rule)
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -225,7 +410,9 @@ func (p *Pipeline) CountAnyDetected() int {
 	p.Sync()
 	n := 0
 	for _, s := range p.shards {
+		s.mu.RLock()
 		n += s.eng.CountAnyDetected()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -235,18 +422,36 @@ func (p *Pipeline) Subscribers() int {
 	p.Sync()
 	n := 0
 	for _, s := range p.shards {
+		s.mu.RLock()
 		n += s.eng.Subscribers()
+		s.mu.RUnlock()
 	}
 	return n
 }
 
 // EachDetected visits every (subscriber, rule) detection across shards.
 // Visit order follows shard order, not subscriber order; use Snapshot
-// for a globally ordered view.
+// for a globally ordered view. Each shard's detections are captured
+// under its read lock before fn runs, so fn may itself call read
+// accessors (point queries) without holding any shard lock.
 func (p *Pipeline) EachDetected(fn func(sub detect.SubID, rule int, first simtime.Hour)) {
 	p.Sync()
+	type det struct {
+		sub   detect.SubID
+		rule  int
+		first simtime.Hour
+	}
+	var items []det
 	for _, s := range p.shards {
-		s.eng.EachDetected(fn)
+		items = items[:0]
+		s.mu.RLock()
+		s.eng.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+			items = append(items, det{sub, rule, first})
+		})
+		s.mu.RUnlock()
+		for _, it := range items {
+			fn(it.sub, it.rule, it.first)
+		}
 	}
 }
 
@@ -255,7 +460,9 @@ func (p *Pipeline) Snapshot() *detect.Snapshot {
 	p.Sync()
 	parts := make([]*detect.Snapshot, len(p.shards))
 	for i, s := range p.shards {
+		s.mu.RLock()
 		parts[i] = s.eng.Snapshot()
+		s.mu.RUnlock()
 	}
 	return detect.Merge(parts...)
 }

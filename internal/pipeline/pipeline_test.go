@@ -3,6 +3,7 @@ package pipeline
 import (
 	"net/netip"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/classify"
@@ -84,8 +85,9 @@ func TestPipelineMatchesEngine(t *testing.T) {
 
 	for _, n := range []int{1, 4, 8} {
 		p := New(dict, 0.4, n)
+		prod := p.NewProducer()
 		for _, o := range obs {
-			p.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+			prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
 		}
 		got := p.Snapshot()
 		if !reflect.DeepEqual(got.Detections(), want.Detections()) {
@@ -124,14 +126,143 @@ func TestPipelineMatchesEngine(t *testing.T) {
 	}
 }
 
-func TestPipelineCountsAcrossShards(t *testing.T) {
+// TestPipelineMultiProducerMatchesEngine is the multi-producer
+// determinism contract: N producer goroutines, each owning a disjoint
+// subscriber partition of the stream, must reproduce single-engine
+// results exactly. Run with -race to check the producer handoff.
+func TestPipelineMultiProducerMatchesEngine(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+
+	eng := detect.New(dict, 0.4)
+	for _, o := range obs {
+		eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+	}
+	want := eng.Snapshot()
+
+	for _, producers := range []int{2, 4, 7} {
+		p := New(dict, 0.4, 8)
+		// Partition observations by subscriber so each subscriber's
+		// stream stays ordered within one producer — the documented
+		// cross-producer ordering contract.
+		parts := make([][]Obs, producers)
+		for _, o := range obs {
+			i := int(uint64(o.Sub) % uint64(producers))
+			parts[i] = append(parts[i], o)
+		}
+		var wg sync.WaitGroup
+		for _, part := range parts {
+			prod := p.NewProducer()
+			wg.Add(1)
+			go func(prod *Producer, part []Obs) {
+				defer wg.Done()
+				for _, o := range part {
+					prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+				}
+				prod.Close()
+			}(prod, part)
+		}
+		wg.Wait()
+		if got := p.Snapshot(); !reflect.DeepEqual(got.Detections(), want.Detections()) {
+			t.Fatalf("producers=%d: detections diverge from single engine", producers)
+		}
+		if p.Producers() != 0 {
+			t.Fatalf("producers=%d: %d handles still open", producers, p.Producers())
+		}
+		p.Close()
+	}
+}
+
+// TestPipelineSyncFlushesLiveProducers checks the producer-aware Sync
+// barrier: reads must see observations still sitting in another live
+// (unflushed, unclosed) producer's partial batches.
+func TestPipelineSyncFlushesLiveProducers(t *testing.T) {
 	dict, w := testDict(t)
 	p := New(dict, 0.4, 4)
 	defer p.Close()
 	h := w.Window.Start
+	ips := w.ResolverOn(h.Day()).Resolve("mqtt.simmeross.example")
+	port := w.Catalog.Domains["mqtt.simmeross.example"].Port
+
+	a, b := p.NewProducer(), p.NewProducer()
+	for i := 0; i < 10; i++ {
+		a.Observe(detect.SubID(i), h, ips[0], port, 1)
+		b.Observe(detect.SubID(100+i), h, ips[0], port, 1)
+	}
+	// Neither producer dispatched a full batch, and neither is closed:
+	// the read barrier alone must surface all 20 subscribers.
+	if got := p.CountAnyDetected(); got != 20 {
+		t.Fatalf("CountAnyDetected = %d, want 20", got)
+	}
+	// Producers remain usable after a Sync flushed their buffers.
+	a.Observe(detect.SubID(50), h, ips[0], port, 1)
+	if got := p.Subscribers(); got != 21 {
+		t.Fatalf("Subscribers = %d, want 21", got)
+	}
+}
+
+// TestPipelineReadsDuringObserve exercises the racy-but-safe mode the
+// Sync contract sanctions: readers polling aggregates while producer
+// goroutines are still observing must never race, panic, or strand
+// observations. Exact counts are only asserted after the producers
+// quiesce. Run with -race.
+func TestPipelineReadsDuringObserve(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+	p := New(dict, 0.4, 4)
+	defer p.Close()
+
+	const producers = 3
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < producers; g++ {
+		prod := p.NewProducer()
+		writers.Add(1)
+		go func(g int, prod *Producer) {
+			defer writers.Done()
+			defer prod.Close()
+			for _, o := range obs {
+				if int(uint64(o.Sub)%producers) == g {
+					prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+				}
+			}
+		}(g, prod)
+	}
+	readers.Add(1)
+	go func() { // a reader polling mid-stream
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.CountAnyDetected()
+				_ = p.Subscribers()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	eng := detect.New(dict, 0.4)
+	for _, o := range obs {
+		eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+	}
+	if got, want := p.Snapshot().CountAnyDetected(), eng.Snapshot().CountAnyDetected(); got != want {
+		t.Fatalf("after quiescing: CountAnyDetected = %d, want %d", got, want)
+	}
+}
+
+func TestPipelineCountsAcrossShards(t *testing.T) {
+	dict, w := testDict(t)
+	p := New(dict, 0.4, 4)
+	defer p.Close()
+	prod := p.NewProducer()
+	h := w.Window.Start
 	feedDomain := func(sub detect.SubID, domain string) {
 		ips := w.ResolverOn(h.Day()).Resolve(domain)
-		p.Observe(sub, h, ips[0], w.Catalog.Domains[domain].Port, 1)
+		prod.Observe(sub, h, ips[0], w.Catalog.Domains[domain].Port, 1)
 	}
 	for i := 0; i < 64; i++ {
 		feedDomain(detect.SubID(i), "mqtt.simmeross.example")
@@ -162,10 +293,11 @@ func TestPipelineResetClearsAllShards(t *testing.T) {
 	dict, w := testDict(t)
 	p := New(dict, 0.4, 4)
 	defer p.Close()
+	prod := p.NewProducer()
 	h := w.Window.Start
 	ips := w.ResolverOn(h.Day()).Resolve("mqtt.simmeross.example")
 	for i := 0; i < 32; i++ {
-		p.Observe(detect.SubID(i), h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
+		prod.Observe(detect.SubID(i), h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
 	}
 	if p.CountAnyDetected() == 0 {
 		t.Fatal("nothing detected before Reset")
@@ -174,8 +306,9 @@ func TestPipelineResetClearsAllShards(t *testing.T) {
 	if p.CountAnyDetected() != 0 || p.Subscribers() != 0 {
 		t.Fatal("Reset did not clear all shards")
 	}
-	// The pipeline stays usable across bins, like Engine.Reset.
-	p.Observe(1, h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
+	// The pipeline and its producers stay usable across bins, like
+	// Engine.Reset.
+	prod.Observe(1, h, ips[0], w.Catalog.Domains["mqtt.simmeross.example"].Port, 1)
 	if p.CountAnyDetected() != 1 {
 		t.Fatal("pipeline unusable after Reset")
 	}
@@ -190,10 +323,11 @@ func TestPipelineBinCycle(t *testing.T) {
 	obs := genObs(t, dict, w)
 	p := New(dict, 0.4, 8)
 	defer p.Close()
+	prod := p.NewProducer()
 	for bin := 0; bin < 5; bin++ {
 		for i, o := range obs {
 			if i%5 == bin {
-				p.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+				prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
 			}
 		}
 		n := 0
@@ -220,11 +354,39 @@ func TestPipelineShardClamp(t *testing.T) {
 func TestPipelineObserveAfterClosePanics(t *testing.T) {
 	dict, _ := testDict(t)
 	p := New(dict, 0.4, 2)
+	prod := p.NewProducer()
 	p.Close()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Observe after Close did not panic")
 		}
 	}()
-	p.Observe(1, 0, netip.MustParseAddr("8.8.8.8"), 53, 1)
+	prod.Observe(1, 0, netip.MustParseAddr("8.8.8.8"), 53, 1)
+}
+
+func TestPipelineObserveOnClosedProducerPanics(t *testing.T) {
+	dict, _ := testDict(t)
+	p := New(dict, 0.4, 2)
+	defer p.Close()
+	prod := p.NewProducer()
+	prod.Close()
+	prod.Close() // double Close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe on closed Producer did not panic")
+		}
+	}()
+	prod.Observe(1, 0, netip.MustParseAddr("8.8.8.8"), 53, 1)
+}
+
+func TestPipelineNewProducerAfterClosePanics(t *testing.T) {
+	dict, _ := testDict(t)
+	p := New(dict, 0.4, 2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewProducer after Close did not panic")
+		}
+	}()
+	p.NewProducer()
 }
