@@ -1,12 +1,17 @@
 // Command flowgen emits the simulated ISP's sampled ground-truth
-// traffic as real NetFlow v9 or IPFIX wire messages, length-prefixed,
-// to stdout or a file — a test-data source for external collectors.
+// traffic as real NetFlow v9 or IPFIX wire messages — a test-data
+// source for external collectors and a synthetic exporter for
+// `haystack listen`.
 //
 // Usage:
 //
 //	flowgen [-proto netflow|ipfix] [-hours N] [-seed N] [-o file]
+//	flowgen -udp host:port [-pace D] ...
 //
-// Each message is prefixed with a 4-byte big-endian length.
+// With -o (default stdout) each message is prefixed with a 4-byte
+// big-endian length. With -udp each message is sent as one datagram
+// to the collector, paced by -pace — the shape a real exporter has on
+// the wire.
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"time"
 
 	"repro/internal/flow"
 	"repro/internal/ipfix"
@@ -32,9 +39,11 @@ func main() {
 	hours := flag.Int("hours", 24, "hours of traffic to generate")
 	seed := flag.Uint64("seed", 1, "world seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
+	udp := flag.String("udp", "", "send each message as a UDP datagram to this collector address instead of writing a stream")
+	pace := flag.Duration("pace", time.Millisecond, "inter-datagram delay in -udp mode")
 	flag.Parse()
 
-	if err := run(*proto, *hours, *seed, *out); err != nil {
+	if err := run(*proto, *hours, *seed, *out, *udp, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
@@ -44,7 +53,7 @@ type exporter interface {
 	Export(records []flow.Record, maxRecords int) ([][]byte, error)
 }
 
-func run(proto string, hours int, seed uint64, out string) error {
+func run(proto string, hours int, seed uint64, out, udp string, pace time.Duration) error {
 	var exp exporter
 	switch proto {
 	case "netflow":
@@ -55,17 +64,46 @@ func run(proto string, hours int, seed uint64, out string) error {
 		return fmt.Errorf("unknown protocol %q", proto)
 	}
 
-	var w io.Writer = os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
+	// emit writes one wire message: a UDP datagram in -udp mode, a
+	// length-prefixed stream record otherwise.
+	var emit func(m []byte) error
+	if udp != "" {
+		conn, err := net.Dial("udp", udp)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		defer conn.Close()
+		emit = func(m []byte) error {
+			if _, err := conn.Write(m); err != nil {
+				return err
+			}
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+			return nil
+		}
+	} else {
+		var w io.Writer = os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriter(w)
+		defer bw.Flush()
+		emit = func(m []byte) error {
+			var lenBuf [4]byte
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(m)))
+			if _, err := bw.Write(lenBuf[:]); err != nil {
+				return err
+			}
+			_, err := bw.Write(m)
+			return err
+		}
 	}
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
 
 	wld, err := world.Build(seed)
 	if err != nil {
@@ -97,13 +135,7 @@ func run(proto string, hours int, seed uint64, out string) error {
 			return
 		}
 		for _, m := range msgs {
-			var lenBuf [4]byte
-			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(m)))
-			if _, err := bw.Write(lenBuf[:]); err != nil {
-				emitErr = err
-				return
-			}
-			if _, err := bw.Write(m); err != nil {
+			if err := emit(m); err != nil {
 				emitErr = err
 				return
 			}

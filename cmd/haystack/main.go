@@ -1,5 +1,5 @@
-// Command haystack runs the reproduction experiments and inspects the
-// compiled IoT dictionary.
+// Command haystack runs the reproduction experiments, inspects the
+// compiled IoT dictionary, and deploys the live UDP collector.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	haystack experiment <ID>|all [flags]     run experiment(s)
 //	haystack list                            list experiment IDs
 //	haystack detect [-proto P] [-i file]     detect from a flowgen stream
+//	haystack listen [-udp addr]...           collect NetFlow/IPFIX over UDP
 //
 // Flags:
 //
@@ -15,21 +16,40 @@
 //	-lines N      wild-ISP subscriber lines (default 30000)
 //	-scale N      counts multiplier to paper scale (default 500)
 //	-shards N     parallel detection-engine shards for the wild sweeps
-//	              and the wire-fed detect command (default 1; any value
-//	              produces identical outputs)
+//	              and the wire-fed detect/listen commands (default 1;
+//	              any value produces identical outputs)
 //	-format F     text | csv | summary (default text)
+//
+// listen flags (see docs/OPERATIONS.md for the operator guide):
+//
+//	-udp SPEC        UDP listener, "host:port" or "proto@host:port"
+//	                 with proto netflow|ipfix|auto; repeatable
+//	                 (default auto@:2055)
+//	-max-feeds N     cap on adaptive feed fan-in (default: -shards)
+//	-rate-per-feed R records/sec one feed is provisioned for
+//	-metrics-addr A  serve transport metrics over HTTP at A
+//	                 (/metrics JSON and expvar /debug/vars)
+//	-report D        print a transport-stats line every D (0 = off)
+//	-threshold D     detection threshold (default 0.4)
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	haystack "repro"
+	"repro/internal/collector"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -43,7 +63,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all [flags]")
+		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all|detect|listen [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -76,6 +96,33 @@ func run(args []string) error {
 			return err
 		}
 		return detectStream(sys, *proto, *threshold, *input)
+
+	case "listen":
+		var listeners []collector.Listener
+		fs.Func("udp", `UDP listener: "host:port" or "proto@host:port" (repeatable)`, func(v string) error {
+			l, err := collector.ParseListener(v)
+			if err != nil {
+				return err
+			}
+			listeners = append(listeners, l)
+			return nil
+		})
+		threshold := fs.Float64("threshold", 0.4, "detection threshold D")
+		maxFeeds := fs.Int("max-feeds", 0, "adaptive fan-in cap (0 = -shards)")
+		ratePerFeed := fs.Float64("rate-per-feed", collector.DefaultRatePerFeed, "records/sec one feed is provisioned for")
+		metricsAddr := fs.String("metrics-addr", "", "HTTP metrics listen address (empty = off)")
+		reportEvery := fs.Duration("report", 0, "print transport stats at this interval (0 = off)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if len(listeners) == 0 {
+			listeners = []collector.Listener{{Addr: ":2055"}}
+		}
+		sys, err := newSystem(*seed, *lines, *scale, *shards)
+		if err != nil {
+			return err
+		}
+		return listen(sys, listeners, *threshold, *maxFeeds, *ratePerFeed, *metricsAddr, *reportEvery)
 
 	case "catalog", "rules":
 		if err := fs.Parse(rest); err != nil {
@@ -191,6 +238,93 @@ func detectStream(sys *haystack.System, proto string, threshold float64, input s
 	for _, d := range dets {
 		fmt.Printf("  %016x  %-22s %-4s first seen %s\n",
 			d.Subscriber, d.Rule, d.Level, d.First.Format("2006-01-02 15h"))
+	}
+	return nil
+}
+
+// listen runs the live collector: bind the UDP sockets, ingest until
+// SIGINT/SIGTERM, then drain and report what was detected and how the
+// transport behaved.
+func listen(sys *haystack.System, listeners []collector.Listener, threshold float64,
+	maxFeeds int, ratePerFeed float64, metricsAddr string, reportEvery time.Duration) error {
+
+	det := sys.NewDetector(threshold)
+	defer det.Close()
+	srv, err := det.Listen(haystack.ListenConfig{
+		Listeners:   listeners,
+		MaxFeeds:    maxFeeds,
+		RatePerFeed: ratePerFeed,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	for i, a := range srv.Addrs() {
+		fmt.Printf("listening %s (%s), %d engine shards, fan-in cap %d\n",
+			a, listeners[i].Proto, det.Shards(), srv.Stats().MaxFeeds)
+	}
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", srv.ServeMetrics)
+		mux.Handle("/debug/vars", expvar.Handler())
+		expvar.Publish("haystack.collector", expvar.Func(func() any { return srv.Stats() }))
+		expvar.Publish("haystack.detector", expvar.Func(func() any { return det.Stats() }))
+		msrv := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "haystack: metrics server:", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if reportEvery > 0 {
+		go func() {
+			t := time.NewTicker(reportEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					st := srv.Stats()
+					fmt.Printf("ingest: %d datagrams, %d records, %.0f rec/s ewma, %d/%d feeds, %d dropped, %d decode errors\n",
+						st.Datagrams, st.Records, st.RateEWMA, st.ActiveFeeds, st.MaxFeeds,
+						st.DroppedDatagrams, st.DecodeErrors)
+				}
+			}
+		}()
+	}
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills
+	fmt.Println("\nshutting down: draining sockets and feeds...")
+	srv.Close()
+
+	st := srv.Stats()
+	fmt.Printf("transport: %d datagrams (%d bytes), %d records, %d dropped datagrams, %d decode errors\n",
+		st.Datagrams, st.Bytes, st.Records, st.DroppedDatagrams, st.DecodeErrors)
+	for _, f := range st.Feeds {
+		fmt.Printf("  feed %d: %d sources, %d datagrams, %d records, %d template drops, %d sequence gaps\n",
+			f.Feed, f.Sources, f.Datagrams, f.Records, f.TemplateDrops, f.SequenceGaps)
+	}
+	if skipped := det.SkippedRecords(); skipped > 0 {
+		fmt.Printf("skipped %d records without a usable IPv4 subscriber address\n", skipped)
+	}
+
+	dets := det.Detections()
+	byRule := map[string]int{}
+	for _, d := range dets {
+		byRule[d.Rule]++
+	}
+	fmt.Printf("detections: %d (subscriber, rule) pairs across %d rules\n", len(dets), len(byRule))
+	for _, r := range sys.Rules() {
+		if n := byRule[r.Name]; n > 0 {
+			fmt.Printf("  %-22s %-4s %d subscribers\n", r.Name, r.Level, n)
+		}
 	}
 	return nil
 }

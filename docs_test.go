@@ -1,0 +1,104 @@
+package haystack
+
+// Documentation hygiene: every relative markdown link must resolve,
+// and prose references to test/benchmark symbols must not dangle —
+// the docs are part of the operator-facing surface and CI runs this
+// as the doc-link check step.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); targets with a scheme or a pure
+// anchor are out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocRelativeLinksResolve(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, sub...)
+	if len(files) < 5 {
+		t.Fatalf("found only %d markdown files; glob broken?", len(files))
+	}
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // strip fragment
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", f, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocSymbolReferencesExist greps the markdown for Test*/Benchmark*
+// identifiers and checks each names a real symbol in the Go sources,
+// catching references left dangling by refactors.
+func TestDocSymbolReferencesExist(t *testing.T) {
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := filepath.Glob("docs/*.md")
+	mds = append(mds, sub...)
+
+	var src strings.Builder
+	err = filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			src.Write(b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := src.String()
+
+	sym := regexp.MustCompile(`\b(?:Test|Benchmark)[A-Z]\w+`)
+	for _, f := range mds {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range sym.FindAllString(string(body), -1) {
+			if !strings.Contains(code, "func "+name+"(") {
+				t.Errorf("%s references %s, which no Go source defines", f, name)
+			}
+		}
+	}
+}

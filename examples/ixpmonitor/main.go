@@ -2,8 +2,8 @@
 // hundreds of member ASes with routing asymmetry and the established-TCP
 // spoofing filter, reporting Fig 15 (unique IPs per day per class) and
 // Fig 16 (per-AS concentration). It then demonstrates the operational
-// counterpart: several member feeds exporting IPFIX concurrently into
-// one sharded, wire-fed Detector.
+// counterpart: several member ASes exporting IPFIX over real loopback
+// UDP sockets into one sharded, wire-fed Detector (Detector.Listen).
 //
 //	go run ./examples/ixpmonitor [-clients 24000] [-members 400] [-feeds 4] [-seed 1]
 package main
@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/netip"
 	"os"
 	"sync"
+	"time"
 
 	haystack "repro"
+	"repro/internal/collector"
 	"repro/internal/flow"
 	"repro/internal/ipfix"
 	"repro/internal/report"
@@ -55,22 +58,41 @@ func main() {
 }
 
 // wireDemo is the operational path at the IXP: every member AS exports
-// IPFIX on its own observation domain, and the collector goroutines
-// feed one detector concurrently — each Feed owns a pipeline producer,
-// and members see disjoint client addresses, so the merged detections
-// equal a sequential run.
+// IPFIX on its own observation domain over a real UDP socket, and the
+// collector's sticky source→feed assignment keeps each member's
+// stream (template cache, sequence anchor, client ordering) on one
+// feed. Members see disjoint client addresses, so the merged
+// detections equal a sequential run.
 func wireDemo(sys *haystack.System, feeds int) {
 	det := sys.NewShardedDetector(0.4, 8)
 	defer det.Close()
+	srv, err := det.Listen(haystack.ListenConfig{
+		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX}},
+		MaxFeeds:   feeds,
+		MinFeeds:   feeds, // each member gets its own lane at once
+		QueueLen:   4096,
+		ReadBuffer: 4 << 20, // headroom against bursty senders
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
 	h := simtime.HourOf(sys.StudyStart()) + 12
 
 	var wg sync.WaitGroup
+	sent := 0
+	var sentMu sync.Mutex
 	for fi := 0; fi < feeds; fi++ {
 		wg.Add(1)
 		go func(fi int) {
 			defer wg.Done()
-			f := det.NewFeed()
-			defer f.Close()
+			// A fresh Dial per member: the distinct source port is the
+			// member's exporter identity on the wire.
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer conn.Close()
 			exp := ipfix.NewExporter(uint32(fi + 1))
 			// Each member's clients talk to a slice of the monitored
 			// backends, keyed off the member index.
@@ -102,20 +124,43 @@ func wireDemo(sys *haystack.System, feeds int) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			for _, m := range msgs {
-				if err := f.FeedIPFIX(m); err != nil {
+			for i, m := range msgs {
+				if _, err := conn.Write(m); err != nil {
 					log.Fatal(err)
 				}
+				if i%16 == 15 {
+					time.Sleep(time.Millisecond) // pace loopback bursts
+				}
 			}
+			sentMu.Lock()
+			sent += len(msgs)
+			sentMu.Unlock()
 		}(fi)
 	}
 	wg.Wait()
 
-	dets := det.Detections()
-	fmt.Printf("\nwire demo: %d concurrent member feeds into an %d-shard detector → %d (client, rule) detections",
-		feeds, det.Shards(), len(dets))
-	if skipped := det.SkippedRecords(); skipped > 0 {
-		fmt.Printf(" (%d records skipped)", skipped)
+	// Wait for the sockets to see every datagram, then drain: Close
+	// decodes all queued datagrams and closes the feeds, leaving the
+	// detector quiescent for an exact read.
+	for deadline := time.Now().Add(10 * time.Second); srv.Stats().Datagrams < uint64(sent); {
+		if time.Now().After(deadline) {
+			log.Fatalf("collector received %d of %d datagrams", srv.Stats().Datagrams, sent)
+		}
+		time.Sleep(time.Millisecond)
 	}
-	fmt.Println()
+	srv.Close()
+
+	st := srv.Stats()
+	dets := det.Detections()
+	fmt.Printf("\nwire demo: %d member exporters over UDP %s into an %d-shard detector\n",
+		feeds, addr, det.Shards())
+	fmt.Printf("  %d datagrams, %d records, %d dropped, %d decode errors → %d (client, rule) detections\n",
+		st.Datagrams, st.Records, st.DroppedDatagrams, st.DecodeErrors, len(dets))
+	for _, f := range st.Feeds {
+		fmt.Printf("  feed %d: %d sources, %d datagrams, %d records, %d template drops, %d gaps\n",
+			f.Feed, f.Sources, f.Datagrams, f.Records, f.TemplateDrops, f.SequenceGaps)
+	}
+	if skipped := det.SkippedRecords(); skipped > 0 {
+		fmt.Printf("  (%d records skipped)\n", skipped)
+	}
 }

@@ -19,6 +19,7 @@
 package haystack
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/collector"
 	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/flow"
@@ -197,6 +199,11 @@ type Detection struct {
 // are partitioned by anonymized subscriber key across worker-owned
 // engines, so results are independent of the shard count.
 //
+// For a live deployment, Listen / ListenAndDetect bind UDP collector
+// sockets and drive exporter datagrams through the full stack:
+// sockets → feeds → sharded engines (the three layers DESIGN.md
+// diagrams), with adaptive feed fan-in and per-feed transport metrics.
+//
 // # Concurrency
 //
 // Wire messages enter through Feed handles (NewFeed). Each Feed owns
@@ -240,11 +247,14 @@ func (s *System) NewShardedDetector(d float64, shards int) *Detector {
 // Feed is one wire-format ingestion handle: a NetFlow v9 and IPFIX
 // decoder pair bound to its own pipeline producer. Each Feed must be
 // driven from a single goroutine; distinct Feeds may run concurrently.
+// Feed satisfies collector.Feed, so the UDP socket layer (Listen,
+// ListenAndDetect) drives these handles directly.
 type Feed struct {
-	d    *Detector
-	prod *pipeline.Producer
-	nf   *netflow.Collector
-	ix   *ipfix.Collector
+	d       *Detector
+	prod    *pipeline.Producer
+	nf      *netflow.Collector
+	ix      *ipfix.Collector
+	records atomic.Uint64
 }
 
 // NewFeed registers a new ingestion handle, one per collector
@@ -262,22 +272,21 @@ func (d *Detector) NewFeed() *Feed {
 // producer. The detector stays readable; closing twice is a no-op.
 func (f *Feed) Close() { f.prod.Close() }
 
-// FeedStats are transport-health counters for one feed.
-type FeedStats struct {
-	// Dropped counts data sets skipped because their template had not
-	// been seen yet.
-	Dropped int
-	// Gaps counts exporter messages whose sequence number did not
-	// match the expected continuation (lost or reordered transport).
-	Gaps int
-}
+// FeedStats are transport-health counters for one feed: records
+// delivered to the pipeline, untemplated data sets dropped, and
+// exporter sequence gaps. The type is shared with the socket layer
+// (internal/collector), which snapshots it per feed for metrics.
+type FeedStats = collector.FeedStats
 
 // Stats returns the feed's transport-health counters, summed over its
-// NetFlow and IPFIX decoders.
+// NetFlow and IPFIX decoders. All counters are atomics, so Stats is
+// safe to call while another goroutine drives the feed — the reading
+// is approximate under load, never racy.
 func (f *Feed) Stats() FeedStats {
 	return FeedStats{
-		Dropped: f.nf.Dropped + f.ix.Dropped,
-		Gaps:    f.nf.Gaps + f.ix.Gaps,
+		Records: f.records.Load(),
+		Dropped: f.nf.Dropped.Load() + f.ix.Dropped.Load(),
+		Gaps:    f.nf.Gaps.Load() + f.ix.Gaps.Load(),
 	}
 }
 
@@ -302,6 +311,7 @@ func subscriberKey(a netip.Addr) (detect.SubID, bool) {
 // observe feeds decoded records to the pipeline, skipping (and
 // counting) records whose subscriber-side address is unusable.
 func (f *Feed) observe(recs []flow.Record) {
+	delivered := uint64(0)
 	for i := range recs {
 		r := &recs[i]
 		key, ok := subscriberKey(r.Key.Src)
@@ -310,6 +320,10 @@ func (f *Feed) observe(recs []flow.Record) {
 			continue
 		}
 		f.prod.Observe(key, r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
+		delivered++
+	}
+	if delivered > 0 {
+		f.records.Add(delivered)
 	}
 }
 
@@ -388,3 +402,66 @@ func (d *Detector) Reset() { d.pipe.Reset() }
 // Close flushes all feeds and stops the shard workers. Detections
 // remain readable after Close; feeding afterwards panics.
 func (d *Detector) Close() { d.pipe.Close() }
+
+// ListenConfig configures the detector's UDP socket layer; see
+// collector.Config for the field semantics and defaults. A zero
+// MaxFeeds is defaulted to the detector's shard count — more feeds
+// than shards cannot add engine parallelism.
+type ListenConfig = collector.Config
+
+// Listen binds the configured UDP sockets and starts ingesting
+// NetFlow v9 / IPFIX datagrams into the detection pipeline — the
+// deployable collector of the paper's §6 vantage points. Each feed
+// the adaptive fan-in opens is a NewFeed handle; exporter sources are
+// stickily assigned to feeds so template caches, sequence tracking,
+// and per-subscriber ordering are preserved (see DESIGN.md for the
+// layer diagram and docs/OPERATIONS.md for running it).
+//
+// The returned server reports transport metrics (collector.Stats) and
+// stops with Close; the detector itself stays open for Detections and
+// further feeds.
+func (d *Detector) Listen(cfg ListenConfig) (*collector.Server, error) {
+	if cfg.MaxFeeds == 0 {
+		cfg.MaxFeeds = d.Shards()
+	}
+	return collector.Listen(cfg, func() collector.Feed { return d.NewFeed() })
+}
+
+// ListenAndDetect is Listen for the common lifecycle: it serves until
+// ctx is cancelled, then drains the sockets' in-flight datagrams and
+// closes the feeds, leaving the detector quiescent for exact
+// Detections reads.
+func (d *Detector) ListenAndDetect(ctx context.Context, cfg ListenConfig) error {
+	srv, err := d.Listen(cfg)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ctx)
+}
+
+// DetectorStats is the detector-level slice of the metrics surface;
+// the per-feed transport counters live in collector.Stats.
+type DetectorStats struct {
+	// SkippedRecords counts decoded records dropped for lack of a
+	// usable IPv4 subscriber address, across all feeds.
+	SkippedRecords uint64
+	// Shards is the engine shard count.
+	Shards int
+	// OpenFeeds is the number of live feed handles (pipeline
+	// producers).
+	OpenFeeds int
+	// InflightBatches is the pipeline-side queue depth: observation
+	// batches dispatched to shard workers but not yet applied.
+	InflightBatches int
+}
+
+// Stats snapshots the detector's health counters. Safe to call while
+// feeds are running.
+func (d *Detector) Stats() DetectorStats {
+	return DetectorStats{
+		SkippedRecords:  d.skipped.Load(),
+		Shards:          d.pipe.Shards(),
+		OpenFeeds:       d.pipe.Producers(),
+		InflightBatches: d.pipe.Inflight(),
+	}
+}

@@ -1,0 +1,561 @@
+// Package collector is the socket layer of the wire-fed detector: it
+// binds UDP listeners for NetFlow v9 / IPFIX exporters and drives the
+// datagrams into per-source ingestion feeds — the deployment shape the
+// paper's §6 vantage points imply (flow exporters at an ISP or IXP
+// streaming to a central collector).
+//
+// Architecture (see DESIGN.md for the full three-layer picture):
+//
+//   - one read-loop goroutine per UDP socket, reading into recycled
+//     buffers — the loop never decodes, so a slow feed cannot stall
+//     the socket;
+//   - a sticky source→lane assignment with per-source decoder state:
+//     all datagrams from one exporter address land on the same decode
+//     lane, and every source gets its own Feed handle — template
+//     caches, sequence anchors, and per-subscriber ordering can never
+//     be corrupted by another exporter, even one whose self-chosen
+//     source/domain IDs collide;
+//   - an adaptive fan-in controller (fanin.go) that scales how many
+//     feeds accept new sources with the observed record rate;
+//   - per-feed transport metrics (Stats, ServeMetrics) so operators
+//     can see drops, gaps, and queue depth per feed.
+//
+// The package knows nothing about detection: it drives any Feed
+// implementation. The root haystack package adapts Detector feeds to
+// this interface.
+package collector
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FeedStats are the transport-health counters one ingestion feed
+// exposes. Implementations must make Stats safe to call while the
+// feed is being driven (atomic counters).
+type FeedStats struct {
+	// Records counts decoded flow records delivered downstream.
+	Records uint64
+	// Dropped counts data sets skipped because their template had not
+	// been seen yet (untemplated data over UDP).
+	Dropped uint64
+	// Gaps counts exporter sequence discontinuities (lost or
+	// reordered transport).
+	Gaps uint64
+}
+
+// Feed is one wire-format ingestion handle. The server drives each
+// feed from exactly one worker goroutine; Stats may be read from
+// other goroutines at any time.
+type Feed interface {
+	FeedNetFlow(msg []byte) error
+	FeedIPFIX(msg []byte) error
+	Stats() FeedStats
+	Close()
+}
+
+// Proto selects the wire protocol of a listener.
+type Proto uint8
+
+const (
+	// ProtoAuto sniffs each datagram by its version field (9 →
+	// NetFlow v9, 10 → IPFIX), so one socket may serve both kinds of
+	// exporter.
+	ProtoAuto Proto = iota
+	ProtoNetFlow
+	ProtoIPFIX
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoNetFlow:
+		return "netflow"
+	case ProtoIPFIX:
+		return "ipfix"
+	default:
+		return "auto"
+	}
+}
+
+// sniff classifies a datagram by its leading version field. ProtoAuto
+// means unrecognized.
+func sniff(b []byte) Proto {
+	if len(b) < 2 {
+		return ProtoAuto
+	}
+	switch binary.BigEndian.Uint16(b) {
+	case 9:
+		return ProtoNetFlow
+	case 10:
+		return ProtoIPFIX
+	}
+	return ProtoAuto
+}
+
+// Listener is one UDP socket to bind.
+type Listener struct {
+	// Addr is the UDP listen address (host:port; port 0 binds an
+	// ephemeral port, reported by Server.Addrs).
+	Addr string
+	// Proto fixes the socket's wire protocol. The zero value
+	// (ProtoAuto) sniffs per datagram; exporters conventionally use
+	// port 2055 for NetFlow v9 and 4739 for IPFIX, but sniffing makes
+	// the convention optional.
+	Proto Proto
+}
+
+// ParseListener parses an operator-facing listener spec: "host:port"
+// or "proto@host:port" with proto one of netflow, ipfix, auto.
+func ParseListener(s string) (Listener, error) {
+	l := Listener{Addr: s}
+	if proto, addr, ok := strings.Cut(s, "@"); ok {
+		l.Addr = addr
+		switch proto {
+		case "netflow":
+			l.Proto = ProtoNetFlow
+		case "ipfix":
+			l.Proto = ProtoIPFIX
+		case "auto", "":
+			l.Proto = ProtoAuto
+		default:
+			return Listener{}, fmt.Errorf("collector: unknown protocol %q (want netflow, ipfix, or auto)", proto)
+		}
+	}
+	if l.Addr == "" {
+		return Listener{}, errors.New("collector: empty listen address")
+	}
+	return l, nil
+}
+
+// Config sizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Listeners are the UDP sockets to bind; at least one is required.
+	Listeners []Listener
+	// MaxFeeds caps the fan-in: the most ingestion feeds the adaptive
+	// controller may open. Callers usually cap this at the pipeline
+	// shard count. Default 1.
+	MaxFeeds int
+	// MinFeeds floors the fan-in (default 1).
+	MinFeeds int
+	// QueueLen bounds each feed's datagram backlog; when a feed's
+	// queue is full newly arrived datagrams for it are dropped and
+	// counted, never blocking the socket loop. Default 256.
+	QueueLen int
+	// MaxDatagram sizes the receive buffers (default 65535, the UDP
+	// maximum; exporters keep well under path MTU in practice).
+	MaxDatagram int
+	// ReadBuffer, when positive, requests SO_RCVBUF bytes on each
+	// socket — the kernel-side cushion against ingest bursts.
+	ReadBuffer int
+	// RatePerFeed is the records/sec one feed is provisioned for
+	// before the controller grows the pool (default
+	// DefaultRatePerFeed).
+	RatePerFeed float64
+	// Tick is the fan-in controller's sampling interval (default 1s).
+	Tick time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxFeeds < 1 {
+		out.MaxFeeds = 1
+	}
+	if out.MinFeeds < 1 {
+		out.MinFeeds = 1
+	}
+	if out.MinFeeds > out.MaxFeeds {
+		out.MinFeeds = out.MaxFeeds
+	}
+	if out.QueueLen < 1 {
+		out.QueueLen = 256
+	}
+	if out.MaxDatagram < 1 {
+		out.MaxDatagram = 65535
+	}
+	if out.RatePerFeed <= 0 {
+		out.RatePerFeed = DefaultRatePerFeed
+	}
+	if out.Tick <= 0 {
+		out.Tick = time.Second
+	}
+	return out
+}
+
+// datagram is one received UDP payload in a recycled buffer.
+type datagram struct {
+	buf  []byte // full-capacity backing buffer, returned to the pool
+	n    int    // payload length
+	sock *socket
+	src  sourceKey
+}
+
+type socket struct {
+	idx   int
+	proto Proto
+	pc    net.PacketConn
+}
+
+// sourceKey identifies one exporter stream: the socket it arrived on
+// plus the remote UDP address.
+type sourceKey struct {
+	sock int
+	src  netip.AddrPort
+}
+
+// worker is one decode lane: a goroutine draining a bounded queue
+// into per-source Feed handles. Every exporter source assigned to the
+// lane gets its own Feed (decoder pair + pipeline producer), so two
+// exporters whose self-chosen source/domain IDs collide can never
+// poison each other's template cache or sequence anchor.
+type worker struct {
+	idx     int
+	ch      chan datagram
+	started atomic.Bool
+
+	// feeds is written only by the worker goroutine (under mu, so
+	// metrics readers can iterate a consistent view); the worker's
+	// own lock-free reads race with nothing.
+	mu    sync.Mutex
+	feeds map[sourceKey]Feed
+
+	sources   atomic.Int64  // sticky exporter sources assigned here
+	enqueued  atomic.Uint64 // datagrams accepted onto ch
+	processed atomic.Uint64 // datagrams decoded (or rejected) by the feed
+	dropped   atomic.Uint64 // datagrams lost to a full queue
+	errors    atomic.Uint64 // datagrams the decoders rejected (or unsniffable)
+}
+
+// feedList snapshots the lane's per-source feeds for metrics readers.
+func (w *worker) feedList() []Feed {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Feed, 0, len(w.feeds))
+	for _, f := range w.feeds {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Server binds the configured sockets and fans datagrams into feeds.
+type Server struct {
+	cfg     Config
+	newFeed func() Feed
+
+	socks   []*socket
+	workers []*worker
+	free    chan []byte // recycled receive buffers
+
+	// active is the fan-in target: workers[0:active] accept new
+	// sources. Updated by the control loop, read by the dispatchers.
+	active atomic.Int32
+	ewma   atomic.Uint64 // controller EWMA, math.Float64bits
+
+	assignMu sync.Mutex // guards assignment misses and worker starts
+	assign   sync.Map   // sourceKey → *worker
+
+	datagrams  atomic.Uint64 // received across all sockets
+	bytes      atomic.Uint64
+	dropped    atomic.Uint64 // queue-full drops across all workers
+	readErrors atomic.Uint64 // unexpected socket read errors (loop survives)
+
+	readers sync.WaitGroup // socket read loops
+	tasks   sync.WaitGroup // worker + control goroutines
+	done    chan struct{}  // closed to stop the control loop
+	closed  sync.Once
+}
+
+// Listen binds every configured socket and starts ingesting
+// immediately. newFeed is called once per worker the fan-in opens —
+// for the haystack Detector it returns Detector.NewFeed handles.
+// Callers stop the server with Close (or Serve with a context).
+func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Listeners) == 0 {
+		return nil, errors.New("collector: no listeners configured")
+	}
+	if newFeed == nil {
+		return nil, errors.New("collector: nil feed constructor")
+	}
+	s := &Server{
+		cfg:     cfg,
+		newFeed: newFeed,
+		free:    make(chan []byte, cfg.MaxFeeds*cfg.QueueLen+2*len(cfg.Listeners)),
+		done:    make(chan struct{}),
+	}
+	s.active.Store(int32(cfg.MinFeeds))
+	s.workers = make([]*worker, cfg.MaxFeeds)
+	for i := range s.workers {
+		s.workers[i] = &worker{
+			idx:   i,
+			ch:    make(chan datagram, cfg.QueueLen),
+			feeds: make(map[sourceKey]Feed),
+		}
+	}
+	for i, l := range cfg.Listeners {
+		pc, err := net.ListenPacket("udp", l.Addr)
+		if err != nil {
+			for _, sk := range s.socks {
+				sk.pc.Close()
+			}
+			return nil, fmt.Errorf("collector: listen %s: %w", l.Addr, err)
+		}
+		if cfg.ReadBuffer > 0 {
+			if c, ok := pc.(*net.UDPConn); ok {
+				c.SetReadBuffer(cfg.ReadBuffer) // best effort; kernel may clamp
+			}
+		}
+		sk := &socket{idx: i, proto: l.Proto, pc: pc}
+		s.socks = append(s.socks, sk)
+	}
+	for _, sk := range s.socks {
+		s.readers.Add(1)
+		go s.readLoop(sk)
+	}
+	s.tasks.Add(1)
+	go s.controlLoop()
+	return s, nil
+}
+
+// Addrs returns the bound address of every socket, in listener order
+// — the way to discover ephemeral ports after binding ":0".
+func (s *Server) Addrs() []net.Addr {
+	out := make([]net.Addr, len(s.socks))
+	for i, sk := range s.socks {
+		out[i] = sk.pc.LocalAddr()
+	}
+	return out
+}
+
+// Serve blocks until ctx is done, then shuts the server down
+// gracefully (Close): a cancelled listen is the normal way to stop.
+func (s *Server) Serve(ctx context.Context) error {
+	<-ctx.Done()
+	return s.Close()
+}
+
+// Close stops the server: sockets are closed first, then every queued
+// datagram is drained through its feed, feeds are closed, and all
+// goroutines exit. Safe to call multiple times; concurrent callers
+// block until the shutdown completes.
+func (s *Server) Close() error {
+	s.closed.Do(func() {
+		close(s.done)
+		for _, sk := range s.socks {
+			sk.pc.Close()
+		}
+		s.readers.Wait() // no dispatcher is running past this point
+		for _, w := range s.workers {
+			if w.started.Load() {
+				close(w.ch)
+			}
+		}
+		s.tasks.Wait()
+	})
+	return nil
+}
+
+// Sync blocks until every datagram enqueued before the call has been
+// decoded and handed to its feed. It does not quiesce the sockets —
+// datagrams arriving during the wait are not covered — so callers
+// wanting exact results stop their exporters (or Close) first.
+func (s *Server) Sync() {
+	targets := make([]uint64, len(s.workers))
+	for i, w := range s.workers {
+		targets[i] = w.enqueued.Load()
+	}
+	for i, w := range s.workers {
+		for w.processed.Load() < targets[i] {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func (s *Server) getBuf() []byte {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return make([]byte, s.cfg.MaxDatagram)
+	}
+}
+
+func (s *Server) putBuf(b []byte) {
+	select {
+	case s.free <- b:
+	default: // recycle ring full; let it be collected
+	}
+}
+
+// readLoop is the per-socket hot path: read, count, route, hand off.
+// It never decodes and never blocks on a feed.
+func (s *Server) readLoop(sk *socket) {
+	defer s.readers.Done()
+	for {
+		buf := s.getBuf()
+		n, addr, err := sk.pc.ReadFrom(buf)
+		if err != nil {
+			s.putBuf(buf)
+			if errors.Is(err, net.ErrClosed) {
+				return // shutdown
+			}
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			// Unexpected read error on a connectionless socket:
+			// count it visibly and keep the listener alive, pacing
+			// so a persistent error cannot hot-spin the loop.
+			s.readErrors.Add(1)
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		s.datagrams.Add(1)
+		s.bytes.Add(uint64(n))
+		key := sourceKey{sock: sk.idx}
+		if ua, ok := addr.(*net.UDPAddr); ok {
+			key.src = ua.AddrPort()
+		}
+		w := s.workerFor(key)
+		select {
+		case w.ch <- datagram{buf: buf, n: n, sock: sk, src: key}:
+			w.enqueued.Add(1)
+		default:
+			// Full queue: drop like the kernel would if nobody read
+			// the socket, but visibly.
+			w.dropped.Add(1)
+			s.dropped.Add(1)
+			s.putBuf(buf)
+		}
+	}
+}
+
+// workerFor resolves the sticky source→lane assignment, creating it
+// on first sight of a source. Assignments are sticky for the life of
+// the server: moving a source would abandon its template cache and
+// sequence anchor and reorder its subscribers' records. The fan-in
+// target only shapes where *new* sources land.
+func (s *Server) workerFor(key sourceKey) *worker {
+	if v, ok := s.assign.Load(key); ok {
+		return v.(*worker)
+	}
+	s.assignMu.Lock()
+	defer s.assignMu.Unlock()
+	if v, ok := s.assign.Load(key); ok {
+		return v.(*worker)
+	}
+	// Least-loaded (by assigned sources) among the active prefix.
+	n := int(s.active.Load())
+	if n > len(s.workers) {
+		n = len(s.workers)
+	}
+	w := s.workers[0]
+	for _, cand := range s.workers[1:n] {
+		if cand.sources.Load() < w.sources.Load() {
+			w = cand
+		}
+	}
+	s.startWorker(w)
+	w.sources.Add(1)
+	s.assign.Store(key, w)
+	return w
+}
+
+// startWorker lazily launches the lane's decode goroutine. Caller
+// holds assignMu.
+func (s *Server) startWorker(w *worker) {
+	if w.started.Load() {
+		return
+	}
+	s.tasks.Add(1)
+	go func() {
+		defer s.tasks.Done()
+		for d := range w.ch {
+			s.decode(w, d)
+		}
+		for _, f := range w.feedList() {
+			f.Close()
+		}
+	}()
+	w.started.Store(true)
+}
+
+func (s *Server) decode(w *worker, d datagram) {
+	msg := d.buf[:d.n]
+	proto := d.sock.proto
+	if proto == ProtoAuto {
+		proto = sniff(msg)
+	}
+	if proto == ProtoAuto {
+		// Unclassifiable garbage: count it without allocating decoder
+		// state for the source.
+		w.errors.Add(1)
+		w.processed.Add(1)
+		s.putBuf(d.buf)
+		return
+	}
+	feed := w.feeds[d.src] // lock-free: only this goroutine writes
+	if feed == nil {
+		feed = s.newFeed()
+		w.mu.Lock()
+		w.feeds[d.src] = feed
+		w.mu.Unlock()
+	}
+	var err error
+	if proto == ProtoNetFlow {
+		err = feed.FeedNetFlow(msg)
+	} else {
+		err = feed.FeedIPFIX(msg)
+	}
+	if err != nil {
+		w.errors.Add(1)
+	}
+	w.processed.Add(1)
+	s.putBuf(d.buf)
+}
+
+// controlLoop samples the aggregate record rate and retargets the
+// fan-in. It owns the controller state; everyone else reads the
+// published active target and EWMA.
+func (s *Server) controlLoop() {
+	defer s.tasks.Done()
+	ctrl := newController(s.cfg.MinFeeds, s.cfg.MaxFeeds, s.cfg.RatePerFeed)
+	t := time.NewTicker(s.cfg.Tick)
+	defer t.Stop()
+	last := s.records()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			cur := s.records()
+			rate := float64(cur-last) / s.cfg.Tick.Seconds()
+			last = cur
+			s.active.Store(int32(ctrl.step(rate)))
+			s.ewma.Store(math.Float64bits(ctrl.ewma))
+		}
+	}
+}
+
+// records sums decoded records across all per-source feeds.
+func (s *Server) records() uint64 {
+	var n uint64
+	for _, w := range s.workers {
+		if !w.started.Load() {
+			continue
+		}
+		for _, f := range w.feedList() {
+			n += f.Stats().Records
+		}
+	}
+	return n
+}

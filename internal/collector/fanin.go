@@ -1,0 +1,82 @@
+package collector
+
+// Adaptive feed fan-in: the controller decides how many collector
+// feeds are eligible to receive *new* exporter sources, scaling with
+// the observed record rate. It is a pure state machine — the Server
+// drives it from the control-loop ticker and tests drive it directly.
+//
+// States are the active-feed counts 1..max. Transitions per tick, on
+// the EWMA-smoothed records/sec rate R with per-feed capacity C:
+//
+//	scale up   active → active+1  when R > active·C
+//	           (immediate, repeated until R fits — ingest must not
+//	           wait out a ramp)
+//	scale down active → active-1  when R < low·(active-1)·C for
+//	           downTicks consecutive ticks (hysteresis: a momentary
+//	           lull must not thrash assignments)
+//
+// The band between low·(active-1)·C and active·C is deliberately
+// sticky: within it the controller holds its state.
+type controller struct {
+	min, max    int
+	ratePerFeed float64 // records/sec one feed is provisioned for (C)
+	alpha       float64 // EWMA smoothing weight for the newest sample
+	low         float64 // scale-down hysteresis fraction of (active-1)·C
+	downTicks   int     // consecutive quiet ticks required to shrink
+
+	ewma        float64
+	active      int
+	pendingDown int
+}
+
+// Controller defaults; Config overrides flow in through newController.
+const (
+	// DefaultRatePerFeed is the records/sec one feed is sized for
+	// before the controller grows the pool. One feed comfortably
+	// decodes far more on loopback; the default leaves headroom for
+	// template-heavy streams and the pipeline producer hand-off.
+	DefaultRatePerFeed = 50_000
+	defaultAlpha       = 0.3
+	defaultLow         = 0.5
+	defaultDownTicks   = 5
+)
+
+func newController(min, max int, ratePerFeed float64) *controller {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if ratePerFeed <= 0 {
+		ratePerFeed = DefaultRatePerFeed
+	}
+	return &controller{
+		min: min, max: max,
+		ratePerFeed: ratePerFeed,
+		alpha:       defaultAlpha,
+		low:         defaultLow,
+		downTicks:   defaultDownTicks,
+		active:      min,
+	}
+}
+
+// step folds one rate sample (records/sec since the previous tick)
+// into the EWMA and returns the new active-feed target.
+func (c *controller) step(rate float64) int {
+	c.ewma = c.alpha*rate + (1-c.alpha)*c.ewma
+	for c.active < c.max && c.ewma > float64(c.active)*c.ratePerFeed {
+		c.active++
+		c.pendingDown = 0
+	}
+	if c.active > c.min && c.ewma < c.low*float64(c.active-1)*c.ratePerFeed {
+		c.pendingDown++
+		if c.pendingDown >= c.downTicks {
+			c.active--
+			c.pendingDown = 0
+		}
+	} else {
+		c.pendingDown = 0
+	}
+	return c.active
+}

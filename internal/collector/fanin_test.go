@@ -1,0 +1,89 @@
+package collector
+
+import "testing"
+
+// TestFanInScalesUpImmediately: a rate burst above capacity must grow
+// the active set without waiting out hysteresis.
+func TestFanInScalesUpImmediately(t *testing.T) {
+	c := newController(1, 8, 1000)
+	if c.active != 1 {
+		t.Fatalf("initial active = %d", c.active)
+	}
+	// One huge sample: EWMA = 0.3 * 20000 = 6000 → needs 6 feeds.
+	if got := c.step(20_000); got != 6 {
+		t.Fatalf("active after burst = %d, want 6", got)
+	}
+}
+
+func TestFanInCappedAtMax(t *testing.T) {
+	c := newController(1, 4, 1000)
+	for i := 0; i < 10; i++ {
+		c.step(1e9)
+	}
+	if c.active != 4 {
+		t.Fatalf("active = %d, want cap 4", c.active)
+	}
+}
+
+// TestFanInScaleDownHysteresis: shrinking requires the rate to sit
+// below the low-water band for downTicks consecutive ticks; a
+// momentary lull must not shed a feed.
+func TestFanInScaleDownHysteresis(t *testing.T) {
+	c := newController(1, 8, 1000)
+	for i := 0; i < 20; i++ {
+		c.step(3500) // settle EWMA at 3500 → 4 feeds
+	}
+	if c.active != 4 {
+		t.Fatalf("settled active = %d, want 4", c.active)
+	}
+
+	// A single quiet tick: EWMA dips but not for long enough.
+	c.step(0)
+	if c.active != 4 {
+		t.Fatalf("active shrank after one quiet tick: %d", c.active)
+	}
+	// Recovery resets the countdown.
+	for i := 0; i < 5; i++ {
+		c.step(3500)
+	}
+	if c.active != 4 {
+		t.Fatalf("active = %d after recovery, want 4", c.active)
+	}
+
+	// Sustained silence walks it back down to the floor, one step per
+	// downTicks window.
+	for i := 0; i < 100; i++ {
+		c.step(0)
+	}
+	if c.active != 1 {
+		t.Fatalf("active = %d after sustained silence, want 1", c.active)
+	}
+}
+
+// TestFanInHoldsInsideBand: rates between the low-water mark and
+// capacity leave the state untouched (the sticky band).
+func TestFanInHoldsInsideBand(t *testing.T) {
+	c := newController(1, 8, 1000)
+	for i := 0; i < 30; i++ {
+		c.step(2500) // EWMA → 2500, needs 3 feeds
+	}
+	if c.active != 3 {
+		t.Fatalf("settled active = %d, want 3", c.active)
+	}
+	// 2500 > low·(3-1)·1000 = 1000 and < 3·1000: hold forever.
+	for i := 0; i < 50; i++ {
+		if got := c.step(2500); got != 3 {
+			t.Fatalf("active left the sticky band: %d", got)
+		}
+	}
+}
+
+func TestFanInRespectsMin(t *testing.T) {
+	c := newController(3, 8, 1000)
+	for i := 0; i < 100; i++ {
+		c.step(0)
+	}
+	if c.active != 3 {
+		t.Fatalf("active = %d, want floor 3", c.active)
+	}
+}

@@ -1,0 +1,119 @@
+package collector
+
+// The operator-facing metrics surface: a point-in-time Stats snapshot
+// (JSON-serializable, expvar-friendly) plus an http.Handler that
+// serves it. The taxonomy — what each counter means and how to read
+// it during exporter restarts — is documented in docs/OPERATIONS.md.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// FeedSnapshot is the per-lane slice of a Stats snapshot: one decode
+// lane (worker goroutine) and the per-source feeds it drives.
+type FeedSnapshot struct {
+	// Feed is the lane index (0-based, stable for the server's
+	// lifetime).
+	Feed int `json:"feed"`
+	// Sources is how many exporter addresses are stickily assigned to
+	// this lane. Each has its own decoder state.
+	Sources int64 `json:"sources"`
+	// Datagrams counts payloads this lane has decoded.
+	Datagrams uint64 `json:"datagrams"`
+	// DroppedDatagrams counts payloads lost because this lane's queue
+	// was full when they arrived.
+	DroppedDatagrams uint64 `json:"dropped_datagrams"`
+	// DecodeErrors counts datagrams the wire decoders rejected
+	// (malformed, or unsniffable on an auto socket).
+	DecodeErrors uint64 `json:"decode_errors"`
+	// QueueDepth/QueueCap expose the lane's backlog right now.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Records, TemplateDrops, and SequenceGaps aggregate the lane's
+	// per-source decoders: records delivered to the detection
+	// pipeline, data sets skipped for want of a template, and
+	// exporter sequence discontinuities.
+	Records       uint64 `json:"records"`
+	TemplateDrops uint64 `json:"template_drops"`
+	SequenceGaps  uint64 `json:"sequence_gaps"`
+}
+
+// Stats is a point-in-time snapshot of the server's transport health.
+type Stats struct {
+	// Datagrams and Bytes count everything received on the sockets.
+	Datagrams uint64 `json:"datagrams"`
+	Bytes     uint64 `json:"bytes"`
+	// DroppedDatagrams counts queue-full losses across all feeds.
+	DroppedDatagrams uint64 `json:"dropped_datagrams"`
+	// ReadErrors counts unexpected socket read errors; the read loops
+	// survive them, but a climbing counter means the kernel is
+	// unhappy with a listener.
+	ReadErrors uint64 `json:"read_errors"`
+	// Records sums decoded records across feeds.
+	Records uint64 `json:"records"`
+	// DecodeErrors sums decoder rejections across feeds.
+	DecodeErrors uint64 `json:"decode_errors"`
+	// ActiveFeeds is the fan-in controller's current target: how many
+	// feeds accept newly seen exporter sources.
+	ActiveFeeds int `json:"active_feeds"`
+	// StartedFeeds is how many feeds have actually been opened.
+	StartedFeeds int `json:"started_feeds"`
+	// MaxFeeds echoes the configured cap.
+	MaxFeeds int `json:"max_feeds"`
+	// RateEWMA is the controller's smoothed records/sec estimate.
+	RateEWMA float64 `json:"rate_ewma"`
+	// Feeds holds one entry per started feed.
+	Feeds []FeedSnapshot `json:"feeds"`
+}
+
+// Stats snapshots the server's transport counters. Safe to call at
+// any time, including while feeds are running — all counters are
+// atomics, so the snapshot is approximate under load but never racy.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Datagrams:        s.datagrams.Load(),
+		Bytes:            s.bytes.Load(),
+		DroppedDatagrams: s.dropped.Load(),
+		ReadErrors:       s.readErrors.Load(),
+		ActiveFeeds:      int(s.active.Load()),
+		MaxFeeds:         s.cfg.MaxFeeds,
+		RateEWMA:         math.Float64frombits(s.ewma.Load()),
+	}
+	for _, w := range s.workers {
+		if !w.started.Load() {
+			continue
+		}
+		snap := FeedSnapshot{
+			Feed:             w.idx,
+			Sources:          w.sources.Load(),
+			Datagrams:        w.processed.Load(),
+			DroppedDatagrams: w.dropped.Load(),
+			DecodeErrors:     w.errors.Load(),
+			QueueDepth:       len(w.ch),
+			QueueCap:         cap(w.ch),
+		}
+		for _, f := range w.feedList() {
+			fs := f.Stats()
+			snap.Records += fs.Records
+			snap.TemplateDrops += fs.Dropped
+			snap.SequenceGaps += fs.Gaps
+		}
+		st.StartedFeeds++
+		st.Records += snap.Records
+		st.DecodeErrors += snap.DecodeErrors
+		st.Feeds = append(st.Feeds, snap)
+	}
+	return st
+}
+
+// ServeMetrics is an http.Handler serving the Stats snapshot as
+// indented JSON — mount it at /metrics, or feed Stats to expvar for
+// /debug/vars integration.
+func (s *Server) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/simtime"
@@ -182,16 +183,18 @@ func appendDataSet(buf []byte, t Template, records []flow.Record) ([]byte, error
 	return buf, nil
 }
 
-// Collector parses IPFIX messages. Not safe for concurrent use.
+// Collector parses IPFIX messages. Feed is not safe for concurrent
+// use, but the Dropped and Gaps counters are atomics so a metrics
+// reader may load them while another goroutine drives Feed.
 type Collector struct {
 	templates map[uint64]Template
 	// Dropped counts data sets skipped for lack of a template.
-	Dropped int
+	Dropped atomic.Uint64
 	// Sequence gap detection.
 	lastSeq map[uint32]uint32
 	// Gaps counts messages whose sequence number did not match the
 	// expected continuation (lost or reordered transport).
-	Gaps int
+	Gaps atomic.Uint64
 }
 
 // NewCollector returns an empty collector.
@@ -268,7 +271,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	}
 	if counted {
 		if anchored && seq != want {
-			c.Gaps++
+			c.Gaps.Add(1)
 		}
 		c.lastSeq[domain] = seq + uint32(len(out))
 	} else {
@@ -304,7 +307,7 @@ func (c *Collector) parseTemplates(domain uint32, body []byte) error {
 func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool) {
 	t, ok := c.templates[uint64(domain)<<16|uint64(setID)]
 	if !ok {
-		c.Dropped++
+		c.Dropped.Add(1)
 		return nil, false
 	}
 	recLen := t.RecordLen()

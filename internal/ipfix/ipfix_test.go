@@ -93,8 +93,8 @@ func TestGapDetection(t *testing.T) {
 	if _, err := col.Feed(m3[0]); err != nil {
 		t.Fatal(err)
 	}
-	if col.Gaps != 1 {
-		t.Fatalf("Gaps = %d, want 1", col.Gaps)
+	if col.Gaps.Load() != 1 {
+		t.Fatalf("Gaps = %d, want 1", col.Gaps.Load())
 	}
 }
 
@@ -118,8 +118,8 @@ func TestSequenceAcrossTemplateRefresh(t *testing.T) {
 			t.Fatalf("message %d: %v", i, err)
 		}
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("lossless stream reported %d gaps", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("lossless stream reported %d gaps", col.Gaps.Load())
 	}
 
 	// A collector joining mid-stream drops the untemplated data set
@@ -130,8 +130,8 @@ func TestSequenceAcrossTemplateRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 || late.Dropped != 1 {
-		t.Fatalf("untemplated set: %d records, Dropped = %d", len(recs), late.Dropped)
+	if len(recs) != 0 || late.Dropped.Load() != 1 {
+		t.Fatalf("untemplated set: %d records, Dropped = %d", len(recs), late.Dropped.Load())
 	}
 	recs, err = late.Feed(msgs[2])
 	if err != nil {
@@ -140,8 +140,8 @@ func TestSequenceAcrossTemplateRefresh(t *testing.T) {
 	if len(recs) != 5 {
 		t.Fatalf("template refresh decoded %d records, want 5", len(recs))
 	}
-	if late.Gaps != 0 {
-		t.Fatalf("false gap after template refresh: Gaps = %d", late.Gaps)
+	if late.Gaps.Load() != 0 {
+		t.Fatalf("false gap after template refresh: Gaps = %d", late.Gaps.Load())
 	}
 
 	// Sequence tracking re-anchored on the clean message: a genuinely
@@ -149,8 +149,8 @@ func TestSequenceAcrossTemplateRefresh(t *testing.T) {
 	if _, err := late.Feed(msgs[4]); err != nil { // msgs[3] lost
 		t.Fatal(err)
 	}
-	if late.Gaps != 1 {
-		t.Fatalf("real loss after re-anchor: Gaps = %d, want 1", late.Gaps)
+	if late.Gaps.Load() != 1 {
+		t.Fatalf("real loss after re-anchor: Gaps = %d, want 1", late.Gaps.Load())
 	}
 }
 
@@ -170,8 +170,8 @@ func TestNoPhantomGapOnExporterRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("Gaps = %d before restart", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("Gaps = %d before restart", col.Gaps.Load())
 	}
 	// Restarted exporter: sequence back to 0, data set referencing a
 	// template ID the collector has never seen.
@@ -181,11 +181,11 @@ func TestNoPhantomGapOnExporterRestart(t *testing.T) {
 	if _, err := col.Feed(restart); err != nil {
 		t.Fatal(err)
 	}
-	if col.Dropped != 1 {
-		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	if col.Dropped.Load() != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped.Load())
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps.Load())
 	}
 }
 
@@ -204,7 +204,7 @@ func TestTemplateCacheScopedByDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 || col.Dropped != 1 {
+	if len(recs) != 0 || col.Dropped.Load() != 1 {
 		t.Fatalf("template leaked across domains: %d recs", len(recs))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/simtime"
@@ -199,19 +200,21 @@ func appendRecord(buf []byte, r *flow.Record) ([]byte, error) {
 }
 
 // Collector parses NetFlow v9 messages, maintaining a template cache
-// per (source ID, template ID). Not safe for concurrent use.
+// per (source ID, template ID). Feed is not safe for concurrent use,
+// but the Dropped and Gaps counters are atomics so a metrics reader
+// may load them while another goroutine drives Feed.
 type Collector struct {
 	templates map[uint64]Template
 	// Dropped counts data FlowSets skipped because their template has
 	// not been seen yet (possible over UDP; RFC 3954 §10).
-	Dropped int
+	Dropped atomic.Uint64
 	// Per-source sequence tracking. Unlike IPFIX, the v9 sequence
 	// number counts export packets (RFC 3954 §5.1), so the expected
 	// continuation is simply seq+1.
 	lastSeq map[uint32]uint32
 	// Gaps counts messages whose sequence number did not match the
 	// expected continuation (lost or reordered transport).
-	Gaps int
+	Gaps atomic.Uint64
 }
 
 // NewCollector returns an empty collector.
@@ -286,7 +289,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	}
 	if counted {
 		if anchored && seq != want {
-			c.Gaps++
+			c.Gaps.Add(1)
 		}
 		c.lastSeq[sourceID] = seq + 1
 	} else {
@@ -326,7 +329,7 @@ func templateKey(sourceID uint32, templateID uint16) uint64 {
 func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool, error) {
 	t, ok := c.templates[templateKey(sourceID, setID)]
 	if !ok {
-		c.Dropped++
+		c.Dropped.Add(1)
 		return nil, false, nil
 	}
 	recLen := t.RecordLen()

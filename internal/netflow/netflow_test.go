@@ -110,8 +110,8 @@ func TestDataBeforeTemplateDropped(t *testing.T) {
 	if len(recs) != 0 {
 		t.Fatalf("decoded %d records without template", len(recs))
 	}
-	if col.Dropped != 1 {
-		t.Fatalf("Dropped = %d", col.Dropped)
+	if col.Dropped.Load() != 1 {
+		t.Fatalf("Dropped = %d", col.Dropped.Load())
 	}
 	// Now the templated message, then the data-only one again.
 	if _, err := col.Feed(msgs1[0]); err != nil {
@@ -144,8 +144,8 @@ func TestSourceIDSeparatesTemplates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 || col.Dropped != 1 {
-		t.Fatalf("cross-source template leak: %d records, dropped %d", len(recs), col.Dropped)
+	if len(recs) != 0 || col.Dropped.Load() != 1 {
+		t.Fatalf("cross-source template leak: %d records, dropped %d", len(recs), col.Dropped.Load())
 	}
 }
 
@@ -164,8 +164,8 @@ func TestGapDetection(t *testing.T) {
 	if _, err := col.Feed(m3[0]); err != nil {
 		t.Fatal(err)
 	}
-	if col.Gaps != 1 {
-		t.Fatalf("Gaps = %d, want 1", col.Gaps)
+	if col.Gaps.Load() != 1 {
+		t.Fatalf("Gaps = %d, want 1", col.Gaps.Load())
 	}
 }
 
@@ -182,8 +182,8 @@ func TestNoGapOnLosslessStream(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("Gaps = %d on a lossless stream", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("Gaps = %d on a lossless stream", col.Gaps.Load())
 	}
 }
 
@@ -202,8 +202,8 @@ func TestSequencePerSource(t *testing.T) {
 			}
 		}
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("Gaps = %d across interleaved sources", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("Gaps = %d across interleaved sources", col.Gaps.Load())
 	}
 }
 
@@ -225,23 +225,23 @@ func TestSequenceReanchorsAfterUntemplatedData(t *testing.T) {
 	if _, err := col.Feed(dataOnly1[0]); err != nil {
 		t.Fatal(err)
 	}
-	if col.Dropped != 1 {
-		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	if col.Dropped.Load() != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped.Load())
 	}
 	// Replay from the start: seq goes 1 → 0, which would be a gap if
 	// the dropped message had anchored, but tracking was invalidated.
 	if _, err := col.Feed(templated[0]); err != nil {
 		t.Fatal(err)
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("Gaps = %d after re-anchor, want 0", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("Gaps = %d after re-anchor, want 0", col.Gaps.Load())
 	}
 	// From the re-anchored clean message, real gaps are seen again.
 	if _, err := col.Feed(dataOnly2[0]); err != nil { // seq 2, want 1
 		t.Fatal(err)
 	}
-	if col.Gaps != 1 {
-		t.Fatalf("Gaps = %d after genuine loss, want 1", col.Gaps)
+	if col.Gaps.Load() != 1 {
+		t.Fatalf("Gaps = %d after genuine loss, want 1", col.Gaps.Load())
 	}
 }
 
@@ -261,8 +261,8 @@ func TestNoPhantomGapOnExporterRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("Gaps = %d before restart", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("Gaps = %d before restart", col.Gaps.Load())
 	}
 	// Restarted exporter: sequence back to 0, data set referencing a
 	// template ID the collector has never seen.
@@ -272,11 +272,11 @@ func TestNoPhantomGapOnExporterRestart(t *testing.T) {
 	if _, err := col.Feed(restart); err != nil {
 		t.Fatal(err)
 	}
-	if col.Dropped != 1 {
-		t.Fatalf("Dropped = %d, want 1", col.Dropped)
+	if col.Dropped.Load() != 1 {
+		t.Fatalf("Dropped = %d, want 1", col.Dropped.Load())
 	}
-	if col.Gaps != 0 {
-		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps)
+	if col.Gaps.Load() != 0 {
+		t.Fatalf("phantom gap on exporter restart: Gaps = %d", col.Gaps.Load())
 	}
 }
 
@@ -297,12 +297,12 @@ func TestSequenceReanchorsAfterParseError(t *testing.T) {
 	}
 	// The error invalidated tracking: replaying m2 cleanly (seq 1,
 	// which no longer has an anchor) reports no gap.
-	gaps := col.Gaps
+	gaps := col.Gaps.Load()
 	if _, err := col.Feed(m2[0]); err != nil {
 		t.Fatal(err)
 	}
-	if col.Gaps != gaps {
-		t.Fatalf("Gaps advanced to %d after re-anchor", col.Gaps)
+	if col.Gaps.Load() != gaps {
+		t.Fatalf("Gaps advanced to %d after re-anchor", col.Gaps.Load())
 	}
 }
 

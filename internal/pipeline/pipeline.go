@@ -283,6 +283,15 @@ func (p *Pipeline) Producers() int {
 	return len(p.producers)
 }
 
+// Inflight returns the number of dispatched batches not yet applied
+// to their shard engines — the pipeline-side queue depth a metrics
+// surface reports alongside the socket-side backlog.
+func (p *Pipeline) Inflight() int {
+	p.inflightMu.Lock()
+	defer p.inflightMu.Unlock()
+	return p.inflight
+}
+
 // Sync flushes the partial batches of every live producer and blocks
 // until every dispatched observation has been applied to its shard
 // engine. All read accessors call it implicitly; between Sync and the

@@ -1,0 +1,415 @@
+package haystack
+
+// Loopback-socket integration tests for the UDP collector layer: real
+// exporters sending real datagrams to bound sockets, proving the wire
+// path end-to-end (acceptance contract: detections are byte-identical
+// to feeding the same messages through in-memory feeds).
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/flow"
+	"repro/internal/ipfix"
+	"repro/internal/netflow"
+	"repro/internal/simtime"
+)
+
+// exporterStreams builds n disjoint-subscriber message streams, half
+// NetFlow v9 and half IPFIX, covering a mix of rule domains and hours.
+func exporterStreams(t testing.TB, s *System, n int) [][][]byte {
+	t.Helper()
+	day := s.lab.W.Window.Days()[0]
+	resolver := s.lab.W.ResolverOn(day)
+	streams := make([][][]byte, n)
+	for fi := 0; fi < n; fi++ {
+		var recs []flow.Record
+		for i, rule := range s.Rules() {
+			if i%n != fi {
+				continue
+			}
+			for j, name := range rule.Domains {
+				ips := resolver.Resolve(name)
+				if len(ips) == 0 {
+					continue
+				}
+				port := uint16(443)
+				if d, ok := s.lab.W.Catalog.Domains[name]; ok {
+					port = d.Port
+				}
+				recs = append(recs, flow.Record{
+					Key: flow.Key{
+						Src:     netip.AddrFrom4([4]byte{100, 64 + byte(fi), byte(i), byte(j)}),
+						Dst:     ips[0],
+						SrcPort: uint16(50000 + j), DstPort: port, Proto: flow.ProtoTCP,
+					},
+					Packets: uint64(j%5 + 1), Bytes: 900,
+					Hour: day.FirstHour() + simtime.Hour(i%36),
+				})
+			}
+		}
+		var msgs [][]byte
+		var err error
+		if fi%2 == 0 {
+			msgs, err = netflow.NewExporter(uint32(fi+1)).Export(recs, 25)
+		} else {
+			msgs, err = ipfix.NewExporter(uint32(fi+1)).Export(recs, 25)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[fi] = msgs
+	}
+	return streams
+}
+
+// feedStreams drives the streams through in-memory feed handles — the
+// reference the UDP path must match byte for byte.
+func feedStreams(t testing.TB, det *Detector, streams [][][]byte) {
+	t.Helper()
+	for fi, msgs := range streams {
+		f := det.NewFeed()
+		feed := f.FeedNetFlow
+		if fi%2 == 1 {
+			feed = f.FeedIPFIX
+		}
+		for _, m := range msgs {
+			if err := feed(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+}
+
+// TestDetectorListenUDPMatchesSingleFeed is the acceptance contract
+// for the socket layer: four exporters (two NetFlow v9, two IPFIX)
+// sending real datagrams over loopback UDP to one auto-sniffing
+// socket must produce Detections() byte-identical to feeding the same
+// messages through a single-shard in-memory detector.
+func TestDetectorListenUDPMatchesSingleFeed(t *testing.T) {
+	s := sharedSystem(t)
+	streams := exporterStreams(t, s, 4)
+
+	single := s.NewShardedDetector(0.4, 1)
+	defer single.Close()
+	feedStreams(t, single, streams)
+	want := single.Detections()
+	if len(want) == 0 {
+		t.Fatal("reference detector detected nothing; stream is too weak to compare")
+	}
+
+	udp := s.NewShardedDetector(0.4, 8)
+	defer udp.Close()
+	srv, err := udp.Listen(ListenConfig{
+		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0"}},
+		MaxFeeds:   4,
+		MinFeeds:   4, // every exporter gets its own lane at once
+		QueueLen:   4096,
+		ReadBuffer: 4 << 20, // headroom against scheduler stalls on loaded CI
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
+
+	// One UDP source per exporter: a fresh Dial gives each stream a
+	// distinct local port, so the sticky assignment keeps each
+	// exporter's template cache and sequence anchor on one feed.
+	total := 0
+	done := make(chan error, len(streams))
+	for _, msgs := range streams {
+		total += len(msgs)
+		go func(msgs [][]byte) {
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			for i, m := range msgs {
+				if _, err := conn.Write(m); err != nil {
+					done <- err
+					return
+				}
+				if i%16 == 15 {
+					time.Sleep(time.Millisecond) // pace loopback bursts
+				}
+			}
+			done <- nil
+		}(msgs)
+	}
+	for range streams {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Datagrams < uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("socket received %d of %d datagrams", srv.Stats().Datagrams, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close() // drains queues, closes feeds — detector is quiescent
+
+	st := srv.Stats()
+	if st.DroppedDatagrams != 0 || st.DecodeErrors != 0 {
+		t.Fatalf("transport not clean: %+v", st)
+	}
+	if st.StartedFeeds != 4 {
+		t.Fatalf("started feeds = %d, want 4", st.StartedFeeds)
+	}
+	for _, fs := range st.Feeds {
+		if fs.TemplateDrops != 0 || fs.SequenceGaps != 0 {
+			t.Fatalf("feed %d transport counters dirty: %+v", fs.Feed, fs)
+		}
+		if fs.Records == 0 {
+			t.Fatalf("feed %d decoded no records: %+v", fs.Feed, fs)
+		}
+	}
+
+	got := udp.Detections()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UDP detections diverge from single-feed reference: got %d, want %d",
+			len(got), len(want))
+	}
+	if udp.SkippedRecords() != 0 {
+		t.Fatalf("SkippedRecords = %d on a clean stream", udp.SkippedRecords())
+	}
+}
+
+// TestDetectorListenUDPCollidingSourceIDs pins the per-source decoder
+// isolation: two exporters that both chose source ID 1 (as every
+// default-configured exporter does) share one decode lane, and their
+// interleaved streams must produce zero phantom sequence gaps and the
+// same detections as feeding them separately — one shared decoder
+// would thrash its sequence anchor on every alternation.
+func TestDetectorListenUDPCollidingSourceIDs(t *testing.T) {
+	s := sharedSystem(t)
+
+	// Two NetFlow streams, disjoint subscribers, both from exporter
+	// source ID 1.
+	day := s.lab.W.Window.Days()[0]
+	resolver := s.lab.W.ResolverOn(day)
+	streams := make([][][]byte, 2)
+	for fi := range streams {
+		var recs []flow.Record
+		for i, rule := range s.Rules() {
+			for j, name := range rule.Domains {
+				ips := resolver.Resolve(name)
+				if len(ips) == 0 {
+					continue
+				}
+				port := uint16(443)
+				if d, ok := s.lab.W.Catalog.Domains[name]; ok {
+					port = d.Port
+				}
+				recs = append(recs, flow.Record{
+					Key: flow.Key{
+						Src:     netip.AddrFrom4([4]byte{100, 64 + byte(fi), byte(i), byte(j)}),
+						Dst:     ips[0],
+						SrcPort: uint16(50000 + j), DstPort: port, Proto: flow.ProtoTCP,
+					},
+					Packets: 2, Bytes: 900,
+					Hour: day.FirstHour() + simtime.Hour(i%12),
+				})
+			}
+		}
+		exp := netflow.NewExporter(1) // deliberately identical source IDs
+		msgs, err := exp.Export(recs, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[fi] = msgs
+	}
+
+	single := s.NewShardedDetector(0.4, 1)
+	defer single.Close()
+	for _, msgs := range streams {
+		f := single.NewFeed()
+		for _, m := range msgs {
+			if err := f.FeedNetFlow(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	want := single.Detections()
+	if len(want) == 0 {
+		t.Fatal("reference detector detected nothing")
+	}
+
+	udp := s.NewShardedDetector(0.4, 4)
+	defer udp.Close()
+	srv, err := udp.Listen(ListenConfig{
+		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoNetFlow}},
+		MaxFeeds:   1, // force both sources onto one decode lane
+		QueueLen:   4096,
+		ReadBuffer: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
+
+	// Interleave the two sources message by message — the worst case
+	// for a shared sequence anchor.
+	conns := make([]net.Conn, 2)
+	for i := range conns {
+		if conns[i], err = net.Dial("udp", addr); err != nil {
+			t.Fatal(err)
+		}
+		defer conns[i].Close()
+	}
+	total := 0
+	for i := 0; i < len(streams[0]) || i < len(streams[1]); i++ {
+		for fi, msgs := range streams {
+			if i < len(msgs) {
+				if _, err := conns[fi].Write(msgs[i]); err != nil {
+					t.Fatal(err)
+				}
+				total++
+			}
+		}
+		if i%8 == 7 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Datagrams < uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("socket received %d of %d datagrams", srv.Stats().Datagrams, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	if st.StartedFeeds != 1 || st.Feeds[0].Sources != 2 {
+		t.Fatalf("expected both sources on one lane: %+v", st.Feeds)
+	}
+	if st.Feeds[0].SequenceGaps != 0 {
+		t.Fatalf("colliding source IDs produced %d phantom sequence gaps", st.Feeds[0].SequenceGaps)
+	}
+	if st.Feeds[0].TemplateDrops != 0 {
+		t.Fatalf("colliding source IDs produced %d template drops", st.Feeds[0].TemplateDrops)
+	}
+	got := udp.Detections()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("detections diverge under source-ID collision: got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestDetectorListenAndDetect covers the managed lifecycle: serve
+// until cancel, then a graceful drain. The configuration error path
+// must fail before any socket work.
+func TestDetectorListenAndDetect(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+	defer det.Close()
+
+	if err := det.ListenAndDetect(context.Background(), ListenConfig{}); err == nil {
+		t.Fatal("empty listener config accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- det.ListenAndDetect(ctx, ListenConfig{Listeners: []collector.Listener{{Addr: "127.0.0.1:0"}}})
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("cancelled listen returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndDetect did not return after cancel")
+	}
+}
+
+// TestFeedStatsRaceCleanDuringLiveFeed hammers the metrics surface
+// while a feed goroutine is decoding — the counters must be loadable
+// mid-ingest (run under -race in CI).
+func TestFeedStatsRaceCleanDuringLiveFeed(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewDetector(0.4)
+	defer det.Close()
+
+	streams := exporterStreams(t, s, 1)
+	// A message whose template omits the source address: every record
+	// skips, so SkippedRecords moves while we read it.
+	skipper := msgWithoutSubscriberAddress()
+
+	f := det.NewFeed()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer f.Close()
+		for i := 0; i < 50; i++ {
+			for _, m := range streams[0] {
+				if err := f.FeedNetFlow(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := f.FeedNetFlow(skipper); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if st := f.Stats(); st.Records == 0 {
+				t.Fatal("live feed reported zero records")
+			}
+			if det.SkippedRecords() != 50 {
+				t.Fatalf("SkippedRecords = %d, want 50", det.SkippedRecords())
+			}
+			return
+		default:
+			_ = f.Stats()
+			_ = det.SkippedRecords()
+			_ = det.Stats()
+		}
+	}
+}
+
+// msgWithoutSubscriberAddress hand-builds a NetFlow v9 message whose
+// template carries only (dstaddr, dstport): decoded records have no
+// usable subscriber address and must be counted skipped.
+func msgWithoutSubscriberAddress() []byte {
+	var msg []byte
+	be16 := func(v uint16) { msg = append(msg, byte(v>>8), byte(v)) }
+	be32 := func(v uint32) { msg = append(msg, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+	be16(9)    // version
+	be16(2)    // count
+	be32(0)    // uptime
+	be32(3600) // unix secs
+	be32(0)    // sequence
+	be32(91)   // source ID
+	be16(0)    // template flowset
+	be16(16)   // length
+	be16(261)  // template ID
+	be16(2)    // field count
+	be16(12)   // dstaddr
+	be16(4)
+	be16(11) // dstport
+	be16(2)
+	be16(261)                         // data flowset
+	be16(12)                          // length (4 hdr + 6 record + 2 pad)
+	msg = append(msg, 203, 0, 113, 9) // dstaddr
+	be16(443)                         // dstport
+	msg = append(msg, 0, 0)           // padding
+	return msg
+}
