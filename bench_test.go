@@ -217,12 +217,12 @@ func BenchmarkListenerIngest(b *testing.B) {
 	s := benchSystem(b)
 	det := s.NewShardedDetector(0.4, 8)
 	defer det.Close()
-	srv, err := det.Listen(ListenConfig{
+	srv, err := det.Listen(ListenConfig{Config: collector.Config{
 		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0"}},
 		MaxFeeds:   4,
 		QueueLen:   8192,
 		ReadBuffer: 4 << 20,
-	})
+	}})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,12 +6,18 @@
 // Usage:
 //
 //	flowgen [-proto netflow|ipfix] [-hours N] [-seed N] [-o file]
-//	flowgen -udp host:port [-pace D] ...
+//	flowgen -udp host:port [-pace D] [-windows N] [-window-pause D] ...
 //
 // With -o (default stdout) each message is prefixed with a 4-byte
 // big-endian length. With -udp each message is sent as one datagram
 // to the collector, paced by -pace — the shape a real exporter has on
 // the wire.
+//
+// -windows N splits the -hours span into N equal bursts of simulated
+// hours, pausing -window-pause between bursts in -udp mode — an
+// end-to-end driver for `haystack listen -window …` rotation tests:
+// point one flowgen per window boundary at the collector and each
+// burst lands in its own aggregation window.
 package main
 
 import (
@@ -41,9 +47,11 @@ func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	udp := flag.String("udp", "", "send each message as a UDP datagram to this collector address instead of writing a stream")
 	pace := flag.Duration("pace", time.Millisecond, "inter-datagram delay in -udp mode")
+	windows := flag.Int("windows", 1, "split the -hours span into N equal bursts (simulated aggregation windows)")
+	windowPause := flag.Duration("window-pause", time.Second, "pause between bursts in -udp mode")
 	flag.Parse()
 
-	if err := run(*proto, *hours, *seed, *out, *udp, *pace); err != nil {
+	if err := run(*proto, *hours, *seed, *out, *udp, *pace, *windows, *windowPause); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
@@ -53,7 +61,20 @@ type exporter interface {
 	Export(records []flow.Record, maxRecords int) ([][]byte, error)
 }
 
-func run(proto string, hours int, seed uint64, out, udp string, pace time.Duration) error {
+func run(proto string, hours int, seed uint64, out, udp string, pace time.Duration,
+	windows int, windowPause time.Duration) error {
+
+	if windows < 1 {
+		return fmt.Errorf("-windows %d: need at least 1", windows)
+	}
+	if windows > 1 {
+		if udp == "" {
+			return fmt.Errorf("-windows requires -udp mode (a length-prefixed stream has no window boundaries)")
+		}
+		if windows > hours {
+			return fmt.Errorf("-windows %d exceeds -hours %d (a window spans whole simulated hours)", windows, hours)
+		}
+	}
 	var exp exporter
 	switch proto {
 	case "netflow":
@@ -117,11 +138,29 @@ func run(proto string, hours int, seed uint64, out, udp string, pace time.Durati
 		Start: wld.Window.Start,
 		End:   wld.Window.Start + simtime.Hour(hours),
 	}
+	// hoursPerWindow splits the span into -windows equal bursts (the
+	// last absorbs the remainder); at each boundary the generator
+	// pauses so a rotating collector cuts the burst into its own
+	// aggregation window.
+	hoursPerWindow := hours / windows
+	curWindow := 0
 	messages, records := 0, 0
 	var emitErr error
 	gen.RunWindow(window, traffic.ModeIdle, func(h simtime.Hour, obs []traffic.Observation) {
 		if emitErr != nil {
 			return
+		}
+		if windows > 1 && curWindow < windows-1 {
+			// The last window absorbs the remainder hours, so it never
+			// announces a boundary of its own.
+			if w := int(h-window.Start) / hoursPerWindow; w > curWindow {
+				fmt.Fprintf(os.Stderr, "flowgen: window %d/%d sent (%d messages so far)\n",
+					curWindow+1, windows, messages)
+				curWindow = w
+				if udp != "" && windowPause > 0 {
+					time.Sleep(windowPause)
+				}
+			}
 		}
 		var recs []flow.Record
 		for _, ob := range obs {
@@ -146,7 +185,12 @@ func run(proto string, hours int, seed uint64, out, udp string, pace time.Durati
 	if emitErr != nil {
 		return emitErr
 	}
-	fmt.Fprintf(os.Stderr, "flowgen: wrote %d %s messages (%d sampled records) for %d hours\n",
-		messages, proto, records, hours)
+	if windows > 1 {
+		fmt.Fprintf(os.Stderr, "flowgen: wrote %d %s messages (%d sampled records) for %d hours in %d windows\n",
+			messages, proto, records, hours, windows)
+	} else {
+		fmt.Fprintf(os.Stderr, "flowgen: wrote %d %s messages (%d sampled records) for %d hours\n",
+			messages, proto, records, hours)
+	}
 	return nil
 }

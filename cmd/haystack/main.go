@@ -27,16 +27,24 @@
 //	                 (default auto@:2055)
 //	-max-feeds N     cap on adaptive feed fan-in (default: -shards)
 //	-rate-per-feed R records/sec one feed is provisioned for
-//	-metrics-addr A  serve transport metrics over HTTP at A
-//	                 (/metrics JSON and expvar /debug/vars)
+//	-metrics-addr A  serve metrics over HTTP at A (/metrics JSON with
+//	                 transport + detector/window counters, expvar
+//	                 /debug/vars)
 //	-report D        print a transport-stats line every D (0 = off)
 //	-threshold D     detection threshold (default 0.4)
+//	-window D        aggregation window: rotate the detector every D,
+//	                 printing (and with -export-dir, exporting) each
+//	                 closed window (0 = the whole run is one window)
+//	-export-dir P    write one export file per window into P
+//	-export-format F jsonl | csv (default jsonl)
+//	-events          print every detection event as it fires
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -112,8 +120,24 @@ func run(args []string) error {
 		ratePerFeed := fs.Float64("rate-per-feed", collector.DefaultRatePerFeed, "records/sec one feed is provisioned for")
 		metricsAddr := fs.String("metrics-addr", "", "HTTP metrics listen address (empty = off)")
 		reportEvery := fs.Duration("report", 0, "print transport stats at this interval (0 = off)")
+		window := fs.Duration("window", 0, "aggregation window: rotate and report every D (0 = one window per run)")
+		exportDir := fs.String("export-dir", "", "write one export file per rotated window into this directory")
+		exportFormat := fs.String("export-format", "jsonl", "export file format: jsonl|csv")
+		events := fs.Bool("events", false, "print each detection event as it fires")
 		if err := fs.Parse(rest); err != nil {
 			return err
+		}
+		switch *exportFormat {
+		case "jsonl", "csv":
+		default:
+			return fmt.Errorf("unknown -export-format %q (want jsonl or csv)", *exportFormat)
+		}
+		if *exportDir == "" {
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "export-format" {
+					fmt.Fprintln(os.Stderr, "haystack: -export-format has no effect without -export-dir")
+				}
+			})
 		}
 		if len(listeners) == 0 {
 			listeners = []collector.Listener{{Addr: ":2055"}}
@@ -122,7 +146,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return listen(sys, listeners, *threshold, *maxFeeds, *ratePerFeed, *metricsAddr, *reportEvery)
+		return listen(sys, listenOpts{
+			listeners:    listeners,
+			threshold:    *threshold,
+			maxFeeds:     *maxFeeds,
+			ratePerFeed:  *ratePerFeed,
+			metricsAddr:  *metricsAddr,
+			report:       *reportEvery,
+			window:       *window,
+			exportDir:    *exportDir,
+			exportFormat: *exportFormat,
+			events:       *events,
+		})
 
 	case "catalog", "rules":
 		if err := fs.Parse(rest); err != nil {
@@ -242,49 +277,127 @@ func detectStream(sys *haystack.System, proto string, threshold float64, input s
 	return nil
 }
 
-// listen runs the live collector: bind the UDP sockets, ingest until
-// SIGINT/SIGTERM, then drain and report what was detected and how the
-// transport behaved.
-func listen(sys *haystack.System, listeners []collector.Listener, threshold float64,
-	maxFeeds int, ratePerFeed float64, metricsAddr string, reportEvery time.Duration) error {
+// listenOpts carries the listen subcommand's flags.
+type listenOpts struct {
+	listeners    []collector.Listener
+	threshold    float64
+	maxFeeds     int
+	ratePerFeed  float64
+	metricsAddr  string
+	report       time.Duration
+	window       time.Duration
+	exportDir    string
+	exportFormat string
+	events       bool
+}
 
-	det := sys.NewDetector(threshold)
+// listen runs the live collector: bind the UDP sockets, ingest until
+// SIGINT/SIGTERM — rotating, reporting, and exporting aggregation
+// windows as configured — then drain and report how the transport
+// behaved.
+func listen(sys *haystack.System, opts listenOpts) error {
+	det := sys.NewDetector(opts.threshold)
 	defer det.Close()
-	srv, err := det.Listen(haystack.ListenConfig{
-		Listeners:   listeners,
-		MaxFeeds:    maxFeeds,
-		RatePerFeed: ratePerFeed,
-	})
+
+	var exp *haystack.ExportDir
+	if opts.exportDir != "" {
+		var err error
+		if exp, err = haystack.NewExportDir(opts.exportDir, opts.exportFormat); err != nil {
+			return err
+		}
+	}
+
+	// Every closed window (periodic and the final partial one) prints
+	// a summary line and, with -export-dir, lands in one file; the
+	// per-rule tallies accumulate for the shutdown breakdown.
+	var totalWindows, totalWindowDets uint64
+	totalByRule := map[string]int{}
+	onRotate := func(res haystack.WindowResult) {
+		totalWindows++
+		totalWindowDets += uint64(len(res.Detections))
+		for rule, n := range res.RuleCounts {
+			totalByRule[rule] += n
+		}
+		line := fmt.Sprintf("window %d [%s – %s]: %d detections, %d subscribers seen, %d records",
+			res.Seq, res.Start.Format(time.TimeOnly), res.End.Format(time.TimeOnly),
+			len(res.Detections), res.Subscribers, res.Records)
+		if exp != nil {
+			path, err := exp.Export(&res)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "haystack: export:", err)
+			} else {
+				line += " → " + path
+			}
+		}
+		fmt.Println(line)
+	}
+
+	// Subscribe before the sockets open: an exporter already blasting
+	// the port must not fire detections into the pre-subscription gap.
+	if opts.events {
+		evCh, cancelEv := det.Subscribe()
+		defer cancelEv()
+		go func() {
+			for ev := range evCh {
+				fmt.Printf("event: window %d  %s  %-22s %-4s first seen %s\n",
+					ev.Window, haystack.SubscriberHex(ev.Subscriber), ev.Rule, ev.Level,
+					ev.First.Format("2006-01-02 15h"))
+			}
+		}()
+	}
+
+	cfg := haystack.ListenConfig{
+		Config: collector.Config{
+			Listeners:   opts.listeners,
+			MaxFeeds:    opts.maxFeeds,
+			RatePerFeed: opts.ratePerFeed,
+		},
+		Window: haystack.WindowConfig{Every: opts.window, OnRotate: onRotate},
+	}
+	srv, err := det.Listen(cfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	for i, a := range srv.Addrs() {
 		fmt.Printf("listening %s (%s), %d engine shards, fan-in cap %d\n",
-			a, listeners[i].Proto, det.Shards(), srv.Stats().MaxFeeds)
+			a, opts.listeners[i].Proto, det.Shards(), srv.Stats().MaxFeeds)
+	}
+	if opts.window > 0 {
+		fmt.Printf("rotating aggregation windows every %s\n", opts.window)
 	}
 
-	if metricsAddr != "" {
+	if opts.metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", srv.ServeMetrics)
+		// One JSON document for the whole deployment: the transport
+		// counters plus the detector's window/event counters.
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Transport collector.Stats        `json:"transport"`
+				Detector  haystack.DetectorStats `json:"detector"`
+			}{srv.Stats(), det.Stats()})
+		})
 		mux.Handle("/debug/vars", expvar.Handler())
 		expvar.Publish("haystack.collector", expvar.Func(func() any { return srv.Stats() }))
 		expvar.Publish("haystack.detector", expvar.Func(func() any { return det.Stats() }))
-		msrv := &http.Server{Addr: metricsAddr, Handler: mux}
+		msrv := &http.Server{Addr: opts.metricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "haystack: metrics server:", err)
 			}
 		}()
 		defer msrv.Close()
-		fmt.Printf("metrics on http://%s/metrics\n", metricsAddr)
+		fmt.Printf("metrics on http://%s/metrics\n", opts.metricsAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if reportEvery > 0 {
+	if opts.report > 0 {
 		go func() {
-			t := time.NewTicker(reportEvery)
+			t := time.NewTicker(opts.report)
 			defer t.Stop()
 			for {
 				select {
@@ -292,9 +405,10 @@ func listen(sys *haystack.System, listeners []collector.Listener, threshold floa
 					return
 				case <-t.C:
 					st := srv.Stats()
-					fmt.Printf("ingest: %d datagrams, %d records, %.0f rec/s ewma, %d/%d feeds, %d dropped, %d decode errors\n",
+					ds := det.Stats()
+					fmt.Printf("ingest: %d datagrams, %d records, %.0f rec/s ewma, %d/%d feeds, %d dropped, %d decode errors, window %d\n",
 						st.Datagrams, st.Records, st.RateEWMA, st.ActiveFeeds, st.MaxFeeds,
-						st.DroppedDatagrams, st.DecodeErrors)
+						st.DroppedDatagrams, st.DecodeErrors, ds.Windows)
 				}
 			}
 		}()
@@ -302,7 +416,7 @@ func listen(sys *haystack.System, listeners []collector.Listener, threshold floa
 	<-ctx.Done()
 	stop() // restore default signal handling: a second ^C kills
 	fmt.Println("\nshutting down: draining sockets and feeds...")
-	srv.Close()
+	srv.Close() // drains, then rotates and delivers the final window
 
 	st := srv.Stats()
 	fmt.Printf("transport: %d datagrams (%d bytes), %d records, %d dropped datagrams, %d decode errors\n",
@@ -312,17 +426,20 @@ func listen(sys *haystack.System, listeners []collector.Listener, threshold floa
 			f.Feed, f.Sources, f.Datagrams, f.Records, f.TemplateDrops, f.SequenceGaps)
 	}
 	if skipped := det.SkippedRecords(); skipped > 0 {
-		fmt.Printf("skipped %d records without a usable IPv4 subscriber address\n", skipped)
+		fmt.Printf("skipped %d records without a usable subscriber address\n", skipped)
 	}
-
-	dets := det.Detections()
-	byRule := map[string]int{}
-	for _, d := range dets {
-		byRule[d.Rule]++
+	ds := det.Stats()
+	if ds.EventsDropped > 0 || ds.SubscriberDrops > 0 {
+		fmt.Printf("events: %d emitted, %d queue drops, %d subscriber drops\n",
+			ds.EventsEmitted, ds.EventsDropped, ds.SubscriberDrops)
 	}
-	fmt.Printf("detections: %d (subscriber, rule) pairs across %d rules\n", len(dets), len(byRule))
+	// Every detection was delivered through a WindowResult (the run is
+	// at least one window); summarize the windowed view with the
+	// per-rule breakdown accumulated across windows.
+	fmt.Printf("windows: %d rotated, %d (subscriber, rule) detections in total across %d rules\n",
+		totalWindows, totalWindowDets, len(totalByRule))
 	for _, r := range sys.Rules() {
-		if n := byRule[r.Name]; n > 0 {
+		if n := totalByRule[r.Name]; n > 0 {
 			fmt.Printf("  %-22s %-4s %d subscribers\n", r.Name, r.Level, n)
 		}
 	}

@@ -1,0 +1,189 @@
+package haystack
+
+// The detection event stream: shard workers push pipeline.FireEvents
+// through a bounded, drop-counted queue into a broker goroutine that
+// translates them (rule index → name/level, hour bin → time) and fans
+// them out to every Subscribe channel. The push-side counterpart of
+// Detections — an ISP deployment wants detections as they fire,
+// window after window, not a one-shot inventory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// DetectionEvent is one live first-fire notification: Rule crossed
+// its evidence threshold for Subscriber during the hour bin starting
+// at First, while aggregation window Window (the Rotate sequence
+// number) was current. Exactly one event is emitted per (subscriber,
+// rule) per window, so the events of a window reproduce its
+// WindowResult.Detections.
+type DetectionEvent struct {
+	// Subscriber is the opaque anonymized subscriber key (§2.1).
+	Subscriber uint64
+	Rule       string
+	Level      string
+	// First is the start of the hour bin in which the rule fired.
+	First time.Time
+	// Window is the aggregation-window sequence number the event
+	// belongs to — WindowResult.Seq of the Rotate that closes it.
+	Window uint64
+}
+
+// eventJSON is the wire form of DetectionEvent: Detection's schema
+// plus the window stamp, subscriber as the 16-hex-digit hash string
+// (SubscriberHex) — raw uint64 hashes exceed 2^53 and would corrupt
+// in float64-based JSON consumers.
+type eventJSON struct {
+	Subscriber string    `json:"subscriber"`
+	Rule       string    `json:"rule"`
+	Level      string    `json:"level"`
+	First      time.Time `json:"first"`
+	Window     uint64    `json:"window"`
+}
+
+func (e DetectionEvent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{SubscriberHex(e.Subscriber), e.Rule, e.Level, e.First, e.Window})
+}
+
+func (e *DetectionEvent) UnmarshalJSON(b []byte) error {
+	var raw eventJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	sub, err := strconv.ParseUint(raw.Subscriber, 16, 64)
+	if err != nil {
+		return fmt.Errorf("haystack: event subscriber %q: %w", raw.Subscriber, err)
+	}
+	*e = DetectionEvent{Subscriber: sub, Rule: raw.Rule, Level: raw.Level, First: raw.First, Window: raw.Window}
+	return nil
+}
+
+const (
+	// eventQueueLen bounds the queue between the shard workers and the
+	// fan-out broker. A full queue drops events (counted in
+	// DetectorStats.EventsDropped) rather than stalling detection.
+	eventQueueLen = 1024
+	// subscriberBuffer is each Subscribe channel's capacity. A slow
+	// subscriber drops its own deliveries (SubscriberDrops) without
+	// affecting other subscribers or the pipeline.
+	subscriberBuffer = 256
+)
+
+// eventSub is one Subscribe registration.
+type eventSub struct {
+	ch chan DetectionEvent
+}
+
+// Subscribe registers a live detection stream: every DetectionEvent
+// fired after the call is delivered to the returned channel, which
+// any number of concurrent subscribers may hold. Delivery is
+// asynchronous and bounded — a subscriber that stops draining loses
+// its own events (counted in DetectorStats.SubscriberDrops) while
+// detection and other subscribers proceed unharmed. The channel is
+// closed by cancel (idempotent) or by Detector.Close. Subscribing to
+// a closed detector returns an already-closed channel.
+func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
+	d.evMu.Lock()
+	defer d.evMu.Unlock()
+	if d.evClosed {
+		ch := make(chan DetectionEvent)
+		close(ch)
+		return ch, func() {}
+	}
+	if d.evCh == nil {
+		// First subscriber: start the broker and install the pipeline
+		// first-fire hook. Both stay for the detector's lifetime — an
+		// idle broker is one parked goroutine, and keeping the hook
+		// means the event counters stay meaningful between
+		// subscriptions.
+		d.evSubs = make(map[*eventSub]struct{})
+		d.evCh = make(chan pipeline.FireEvent, eventQueueLen)
+		d.evDone = make(chan struct{})
+		go d.broker()
+		d.pipe.SetFireHook(d.fire)
+	}
+	sub := &eventSub{ch: make(chan DetectionEvent, subscriberBuffer)}
+	d.evSubs[sub] = struct{}{}
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			d.evMu.Lock()
+			defer d.evMu.Unlock()
+			if _, ok := d.evSubs[sub]; ok {
+				delete(d.evSubs, sub)
+				close(sub.ch)
+			}
+		})
+	}
+	return sub.ch, cancel
+}
+
+// fire is the pipeline first-fire hook: it runs on a shard worker
+// goroutine under the shard's engine lock, so it only counts and does
+// a non-blocking enqueue — a full queue drops the event visibly
+// instead of stalling detection.
+func (d *Detector) fire(ev pipeline.FireEvent) {
+	d.eventsEmitted.Add(1)
+	select {
+	case d.evCh <- ev:
+	default:
+		d.eventsDropped.Add(1)
+	}
+}
+
+// broker drains the event queue, translating each FireEvent through
+// the dictionary and fanning it out to every subscriber. Sends happen
+// under evMu, the same lock cancel closes channels under, so a
+// delivery can never race a close. When the queue closes (Detector.
+// Close, after the shard workers have stopped), the broker closes all
+// subscriber channels and exits.
+func (d *Detector) broker() {
+	defer close(d.evDone)
+	dict := d.pipe.Dictionary()
+	for fe := range d.evCh {
+		r := &dict.Rules[fe.Rule]
+		ev := DetectionEvent{
+			Subscriber: uint64(fe.Sub),
+			Rule:       r.Name,
+			Level:      r.Level.String(),
+			First:      fe.Hour.Time(),
+			Window:     fe.Window,
+		}
+		d.evMu.Lock()
+		for sub := range d.evSubs {
+			select {
+			case sub.ch <- ev:
+			default:
+				d.subscriberDrops.Add(1)
+			}
+		}
+		d.evMu.Unlock()
+	}
+	d.evMu.Lock()
+	for sub := range d.evSubs {
+		delete(d.evSubs, sub)
+		close(sub.ch)
+	}
+	d.evMu.Unlock()
+}
+
+// closeEvents shuts the event path down. Called by Detector.Close
+// after pipeline.Close has stopped the shard workers, so no fire can
+// race the queue close.
+func (d *Detector) closeEvents() {
+	d.evMu.Lock()
+	ch := d.evCh
+	closed := d.evClosed
+	d.evClosed = true
+	d.evMu.Unlock()
+	if ch != nil && !closed {
+		close(ch)
+		<-d.evDone
+	}
+}

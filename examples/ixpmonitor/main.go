@@ -66,12 +66,28 @@ func main() {
 func wireDemo(sys *haystack.System, feeds int) {
 	det := sys.NewShardedDetector(0.4, 8)
 	defer det.Close()
+
+	// Live event stream: detections arrive pushed, as an IXP operator
+	// would consume them, rather than polled after the fact.
+	evCh, cancelEv := det.Subscribe()
+	defer cancelEv()
+	events := 0
+	evDone := make(chan struct{})
+	go func() {
+		defer close(evDone)
+		for range evCh {
+			events++
+		}
+	}()
+
 	srv, err := det.Listen(haystack.ListenConfig{
-		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX}},
-		MaxFeeds:   feeds,
-		MinFeeds:   feeds, // each member gets its own lane at once
-		QueueLen:   4096,
-		ReadBuffer: 4 << 20, // headroom against bursty senders
+		Config: collector.Config{
+			Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX}},
+			MaxFeeds:   feeds,
+			MinFeeds:   feeds, // each member gets its own lane at once
+			QueueLen:   4096,
+			ReadBuffer: 4 << 20, // headroom against bursty senders
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -152,10 +168,14 @@ func wireDemo(sys *haystack.System, feeds int) {
 
 	st := srv.Stats()
 	dets := det.Detections()
+	// Closing the detector drains the event broker and closes the
+	// subscription channel, so the event count below is complete.
+	det.Close()
+	<-evDone
 	fmt.Printf("\nwire demo: %d member exporters over UDP %s into an %d-shard detector\n",
 		feeds, addr, det.Shards())
-	fmt.Printf("  %d datagrams, %d records, %d dropped, %d decode errors → %d (client, rule) detections\n",
-		st.Datagrams, st.Records, st.DroppedDatagrams, st.DecodeErrors, len(dets))
+	fmt.Printf("  %d datagrams, %d records, %d dropped, %d decode errors → %d (client, rule) detections (%d live events)\n",
+		st.Datagrams, st.Records, st.DroppedDatagrams, st.DecodeErrors, len(dets), events)
 	for _, f := range st.Feeds {
 		fmt.Printf("  feed %d: %d sources, %d datagrams, %d records, %d template drops, %d gaps\n",
 			f.Feed, f.Sources, f.Datagrams, f.Records, f.TemplateDrops, f.SequenceGaps)

@@ -1,0 +1,146 @@
+package haystack
+
+// Export writers for WindowResult: the §2.1-compliant anonymized
+// schema (subscribers appear only as their 64-bit hash, rendered as
+// 16 hex digits) in JSON Lines and CSV, plus ExportDir, which writes
+// one file per rotated window — the shape `haystack listen
+// -window 1h -export-dir out/` produces.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// SubscriberHex renders an anonymized subscriber key in the §2.1
+// export schema's canonical form, 16 lowercase hex digits — the one
+// definition shared by the JSONL/CSV writers, the Detection and
+// DetectionEvent JSON forms, and the CLI event printer.
+func SubscriberHex(sub uint64) string { return fmt.Sprintf("%016x", sub) }
+
+// exportRow is one detection in the anonymized export schema, shared
+// by the JSONL and CSV writers (CSV emits the fields in declaration
+// order).
+type exportRow struct {
+	Window      uint64 `json:"window"`
+	WindowStart string `json:"window_start"`
+	WindowEnd   string `json:"window_end"`
+	Subscriber  string `json:"subscriber"`
+	Rule        string `json:"rule"`
+	Level       string `json:"level"`
+	First       string `json:"first"`
+}
+
+// exportHeader is the CSV header, matching exportRow.
+var exportHeader = []string{"window", "window_start", "window_end", "subscriber", "rule", "level", "first"}
+
+func (res *WindowResult) rows(fn func(exportRow) error) error {
+	start := res.Start.UTC().Format(time.RFC3339)
+	end := res.End.UTC().Format(time.RFC3339)
+	for i := range res.Detections {
+		d := &res.Detections[i]
+		if err := fn(exportRow{
+			Window:      res.Seq,
+			WindowStart: start,
+			WindowEnd:   end,
+			Subscriber:  SubscriberHex(d.Subscriber),
+			Rule:        d.Rule,
+			Level:       d.Level,
+			First:       d.First.UTC().Format(time.RFC3339),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteWindowJSONL writes one JSON object per detection of the
+// window, newline-delimited — the streaming-friendly export format.
+// An empty window writes nothing.
+func WriteWindowJSONL(w io.Writer, res *WindowResult) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := res.rows(func(r exportRow) error { return enc.Encode(r) }); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteWindowCSV writes the window's detections as CSV with a header
+// row. An empty window writes only the header.
+func WriteWindowCSV(w io.Writer, res *WindowResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(exportHeader); err != nil {
+		return err
+	}
+	err := res.rows(func(r exportRow) error {
+		return cw.Write([]string{
+			strconv.FormatUint(r.Window, 10), r.WindowStart, r.WindowEnd,
+			r.Subscriber, r.Rule, r.Level, r.First,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportDir writes one export file per rotated window into a
+// directory: window-000000.jsonl, window-000001.jsonl, … Suitable as
+// the body of a WindowConfig.OnRotate callback; see
+// docs/OPERATIONS.md for the operator walkthrough.
+type ExportDir struct {
+	dir    string
+	format string
+}
+
+// NewExportDir prepares dir (creating it if needed) for per-window
+// exports in the given format, "jsonl" or "csv".
+func NewExportDir(dir, format string) (*ExportDir, error) {
+	switch format {
+	case "jsonl", "csv":
+	default:
+		return nil, fmt.Errorf("haystack: unknown export format %q (want jsonl or csv)", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("haystack: export dir: %w", err)
+	}
+	return &ExportDir{dir: dir, format: format}, nil
+}
+
+// Export writes the window to window-<seq>.<format> in the directory
+// and returns the file's path. The write is atomic: the file appears
+// complete or not at all, so a consumer tailing the directory never
+// reads a half-written window.
+func (e *ExportDir) Export(res *WindowResult) (string, error) {
+	path := filepath.Join(e.dir, fmt.Sprintf("window-%06d.%s", res.Seq, e.format))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if e.format == "csv" {
+		err = WriteWindowCSV(f, res)
+	} else {
+		err = WriteWindowJSONL(f, res)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,216 @@
+package haystack
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testWindowResult() *WindowResult {
+	start := time.Date(2019, time.November, 15, 0, 0, 0, 0, time.UTC)
+	return &WindowResult{
+		Seq:   4,
+		Start: start,
+		End:   start.Add(time.Hour),
+		Detections: []Detection{
+			{Subscriber: 0x0123456789abcdef, Rule: "Alexa Enabled", Level: "Pl.", First: start.Add(9 * time.Minute).Truncate(time.Hour)},
+			{Subscriber: 0xfedcba9876543210, Rule: "Meross Dooropener", Level: "Man.", First: start},
+		},
+		RuleCounts:          map[string]int{"Alexa Enabled": 1, "Meross Dooropener": 1},
+		Subscribers:         2,
+		DetectedSubscribers: 2,
+		Records:             7,
+		RecordsIPv4:         6,
+		RecordsIPv6:         1,
+	}
+}
+
+// TestDetectionJSONSubscriberIsHexString: Detection, DetectionEvent,
+// and therefore WindowResult marshal the subscriber as the 16-hex-
+// digit hash string — a raw uint64 above 2^53 silently corrupts in
+// float64-based JSON consumers.
+func TestDetectionJSONSubscriberIsHexString(t *testing.T) {
+	res := testWindowResult()
+	body, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Seq        uint64 `json:"seq"`
+		Detections []struct {
+			Subscriber string `json:"subscriber"`
+			Rule       string `json:"rule"`
+		} `json:"detections"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("WindowResult JSON does not round-trip: %v\n%s", err, body)
+	}
+	if doc.Seq != 4 || len(doc.Detections) != 2 {
+		t.Fatalf("marshalled window = %s", body)
+	}
+	if doc.Detections[0].Subscriber != "0123456789abcdef" {
+		t.Fatalf("detection subscriber = %q, want hex hash", doc.Detections[0].Subscriber)
+	}
+
+	ev := DetectionEvent{Subscriber: 0xfedcba9876543210, Rule: "r", Level: "Man.", Window: 7}
+	body, err = json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evDoc struct {
+		Subscriber string `json:"subscriber"`
+		Window     uint64 `json:"window"`
+	}
+	if err := json.Unmarshal(body, &evDoc); err != nil {
+		t.Fatal(err)
+	}
+	if evDoc.Subscriber != "fedcba9876543210" || evDoc.Window != 7 {
+		t.Fatalf("marshalled event = %s", body)
+	}
+
+	// The library's own JSON round-trips through its own types.
+	var ev2 DetectionEvent
+	if err := json.Unmarshal(body, &ev2); err != nil {
+		t.Fatalf("event does not round-trip: %v", err)
+	}
+	if ev2 != ev {
+		t.Fatalf("round-tripped event = %+v, want %+v", ev2, ev)
+	}
+	var det2 []Detection
+	detBody, err := json.Marshal(res.Detections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(detBody, &det2); err != nil {
+		t.Fatalf("detections do not round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(det2, res.Detections) {
+		t.Fatalf("round-tripped detections diverge: %+v", det2)
+	}
+}
+
+func TestWriteWindowJSONL(t *testing.T) {
+	res := testWindowResult()
+	var buf bytes.Buffer
+	if err := WriteWindowJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var row struct {
+		Window      uint64 `json:"window"`
+		WindowStart string `json:"window_start"`
+		Subscriber  string `json:"subscriber"`
+		Rule        string `json:"rule"`
+		Level       string `json:"level"`
+		First       string `json:"first"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Window != 4 || row.Rule != "Alexa Enabled" || row.Level != "Pl." {
+		t.Fatalf("row = %+v", row)
+	}
+	// §2.1: the subscriber appears only as its hash.
+	if row.Subscriber != "0123456789abcdef" {
+		t.Fatalf("subscriber = %q, want the 16-hex-digit hash", row.Subscriber)
+	}
+	if row.WindowStart != "2019-11-15T00:00:00Z" {
+		t.Fatalf("window_start = %q", row.WindowStart)
+	}
+	if _, err := time.Parse(time.RFC3339, row.First); err != nil {
+		t.Fatalf("first %q not RFC3339: %v", row.First, err)
+	}
+
+	// An empty window writes nothing.
+	buf.Reset()
+	if err := WriteWindowJSONL(&buf, &WindowResult{Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty window wrote %q", buf.String())
+	}
+}
+
+func TestWriteWindowCSV(t *testing.T) {
+	res := testWindowResult()
+	var buf bytes.Buffer
+	if err := WriteWindowCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want header + 2", len(rows))
+	}
+	wantHeader := []string{"window", "window_start", "window_end", "subscriber", "rule", "level", "first"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Fatalf("header = %v", rows[0])
+		}
+	}
+	if rows[1][0] != "4" || rows[1][3] != "0123456789abcdef" || rows[1][4] != "Alexa Enabled" {
+		t.Fatalf("first data row = %v", rows[1])
+	}
+	if rows[2][4] != "Meross Dooropener" || rows[2][5] != "Man." {
+		t.Fatalf("second data row = %v", rows[2])
+	}
+}
+
+func TestExportDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "windows")
+	exp, err := NewExportDir(dir, "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testWindowResult()
+	path, err := exp.Export(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "window-000004.jsonl" {
+		t.Fatalf("export path = %q", path)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(body), "\n"); n != 2 {
+		t.Fatalf("exported %d lines, want 2", n)
+	}
+	// No temp-file debris after a clean export.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("export dir holds %d entries, want 1", len(entries))
+	}
+
+	csvExp, err := NewExportDir(dir, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Seq = 5
+	path, err = csvExp.Export(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "window-000005.csv" {
+		t.Fatalf("csv export path = %q", path)
+	}
+
+	if _, err := NewExportDir(dir, "xml"); err == nil {
+		t.Fatal("unknown export format accepted")
+	}
+}

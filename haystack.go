@@ -20,9 +20,12 @@ package haystack
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,7 +185,12 @@ func (s *System) ServiceIPs(domain string) []netip.Addr {
 	return s.lab.W.ResolverOn(s.lab.W.Window.Days()[0]).Resolve(domain)
 }
 
-// Detection is one (subscriber, rule) detection event.
+// Detection is one (subscriber, rule) detection event. Its JSON form
+// (MarshalJSON/UnmarshalJSON) uses the same snake_case keys
+// WindowResult does, rendering the subscriber as the §2.1 export
+// schema's 16-hex-digit hash string (SubscriberHex) — a raw uint64
+// would silently corrupt in float64-based JSON consumers, since
+// hashes exceed 2^53.
 type Detection struct {
 	// Subscriber is the opaque anonymized subscriber key (the hash of
 	// the subscriber-side address for wire-fed detectors).
@@ -191,6 +199,31 @@ type Detection struct {
 	Level      string
 	// First is the start of the hour bin in which the rule fired.
 	First time.Time
+}
+
+// detectionJSON is the wire form of Detection; see the type comment.
+type detectionJSON struct {
+	Subscriber string    `json:"subscriber"`
+	Rule       string    `json:"rule"`
+	Level      string    `json:"level"`
+	First      time.Time `json:"first"`
+}
+
+func (d Detection) MarshalJSON() ([]byte, error) {
+	return json.Marshal(detectionJSON{SubscriberHex(d.Subscriber), d.Rule, d.Level, d.First})
+}
+
+func (d *Detection) UnmarshalJSON(b []byte) error {
+	var raw detectionJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	sub, err := strconv.ParseUint(raw.Subscriber, 16, 64)
+	if err != nil {
+		return fmt.Errorf("haystack: detection subscriber %q: %w", raw.Subscriber, err)
+	}
+	*d = Detection{Subscriber: sub, Rule: raw.Rule, Level: raw.Level, First: raw.First}
+	return nil
 }
 
 // Detector applies the compiled dictionary to NetFlow v9 / IPFIX
@@ -203,6 +236,24 @@ type Detection struct {
 // sockets and drive exporter datagrams through the full stack:
 // sockets → feeds → sharded engines (the three layers DESIGN.md
 // diagrams), with adaptive feed fan-in and per-feed transport metrics.
+//
+// # Windowed, event-driven reads
+//
+// Beyond the pull-everything Detections snapshot, the read side is
+// windowed and event-driven — the shape of the paper's §6
+// longitudinal results (detections per hour/day, Figs 10, 11, 15):
+//
+//   - Subscribe streams a DetectionEvent the moment a rule crosses
+//     threshold for a subscriber, once per (subscriber, rule) per
+//     window, to any number of subscribers;
+//   - Rotate atomically cuts an aggregation window — a WindowResult
+//     with the window's detections, per-rule counts, and stats deltas
+//     — and resets detection state while feeds and template caches
+//     survive;
+//   - ListenConfig.Window drives Rotate on a period, delivering every
+//     WindowResult (including the final partial window at shutdown)
+//     to an OnRotate callback — see the haystack.Export writers for
+//     the §2.1-anonymized JSONL/CSV schema.
 //
 // # Concurrency
 //
@@ -226,9 +277,31 @@ type Detection struct {
 type Detector struct {
 	pipe    *pipeline.Pipeline
 	skipped atomic.Uint64
+	// recordsV4/recordsV6 count records delivered to the pipeline by
+	// subscriber address family, across all feeds (§2.1 hashes both).
+	recordsV4 atomic.Uint64
+	recordsV6 atomic.Uint64
 
 	mu  sync.Mutex
 	def *Feed // backs the Detector-level feed methods
+
+	// Event fan-out (events.go): shard workers push FireEvents into
+	// evCh via the pipeline hook; the broker goroutine translates and
+	// fans them out to Subscribe channels.
+	evMu            sync.Mutex
+	evSubs          map[*eventSub]struct{}
+	evCh            chan pipeline.FireEvent
+	evDone          chan struct{}
+	evClosed        bool
+	eventsEmitted   atomic.Uint64
+	eventsDropped   atomic.Uint64
+	subscriberDrops atomic.Uint64
+
+	// Window rotation (window.go): baseline counters for stats deltas
+	// and the wall-clock start of the current window.
+	rotateMu    sync.Mutex
+	windowStart time.Time
+	base        windowBaseline
 }
 
 // NewDetector returns a detector at detection threshold d (the paper's
@@ -241,7 +314,10 @@ func (s *System) NewDetector(d float64) *Detector {
 // NewShardedDetector returns a detector at detection threshold d with
 // an explicit engine-shard count (outputs are shard-invariant).
 func (s *System) NewShardedDetector(d float64, shards int) *Detector {
-	return &Detector{pipe: pipeline.New(s.lab.Dict, d, shards)}
+	return &Detector{
+		pipe:        pipeline.New(s.lab.Dict, d, shards),
+		windowStart: time.Now(),
+	}
 }
 
 // Feed is one wire-format ingestion handle: a NetFlow v9 and IPFIX
@@ -291,39 +367,63 @@ func (f *Feed) Stats() FeedStats {
 }
 
 // subscriberKey anonymizes the subscriber-side address by hashing, as
-// §2.1 requires ("anonymize by hashing all user IPs"). The boolean is
-// false for addresses that cannot identify an IPv4 subscriber line —
-// invalid (the exporter's template omitted the source-address field)
-// or not IPv4 — which callers must skip rather than observe.
-func subscriberKey(a netip.Addr) (detect.SubID, bool) {
+// §2.1 requires ("anonymize by hashing all user IPs") — IPv4 and IPv6
+// subscribers alike. The IPv4 hash is unchanged from earlier releases,
+// so previously exported detections stay byte-identical; IPv6
+// addresses avalanche both 64-bit halves so adjacent prefixes spread.
+// ok is false only for addresses that cannot identify any subscriber
+// line (the exporter's template omitted or mis-sized the
+// source-address field), which callers must skip rather than observe;
+// v6 reports the address family for the per-family record counters.
+func subscriberKey(a netip.Addr) (id detect.SubID, v6, ok bool) {
 	a = a.Unmap()
-	if !a.Is4() {
-		return 0, false
+	if a.Is4() {
+		b := a.As4()
+		x := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+		x ^= 0x9e3779b97f4a7c15
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		return detect.SubID(x), false, true
 	}
-	b := a.As4()
-	x := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
-	x ^= 0x9e3779b97f4a7c15
+	if !a.Is6() {
+		return 0, false, false
+	}
+	b := a.As16()
+	x := binary.BigEndian.Uint64(b[0:8])*0x9e3779b97f4a7c15 ^ binary.BigEndian.Uint64(b[8:16])
+	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
-	return detect.SubID(x), true
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return detect.SubID(x), true, true
 }
 
 // observe feeds decoded records to the pipeline, skipping (and
 // counting) records whose subscriber-side address is unusable.
 func (f *Feed) observe(recs []flow.Record) {
-	delivered := uint64(0)
+	var v4, v6 uint64
 	for i := range recs {
 		r := &recs[i]
-		key, ok := subscriberKey(r.Key.Src)
+		key, is6, ok := subscriberKey(r.Key.Src)
 		if !ok {
 			f.d.skipped.Add(1)
 			continue
 		}
 		f.prod.Observe(key, r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
-		delivered++
+		if is6 {
+			v6++
+		} else {
+			v4++
+		}
 	}
-	if delivered > 0 {
-		f.records.Add(delivered)
+	if v4 > 0 {
+		f.d.recordsV4.Add(v4)
+	}
+	if v6 > 0 {
+		f.d.recordsV6.Add(v6)
+	}
+	if n := v4 + v6; n > 0 {
+		f.records.Add(n)
 	}
 }
 
@@ -362,10 +462,11 @@ func (d *Detector) FeedNetFlow(msg []byte) error { return d.defaultFeed().FeedNe
 func (d *Detector) FeedIPFIX(msg []byte) error { return d.defaultFeed().FeedIPFIX(msg) }
 
 // SkippedRecords returns how many decoded records were skipped across
-// all feeds because their subscriber-side address was invalid or not
-// IPv4 (e.g. the exporter's template omitted or mis-sized the source
-// address field). The counter survives Reset: it describes transport
-// health, not window state.
+// all feeds because their subscriber-side address was invalid (e.g.
+// the exporter's template omitted or mis-sized the source address
+// field). IPv4 and IPv6 subscribers are both hashed and observed, per
+// §2.1's "anonymize all user IPs". The counter survives Reset and
+// Rotate: it describes transport health, not window state.
 func (d *Detector) SkippedRecords() uint64 { return d.skipped.Load() }
 
 // Detections returns every (subscriber, rule) detection so far, sorted
@@ -382,32 +483,82 @@ func (d *Detector) Detections() []Detection {
 			First:      first.Time(),
 		})
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Subscriber != out[j].Subscriber {
-			return out[i].Subscriber < out[j].Subscriber
-		}
-		return out[i].Rule < out[j].Rule
-	})
+	sortDetections(out)
 	return out
+}
+
+// sortDetections orders by subscriber then rule name — the canonical
+// presentation order shared by Detections and WindowResult.
+func sortDetections(list []Detection) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Subscriber != list[j].Subscriber {
+			return list[i].Subscriber < list[j].Subscriber
+		}
+		return list[i].Rule < list[j].Rule
+	})
 }
 
 // Shards returns the number of engine shards the detector runs on.
 func (d *Detector) Shards() int { return d.pipe.Shards() }
 
-// Reset clears detection state (start of a new aggregation window).
-// Feeds and their template caches survive, as they would across
-// windows in a deployment.
-func (d *Detector) Reset() { d.pipe.Reset() }
+// Reset clears detection state and starts the next aggregation window
+// — Rotate, discarding the closing window's result. Feeds and their
+// template caches survive, as they would across windows in a
+// deployment.
+func (d *Detector) Reset() {
+	d.rotateMu.Lock()
+	defer d.rotateMu.Unlock()
+	d.pipe.Reset()
+	d.cutBaselineLocked(time.Now())
+}
 
-// Close flushes all feeds and stops the shard workers. Detections
-// remain readable after Close; feeding afterwards panics.
-func (d *Detector) Close() { d.pipe.Close() }
+// Close flushes all feeds — including the implicit feed behind the
+// Detector-level FeedNetFlow/FeedIPFIX, so its buffered observations
+// always reach the pipeline — stops the shard workers, and closes
+// every Subscribe channel. Detections remain readable after Close;
+// feeding afterwards panics.
+func (d *Detector) Close() {
+	d.mu.Lock()
+	def := d.def
+	d.mu.Unlock()
+	if def != nil {
+		def.Close()
+	}
+	d.pipe.Close()
+	d.closeEvents()
+}
 
-// ListenConfig configures the detector's UDP socket layer; see
-// collector.Config for the field semantics and defaults. A zero
-// MaxFeeds is defaulted to the detector's shard count — more feeds
-// than shards cannot add engine parallelism.
-type ListenConfig = collector.Config
+// ListenConfig configures a listening deployment: the UDP socket
+// layer (the embedded collector.Config; see it for field semantics
+// and defaults) plus aggregation-window rotation. A zero MaxFeeds is
+// defaulted to the detector's shard count — more feeds than shards
+// cannot add engine parallelism.
+type ListenConfig struct {
+	collector.Config
+
+	// Window, when Every > 0 or OnRotate is set, turns the deployment
+	// into the paper's windowed, continuously reporting detector: the
+	// server rotates the detector every Every (plus a final, partial
+	// window when it shuts down) and hands each WindowResult to
+	// OnRotate. With OnRotate set but Every zero, the whole run is one
+	// window, rotated and delivered at Close.
+	Window WindowConfig
+}
+
+// Server is one running listening deployment: the collector socket
+// layer plus, when configured, the aggregation-window rotator. The
+// embedded collector.Server surfaces (Addrs, Stats, ServeMetrics,
+// Sync) are promoted; use this type's Close/Serve so the rotator
+// stops and the final window is delivered.
+type Server struct {
+	*collector.Server
+	det    *Detector
+	window WindowConfig
+
+	stop     chan struct{} // stops the periodic rotator
+	rotDone  chan struct{}
+	stopOnce sync.Once
+}
 
 // Listen binds the configured UDP sockets and starts ingesting
 // NetFlow v9 / IPFIX datagrams into the detection pipeline — the
@@ -417,20 +568,80 @@ type ListenConfig = collector.Config
 // and per-subscriber ordering are preserved (see DESIGN.md for the
 // layer diagram and docs/OPERATIONS.md for running it).
 //
-// The returned server reports transport metrics (collector.Stats) and
-// stops with Close; the detector itself stays open for Detections and
-// further feeds.
-func (d *Detector) Listen(cfg ListenConfig) (*collector.Server, error) {
+// The returned server reports transport metrics (collector.Stats),
+// drives the configured window rotation, and stops with Close; the
+// detector itself stays open for Detections, Subscribe, and further
+// feeds.
+func (d *Detector) Listen(cfg ListenConfig) (*Server, error) {
 	if cfg.MaxFeeds == 0 {
 		cfg.MaxFeeds = d.Shards()
 	}
-	return collector.Listen(cfg, func() collector.Feed { return d.NewFeed() })
+	inner, err := collector.Listen(cfg.Config, func() collector.Feed { return d.NewFeed() })
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Server: inner, det: d, window: cfg.Window}
+	if cfg.Window.Every > 0 {
+		s.stop = make(chan struct{})
+		s.rotDone = make(chan struct{})
+		go s.rotator()
+	}
+	return s, nil
+}
+
+// rotator cuts a window every cfg.Window.Every until Close.
+func (s *Server) rotator() {
+	defer close(s.rotDone)
+	t := time.NewTicker(s.window.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.deliver(s.det.Rotate())
+		}
+	}
+}
+
+func (s *Server) deliver(res WindowResult) {
+	if s.window.OnRotate != nil {
+		s.window.OnRotate(res)
+	}
+}
+
+// Close stops the sockets first — draining every queued datagram
+// through the feeds, so the detector is quiescent — then stops the
+// window rotator and rotates one final time, delivering the partial
+// tail window to OnRotate: across a windowed run every detection
+// lands in exactly one WindowResult. Safe to call multiple times;
+// the final window is delivered once.
+func (s *Server) Close() error {
+	err := s.Server.Close()
+	s.stopOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+			<-s.rotDone
+		}
+		if s.window.Every > 0 || s.window.OnRotate != nil {
+			s.deliver(s.det.Rotate())
+		}
+	})
+	return err
+}
+
+// Serve blocks until ctx is done, then shuts the server down
+// gracefully via Close (rotating and delivering the final window).
+func (s *Server) Serve(ctx context.Context) error {
+	<-ctx.Done()
+	return s.Close()
 }
 
 // ListenAndDetect is Listen for the common lifecycle: it serves until
-// ctx is cancelled, then drains the sockets' in-flight datagrams and
-// closes the feeds, leaving the detector quiescent for exact
-// Detections reads.
+// ctx is cancelled, then drains the sockets' in-flight datagrams,
+// closes the feeds, and delivers the final window (when windowing is
+// configured), leaving the detector quiescent for exact Detections
+// reads.
 func (d *Detector) ListenAndDetect(ctx context.Context, cfg ListenConfig) error {
 	srv, err := d.Listen(cfg)
 	if err != nil {
@@ -440,28 +651,60 @@ func (d *Detector) ListenAndDetect(ctx context.Context, cfg ListenConfig) error 
 }
 
 // DetectorStats is the detector-level slice of the metrics surface;
-// the per-feed transport counters live in collector.Stats.
+// the per-feed transport counters live in collector.Stats. All
+// counters are cumulative across the detector's lifetime — window
+// deltas are what Rotate reports in WindowResult.
 type DetectorStats struct {
-	// SkippedRecords counts decoded records dropped for lack of a
-	// usable IPv4 subscriber address, across all feeds.
-	SkippedRecords uint64
+	// RecordsIPv4 and RecordsIPv6 count decoded records delivered to
+	// the pipeline, by subscriber address family (both are hashed and
+	// observed, per §2.1).
+	RecordsIPv4 uint64 `json:"records_ipv4"`
+	RecordsIPv6 uint64 `json:"records_ipv6"`
+	// SkippedRecords counts decoded records dropped for lack of any
+	// usable subscriber address, across all feeds.
+	SkippedRecords uint64 `json:"skipped_records"`
 	// Shards is the engine shard count.
-	Shards int
+	Shards int `json:"shards"`
 	// OpenFeeds is the number of live feed handles (pipeline
 	// producers).
-	OpenFeeds int
+	OpenFeeds int `json:"open_feeds"`
 	// InflightBatches is the pipeline-side queue depth: observation
 	// batches dispatched to shard workers but not yet applied.
-	InflightBatches int
+	InflightBatches int `json:"inflight_batches"`
+	// Windows is the number of completed aggregation windows
+	// (Rotate/Reset cuts); the current window's sequence number.
+	Windows uint64 `json:"windows"`
+	// EventSubscribers is the number of live Subscribe channels.
+	EventSubscribers int `json:"event_subscribers"`
+	// EventsEmitted counts first-fire events emitted by the shard
+	// workers since the first Subscribe installed the hook.
+	EventsEmitted uint64 `json:"events_emitted"`
+	// EventsDropped counts events lost because the detector's bounded
+	// event queue was full — the broker could not keep up.
+	EventsDropped uint64 `json:"events_dropped"`
+	// SubscriberDrops counts per-subscriber deliveries skipped because
+	// that subscriber's channel buffer was full (slow consumer); other
+	// subscribers still receive the event.
+	SubscriberDrops uint64 `json:"subscriber_drops"`
 }
 
 // Stats snapshots the detector's health counters. Safe to call while
 // feeds are running.
 func (d *Detector) Stats() DetectorStats {
+	d.evMu.Lock()
+	subs := len(d.evSubs)
+	d.evMu.Unlock()
 	return DetectorStats{
-		SkippedRecords:  d.skipped.Load(),
-		Shards:          d.pipe.Shards(),
-		OpenFeeds:       d.pipe.Producers(),
-		InflightBatches: d.pipe.Inflight(),
+		RecordsIPv4:      d.recordsV4.Load(),
+		RecordsIPv6:      d.recordsV6.Load(),
+		SkippedRecords:   d.skipped.Load(),
+		Shards:           d.pipe.Shards(),
+		OpenFeeds:        d.pipe.Producers(),
+		InflightBatches:  d.pipe.Inflight(),
+		Windows:          d.pipe.Window(),
+		EventSubscribers: subs,
+		EventsEmitted:    d.eventsEmitted.Load(),
+		EventsDropped:    d.eventsDropped.Load(),
+		SubscriberDrops:  d.subscriberDrops.Load(),
 	}
 }

@@ -183,34 +183,53 @@ func TestDetectorRejectsGarbage(t *testing.T) {
 }
 
 func TestSubscriberKeyAnonymizesButIsStable(t *testing.T) {
-	key := func(a netip.Addr) detect.SubID {
-		k, ok := subscriberKey(a)
+	key := func(a netip.Addr, wantV6 bool) detect.SubID {
+		k, v6, ok := subscriberKey(a)
 		if !ok {
 			t.Fatalf("subscriberKey(%v) not usable", a)
+		}
+		if v6 != wantV6 {
+			t.Fatalf("subscriberKey(%v) family v6=%v, want %v", a, v6, wantV6)
 		}
 		return k
 	}
 	a := netip.MustParseAddr("100.64.9.9")
-	if key(a) != key(a) {
+	if key(a, false) != key(a, false) {
 		t.Fatal("key not stable")
 	}
 	b := netip.MustParseAddr("100.64.9.10")
-	if key(a) == key(b) {
+	if key(a, false) == key(b, false) {
 		t.Fatal("adjacent addresses collide")
 	}
-	if uint64(key(a)) == uint64(0x64400909) {
+	if uint64(key(a, false)) == uint64(0x64400909) {
 		t.Fatal("key is the raw address — not anonymized")
 	}
+	// The IPv4 hash is pinned: exported detections from earlier
+	// releases must stay byte-identical.
+	if got := uint64(key(a, false)); got != 0x2d596705e96c4d34 {
+		t.Fatalf("IPv4 hash changed: %016x", got)
+	}
 	// 4-in-6 mapped addresses identify the same subscriber line.
-	if key(netip.MustParseAddr("::ffff:100.64.9.9")) != key(a) {
+	if key(netip.MustParseAddr("::ffff:100.64.9.9"), false) != key(a, false) {
 		t.Fatal("mapped address keys differently")
 	}
-	// Addresses that cannot identify an IPv4 subscriber are rejected,
+	// IPv6 subscribers are hashed too (§2.1 anonymizes *all* user
+	// IPs), stably, and spread even for adjacent addresses.
+	v6a := netip.MustParseAddr("2001:db8::1")
+	v6b := netip.MustParseAddr("2001:db8::2")
+	if key(v6a, true) != key(v6a, true) {
+		t.Fatal("v6 key not stable")
+	}
+	if key(v6a, true) == key(v6b, true) {
+		t.Fatal("adjacent v6 addresses collide")
+	}
+	if key(v6a, true) == key(a, false) {
+		t.Fatal("v6 key collides with the v4 key in this test vector")
+	}
+	// Only addresses that cannot identify any subscriber are rejected,
 	// not hashed (and certainly not panicked over, as As4 would).
-	for _, bad := range []netip.Addr{{}, netip.MustParseAddr("2001:db8::1")} {
-		if _, ok := subscriberKey(bad); ok {
-			t.Fatalf("subscriberKey(%v) accepted", bad)
-		}
+	if _, _, ok := subscriberKey(netip.Addr{}); ok {
+		t.Fatal("subscriberKey accepted the invalid zero address")
 	}
 }
 

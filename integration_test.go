@@ -56,7 +56,7 @@ func TestIntegrationWildDayOverWire(t *testing.T) {
 				},
 				Packets: pkts, Bytes: pkts * 600, Hour: h,
 			})
-			key, ok := subscriberKey(src)
+			key, _, ok := subscriberKey(src)
 			if !ok {
 				t.Fatalf("line %d address %v unusable", line, src)
 			}

@@ -77,6 +77,16 @@ type Engine struct {
 	subs    map[SubID]*subState
 	// detections counts currently-detected subscribers per rule.
 	detections []int
+
+	// OnFire, when non-nil, is called synchronously at the moment a
+	// rule crosses its evidence threshold for a subscriber — exactly
+	// once per (subscriber, rule) per aggregation bin, including rules
+	// released transitively by a newly-confirmed parent. It fires in
+	// addition to (and in the same order as) Observe's returned slice.
+	// The callback runs inside Observe and must not call back into the
+	// engine; hand the event to a queue for anything heavier than a
+	// counter.
+	OnFire func(sub SubID, rule int, h simtime.Hour)
 }
 
 // New returns an engine with detection threshold d. The paper's
@@ -118,13 +128,13 @@ func (e *Engine) Observe(sub SubID, h simtime.Hour, ip netip.Addr, port uint16, 
 		rs := st.get(t.Rule)
 		rs.bits.set(t.Bit)
 		rs.pkts += pkts
-		fired = e.evaluate(st, t.Rule, h, fired)
+		fired = e.evaluate(sub, st, t.Rule, h, fired)
 	}
 	return fired
 }
 
 // evaluate re-checks a rule (and its dependents) after new evidence.
-func (e *Engine) evaluate(st *subState, rule int, h simtime.Hour, fired []int) []int {
+func (e *Engine) evaluate(sub SubID, st *subState, rule int, h simtime.Hour, fired []int) []int {
 	rs := st.lookup(rule)
 	if rs == nil || rs.detected {
 		return fired
@@ -143,10 +153,13 @@ func (e *Engine) evaluate(st *subState, rule int, h simtime.Hour, fired []int) [
 	rs.firstHour = h
 	e.detections[rule]++
 	fired = append(fired, rule)
+	if e.OnFire != nil {
+		e.OnFire(sub, rule, h)
+	}
 	// A newly-confirmed parent may release children waiting on it.
 	for i := range e.dict.Rules {
 		if e.dict.Rules[i].RequireParent && e.dict.Rules[i].Parent == rule {
-			fired = e.evaluate(st, i, h, fired)
+			fired = e.evaluate(sub, st, i, h, fired)
 		}
 	}
 	return fired

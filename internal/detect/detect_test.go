@@ -2,6 +2,7 @@ package detect
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"repro/internal/classify"
@@ -107,6 +108,68 @@ func TestAlexaHierarchyCascades(t *testing.T) {
 	}
 	if !e.Detected(3, amz) {
 		t.Fatalf("Amazon Product did not fire with 13 domains (need %d)", dict.Rules[amz].MinDomains(0.4))
+	}
+}
+
+// TestOnFireHookMatchesObserveReturn pins the first-fire hook contract:
+// OnFire is called once per (subscriber, rule) per bin, in the same
+// order as Observe's returned slice, including parent-released children
+// — and never again for an already-detected rule until Reset.
+func TestOnFireHookMatchesObserveReturn(t *testing.T) {
+	dict, w := testDict(t)
+	e := New(dict, 0.4)
+	h := w.Window.Start
+
+	type fire struct {
+		sub  SubID
+		rule int
+		h    simtime.Hour
+	}
+	var hooked []fire
+	e.OnFire = func(sub SubID, rule int, hh simtime.Hour) {
+		hooked = append(hooked, fire{sub, rule, hh})
+	}
+
+	var returned []fire
+	observe := func(sub SubID, hh simtime.Hour, domain string) {
+		for _, r := range feed(t, e, w, sub, hh, domain) {
+			returned = append(returned, fire{sub, r, hh})
+		}
+	}
+
+	// A parent-release chain: Samsung TV evidence first (held back),
+	// then the parent's critical domain fires both in one Observe.
+	stv := dict.RuleIndex("Samsung TV")
+	sam := dict.RuleIndex("Samsung IoT")
+	for i := 0; i < 12; i++ {
+		observe(9, h, dict.Rules[stv].Domains[i])
+	}
+	if len(hooked) != 0 {
+		t.Fatalf("hook fired before any detection: %v", hooked)
+	}
+	observe(9, h+1, dict.Rules[sam].Domains[0])
+	// A second subscriber and a single-domain rule.
+	observe(11, h+2, "mqtt.simmeross.example")
+	// Repeats must not re-fire.
+	observe(9, h+3, dict.Rules[sam].Domains[0])
+	observe(11, h+3, "mqtt.simmeross.example")
+
+	if len(hooked) != 3 {
+		t.Fatalf("hook fired %d times, want 3 (parent, released child, meross): %v", len(hooked), hooked)
+	}
+	if !reflect.DeepEqual(hooked, returned) {
+		t.Fatalf("hook calls %v diverge from Observe returns %v", hooked, returned)
+	}
+	if hooked[0].rule != sam || hooked[1].rule != stv {
+		t.Fatalf("parent-release order wrong: %v", hooked)
+	}
+
+	// Reset opens a new bin: the same evidence fires the hook again.
+	e.Reset()
+	hooked = hooked[:0]
+	observe(11, h+5, "mqtt.simmeross.example")
+	if len(hooked) != 1 {
+		t.Fatalf("hook did not re-fire after Reset: %v", hooked)
 	}
 }
 

@@ -28,6 +28,16 @@
 // (Sync), so they always observe a quiescent, consistent state. Reads
 // require that no Observe is concurrently in flight: quiesce the
 // producer goroutines (or Close their handles) before reading.
+//
+// # Events and windows
+//
+// The read side is available in push form too: SetFireHook installs a
+// first-fire hook that shard workers invoke the moment a rule crosses
+// threshold (FireEvent), and Rotate cuts an aggregation window — an
+// atomic snapshot-and-reset that advances the window sequence stamped
+// on every event. Together they turn the pipeline from a pull-
+// snapshot batch engine into the continuously reporting detector the
+// paper's §6 longitudinal views presuppose.
 package pipeline
 
 import (
@@ -51,6 +61,18 @@ type Obs struct {
 	Pkts uint64
 }
 
+// FireEvent is one first-fire notification from a shard worker: Rule
+// crossed its evidence threshold for Sub during hour bin Hour, while
+// aggregation window Window was current. Events are emitted exactly
+// once per (subscriber, rule) per window — the push-side counterpart
+// of EachDetected.
+type FireEvent struct {
+	Sub    detect.SubID
+	Rule   int
+	Hour   simtime.Hour
+	Window uint64
+}
+
 // DefaultBatchSize is the number of observations buffered per shard
 // before a batch is handed to its worker.
 const DefaultBatchSize = 512
@@ -67,6 +89,12 @@ type shard struct {
 	eng  *detect.Engine
 	ch   chan []Obs
 	free chan []Obs // recycled batch buffers
+	// window is the shard's current aggregation-window sequence. It is
+	// read by the fire hook and advanced by Rotate/Reset inside the
+	// same mu critical section as the engine reset, so an event's
+	// stamp always matches the window whose snapshot holds its
+	// detection — even when rotation races live ingest.
+	window uint64 // guarded by mu
 }
 
 // Pipeline is a sharded, batched detection engine. Writes go through
@@ -93,6 +121,18 @@ type Pipeline struct {
 	dirty  atomic.Bool
 	closed atomic.Bool
 
+	// hook is the optional first-fire hook (SetFireHook); shard
+	// workers load it per detection, so an unhooked pipeline pays one
+	// nil check per fire and nothing per observation.
+	hook atomic.Pointer[func(FireEvent)]
+	// window is the aggregation-window sequence number: the count of
+	// completed Rotate/Reset calls. FireEvents are stamped from the
+	// per-shard copy of this counter (see shard.window), which stays
+	// coherent with the shard's snapshot under live rotation.
+	window atomic.Uint64
+
+	rotateMu sync.Mutex // serializes Rotate/Reset window cuts
+
 	mu        sync.Mutex // guards producers
 	producers map[*Producer]struct{}
 
@@ -118,12 +158,42 @@ func New(dict *rules.Dictionary, d float64, n int) *Pipeline {
 			ch:   make(chan []Obs, shardBacklog),
 			free: make(chan []Obs, shardBacklog),
 		}
+		// Bridge the engine's first-fire hook to the pipeline hook,
+		// stamping the shard's window sequence. The engine calls this
+		// on the shard worker goroutine under the shard's lock — the
+		// same lock Rotate advances s.window under, so the stamp is
+		// coherent with the snapshot the detection lands in.
+		s.eng.OnFire = func(sub detect.SubID, rule int, h simtime.Hour) {
+			if fn := p.hook.Load(); fn != nil {
+				(*fn)(FireEvent{Sub: sub, Rule: rule, Hour: h, Window: s.window})
+			}
+		}
 		p.shards[i] = s
 		p.workers.Add(1)
 		go p.run(s)
 	}
 	return p
 }
+
+// SetFireHook installs fn as the pipeline's first-fire hook: shard
+// workers call it the moment a rule crosses threshold for a
+// subscriber, once per (subscriber, rule) per window. fn runs on the
+// worker goroutine while it holds the shard's engine lock, so it must
+// be fast and must never block or call back into the pipeline's read
+// accessors — hand the event to a bounded queue and return. Pass nil
+// to uninstall. Safe to call at any time; fires already in flight may
+// still use the previous hook.
+func (p *Pipeline) SetFireHook(fn func(FireEvent)) {
+	if fn == nil {
+		p.hook.Store(nil)
+		return
+	}
+	p.hook.Store(&fn)
+}
+
+// Window returns the current aggregation-window sequence number: the
+// number of completed Rotate/Reset cuts so far.
+func (p *Pipeline) Window() uint64 { return p.window.Load() }
 
 func (p *Pipeline) run(s *shard) {
 	defer p.workers.Done()
@@ -326,16 +396,50 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 // Dictionary returns the shared compiled dictionary.
 func (p *Pipeline) Dictionary() *rules.Dictionary { return p.dict }
 
-// Reset clears all shard state (start of a new aggregation bin).
+// Reset clears all shard state and advances the window sequence —
+// Rotate without materializing the closing window's snapshot.
 // Producers stay registered and usable for the next bin, but must be
 // quiescent across the call or observations straddle the bins.
 func (p *Pipeline) Reset() {
+	p.rotateMu.Lock()
+	defer p.rotateMu.Unlock()
 	p.Sync()
 	for _, s := range p.shards {
 		s.mu.Lock()
 		s.eng.Reset()
+		s.window++
 		s.mu.Unlock()
 	}
+	p.window.Add(1)
+}
+
+// Rotate atomically ends the current aggregation window: it
+// synchronizes the pipeline, captures a merged snapshot of every
+// shard's detections, resets the shard engines, and advances the
+// window sequence. It returns the snapshot together with the sequence
+// number of the window just closed (the value FireEvents emitted
+// during that window carry). Producers stay registered — feeds and
+// their template caches survive rotation, as they would across
+// windows in a deployment. Observations in flight across the call may
+// land on either side of the boundary (quiesce producers for an exact
+// cut, exactly as with Reset), but event stamps stay coherent either
+// way: each shard's window sequence advances inside the same critical
+// section as its snapshot+reset, so an event stamped with window n is
+// always part of window n's snapshot.
+func (p *Pipeline) Rotate() (*detect.Snapshot, uint64) {
+	p.rotateMu.Lock()
+	defer p.rotateMu.Unlock()
+	p.Sync()
+	parts := make([]*detect.Snapshot, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		parts[i] = s.eng.Snapshot()
+		s.eng.Reset()
+		s.window++
+		s.mu.Unlock()
+	}
+	seq := p.window.Add(1) - 1
+	return detect.Merge(parts...), seq
 }
 
 // Close flushes and closes all live producers, drains pending work and

@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"fmt"
 	"net/netip"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -389,4 +391,192 @@ func TestPipelineNewProducerAfterClosePanics(t *testing.T) {
 		}
 	}()
 	p.NewProducer()
+}
+
+// eventSet collects FireEvents from concurrent shard workers into a
+// comparable (window, sub, rule) → event map — a rule may re-fire for
+// the same subscriber in a later window, never within one.
+type eventSet struct {
+	mu     sync.Mutex
+	events map[[3]uint64]FireEvent
+}
+
+func newEventSet() *eventSet { return &eventSet{events: map[[3]uint64]FireEvent{}} }
+
+func (c *eventSet) hook(ev FireEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [3]uint64{ev.Window, uint64(ev.Sub), uint64(ev.Rule)}
+	if prev, dup := c.events[key]; dup {
+		panic(fmt.Sprintf("duplicate fire for (%d, %d) in window %d: %v then %v",
+			ev.Sub, ev.Rule, ev.Window, prev, ev))
+	}
+	c.events[key] = ev
+}
+
+// TestPipelineFireHookMatchesDetections: the push side (FireEvents from
+// shard workers) must carry exactly the detections the pull side
+// (EachDetected) reports — same (sub, rule) set, same first hours, at
+// every shard count. Run with -race to check the hook handoff.
+func TestPipelineFireHookMatchesDetections(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+	for _, n := range []int{1, 8} {
+		p := New(dict, 0.4, n)
+		set := newEventSet()
+		p.SetFireHook(set.hook)
+		prod := p.NewProducer()
+		for _, o := range obs {
+			prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+		}
+		p.Sync()
+
+		want := map[[3]uint64]simtime.Hour{}
+		p.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+			want[[3]uint64{0, uint64(sub), uint64(rule)}] = first
+		})
+		if len(want) == 0 {
+			t.Fatal("nothing detected; stream too weak to compare")
+		}
+		set.mu.Lock()
+		if len(set.events) != len(want) {
+			t.Fatalf("shards=%d: %d events, %d detections", n, len(set.events), len(want))
+		}
+		for key, ev := range set.events {
+			first, ok := want[key]
+			if !ok {
+				t.Fatalf("shards=%d: event %v has no matching detection", n, ev)
+			}
+			if ev.Hour != first {
+				t.Fatalf("shards=%d: event hour %v, detection first %v", n, ev.Hour, first)
+			}
+			if ev.Window != 0 {
+				t.Fatalf("shards=%d: event window %d before any rotation", n, ev.Window)
+			}
+		}
+		set.mu.Unlock()
+		p.Close()
+	}
+}
+
+// TestPipelineRotateLossFreeShardInvariant is the pipeline half of the
+// windowed acceptance contract: a stream split across rotated windows
+// (subscribers partitioned by window, so each window's evidence is
+// self-contained) must yield the same union of detections as one
+// un-rotated single-engine run — at 1 shard and at 8 — with window
+// sequence numbers stamped consistently on snapshots and events.
+func TestPipelineRotateLossFreeShardInvariant(t *testing.T) {
+	dict, w := testDict(t)
+	obs := genObs(t, dict, w)
+	const windows = 3
+
+	eng := detect.New(dict, 0.4)
+	for _, o := range obs {
+		eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+	}
+	want := eng.Snapshot().Detections()
+	if len(want) == 0 {
+		t.Fatal("reference engine detected nothing")
+	}
+
+	// Partition by subscriber: every subscriber's full evidence lands
+	// inside exactly one window, so rotation must not lose detections.
+	parts := make([][]Obs, windows)
+	for _, o := range obs {
+		i := int(uint64(o.Sub) % windows)
+		parts[i] = append(parts[i], o)
+	}
+
+	for _, n := range []int{1, 8} {
+		p := New(dict, 0.4, n)
+		set := newEventSet()
+		p.SetFireHook(set.hook)
+		prod := p.NewProducer()
+		var union []detect.Detection
+		for wi, part := range parts {
+			for _, o := range part {
+				prod.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
+			}
+			snap, seq := p.Rotate()
+			if seq != uint64(wi) {
+				t.Fatalf("shards=%d: window %d rotated with seq %d", n, wi, seq)
+			}
+			if p.Window() != uint64(wi+1) {
+				t.Fatalf("shards=%d: Window() = %d after %d rotations", n, p.Window(), wi+1)
+			}
+			union = append(union, snap.Detections()...)
+			// Events emitted during the window carry its sequence.
+			set.mu.Lock()
+			for _, d := range snap.Detections() {
+				if _, ok := set.events[[3]uint64{uint64(wi), uint64(d.Sub), uint64(d.Rule)}]; !ok {
+					t.Fatalf("shards=%d window %d: detection (%d, %d) emitted no event", n, wi, d.Sub, d.Rule)
+				}
+			}
+			set.mu.Unlock()
+			if got := p.Subscribers(); got != 0 {
+				t.Fatalf("shards=%d: %d subscribers survive rotation", n, got)
+			}
+		}
+		sort.Slice(union, func(i, j int) bool {
+			if union[i].Sub != union[j].Sub {
+				return union[i].Sub < union[j].Sub
+			}
+			return union[i].Rule < union[j].Rule
+		})
+		if !reflect.DeepEqual(union, want) {
+			t.Fatalf("shards=%d: union of %d rotated windows (%d detections) diverges from un-rotated run (%d)",
+				n, windows, len(union), len(want))
+		}
+		set.mu.Lock()
+		if len(set.events) != len(want) {
+			t.Fatalf("shards=%d: %d events for %d detections", n, len(set.events), len(want))
+		}
+		set.mu.Unlock()
+		p.Close()
+	}
+}
+
+// TestPipelineResetAdvancesWindow: Reset is a window cut too — events
+// after it carry the next sequence number.
+func TestPipelineResetAdvancesWindow(t *testing.T) {
+	dict, w := testDict(t)
+	p := New(dict, 0.4, 2)
+	defer p.Close()
+	set := newEventSet()
+	p.SetFireHook(set.hook)
+	h := w.Window.Start
+	ips := w.ResolverOn(h.Day()).Resolve("mqtt.simmeross.example")
+	port := w.Catalog.Domains["mqtt.simmeross.example"].Port
+
+	prod := p.NewProducer()
+	prod.Observe(1, h, ips[0], port, 1)
+	p.Reset()
+	if p.Window() != 1 {
+		t.Fatalf("Window() = %d after Reset", p.Window())
+	}
+	prod.Observe(1, h+1, ips[0], port, 1) // same (sub, rule): re-fires in the new window
+	p.Sync()
+
+	set.mu.Lock()
+	ev, ok := set.events[[3]uint64{1, 1, uint64(dict.RuleIndex("Meross Dooropener"))}]
+	set.mu.Unlock()
+	if !ok {
+		t.Fatal("no event in second window")
+	}
+	if ev.Hour != h+1 {
+		t.Fatalf("second-window event = %+v, want hour %v", ev, h+1)
+	}
+	// Uninstalling the hook stops emission.
+	p.SetFireHook(nil)
+	p.Reset()
+	set.mu.Lock()
+	before := len(set.events)
+	set.mu.Unlock()
+	prod.Observe(2, h, ips[0], port, 1)
+	p.Sync()
+	set.mu.Lock()
+	defer set.mu.Unlock()
+	if len(set.events) != before {
+		t.Fatal("uninstalled hook still emitted")
+	}
 }

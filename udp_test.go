@@ -106,13 +106,13 @@ func TestDetectorListenUDPMatchesSingleFeed(t *testing.T) {
 
 	udp := s.NewShardedDetector(0.4, 8)
 	defer udp.Close()
-	srv, err := udp.Listen(ListenConfig{
+	srv, err := udp.Listen(ListenConfig{Config: collector.Config{
 		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0"}},
 		MaxFeeds:   4,
 		MinFeeds:   4, // every exporter gets its own lane at once
 		QueueLen:   4096,
 		ReadBuffer: 4 << 20, // headroom against scheduler stalls on loaded CI
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,12 +248,12 @@ func TestDetectorListenUDPCollidingSourceIDs(t *testing.T) {
 
 	udp := s.NewShardedDetector(0.4, 4)
 	defer udp.Close()
-	srv, err := udp.Listen(ListenConfig{
+	srv, err := udp.Listen(ListenConfig{Config: collector.Config{
 		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoNetFlow}},
 		MaxFeeds:   1, // force both sources onto one decode lane
 		QueueLen:   4096,
 		ReadBuffer: 4 << 20,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestDetectorListenAndDetect(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- det.ListenAndDetect(ctx, ListenConfig{Listeners: []collector.Listener{{Addr: "127.0.0.1:0"}}})
+		errc <- det.ListenAndDetect(ctx, ListenConfig{Config: collector.Config{Listeners: []collector.Listener{{Addr: "127.0.0.1:0"}}}})
 	}()
 	cancel()
 	select {
