@@ -7,14 +7,20 @@
 //
 //	flowgen [-proto netflow|ipfix] [-hours N] [-seed N] [-o file]
 //	flowgen -udp host:port [-pace D] [-windows N] [-window-pause D] ...
+//	flowgen -proto ipfix -tcp host:port [-pace D] ...
 //
 // With -o (default stdout) each message is prefixed with a 4-byte
 // big-endian length. With -udp each message is sent as one datagram
 // to the collector, paced by -pace — the shape a real exporter has on
-// the wire.
+// the wire. With -tcp the messages ride one RFC 7011 stream
+// connection, and flowgen deliberately splits them across arbitrary
+// write boundaries (chunk sizes from the seed) so the collector's
+// Length-field framing is exercised the way a real TCP path would —
+// -tcp requires -proto ipfix, since NetFlow v9 has no length field
+// to frame a stream with.
 //
 // -windows N splits the -hours span into N equal bursts of simulated
-// hours, pausing -window-pause between bursts in -udp mode — an
+// hours, pausing -window-pause between bursts in -udp/-tcp mode — an
 // end-to-end driver for `haystack listen -window …` rotation tests:
 // point one flowgen per window boundary at the collector and each
 // burst lands in its own aggregation window.
@@ -46,12 +52,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "world seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	udp := flag.String("udp", "", "send each message as a UDP datagram to this collector address instead of writing a stream")
-	pace := flag.Duration("pace", time.Millisecond, "inter-datagram delay in -udp mode")
+	tcp := flag.String("tcp", "", "send the messages over one RFC 7011 TCP stream connection to this collector address (requires -proto ipfix)")
+	pace := flag.Duration("pace", time.Millisecond, "inter-message delay in -udp/-tcp mode")
 	windows := flag.Int("windows", 1, "split the -hours span into N equal bursts (simulated aggregation windows)")
-	windowPause := flag.Duration("window-pause", time.Second, "pause between bursts in -udp mode")
+	windowPause := flag.Duration("window-pause", time.Second, "pause between bursts in -udp/-tcp mode")
 	flag.Parse()
 
-	if err := run(*proto, *hours, *seed, *out, *udp, *pace, *windows, *windowPause); err != nil {
+	if err := run(*proto, *hours, *seed, *out, *udp, *tcp, *pace, *windows, *windowPause); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
@@ -61,19 +68,26 @@ type exporter interface {
 	Export(records []flow.Record, maxRecords int) ([][]byte, error)
 }
 
-func run(proto string, hours int, seed uint64, out, udp string, pace time.Duration,
+func run(proto string, hours int, seed uint64, out, udp, tcp string, pace time.Duration,
 	windows int, windowPause time.Duration) error {
 
 	if windows < 1 {
 		return fmt.Errorf("-windows %d: need at least 1", windows)
 	}
+	if udp != "" && tcp != "" {
+		return fmt.Errorf("-udp and -tcp are mutually exclusive")
+	}
+	wire := udp != "" || tcp != ""
 	if windows > 1 {
-		if udp == "" {
-			return fmt.Errorf("-windows requires -udp mode (a length-prefixed stream has no window boundaries)")
+		if !wire {
+			return fmt.Errorf("-windows requires -udp or -tcp mode (a length-prefixed stream has no window boundaries)")
 		}
 		if windows > hours {
 			return fmt.Errorf("-windows %d exceeds -hours %d (a window spans whole simulated hours)", windows, hours)
 		}
+	}
+	if tcp != "" && proto != "ipfix" {
+		return fmt.Errorf("-tcp requires -proto ipfix: NetFlow v9 has no message length field, so a stream cannot be framed (RFC 3954)")
 	}
 	var exp exporter
 	switch proto {
@@ -86,7 +100,8 @@ func run(proto string, hours int, seed uint64, out, udp string, pace time.Durati
 	}
 
 	// emit writes one wire message: a UDP datagram in -udp mode, a
-	// length-prefixed stream record otherwise.
+	// boundary-scrambled stream write in -tcp mode, a length-prefixed
+	// stream record otherwise.
 	var emit func(m []byte) error
 	if udp != "" {
 		conn, err := net.Dial("udp", udp)
@@ -97,6 +112,31 @@ func run(proto string, hours int, seed uint64, out, udp string, pace time.Durati
 		emit = func(m []byte) error {
 			if _, err := conn.Write(m); err != nil {
 				return err
+			}
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+			return nil
+		}
+	} else if tcp != "" {
+		conn, err := net.Dial("tcp", tcp)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		// Deliberately split every message across arbitrary write
+		// boundaries (1..23 bytes, deterministic in the seed): the
+		// collector must reassemble by the IPFIX Length field alone,
+		// exactly as on a real TCP path where segmentation never
+		// respects message boundaries.
+		chunks := simrand.New(seed).Fork("tcp-write-boundaries")
+		emit = func(m []byte) error {
+			for len(m) > 0 {
+				n := min(1+chunks.Intn(23), len(m))
+				if _, err := conn.Write(m[:n]); err != nil {
+					return err
+				}
+				m = m[n:]
 			}
 			if pace > 0 {
 				time.Sleep(pace)
@@ -157,7 +197,7 @@ func run(proto string, hours int, seed uint64, out, udp string, pace time.Durati
 				fmt.Fprintf(os.Stderr, "flowgen: window %d/%d sent (%d messages so far)\n",
 					curWindow+1, windows, messages)
 				curWindow = w
-				if udp != "" && windowPause > 0 {
+				if wire && windowPause > 0 {
 					time.Sleep(windowPause)
 				}
 			}

@@ -8,7 +8,7 @@
 //	haystack experiment <ID>|all [flags]     run experiment(s)
 //	haystack list                            list experiment IDs
 //	haystack detect [-proto P] [-i file]     detect from a flowgen stream
-//	haystack listen [-udp addr]...           collect NetFlow/IPFIX over UDP
+//	haystack listen [-listen spec]...        collect NetFlow/IPFIX over UDP or TCP
 //
 // Flags:
 //
@@ -22,9 +22,13 @@
 //
 // listen flags (see docs/OPERATIONS.md for the operator guide):
 //
-//	-udp SPEC        UDP listener, "host:port" or "proto@host:port"
-//	                 with proto netflow|ipfix|auto; repeatable
-//	                 (default auto@:2055)
+//	-listen SPEC     listener, "host:port", "proto@host:port", or
+//	                 "transport+proto@host:port" with transport
+//	                 udp|tcp and proto netflow|ipfix|auto; repeatable
+//	                 (default auto@:2055). TCP is IPFIX-only
+//	                 (RFC 7011 stream framing): "tcp+ipfix@:4739".
+//	-udp SPEC        UDP listener, same grammar minus tcp; kept for
+//	                 compatibility with earlier releases
 //	-max-feeds N     cap on adaptive feed fan-in (default: -shards)
 //	-rate-per-feed R records/sec one feed is provisioned for
 //	-metrics-addr A  serve metrics over HTTP at A (/metrics JSON with
@@ -107,10 +111,21 @@ func run(args []string) error {
 
 	case "listen":
 		var listeners []collector.Listener
-		fs.Func("udp", `UDP listener: "host:port" or "proto@host:port" (repeatable)`, func(v string) error {
+		fs.Func("listen", `listener: "host:port", "proto@host:port", or "transport+proto@host:port", e.g. tcp+ipfix@:4739 (repeatable)`, func(v string) error {
 			l, err := collector.ParseListener(v)
 			if err != nil {
 				return err
+			}
+			listeners = append(listeners, l)
+			return nil
+		})
+		fs.Func("udp", `UDP listener: "host:port" or "proto@host:port" (repeatable; use -listen for TCP)`, func(v string) error {
+			l, err := collector.ParseListener(v)
+			if err != nil {
+				return err
+			}
+			if l.Net != "udp" {
+				return fmt.Errorf("-udp %s: use -listen for %s listeners", v, l.Net)
 			}
 			listeners = append(listeners, l)
 			return nil
@@ -360,8 +375,8 @@ func listen(sys *haystack.System, opts listenOpts) error {
 	}
 	defer srv.Close()
 	for i, a := range srv.Addrs() {
-		fmt.Printf("listening %s (%s), %d engine shards, fan-in cap %d\n",
-			a, opts.listeners[i].Proto, det.Shards(), srv.Stats().MaxFeeds)
+		fmt.Printf("listening %s/%s (%s), %d engine shards, fan-in cap %d\n",
+			a.Network(), a, opts.listeners[i].Proto, det.Shards(), srv.Stats().MaxFeeds)
 	}
 	if opts.window > 0 {
 		fmt.Printf("rotating aggregation windows every %s\n", opts.window)
@@ -421,6 +436,10 @@ func listen(sys *haystack.System, opts listenOpts) error {
 	st := srv.Stats()
 	fmt.Printf("transport: %d datagrams (%d bytes), %d records, %d dropped datagrams, %d decode errors\n",
 		st.Datagrams, st.Bytes, st.Records, st.DroppedDatagrams, st.DecodeErrors)
+	if st.StreamConnsTotal > 0 {
+		fmt.Printf("stream: %d connections accepted (%d open), %d messages (%d bytes), %d framing errors\n",
+			st.StreamConnsTotal, st.StreamConns, st.StreamMessages, st.StreamBytes, st.FramingErrors)
+	}
 	for _, f := range st.Feeds {
 		fmt.Printf("  feed %d: %d sources, %d datagrams, %d records, %d template drops, %d sequence gaps\n",
 			f.Feed, f.Sources, f.Datagrams, f.Records, f.TemplateDrops, f.SequenceGaps)

@@ -10,11 +10,14 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
+	"syscall"
 	"time"
 )
 
@@ -93,16 +96,24 @@ func WriteWindowCSV(w io.Writer, res *WindowResult) error {
 }
 
 // ExportDir writes one export file per rotated window into a
-// directory: window-000000.jsonl, window-000001.jsonl, … Suitable as
-// the body of a WindowConfig.OnRotate callback; see
-// docs/OPERATIONS.md for the operator walkthrough.
+// directory: window-000000000000.jsonl, window-000000000001.jsonl, …
+// Sequence numbers are zero-padded to 12 digits so lexicographic
+// order is chronological order for any realistic deployment lifetime
+// (10^12 hourly windows is ~10^8 years). Suitable as the body of a
+// WindowConfig.OnRotate callback; see docs/OPERATIONS.md for the
+// operator walkthrough.
 type ExportDir struct {
 	dir    string
 	format string
 }
 
 // NewExportDir prepares dir (creating it if needed) for per-window
-// exports in the given format, "jsonl" or "csv".
+// exports in the given format, "jsonl" or "csv". Window files written
+// by earlier releases with narrower zero-padding are renamed to the
+// current 12-digit form, so lexicographic order stays chronological
+// across an upgrade — without the migration, the first post-upgrade
+// window-000000000124.jsonl would sort *before* an old
+// window-000123.jsonl.
 func NewExportDir(dir, format string) (*ExportDir, error) {
 	switch format {
 	case "jsonl", "csv":
@@ -112,15 +123,60 @@ func NewExportDir(dir, format string) (*ExportDir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("haystack: export dir: %w", err)
 	}
+	if err := migrateExportNames(dir); err != nil {
+		return nil, fmt.Errorf("haystack: export dir: %w", err)
+	}
 	return &ExportDir{dir: dir, format: format}, nil
 }
 
+// narrowExportName matches window files with fewer than 12 sequence
+// digits — the pre-12-digit naming.
+var narrowExportName = regexp.MustCompile(`^window-(\d{1,11})\.(jsonl|csv)$`)
+
+// migrateExportNames widens old narrow-padded window file names in
+// place; current-format names pass through untouched.
+func migrateExportNames(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	renamed := false
+	for _, e := range entries {
+		m := narrowExportName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		seq, err := strconv.ParseUint(m[1], 10, 64) // ≤ 11 digits always fits
+		if err != nil {
+			continue
+		}
+		to := filepath.Join(dir, fmt.Sprintf("window-%012d.%s", seq, m[2]))
+		if _, err := os.Stat(to); err == nil {
+			// The wide name already exists (e.g. the sequence
+			// restarted across an up/downgrade cycle): renaming would
+			// silently clobber that window's data. Keep both files;
+			// the stale narrow name is the lesser harm.
+			continue
+		}
+		if err := os.Rename(filepath.Join(dir, e.Name()), to); err != nil {
+			return err
+		}
+		renamed = true
+	}
+	if renamed {
+		return syncDir(dir)
+	}
+	return nil
+}
+
 // Export writes the window to window-<seq>.<format> in the directory
-// and returns the file's path. The write is atomic: the file appears
-// complete or not at all, so a consumer tailing the directory never
-// reads a half-written window.
+// and returns the file's path. The write is atomic and durable: the
+// file's contents are fsynced before the rename and the directory is
+// fsynced after it, so a consumer tailing the directory never reads
+// a half-written window and a crash right after Export returns
+// cannot lose the directory entry.
 func (e *ExportDir) Export(res *WindowResult) (string, error) {
-	path := filepath.Join(e.dir, fmt.Sprintf("window-%06d.%s", res.Seq, e.format))
+	path := filepath.Join(e.dir, fmt.Sprintf("window-%012d.%s", res.Seq, e.format))
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -130,6 +186,9 @@ func (e *ExportDir) Export(res *WindowResult) (string, error) {
 		err = WriteWindowCSV(f, res)
 	} else {
 		err = WriteWindowJSONL(f, res)
+	}
+	if err == nil {
+		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -142,5 +201,30 @@ func (e *ExportDir) Export(res *WindowResult) (string, error) {
 		os.Remove(tmp)
 		return "", err
 	}
+	if err := syncDir(e.dir); err != nil {
+		return "", err
+	}
 	return path, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a
+// crash. Filesystems that cannot sync a directory handle (some
+// network and FUSE mounts) are tolerated — by the time this runs the
+// rename has already landed atomically, so "the filesystem cannot
+// give the extra durability" must not turn a completed export into a
+// reported failure. Real I/O errors still surface.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) ||
+		errors.Is(serr, syscall.EOPNOTSUPP) || errors.Is(serr, syscall.ENOTTY) {
+		return nil
+	}
+	return serr
 }

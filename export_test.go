@@ -178,7 +178,7 @@ func TestExportDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(path) != "window-000004.jsonl" {
+	if filepath.Base(path) != "window-000000000004.jsonl" {
 		t.Fatalf("export path = %q", path)
 	}
 	body, err := os.ReadFile(path)
@@ -206,11 +206,85 @@ func TestExportDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(path) != "window-000005.csv" {
+	if filepath.Base(path) != "window-000000000005.csv" {
 		t.Fatalf("csv export path = %q", path)
 	}
 
 	if _, err := NewExportDir(dir, "xml"); err == nil {
 		t.Fatal("unknown export format accepted")
+	}
+}
+
+// TestExportDirMigratesNarrowNames: opening an export directory left
+// by an earlier release (6-digit padding) widens the old names, so
+// lexicographic order stays chronological across the upgrade instead
+// of every new window sorting before the old ones.
+func TestExportDirMigratesNarrowNames(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"window-000123.jsonl", "window-99.csv", "window-000000000007.jsonl"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated file must survive untouched.
+	if err := os.WriteFile(filepath.Join(dir, "README"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExportDir(dir, "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"window-000000000123.jsonl", "window-000000000099.csv",
+		"window-000000000007.jsonl", "README",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("after migration: %v", err)
+		}
+	}
+	for _, gone := range []string{"window-000123.jsonl", "window-99.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); err == nil {
+			t.Errorf("narrow name %s survived migration", gone)
+		}
+	}
+	// New exports continue past the migrated sequence numbers in
+	// order.
+	res := testWindowResult()
+	res.Seq = 124
+	path, err := exp.Export(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "window-000000000124.jsonl" {
+		t.Fatalf("post-migration export path = %q", path)
+	}
+}
+
+// TestExportDirNamesStayLexicographic pins the file-name padding: the
+// docs promise that a consumer tailing the directory can rely on
+// lexicographic order being window order. Six-digit padding broke at
+// window 1 000 000 (the wider name sorted *before* window 999999);
+// twelve digits outlive any realistic deployment.
+func TestExportDirNamesStayLexicographic(t *testing.T) {
+	exp, err := NewExportDir(t.TempDir(), "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testWindowResult()
+	var prev string
+	for _, seq := range []uint64{0, 9, 999_999, 1_000_000, 1_000_001, 123_456_789_012} {
+		res.Seq = seq
+		path, err := exp.Export(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(path)
+		if len(name) != len("window-000000000000.jsonl") {
+			t.Fatalf("window %d exported as %q: name width drifted", seq, name)
+		}
+		if prev != "" && !(prev < name) {
+			t.Fatalf("window %d file %q sorts before predecessor %q", seq, name, prev)
+		}
+		prev = name
 	}
 }

@@ -232,8 +232,9 @@ func (d *Detection) UnmarshalJSON(b []byte) error {
 // are partitioned by anonymized subscriber key across worker-owned
 // engines, so results are independent of the shard count.
 //
-// For a live deployment, Listen / ListenAndDetect bind UDP collector
-// sockets and drive exporter datagrams through the full stack:
+// For a live deployment, Listen / ListenAndDetect bind collector
+// sockets — UDP for NetFlow v9 / IPFIX datagrams, TCP for RFC 7011
+// IPFIX streams — and drive exporter messages through the full stack:
 // sockets → feeds → sharded engines (the three layers DESIGN.md
 // diagrams), with adaptive feed fan-in and per-feed transport metrics.
 //
@@ -560,13 +561,16 @@ type Server struct {
 	stopOnce sync.Once
 }
 
-// Listen binds the configured UDP sockets and starts ingesting
-// NetFlow v9 / IPFIX datagrams into the detection pipeline — the
-// deployable collector of the paper's §6 vantage points. Each feed
-// the adaptive fan-in opens is a NewFeed handle; exporter sources are
-// stickily assigned to feeds so template caches, sequence tracking,
-// and per-subscriber ordering are preserved (see DESIGN.md for the
-// layer diagram and docs/OPERATIONS.md for running it).
+// Listen binds the configured sockets — UDP datagram listeners and
+// TCP stream listeners (RFC 7011 IPFIX framing) alike — and starts
+// ingesting NetFlow v9 / IPFIX into the detection pipeline: the
+// deployable collector of the paper's §6 vantage points. Each
+// exporter source the adaptive fan-in opens gets a NewFeed handle;
+// sources are stickily assigned to feeds so template caches,
+// sequence tracking, and per-subscriber ordering are preserved, and
+// a TCP source's feed lives exactly as long as its connection (see
+// DESIGN.md for the layer diagram and docs/OPERATIONS.md for running
+// it).
 //
 // The returned server reports transport metrics (collector.Stats),
 // drives the configured window rotation, and stops with Close; the

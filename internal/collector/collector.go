@@ -1,6 +1,7 @@
 // Package collector is the socket layer of the wire-fed detector: it
-// binds UDP listeners for NetFlow v9 / IPFIX exporters and drives the
-// datagrams into per-source ingestion feeds — the deployment shape the
+// binds UDP listeners for NetFlow v9 / IPFIX exporters — plus TCP
+// stream listeners for IPFIX (RFC 7011 §10.4) — and drives the wire
+// messages into per-source ingestion feeds, the deployment shape the
 // paper's §6 vantage points imply (flow exporters at an ISP or IXP
 // streaming to a central collector).
 //
@@ -9,16 +10,23 @@
 //   - one read-loop goroutine per UDP socket, reading into recycled
 //     buffers — the loop never decodes, so a slow feed cannot stall
 //     the socket;
+//   - one accept loop per TCP listener and one read loop per accepted
+//     connection, framing IPFIX messages out of the byte stream by
+//     the header's Length field (stream.go) — NetFlow v9 has no
+//     length field and stays UDP-only;
 //   - a sticky source→lane assignment with per-source decoder state:
-//     all datagrams from one exporter address land on the same decode
-//     lane, and every source gets its own Feed handle — template
-//     caches, sequence anchors, and per-subscriber ordering can never
-//     be corrupted by another exporter, even one whose self-chosen
-//     source/domain IDs collide;
+//     all messages from one exporter source (a UDP remote address, or
+//     one TCP connection) land on the same decode lane, and every
+//     source gets its own Feed handle — template caches, sequence
+//     anchors, and per-subscriber ordering can never be corrupted by
+//     another exporter, even one whose self-chosen source/domain IDs
+//     collide. TCP feeds live exactly as long as their connection and
+//     are torn down on disconnect;
 //   - an adaptive fan-in controller (fanin.go) that scales how many
 //     feeds accept new sources with the observed record rate;
 //   - per-feed transport metrics (Stats, ServeMetrics) so operators
-//     can see drops, gaps, and queue depth per feed.
+//     can see drops, gaps, and queue depth per feed, plus
+//     connection-level stream counters.
 //
 // The package knows nothing about detection: it drives any Feed
 // implementation. The root haystack package adapts Detector feeds to
@@ -101,34 +109,37 @@ func sniff(b []byte) Proto {
 	return ProtoAuto
 }
 
-// Listener is one UDP socket to bind.
+// Listener is one socket to bind: a UDP datagram socket (the default)
+// or a TCP stream listener.
 type Listener struct {
-	// Addr is the UDP listen address (host:port; port 0 binds an
+	// Addr is the listen address (host:port; port 0 binds an
 	// ephemeral port, reported by Server.Addrs).
 	Addr string
-	// Proto fixes the socket's wire protocol. The zero value
+	// Proto fixes the socket's wire protocol. On UDP the zero value
 	// (ProtoAuto) sniffs per datagram; exporters conventionally use
 	// port 2055 for NetFlow v9 and 4739 for IPFIX, but sniffing makes
-	// the convention optional.
+	// the convention optional. TCP listeners must pin ProtoIPFIX —
+	// only IPFIX carries the message-length field that frames a byte
+	// stream (RFC 7011 §3.1); NetFlow v9 (RFC 3954) has none and is
+	// UDP-only.
 	Proto Proto
+	// Net selects the transport: "udp" (the default; "" means udp) or
+	// "tcp" for RFC 7011 stream transport.
+	Net string
 }
 
-// ParseListener parses an operator-facing listener spec: "host:port"
-// or "proto@host:port" with proto one of netflow, ipfix, auto.
-func ParseListener(s string) (Listener, error) {
-	l := Listener{Addr: s}
-	if proto, addr, ok := strings.Cut(s, "@"); ok {
-		l.Addr = addr
-		switch proto {
-		case "netflow":
-			l.Proto = ProtoNetFlow
-		case "ipfix":
-			l.Proto = ProtoIPFIX
-		case "auto", "":
-			l.Proto = ProtoAuto
-		default:
-			return Listener{}, fmt.Errorf("collector: unknown protocol %q (want netflow, ipfix, or auto)", proto)
+// validate normalizes the transport and rejects impossible
+// transport/protocol combinations.
+func (l Listener) validate() (Listener, error) {
+	switch l.Net {
+	case "", "udp":
+		l.Net = "udp"
+	case "tcp":
+		if l.Proto != ProtoIPFIX {
+			return Listener{}, fmt.Errorf("collector: tcp listener %s must pin ipfix: NetFlow v9 has no message length field to frame a stream (protocol %v)", l.Addr, l.Proto)
 		}
+	default:
+		return Listener{}, fmt.Errorf("collector: unknown transport %q (want udp or tcp)", l.Net)
 	}
 	if l.Addr == "" {
 		return Listener{}, errors.New("collector: empty listen address")
@@ -136,9 +147,57 @@ func ParseListener(s string) (Listener, error) {
 	return l, nil
 }
 
+// ParseListener parses an operator-facing listener spec:
+//
+//	host:port                      UDP, auto-sniffed
+//	proto@host:port                UDP; proto ∈ netflow, ipfix, auto
+//	udp+proto@host:port            same, transport spelled out
+//	tcp+ipfix@host:port            TCP stream transport (RFC 7011)
+//	tcp@host:port                  shorthand for tcp+ipfix
+//
+// NetFlow v9 is rejected on tcp at parse time: its messages carry no
+// length field, so a byte stream cannot be framed.
+func ParseListener(s string) (Listener, error) {
+	l := Listener{Addr: s, Net: "udp"}
+	if spec, addr, ok := strings.Cut(s, "@"); ok {
+		l.Addr = addr
+		proto := spec
+		if transport, p, ok := strings.Cut(spec, "+"); ok {
+			proto = p
+			switch transport {
+			case "udp":
+			case "tcp":
+				l.Net = "tcp"
+			default:
+				return Listener{}, fmt.Errorf("collector: unknown transport %q (want udp or tcp)", transport)
+			}
+		} else if spec == "tcp" || spec == "udp" {
+			// Bare transport: "tcp@host:port" means tcp+ipfix (the
+			// only protocol a stream can frame), "udp@…" means auto.
+			l.Net, proto = spec, ""
+			if spec == "tcp" {
+				l.Proto = ProtoIPFIX
+			}
+		}
+		switch proto {
+		case "netflow":
+			l.Proto = ProtoNetFlow
+		case "ipfix":
+			l.Proto = ProtoIPFIX
+		case "auto":
+			l.Proto = ProtoAuto
+		case "":
+		default:
+			return Listener{}, fmt.Errorf("collector: unknown protocol %q (want netflow, ipfix, or auto)", proto)
+		}
+	}
+	return l.validate()
+}
+
 // Config sizes a Server. Zero fields take the documented defaults.
 type Config struct {
-	// Listeners are the UDP sockets to bind; at least one is required.
+	// Listeners are the sockets to bind (UDP datagram or TCP stream);
+	// at least one is required.
 	Listeners []Listener
 	// MaxFeeds caps the fan-in: the most ingestion feeds the adaptive
 	// controller may open. Callers usually cap this at the pipeline
@@ -150,12 +209,29 @@ type Config struct {
 	// queue is full newly arrived datagrams for it are dropped and
 	// counted, never blocking the socket loop. Default 256.
 	QueueLen int
-	// MaxDatagram sizes the receive buffers (default 65535, the UDP
-	// maximum; exporters keep well under path MTU in practice).
+	// MaxDatagram sizes the receive buffers and bounds one wire
+	// message on either transport (default 65535, the UDP maximum and
+	// the largest length an IPFIX header can declare; exporters keep
+	// well under path MTU in practice). A TCP message whose Length
+	// field exceeds it is a framing error and kills the connection.
 	MaxDatagram int
 	// ReadBuffer, when positive, requests SO_RCVBUF bytes on each
 	// socket — the kernel-side cushion against ingest bursts.
 	ReadBuffer int
+	// IdleTimeout is the per-connection read deadline on TCP stream
+	// listeners: a connection delivering no bytes for this long is
+	// closed (and its feed torn down), so half-dead exporters cannot
+	// pin feeds forever. Default 10m — comfortably above common IPFIX
+	// template-refresh intervals; negative disables the deadline.
+	IdleTimeout time.Duration
+	// MaxConns bounds concurrently open TCP stream connections across
+	// all stream listeners — every open connection costs a goroutine
+	// and (once it speaks) decoder state, so an unbounded accept loop
+	// would hand a hostile peer the collector's memory. Connections
+	// accepted past the cap are closed immediately and counted
+	// (stream_conns_rejected); the cap is approximate under
+	// concurrent accept loops. Default 1024; negative = unlimited.
+	MaxConns int
 	// RatePerFeed is the records/sec one feed is provisioned for
 	// before the controller grows the pool (default
 	// DefaultRatePerFeed).
@@ -181,21 +257,37 @@ func (c *Config) withDefaults() Config {
 	if out.MaxDatagram < 1 {
 		out.MaxDatagram = 65535
 	}
+	if out.MaxDatagram < ipfixHeaderLen {
+		// No flow protocol fits a smaller message, and the stream
+		// framer needs room for at least one IPFIX header.
+		out.MaxDatagram = ipfixHeaderLen
+	}
 	if out.RatePerFeed <= 0 {
 		out.RatePerFeed = DefaultRatePerFeed
 	}
 	if out.Tick <= 0 {
 		out.Tick = time.Second
 	}
+	if out.IdleTimeout == 0 {
+		out.IdleTimeout = 10 * time.Minute
+	}
+	if out.MaxConns == 0 {
+		out.MaxConns = 1024
+	}
 	return out
 }
 
-// datagram is one received UDP payload in a recycled buffer.
+// datagram is one received wire message in a recycled buffer — a UDP
+// payload, an IPFIX message framed out of a TCP stream, or (with
+// closeSource set) the tear-down marker for a departed stream source.
 type datagram struct {
-	buf  []byte // full-capacity backing buffer, returned to the pool
-	n    int    // payload length
-	sock *socket
-	src  sourceKey
+	buf   []byte // full-capacity backing buffer, returned to the pool
+	n     int    // payload length
+	proto Proto  // listener protocol (ProtoAuto: sniff at decode time)
+	src   sourceKey
+	// closeSource marks a control message: the source has
+	// disconnected, close and forget its feed. buf is nil.
+	closeSource bool
 }
 
 type socket struct {
@@ -204,11 +296,40 @@ type socket struct {
 	pc    net.PacketConn
 }
 
-// sourceKey identifies one exporter stream: the socket it arrived on
-// plus the remote UDP address.
+// sourceKey identifies one exporter stream: the listener it arrived
+// on plus a transport-specific source identity.
 type sourceKey struct {
 	sock int
-	src  netip.AddrPort
+	// src is the remote address for address-identified transports
+	// (UDP). raw carries any net.Addr the transport cannot express as
+	// an AddrPort, so unrelated exotic sources never collapse onto one
+	// zero-valued key.
+	src netip.AddrPort
+	raw string
+	// conn makes stream sources connection-identified: each accepted
+	// TCP connection is its own source (serial > 0), so a reconnecting
+	// exporter — even from the same remote port — gets fresh decoder
+	// state rather than inheriting a dead connection's.
+	conn uint64
+}
+
+// addrKey renders any net.Addr as a sourceKey address identity,
+// transport-aware: UDP and TCP addresses map to their AddrPort; any
+// other implementation keeps its full string form so two distinct
+// sources can never share a key.
+func addrKey(a net.Addr) (src netip.AddrPort, raw string) {
+	switch t := a.(type) {
+	case *net.UDPAddr:
+		return t.AddrPort(), ""
+	case *net.TCPAddr:
+		return t.AddrPort(), ""
+	case nil:
+		return netip.AddrPort{}, "<nil>"
+	}
+	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
+		return ap, ""
+	}
+	return netip.AddrPort{}, a.Network() + "/" + a.String()
 }
 
 // worker is one decode lane: a goroutine draining a bounded queue
@@ -228,10 +349,21 @@ type worker struct {
 	feeds map[sourceKey]Feed
 
 	sources   atomic.Int64  // sticky exporter sources assigned here
-	enqueued  atomic.Uint64 // datagrams accepted onto ch
-	processed atomic.Uint64 // datagrams decoded (or rejected) by the feed
+	enqueued  atomic.Uint64 // messages accepted onto ch (incl. control)
+	processed atomic.Uint64 // messages handled by the lane (incl. control)
+	controls  atomic.Uint64 // closeSource control messages handled
 	dropped   atomic.Uint64 // datagrams lost to a full queue
 	errors    atomic.Uint64 // datagrams the decoders rejected (or unsniffable)
+
+	// retired* accumulate the final FeedStats of torn-down stream
+	// sources, so lane/server record counts stay cumulative across
+	// exporter disconnects — the control loop's rate sampling differs
+	// uint64 totals per tick, and a total that shrank at teardown
+	// would wrap into an absurd positive rate and slam the fan-in to
+	// max.
+	retiredRecords atomic.Uint64
+	retiredDropped atomic.Uint64
+	retiredGaps    atomic.Uint64
 }
 
 // feedList snapshots the lane's per-source feeds for metrics readers.
@@ -245,12 +377,15 @@ func (w *worker) feedList() []Feed {
 	return out
 }
 
-// Server binds the configured sockets and fans datagrams into feeds.
+// Server binds the configured sockets and fans wire messages into
+// feeds.
 type Server struct {
 	cfg     Config
 	newFeed func() Feed
 
 	socks   []*socket
+	streams []*streamListener
+	addrs   []net.Addr // bound address per configured listener
 	workers []*worker
 	free    chan []byte // recycled receive buffers
 
@@ -262,21 +397,34 @@ type Server struct {
 	assignMu sync.Mutex // guards assignment misses and worker starts
 	assign   sync.Map   // sourceKey → *worker
 
-	datagrams  atomic.Uint64 // received across all sockets
-	bytes      atomic.Uint64
+	datagrams  atomic.Uint64 // received across all UDP sockets
+	bytes      atomic.Uint64 // UDP bytes received
 	dropped    atomic.Uint64 // queue-full drops across all workers
-	readErrors atomic.Uint64 // unexpected socket read errors (loop survives)
+	readErrors atomic.Uint64 // unexpected socket/accept errors (loop survives)
 
-	readers sync.WaitGroup // socket read loops
+	// Stream-transport counters (stream.go).
+	connSerial    atomic.Uint64 // next connection-source serial
+	streamConns   atomic.Int64  // connections open right now
+	acceptedConns atomic.Uint64 // connections accepted, lifetime
+	rejectedConns atomic.Uint64 // connections refused at the MaxConns cap
+	streamMsgs    atomic.Uint64 // IPFIX messages framed off streams
+	streamBytes   atomic.Uint64 // stream payload bytes framed
+	framingErrors atomic.Uint64 // desynced/oversized/mistyped frames
+
+	connMu sync.Mutex // guards conns
+	conns  map[net.Conn]struct{}
+
+	readers sync.WaitGroup // socket read loops, accept loops, conn loops
 	tasks   sync.WaitGroup // worker + control goroutines
 	done    chan struct{}  // closed to stop the control loop
 	closed  sync.Once
 }
 
 // Listen binds every configured socket and starts ingesting
-// immediately. newFeed is called once per worker the fan-in opens —
-// for the haystack Detector it returns Detector.NewFeed handles.
-// Callers stop the server with Close (or Serve with a context).
+// immediately. newFeed is called once per exporter source the fan-in
+// opens — for the haystack Detector it returns Detector.NewFeed
+// handles. Callers stop the server with Close (or Serve with a
+// context).
 func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Listeners) == 0 {
@@ -289,7 +437,9 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 		cfg:     cfg,
 		newFeed: newFeed,
 		free:    make(chan []byte, cfg.MaxFeeds*cfg.QueueLen+2*len(cfg.Listeners)),
+		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
+		addrs:   make([]net.Addr, len(cfg.Listeners)),
 	}
 	s.active.Store(int32(cfg.MinFeeds))
 	s.workers = make([]*worker, cfg.MaxFeeds)
@@ -300,12 +450,33 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 			feeds: make(map[sourceKey]Feed),
 		}
 	}
+	closeAll := func() {
+		for _, sk := range s.socks {
+			sk.pc.Close()
+		}
+		for _, sl := range s.streams {
+			sl.ln.Close()
+		}
+	}
 	for i, l := range cfg.Listeners {
+		l, err := l.validate()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if l.Net == "tcp" {
+			ln, err := net.Listen("tcp", l.Addr)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("collector: listen tcp %s: %w", l.Addr, err)
+			}
+			s.streams = append(s.streams, &streamListener{idx: i, ln: ln})
+			s.addrs[i] = ln.Addr()
+			continue
+		}
 		pc, err := net.ListenPacket("udp", l.Addr)
 		if err != nil {
-			for _, sk := range s.socks {
-				sk.pc.Close()
-			}
+			closeAll()
 			return nil, fmt.Errorf("collector: listen %s: %w", l.Addr, err)
 		}
 		if cfg.ReadBuffer > 0 {
@@ -313,26 +484,26 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 				c.SetReadBuffer(cfg.ReadBuffer) // best effort; kernel may clamp
 			}
 		}
-		sk := &socket{idx: i, proto: l.Proto, pc: pc}
-		s.socks = append(s.socks, sk)
+		s.socks = append(s.socks, &socket{idx: i, proto: l.Proto, pc: pc})
+		s.addrs[i] = pc.LocalAddr()
 	}
 	for _, sk := range s.socks {
 		s.readers.Add(1)
 		go s.readLoop(sk)
+	}
+	for _, sl := range s.streams {
+		s.readers.Add(1)
+		go s.acceptLoop(sl)
 	}
 	s.tasks.Add(1)
 	go s.controlLoop()
 	return s, nil
 }
 
-// Addrs returns the bound address of every socket, in listener order
-// — the way to discover ephemeral ports after binding ":0".
+// Addrs returns the bound address of every listener, in configuration
+// order — the way to discover ephemeral ports after binding ":0".
 func (s *Server) Addrs() []net.Addr {
-	out := make([]net.Addr, len(s.socks))
-	for i, sk := range s.socks {
-		out[i] = sk.pc.LocalAddr()
-	}
-	return out
+	return append([]net.Addr(nil), s.addrs...)
 }
 
 // Serve blocks until ctx is done, then shuts the server down
@@ -342,15 +513,28 @@ func (s *Server) Serve(ctx context.Context) error {
 	return s.Close()
 }
 
-// Close stops the server: sockets are closed first, then every queued
-// datagram is drained through its feed, feeds are closed, and all
-// goroutines exit. Safe to call multiple times; concurrent callers
-// block until the shutdown completes.
+// Close stops the server: sockets, stream listeners, and open
+// connections are closed first, then every queued message is drained
+// through its feed, feeds are closed, and all goroutines exit. Safe
+// to call multiple times; concurrent callers block until the shutdown
+// completes.
 func (s *Server) Close() error {
 	s.closed.Do(func() {
 		close(s.done)
 		for _, sk := range s.socks {
 			sk.pc.Close()
+		}
+		for _, sl := range s.streams {
+			sl.ln.Close()
+		}
+		s.connMu.Lock()
+		open := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			open = append(open, c)
+		}
+		s.connMu.Unlock()
+		for _, c := range open {
+			c.Close()
 		}
 		s.readers.Wait() // no dispatcher is running past this point
 		for _, w := range s.workers {
@@ -422,12 +606,10 @@ func (s *Server) readLoop(sk *socket) {
 		s.datagrams.Add(1)
 		s.bytes.Add(uint64(n))
 		key := sourceKey{sock: sk.idx}
-		if ua, ok := addr.(*net.UDPAddr); ok {
-			key.src = ua.AddrPort()
-		}
+		key.src, key.raw = addrKey(addr)
 		w := s.workerFor(key)
 		select {
-		case w.ch <- datagram{buf: buf, n: n, sock: sk, src: key}:
+		case w.ch <- datagram{buf: buf, n: n, proto: sk.proto, src: key}:
 			w.enqueued.Add(1)
 		default:
 			// Full queue: drop like the kernel would if nobody read
@@ -490,8 +672,41 @@ func (s *Server) startWorker(w *worker) {
 }
 
 func (s *Server) decode(w *worker, d datagram) {
+	if d.closeSource {
+		// Stream source disconnected: close its feed and release the
+		// source slot so the lane's decoder state does not accumulate
+		// across exporter reconnects. The feed may never have
+		// materialized (every message dropped at a full queue); the
+		// assignment exists either way — connLoop only announces
+		// sources it routed.
+		if f := w.feeds[d.src]; f != nil {
+			f.Close()
+			fs := f.Stats()
+			// Remove the feed before crediting its totals to the
+			// retired counters: a concurrent records() read may then
+			// transiently undercount (harmless dip), but never
+			// double-count — an inflated total would make the control
+			// loop's next uint64 rate difference wrap hugely positive
+			// and slam the fan-in to max.
+			w.mu.Lock()
+			delete(w.feeds, d.src)
+			w.mu.Unlock()
+			w.retiredRecords.Add(fs.Records)
+			w.retiredDropped.Add(fs.Dropped)
+			w.retiredGaps.Add(fs.Gaps)
+		}
+		w.sources.Add(-1)
+		s.assign.Delete(d.src)
+		// processed before controls: metrics readers load controls
+		// first and subtract it from processed, which stays
+		// non-negative only if every control visible in controls has
+		// already been counted in processed.
+		w.processed.Add(1)
+		w.controls.Add(1)
+		return
+	}
 	msg := d.buf[:d.n]
-	proto := d.sock.proto
+	proto := d.proto
 	if proto == ProtoAuto {
 		proto = sniff(msg)
 	}
@@ -537,22 +752,32 @@ func (s *Server) controlLoop() {
 		case <-s.done:
 			return
 		case <-t.C:
+			// records() can dip transiently while a stream source's
+			// totals move from its live feed to the retired counters;
+			// clamp to the high-water mark so the unsigned difference
+			// can never wrap into an absurd rate.
 			cur := s.records()
-			rate := float64(cur-last) / s.cfg.Tick.Seconds()
-			last = cur
+			var rate float64
+			if cur > last {
+				rate = float64(cur-last) / s.cfg.Tick.Seconds()
+				last = cur
+			}
 			s.active.Store(int32(ctrl.step(rate)))
 			s.ewma.Store(math.Float64bits(ctrl.ewma))
 		}
 	}
 }
 
-// records sums decoded records across all per-source feeds.
+// records sums decoded records across all per-source feeds, live and
+// retired — the total is monotonic, which the control loop's
+// per-tick differencing depends on.
 func (s *Server) records() uint64 {
 	var n uint64
 	for _, w := range s.workers {
 		if !w.started.Load() {
 			continue
 		}
+		n += w.retiredRecords.Load()
 		for _, f := range w.feedList() {
 			n += f.Stats().Records
 		}

@@ -25,6 +25,7 @@ type controller struct {
 	downTicks   int     // consecutive quiet ticks required to shrink
 
 	ewma        float64
+	seeded      bool // ewma holds a real sample, not the zero cold start
 	active      int
 	pendingDown int
 }
@@ -62,9 +63,17 @@ func newController(min, max int, ratePerFeed float64) *controller {
 }
 
 // step folds one rate sample (records/sec since the previous tick)
-// into the EWMA and returns the new active-feed target.
+// into the EWMA and returns the new active-feed target. The first
+// non-zero sample seeds the EWMA outright: smoothing a full-rate
+// startup burst against the zero cold start would make ingest wait
+// out several warm-up ticks before the pool scales.
 func (c *controller) step(rate float64) int {
-	c.ewma = c.alpha*rate + (1-c.alpha)*c.ewma
+	if !c.seeded && rate > 0 {
+		c.ewma = rate
+		c.seeded = true
+	} else {
+		c.ewma = c.alpha*rate + (1-c.alpha)*c.ewma
+	}
 	for c.active < c.max && c.ewma > float64(c.active)*c.ratePerFeed {
 		c.active++
 		c.pendingDown = 0

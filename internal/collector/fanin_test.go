@@ -9,9 +9,39 @@ func TestFanInScalesUpImmediately(t *testing.T) {
 	if c.active != 1 {
 		t.Fatalf("initial active = %d", c.active)
 	}
-	// One huge sample: EWMA = 0.3 * 20000 = 6000 → needs 6 feeds.
-	if got := c.step(20_000); got != 6 {
-		t.Fatalf("active after burst = %d, want 6", got)
+	// The first non-zero sample seeds the EWMA outright (no cold-start
+	// smoothing): 20 000 rec/s wants 20 feeds, capped at 8.
+	if got := c.step(20_000); got != 8 {
+		t.Fatalf("active after burst = %d, want cap 8", got)
+	}
+}
+
+// TestFanInColdStartSeeded: the EWMA starts at the first non-zero
+// sample instead of warming up from zero — a full-rate burst at
+// startup must reach its target on the very first tick. Quiet ticks
+// before the first sample must not count as samples.
+func TestFanInColdStartSeeded(t *testing.T) {
+	c := newController(1, 8, 1000)
+	for i := 0; i < 5; i++ {
+		if got := c.step(0); got != 1 {
+			t.Fatalf("active = %d during pre-traffic silence, want 1", got)
+		}
+	}
+	if c.seeded {
+		t.Fatal("zero samples seeded the EWMA")
+	}
+	if got := c.step(4500); got != 5 {
+		t.Fatalf("first sample scaled to %d feeds, want 5 (ewma %.0f)", got, c.ewma)
+	}
+	if c.ewma != 4500 {
+		t.Fatalf("ewma = %.0f after seeding, want the raw sample 4500", c.ewma)
+	}
+	// After the seed, samples smooth normally again.
+	if got := c.step(1000); got != 5 {
+		t.Fatalf("active = %d one sample after the seed, want 5", got)
+	}
+	if want := 0.3*1000 + 0.7*4500; c.ewma != want {
+		t.Fatalf("ewma = %.0f, want smoothed %.0f", c.ewma, want)
 	}
 }
 

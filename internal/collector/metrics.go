@@ -34,7 +34,8 @@ type FeedSnapshot struct {
 	// Records, TemplateDrops, and SequenceGaps aggregate the lane's
 	// per-source decoders: records delivered to the detection
 	// pipeline, data sets skipped for want of a template, and
-	// exporter sequence discontinuities.
+	// exporter sequence discontinuities. Counts are cumulative — a
+	// stream source torn down at disconnect leaves its totals behind.
 	Records       uint64 `json:"records"`
 	TemplateDrops uint64 `json:"template_drops"`
 	SequenceGaps  uint64 `json:"sequence_gaps"`
@@ -42,15 +43,35 @@ type FeedSnapshot struct {
 
 // Stats is a point-in-time snapshot of the server's transport health.
 type Stats struct {
-	// Datagrams and Bytes count everything received on the sockets.
+	// Datagrams and Bytes count everything received on the UDP
+	// sockets; the stream transport's equivalents are StreamMessages
+	// and StreamBytes, so operators see load per transport.
 	Datagrams uint64 `json:"datagrams"`
 	Bytes     uint64 `json:"bytes"`
-	// DroppedDatagrams counts queue-full losses across all feeds.
+	// DroppedDatagrams counts queue-full losses across all feeds
+	// (both transports drop at a full lane queue rather than stall).
 	DroppedDatagrams uint64 `json:"dropped_datagrams"`
-	// ReadErrors counts unexpected socket read errors; the read loops
-	// survive them, but a climbing counter means the kernel is
-	// unhappy with a listener.
+	// ReadErrors counts unexpected socket read, accept, and stream
+	// transport errors; the loops survive them, but a climbing
+	// counter means the kernel or the network path is unhappy.
 	ReadErrors uint64 `json:"read_errors"`
+	// StreamConns is how many TCP exporter connections are open right
+	// now; StreamConnsTotal counts every connection ever accepted,
+	// and StreamConnsRejected those refused at the MaxConns cap.
+	// Each open connection is one exporter source with its own feed
+	// identity, torn down at disconnect.
+	StreamConns         int64  `json:"stream_conns"`
+	StreamConnsTotal    uint64 `json:"stream_conns_total"`
+	StreamConnsRejected uint64 `json:"stream_conns_rejected"`
+	// StreamMessages and StreamBytes count IPFIX messages framed off
+	// TCP streams and their payload bytes.
+	StreamMessages uint64 `json:"stream_messages"`
+	StreamBytes    uint64 `json:"stream_bytes"`
+	// FramingErrors counts stream connections killed because the byte
+	// stream lost IPFIX message alignment (wrong version word,
+	// impossible Length field, or a header truncated mid-read) — a
+	// desynced length-delimited stream cannot be resynchronized.
+	FramingErrors uint64 `json:"framing_errors"`
 	// Records sums decoded records across feeds.
 	Records uint64 `json:"records"`
 	// DecodeErrors sums decoder rejections across feeds.
@@ -73,27 +94,43 @@ type Stats struct {
 // atomics, so the snapshot is approximate under load but never racy.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Datagrams:        s.datagrams.Load(),
-		Bytes:            s.bytes.Load(),
-		DroppedDatagrams: s.dropped.Load(),
-		ReadErrors:       s.readErrors.Load(),
-		ActiveFeeds:      int(s.active.Load()),
-		MaxFeeds:         s.cfg.MaxFeeds,
-		RateEWMA:         math.Float64frombits(s.ewma.Load()),
+		Datagrams:           s.datagrams.Load(),
+		Bytes:               s.bytes.Load(),
+		DroppedDatagrams:    s.dropped.Load(),
+		ReadErrors:          s.readErrors.Load(),
+		StreamConns:         s.streamConns.Load(),
+		StreamConnsTotal:    s.acceptedConns.Load(),
+		StreamConnsRejected: s.rejectedConns.Load(),
+		StreamMessages:      s.streamMsgs.Load(),
+		StreamBytes:         s.streamBytes.Load(),
+		FramingErrors:       s.framingErrors.Load(),
+		ActiveFeeds:         int(s.active.Load()),
+		MaxFeeds:            s.cfg.MaxFeeds,
+		RateEWMA:            math.Float64frombits(s.ewma.Load()),
 	}
 	for _, w := range s.workers {
 		if !w.started.Load() {
 			continue
 		}
+		// Wire payloads only: source-teardown control messages ride
+		// the same queue but are not datagrams. controls is loaded
+		// first — it can only lag the portion already counted in
+		// processed, so the subtraction cannot underflow.
+		controls := w.controls.Load()
 		snap := FeedSnapshot{
 			Feed:             w.idx,
 			Sources:          w.sources.Load(),
-			Datagrams:        w.processed.Load(),
+			Datagrams:        w.processed.Load() - controls,
 			DroppedDatagrams: w.dropped.Load(),
 			DecodeErrors:     w.errors.Load(),
 			QueueDepth:       len(w.ch),
 			QueueCap:         cap(w.ch),
 		}
+		// Live feeds plus the final counters of sources already torn
+		// down: totals stay cumulative across stream disconnects.
+		snap.Records = w.retiredRecords.Load()
+		snap.TemplateDrops = w.retiredDropped.Load()
+		snap.SequenceGaps = w.retiredGaps.Load()
 		for _, f := range w.feedList() {
 			fs := f.Stats()
 			snap.Records += fs.Records

@@ -1,0 +1,303 @@
+package haystack
+
+// Loopback integration tests for the TCP stream transport (RFC 7011):
+// the acceptance contract is that an IPFIX run delivered over TCP —
+// with messages split across every possible read boundary — produces
+// detections byte-identical to the same run delivered over UDP
+// loopback, at shards=1 and shards=8, and that connection teardown
+// frees each source's Feed without leaking goroutines.
+
+import (
+	"net"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/ipfix"
+)
+
+// ipfixStreams builds n disjoint-subscriber IPFIX message streams —
+// the TCP transport is IPFIX-only, so both runs of the identity test
+// speak the same protocol.
+func ipfixStreams(t testing.TB, s *System, n int) [][][]byte {
+	t.Helper()
+	streams := make([][][]byte, n)
+	for fi := 0; fi < n; fi++ {
+		msgs, err := ipfix.NewExporter(uint32(fi+1)).Export(streamRecords(t, s, fi, n), 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[fi] = msgs
+	}
+	return streams
+}
+
+// runUDPStreams delivers the streams over loopback UDP (one source
+// per stream) and returns the quiesced detections.
+func runUDPStreams(t *testing.T, s *System, streams [][][]byte, shards int) []Detection {
+	t.Helper()
+	det := s.NewShardedDetector(0.4, shards)
+	defer det.Close()
+	srv, err := det.Listen(ListenConfig{Config: collector.Config{
+		Listeners:  []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX}},
+		MaxFeeds:   len(streams),
+		MinFeeds:   len(streams),
+		QueueLen:   4096,
+		ReadBuffer: 4 << 20,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
+	total := 0
+	for _, msgs := range streams {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range msgs {
+			if _, err := conn.Write(m); err != nil {
+				t.Fatal(err)
+			}
+			if i%16 == 15 {
+				time.Sleep(time.Millisecond) // pace loopback bursts
+			}
+		}
+		conn.Close()
+		total += len(msgs)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Datagrams < uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP socket received %d of %d datagrams", srv.Stats().Datagrams, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+	if st := srv.Stats(); st.DroppedDatagrams != 0 || st.DecodeErrors != 0 {
+		t.Fatalf("UDP transport not clean: %+v", st)
+	}
+	return det.Detections()
+}
+
+// runTCPStreams delivers the same streams over one TCP connection per
+// exporter, splitting the byte stream across adversarial write
+// boundaries, waits for connection teardown to free every feed, and
+// returns the quiesced detections.
+func runTCPStreams(t *testing.T, s *System, streams [][][]byte, shards int) []Detection {
+	t.Helper()
+	det := s.NewShardedDetector(0.4, shards)
+	defer det.Close()
+	srv, err := det.Listen(ListenConfig{Config: collector.Config{
+		Listeners: []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX, Net: "tcp"}},
+		MaxFeeds:  len(streams),
+		MinFeeds:  len(streams),
+		QueueLen:  4096,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
+
+	total := 0
+	for fi, msgs := range streams {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stream []byte
+		for _, m := range msgs {
+			stream = append(stream, m...)
+		}
+		total += len(msgs)
+		if fi == 0 {
+			// First exporter: one byte per write — a message boundary
+			// split at every possible position.
+			for i := range stream {
+				if _, err := conn.Write(stream[i : i+1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			// The rest: cycling chunk widths that never align with
+			// message boundaries.
+			for i, w := 0, 1; i < len(stream); w = w%13 + 1 {
+				n := min(w, len(stream)-i)
+				if _, err := conn.Write(stream[i : i+n]); err != nil {
+					t.Fatal(err)
+				}
+				i += n
+			}
+		}
+		conn.Close()
+	}
+
+	// Every framed message must arrive, then every disconnect must
+	// tear its source's Feed down — the detector ends with zero open
+	// feeds while the server is still listening.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().StreamMessages < uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP framed %d of %d messages", srv.Stats().StreamMessages, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for det.Stats().OpenFeeds != 0 || srv.Stats().StreamConns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("teardown incomplete: %d open feeds, %d open conns",
+				det.Stats().OpenFeeds, srv.Stats().StreamConns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := srv.Stats()
+	if st.FramingErrors != 0 || st.DroppedDatagrams != 0 || st.DecodeErrors != 0 {
+		t.Fatalf("TCP transport not clean: %+v", st)
+	}
+	if st.StreamConnsTotal != uint64(len(streams)) {
+		t.Fatalf("accepted %d connections, want %d", st.StreamConnsTotal, len(streams))
+	}
+	if st.Datagrams != 0 {
+		t.Fatalf("UDP counters moved on a TCP-only run: %+v", st)
+	}
+	for _, fs := range st.Feeds {
+		if fs.TemplateDrops != 0 || fs.SequenceGaps != 0 {
+			t.Fatalf("feed %d transport counters dirty: %+v", fs.Feed, fs)
+		}
+	}
+	srv.Close()
+	return det.Detections()
+}
+
+// TestDetectorListenTCPMatchesUDP is the stream-transport acceptance
+// contract: same IPFIX run, TCP vs UDP loopback, byte-identical
+// detections at shards=1 and shards=8 — and no goroutine left behind
+// once the servers and detectors close.
+func TestDetectorListenTCPMatchesUDP(t *testing.T) {
+	s := sharedSystem(t)
+	streams := ipfixStreams(t, s, 3)
+	before := runtime.NumGoroutine()
+
+	for _, shards := range []int{1, 8} {
+		want := runUDPStreams(t, s, streams, shards)
+		if len(want) == 0 {
+			t.Fatal("UDP reference run detected nothing; stream is too weak to compare")
+		}
+		got := runTCPStreams(t, s, streams, shards)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: TCP detections diverge from UDP reference: got %d, want %d",
+				shards, len(got), len(want))
+		}
+	}
+
+	// Goroutine-leak check: servers, rotators, conn loops, and shard
+	// workers must all be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDetectorListenTCPReconnect pins the reconnect semantics at the
+// detector level: an exporter that drops and redials resumes with a
+// fresh feed (fresh template cache — it must resend templates, which
+// the bundled exporter does on its first message) and both halves of
+// the split run land in the same detector.
+func TestDetectorListenTCPReconnect(t *testing.T) {
+	s := sharedSystem(t)
+	streams := ipfixStreams(t, s, 1)
+	msgs := streams[0]
+	if len(msgs) < 4 {
+		t.Fatalf("stream too short to split: %d messages", len(msgs))
+	}
+
+	// The reference mirrors the reconnect exactly: two in-memory feeds
+	// carrying the same two batches (the second re-led by the
+	// template-bearing first message, as a restarted exporter would).
+	half := len(msgs) / 2
+	batches := [][][]byte{msgs[:half], append([][]byte{msgs[0]}, msgs[half:]...)}
+	ref := s.NewShardedDetector(0.4, 1)
+	defer ref.Close()
+	for _, batch := range batches {
+		f := ref.NewFeed()
+		for _, m := range batch {
+			if err := f.FeedIPFIX(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	want := ref.Detections()
+	if len(want) == 0 {
+		t.Fatal("reference detector detected nothing")
+	}
+
+	det := s.NewShardedDetector(0.4, 4)
+	defer det.Close()
+	srv, err := det.Listen(ListenConfig{Config: collector.Config{
+		Listeners: []collector.Listener{{Addr: "127.0.0.1:0", Proto: collector.ProtoIPFIX, Net: "tcp"}},
+		QueueLen:  4096,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addrs()[0].String()
+
+	// First half, disconnect, then the second half on a new
+	// connection, re-led by the template-bearing first message so the
+	// fresh feed can decode (exactly what a restarted exporter does:
+	// templates precede data on every new connection).
+	sent := uint64(0)
+	send := func(batch [][]byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range batch {
+			for i := 0; i < len(m); i += 5 {
+				if _, err := conn.Write(m[i:min(i+5, len(m))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		conn.Close()
+		sent += uint64(len(batch))
+		// First every message must be framed (so the teardown wait
+		// below cannot pass vacuously before the server even accepted
+		// the connection), then the disconnect must free the feed.
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Stats().StreamMessages < sent {
+			if time.Now().After(deadline) {
+				t.Fatalf("framed %d of %d messages", srv.Stats().StreamMessages, sent)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for srv.Stats().StreamConns != 0 || det.Stats().OpenFeeds != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("connection teardown incomplete")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	send(batches[0])
+	send(batches[1])
+	srv.Close()
+
+	st := srv.Stats()
+	if st.StreamConnsTotal != 2 || st.FramingErrors != 0 {
+		t.Fatalf("transport: %+v", st)
+	}
+	for _, fs := range st.Feeds {
+		if fs.TemplateDrops != 0 {
+			t.Fatalf("reconnected feed dropped untemplated data: %+v", fs)
+		}
+	}
+	if got := det.Detections(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reconnected run diverges: got %d, want %d detections", len(got), len(want))
+	}
+}

@@ -20,39 +20,48 @@ import (
 	"repro/internal/simtime"
 )
 
+// streamRecords builds the fi-th of n disjoint-subscriber record
+// sets, covering a mix of rule domains and hours — the raw material
+// for one synthetic exporter stream.
+func streamRecords(t testing.TB, s *System, fi, n int) []flow.Record {
+	t.Helper()
+	day := s.lab.W.Window.Days()[0]
+	resolver := s.lab.W.ResolverOn(day)
+	var recs []flow.Record
+	for i, rule := range s.Rules() {
+		if i%n != fi {
+			continue
+		}
+		for j, name := range rule.Domains {
+			ips := resolver.Resolve(name)
+			if len(ips) == 0 {
+				continue
+			}
+			port := uint16(443)
+			if d, ok := s.lab.W.Catalog.Domains[name]; ok {
+				port = d.Port
+			}
+			recs = append(recs, flow.Record{
+				Key: flow.Key{
+					Src:     netip.AddrFrom4([4]byte{100, 64 + byte(fi), byte(i), byte(j)}),
+					Dst:     ips[0],
+					SrcPort: uint16(50000 + j), DstPort: port, Proto: flow.ProtoTCP,
+				},
+				Packets: uint64(j%5 + 1), Bytes: 900,
+				Hour: day.FirstHour() + simtime.Hour(i%36),
+			})
+		}
+	}
+	return recs
+}
+
 // exporterStreams builds n disjoint-subscriber message streams, half
 // NetFlow v9 and half IPFIX, covering a mix of rule domains and hours.
 func exporterStreams(t testing.TB, s *System, n int) [][][]byte {
 	t.Helper()
-	day := s.lab.W.Window.Days()[0]
-	resolver := s.lab.W.ResolverOn(day)
 	streams := make([][][]byte, n)
 	for fi := 0; fi < n; fi++ {
-		var recs []flow.Record
-		for i, rule := range s.Rules() {
-			if i%n != fi {
-				continue
-			}
-			for j, name := range rule.Domains {
-				ips := resolver.Resolve(name)
-				if len(ips) == 0 {
-					continue
-				}
-				port := uint16(443)
-				if d, ok := s.lab.W.Catalog.Domains[name]; ok {
-					port = d.Port
-				}
-				recs = append(recs, flow.Record{
-					Key: flow.Key{
-						Src:     netip.AddrFrom4([4]byte{100, 64 + byte(fi), byte(i), byte(j)}),
-						Dst:     ips[0],
-						SrcPort: uint16(50000 + j), DstPort: port, Proto: flow.ProtoTCP,
-					},
-					Packets: uint64(j%5 + 1), Bytes: 900,
-					Hour: day.FirstHour() + simtime.Hour(i%36),
-				})
-			}
-		}
+		recs := streamRecords(t, s, fi, n)
 		var msgs [][]byte
 		var err error
 		if fi%2 == 0 {
