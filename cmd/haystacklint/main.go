@@ -1,0 +1,124 @@
+// Command haystacklint runs the repository's invariant suite
+// (internal/lint): atomicfield, statscomplete, hotpath, boundedchan.
+//
+// Two modes, chosen by the arguments:
+//
+// Standalone multichecker — the usual way to run it:
+//
+//	go run ./cmd/haystacklint ./...
+//
+// loads the named packages (plus dependencies, for cross-package
+// facts), prints findings, and exits 1 if there are any.
+//
+// Vet tool — the same analyzers under the go command's build cache:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/haystacklint ./...
+//
+// In this mode cmd/go drives the tool once per package with a vet.cfg
+// file (and probes it with -V=full first); see internal/lint's
+// unitchecker for the protocol.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/atomicfield"
+	"repro/internal/lint/boundedchan"
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/statscomplete"
+)
+
+var analyzers = []*lint.Analyzer{
+	atomicfield.Analyzer,
+	boundedchan.Analyzer,
+	hotpath.Analyzer,
+	statscomplete.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes any vettool for a build ID before using it; the
+	// reply must be `<name> version <non-devel-version>` and becomes
+	// the cache key, so it carries a hash of the tool binary — a
+	// rebuilt haystacklint must invalidate cached vet results.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("haystacklint version haystack0.1 sum=%s\n", selfHash())
+			return
+		}
+		// `go vet` also asks which analyzer flags the tool accepts
+		// (JSON, see cmd/go/internal/vet/vetflag.go). None: the suite
+		// always runs whole.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Under `go vet -vettool=`, the sole positional argument is the
+	// path to a generated vet.cfg.
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(lint.RunUnit(os.Stderr, analyzers, args[len(args)-1]))
+	}
+
+	patterns := args[:0:0]
+	for _, a := range args {
+		switch {
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "haystacklint: unknown flag %s\n", a)
+			usage()
+			os.Exit(1)
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := lint.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haystacklint: %v\n", err)
+		os.Exit(1)
+	}
+	if res.Print(os.Stderr) {
+		os.Exit(1)
+	}
+}
+
+// selfHash digests the running binary. "unknown" (on any error) still
+// yields a stable, parseable -V=full line — it just loses cache
+// invalidation across rebuilds.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: haystacklint [packages]\n\nAnalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with `// haystack:allow <analyzer> <why>` on its line or the line above.\n")
+}

@@ -92,7 +92,7 @@ func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
 	d.evMu.Lock()
 	defer d.evMu.Unlock()
 	if d.evClosed {
-		ch := make(chan DetectionEvent)
+		ch := make(chan DetectionEvent) // haystack:unbounded closed immediately below; it only signals end-of-stream
 		close(ch)
 		return ch, func() {}
 	}
@@ -104,7 +104,7 @@ func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
 		// subscriptions.
 		d.evSubs = make(map[*eventSub]struct{})
 		d.evCh = make(chan pipeline.FireEvent, eventQueueLen)
-		d.evDone = make(chan struct{})
+		d.evDone = make(chan struct{}) // haystack:unbounded close-only broker-exit signal; never carries data
 		go d.broker()
 		d.pipe.SetFireHook(d.fire)
 	}
@@ -128,6 +128,8 @@ func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
 // goroutine under the shard's engine lock, so it only counts and does
 // a non-blocking enqueue — a full queue drops the event visibly
 // instead of stalling detection.
+//
+// haystack:hotpath — runs on the shard worker for every first-fire.
 func (d *Detector) fire(ev pipeline.FireEvent) {
 	d.eventsEmitted.Add(1)
 	select {

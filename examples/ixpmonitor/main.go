@@ -72,7 +72,7 @@ func wireDemo(sys *haystack.System, feeds int) {
 	evCh, cancelEv := det.Subscribe()
 	defer cancelEv()
 	events := 0
-	evDone := make(chan struct{})
+	evDone := make(chan struct{}) // haystack:unbounded close-only drain-complete signal; never carries data
 	go func() {
 		defer close(evDone)
 		for range evCh {

@@ -376,6 +376,8 @@ func (f *Feed) Stats() FeedStats {
 // line (the exporter's template omitted or mis-sized the
 // source-address field), which callers must skip rather than observe;
 // v6 reports the address family for the per-family record counters.
+//
+// haystack:hotpath — runs once per flow record.
 func subscriberKey(a netip.Addr) (id detect.SubID, v6, ok bool) {
 	a = a.Unmap()
 	if a.Is4() {
@@ -401,6 +403,8 @@ func subscriberKey(a netip.Addr) (id detect.SubID, v6, ok bool) {
 
 // observe feeds decoded records to the pipeline, skipping (and
 // counting) records whose subscriber-side address is unusable.
+//
+// haystack:hotpath — runs once per decoded message, looping per record.
 func (f *Feed) observe(recs []flow.Record) {
 	var v4, v6 uint64
 	for i := range recs {
@@ -586,8 +590,8 @@ func (d *Detector) Listen(cfg ListenConfig) (*Server, error) {
 	}
 	s := &Server{Server: inner, det: d, window: cfg.Window}
 	if cfg.Window.Every > 0 {
-		s.stop = make(chan struct{})
-		s.rotDone = make(chan struct{})
+		s.stop = make(chan struct{})    // haystack:unbounded close-only shutdown signal for the rotator
+		s.rotDone = make(chan struct{}) // haystack:unbounded close-only rotator-exit acknowledgement
 		go s.rotator()
 	}
 	return s, nil
@@ -658,6 +662,9 @@ func (d *Detector) ListenAndDetect(ctx context.Context, cfg ListenConfig) error 
 // the per-feed transport counters live in collector.Stats. All
 // counters are cumulative across the detector's lifetime — window
 // deltas are what Rotate reports in WindowResult.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
 type DetectorStats struct {
 	// RecordsIPv4 and RecordsIPv6 count decoded records delivered to
 	// the pipeline, by subscriber address family (both are hashed and
@@ -694,6 +701,8 @@ type DetectorStats struct {
 
 // Stats snapshots the detector's health counters. Safe to call while
 // feeds are running.
+//
+// haystack:metrics-export
 func (d *Detector) Stats() DetectorStats {
 	d.evMu.Lock()
 	subs := len(d.evSubs)

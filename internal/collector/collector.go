@@ -50,6 +50,9 @@ import (
 // FeedStats are the transport-health counters one ingestion feed
 // exposes. Implementations must make Stats safe to call while the
 // feed is being driven (atomic counters).
+//
+// haystack:metrics-struct — every exported field must be aggregated by
+// a haystack:metrics-export function (enforced by haystacklint).
 type FeedStats struct {
 	// Records counts decoded flow records delivered downstream.
 	Records uint64
@@ -438,7 +441,7 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 		newFeed: newFeed,
 		free:    make(chan []byte, cfg.MaxFeeds*cfg.QueueLen+2*len(cfg.Listeners)),
 		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		done:    make(chan struct{}), // haystack:unbounded close-only shutdown broadcast; never carries data
 		addrs:   make([]net.Addr, len(cfg.Listeners)),
 	}
 	s.active.Store(int32(cfg.MinFeeds))
@@ -563,6 +566,10 @@ func (s *Server) Sync() {
 	}
 }
 
+// getBuf takes a datagram buffer from the recycle ring, growing the
+// ring only when it runs dry.
+//
+// haystack:hotpath — runs once per datagram.
 func (s *Server) getBuf() []byte {
 	select {
 	case b := <-s.free:
@@ -572,6 +579,10 @@ func (s *Server) getBuf() []byte {
 	}
 }
 
+// putBuf returns a buffer to the recycle ring, dropping it when the
+// ring is full.
+//
+// haystack:hotpath — runs once per datagram.
 func (s *Server) putBuf(b []byte) {
 	select {
 	case s.free <- b:
@@ -581,6 +592,9 @@ func (s *Server) putBuf(b []byte) {
 
 // readLoop is the per-socket hot path: read, count, route, hand off.
 // It never decodes and never blocks on a feed.
+//
+// haystack:hotpath — loops once per datagram (time.Sleep appears only
+// on the persistent-read-error path and is deliberately not banned).
 func (s *Server) readLoop(sk *socket) {
 	defer s.readers.Done()
 	for {
@@ -671,6 +685,9 @@ func (s *Server) startWorker(w *worker) {
 	w.started.Store(true)
 }
 
+// decode runs a lane's per-datagram work: sniff, feed, count.
+//
+// haystack:hotpath — runs once per datagram on the lane goroutine.
 func (s *Server) decode(w *worker, d datagram) {
 	if d.closeSource {
 		// Stream source disconnected: close its feed and release the

@@ -13,6 +13,9 @@ import (
 
 // FeedSnapshot is the per-lane slice of a Stats snapshot: one decode
 // lane (worker goroutine) and the per-source feeds it drives.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
 type FeedSnapshot struct {
 	// Feed is the lane index (0-based, stable for the server's
 	// lifetime).
@@ -42,6 +45,9 @@ type FeedSnapshot struct {
 }
 
 // Stats is a point-in-time snapshot of the server's transport health.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
 type Stats struct {
 	// Datagrams and Bytes count everything received on the UDP
 	// sockets; the stream transport's equivalents are StreamMessages
@@ -92,6 +98,8 @@ type Stats struct {
 // Stats snapshots the server's transport counters. Safe to call at
 // any time, including while feeds are running — all counters are
 // atomics, so the snapshot is approximate under load but never racy.
+//
+// haystack:metrics-export
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Datagrams:           s.datagrams.Load(),

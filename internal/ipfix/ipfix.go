@@ -213,16 +213,19 @@ var (
 )
 
 // Feed parses one message and returns the decoded flow records.
+//
+// haystack:hotpath — runs once per message; error construction lives
+// in outlined cold helpers.
 func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	if len(msg) < headerLen {
 		return nil, ErrShortMessage
 	}
 	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return nil, errBadVersion(v)
 	}
 	length := int(binary.BigEndian.Uint16(msg[2:4]))
 	if length < headerLen || length > len(msg) {
-		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, len(msg))
+		return nil, errBadLength(length, len(msg))
 	}
 	exportTime := binary.BigEndian.Uint32(msg[4:8])
 	seq := binary.BigEndian.Uint32(msg[8:12])
@@ -251,7 +254,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < setHeaderLen || setLen > len(rest) {
 			delete(c.lastSeq, domain)
-			return out, fmt.Errorf("ipfix: set length %d exceeds remaining %d", setLen, len(rest))
+			return out, errSetOverrun(setLen, len(rest))
 		}
 		body := rest[setHeaderLen:setLen]
 		switch {
@@ -304,6 +307,8 @@ func (c *Collector) parseTemplates(domain uint32, body []byte) error {
 // parseData decodes one data set. The boolean reports whether the set's
 // record count is fully known (false when the template is missing or
 // degenerate).
+//
+// haystack:hotpath — runs once per data set.
 func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool) {
 	t, ok := c.templates[uint64(domain)<<16|uint64(setID)]
 	if !ok {
@@ -352,6 +357,22 @@ func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour sim
 	return out, true
 }
 
+// Cold-path error constructors, outlined so the haystack:hotpath
+// decode functions above stay fmt-free. Each fires at most once per
+// malformed message, never per record.
+func errBadVersion(v uint16) error { return fmt.Errorf("%w: %d", ErrBadVersion, v) }
+
+func errBadLength(length, have int) error {
+	return fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, have)
+}
+
+func errSetOverrun(setLen, remaining int) error {
+	return fmt.Errorf("ipfix: set length %d exceeds remaining %d", setLen, remaining)
+}
+
+// beUint decodes a big-endian unsigned integer of any width.
+//
+// haystack:hotpath — runs several times per record.
 func beUint(b []byte) uint64 {
 	var v uint64
 	for _, x := range b {

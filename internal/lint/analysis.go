@@ -1,0 +1,189 @@
+// Package lint is a self-contained static-analysis framework for the
+// repository's own invariants — the haystacklint suite. It mirrors the
+// shape of golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
+// without depending on it, because this module builds offline from the
+// standard library alone.
+//
+// The suite encodes, as machine checks, the invariants that previous
+// PRs enforced by hand and code review:
+//
+//   - atomicfield: a struct field ever accessed through sync/atomic
+//     (or declared with an atomic.* type) must never be read or
+//     written plainly — the counter-race class fixed by hand in PR 2/3;
+//   - statscomplete: every exported field of a metrics snapshot struct
+//     must be referenced by its export code, so new counters cannot
+//     silently vanish from /metrics and expvar;
+//   - hotpath: functions annotated `// haystack:hotpath` may not call
+//     time.Now, fmt, or reflect, and may not allocate maps or
+//     closures;
+//   - boundedchan: make(chan T) without a capacity is forbidden
+//     outside tests unless annotated `// haystack:unbounded <why>`.
+//
+// Drivers: cmd/haystacklint runs the suite either as a standalone
+// multichecker over `go list` patterns (loader.go, runner.go) or under
+// `go vet -vettool=` via the vet unitchecker protocol
+// (unitchecker.go). Tests use linttest, an analysistest-style fixture
+// runner driven by `// want "regexp"` comments.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one analysis: a name, documentation, and the
+// passes the drivers invoke per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, fact storage, and
+	// `// haystack:allow <name>` suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Collect, when set, runs over every package before Run and may
+	// export facts (but not report diagnostics). Drivers guarantee a
+	// package's dependencies are collected before its dependents, so
+	// facts flow down the import graph.
+	Collect func(*Pass)
+	// Run reports diagnostics for one package. Facts exported by this
+	// package's Collect and by its (transitive) dependencies are
+	// visible.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	facts  *Facts
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a position in the analyzed
+// package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact publishes a string-keyed fact visible to this analyzer in
+// every dependent package (and to Run in this one). Keys must be
+// stable across processes — derive them from package paths and object
+// names, never from token positions of other packages.
+func (p *Pass) ExportFact(key, value string) {
+	p.facts.set(p.Analyzer.Name, key, value)
+}
+
+// Fact looks up a fact exported by this analyzer in this package or
+// any dependency.
+func (p *Pass) Fact(key string) (string, bool) {
+	return p.facts.get(p.Analyzer.Name, key)
+}
+
+// FactKeys returns every fact key visible to this analyzer, sorted.
+func (p *Pass) FactKeys() []string {
+	return p.facts.keys(p.Analyzer.Name)
+}
+
+// Facts is the cross-package fact store: analyzer name → key → value.
+// The multichecker keeps one Facts for the whole run; the unitchecker
+// serializes it per package (vetx files) so facts survive process
+// boundaries.
+type Facts struct {
+	m map[string]map[string]string
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: make(map[string]map[string]string)} }
+
+func (f *Facts) set(analyzer, key, value string) {
+	a := f.m[analyzer]
+	if a == nil {
+		a = make(map[string]string)
+		f.m[analyzer] = a
+	}
+	a[key] = value
+}
+
+func (f *Facts) get(analyzer, key string) (string, bool) {
+	v, ok := f.m[analyzer][key]
+	return v, ok
+}
+
+func (f *Facts) keys(analyzer string) []string {
+	out := make([]string, 0, len(f.m[analyzer]))
+	for k := range f.m[analyzer] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge copies every fact of other into f (other wins on collisions).
+func (f *Facts) Merge(other *Facts) {
+	for a, kv := range other.m {
+		for k, v := range kv {
+			f.set(a, k, v)
+		}
+	}
+}
+
+// Map exposes the underlying store for serialization (unitchecker
+// vetx files). The returned map must not be mutated.
+func (f *Facts) Map() map[string]map[string]string { return f.m }
+
+// FactsFromMap wraps a deserialized store.
+func FactsFromMap(m map[string]map[string]string) *Facts {
+	if m == nil {
+		m = make(map[string]map[string]string)
+	}
+	return &Facts{m: m}
+}
+
+// NewPass assembles a Pass for drivers (runner, unitchecker,
+// linttest).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		facts:     facts,
+		report:    report,
+	}
+}
+
+// Inspect walks every file of the pass in depth-first order, calling
+// fn for each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers
+// consult populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

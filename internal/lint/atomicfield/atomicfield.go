@@ -1,0 +1,290 @@
+// Package atomicfield enforces the repo's hardest-won concurrency
+// invariant: once a struct field is accessed through sync/atomic — or
+// is declared with an atomic.* type — every access must be atomic.
+// Mixed plain/atomic access is exactly the Dropped/Gaps counter race
+// class that PR 2/3 had to fix by hand after it surfaced in CI.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags plain reads and writes of atomically-accessed struct
+// fields.
+var Analyzer = &lint.Analyzer{
+	Name:    "atomicfield",
+	Doc:     "a field accessed via sync/atomic must never be read or written plainly",
+	Collect: collect,
+	Run:     run,
+}
+
+// collect exports one fact per named-struct field this package
+// accesses with a sync/atomic call, keyed by its stable object path,
+// so dependent packages can police plain access to exported counters.
+func collect(pass *lint.Pass) {
+	if pass.TypesInfo == nil {
+		return // dependency loaded signatures-only
+	}
+	keys := newKeyCache()
+	for f, pos := range atomicUses(pass) {
+		if key, ok := keys.of(f); ok {
+			pass.ExportFact(key, pass.Fset.Position(pos).String())
+		}
+	}
+}
+
+func run(pass *lint.Pass) error {
+	local := atomicUses(pass)
+	keys := newKeyCache()
+
+	// why explains, per field, what makes it atomic — a local atomic
+	// use site, an imported fact, or its declared type.
+	why := func(f *types.Var) (string, bool) {
+		if isAtomicType(f.Type()) {
+			return fmt.Sprintf("it has type %s", f.Type()), true
+		}
+		if pos, ok := local[f]; ok {
+			return fmt.Sprintf("it is accessed with sync/atomic at %s", pass.Fset.Position(pos)), true
+		}
+		if key, ok := keys.of(f); ok {
+			if at, ok := pass.Fact(key); ok {
+				return fmt.Sprintf("it is accessed with sync/atomic at %s", at), true
+			}
+		}
+		return "", false
+	}
+
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		f, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		reason, atomic := why(f)
+		if !atomic {
+			return true
+		}
+		switch use := classify(pass, sel, stack); use {
+		case useAtomic, useMethod, useAddr:
+			// &f handed to sync/atomic, f.Load()-style method calls,
+			// and address-taking (to pass an *atomic.T around) are the
+			// sanctioned access forms.
+		case useWrite:
+			report(pass, sel, f, "plain write to", reason)
+		default:
+			report(pass, sel, f, "plain read of", reason)
+		}
+		return true
+	})
+
+	// Composite-literal keys assign fields without a SelectorExpr:
+	// S{Dropped: 3} is a plain write in disguise.
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		f, ok := pass.TypesInfo.Uses[key].(*types.Var)
+		if !ok || !f.IsField() {
+			return true
+		}
+		if reason, atomic := why(f); atomic {
+			report(pass, kv, f, "plain write (composite literal) to", reason)
+		}
+		return true
+	})
+	return nil
+}
+
+func report(pass *lint.Pass, at ast.Node, f *types.Var, verb, reason string) {
+	pass.Reportf(at.Pos(),
+		"%s atomic field %s: %s; every access must go through sync/atomic (or annotate // haystack:allow atomicfield <why>)",
+		verb, f.Name(), reason)
+}
+
+type useKind int
+
+const (
+	useRead useKind = iota
+	useWrite
+	useAddr
+	useMethod
+	useAtomic
+)
+
+// classify decides how a field selector is being used, from its
+// ancestor chain.
+func classify(pass *lint.Pass, sel *ast.SelectorExpr, stack []ast.Node) useKind {
+	// Walk up through parenthesization.
+	up := func(i int) ast.Node {
+		for ; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.ParenExpr); !ok {
+				return stack[i]
+			}
+		}
+		return nil
+	}
+	parent := up(len(stack) - 1)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.M(...): method or nested-field selection on the field.
+		if s := pass.TypesInfo.Selections[p]; s != nil && s.Kind() == types.MethodVal {
+			return useMethod
+		}
+		// Selecting a nested plain field through an atomic field is a
+		// plain read of the atomic one.
+		return useRead
+	case *ast.UnaryExpr:
+		if p.Op != token.AND {
+			return useRead
+		}
+		// &x.f: sanctioned when handed straight to a sync/atomic call.
+		if call, ok := up(len(stack) - 2).(*ast.CallExpr); ok && isAtomicCall(pass, call) {
+			return useAtomic
+		}
+		return useAddr
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if unparen(lhs) == sel {
+				return useWrite
+			}
+		}
+		return useRead
+	case *ast.IncDecStmt:
+		return useWrite
+	}
+	return useRead
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// atomicUses maps every named-struct field whose address is passed to
+// a sync/atomic function in this package to one such call site.
+func atomicUses(pass *lint.Pass) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	if pass.TypesInfo == nil {
+		return out
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+				if f, ok := s.Obj().(*types.Var); ok {
+					if _, seen := out[f]; !seen {
+						out[f] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAtomicCall reports whether the call's callee is a function from
+// package sync/atomic (by object identity, so import aliasing cannot
+// hide it).
+func isAtomicCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicType reports whether t is (a pointer to) one of the
+// sync/atomic value types.
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// keyCache computes stable cross-process identifiers for fields of
+// package-scope named structs: "pkgpath.Type.Field". Fields of
+// anonymous or function-local structs get no key (and therefore no
+// cross-package fact) — plain access to those is still caught within
+// their own package via object identity.
+type keyCache struct {
+	m map[*types.Package]map[*types.Var]string
+}
+
+func newKeyCache() *keyCache {
+	return &keyCache{m: make(map[*types.Package]map[*types.Var]string)}
+}
+
+func (kc *keyCache) of(f *types.Var) (string, bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	fields, ok := kc.m[pkg]
+	if !ok {
+		fields = make(map[*types.Var]string)
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				fields[st.Field(i)] = pkg.Path() + "." + name + "." + st.Field(i).Name()
+			}
+		}
+		kc.m[pkg] = fields
+	}
+	key, ok := fields[f]
+	return key, ok
+}

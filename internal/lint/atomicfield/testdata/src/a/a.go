@@ -1,0 +1,51 @@
+// Fixture mirroring the PR 3 counter race: Dropped is a plain uint64
+// bumped with atomic.AddUint64 on the feed path, so every other access
+// must be atomic too. Gaps shows the typed-atomic variant.
+package a
+
+import "sync/atomic"
+
+type Collector struct {
+	Dropped uint64
+	Gaps    atomic.Uint64
+	name    string
+}
+
+func (c *Collector) feed() {
+	atomic.AddUint64(&c.Dropped, 1) // the use that makes Dropped atomic
+	c.Gaps.Add(1)                   // method calls are sanctioned
+}
+
+func (c *Collector) statsBad() uint64 {
+	return c.Dropped // want "plain read of atomic field Dropped"
+}
+
+func (c *Collector) resetBad() {
+	c.Dropped = 0 // want "plain write to atomic field Dropped"
+	c.Dropped++   // want "plain write to atomic field Dropped"
+}
+
+func newBad() *Collector {
+	return &Collector{Dropped: 1} // want "plain write .composite literal. to atomic field Dropped"
+}
+
+func copyBad(c *Collector) uint64 {
+	g := c.Gaps // want "plain read of atomic field Gaps"
+	return g.Load()
+}
+
+func statsGood(c *Collector) uint64 {
+	return atomic.LoadUint64(&c.Dropped) + c.Gaps.Load()
+}
+
+func addrGood(c *Collector) *atomic.Uint64 {
+	return &c.Gaps // taking the address to pass the atomic around is fine
+}
+
+func nameGood(c *Collector) string {
+	return c.name // never accessed atomically; plain access is fine
+}
+
+func allowGood(c *Collector) uint64 {
+	return c.Dropped // haystack:allow atomicfield test-only read after goroutines stopped
+}

@@ -1,0 +1,67 @@
+// Package boundedchan forbids unbuffered channels outside tests. At
+// millions of subscribers every queue in the ingest path must have an
+// explicit bound (and a drop-or-block policy): an unbounded or
+// accidentally synchronous channel is either an OOM or a pipeline
+// stall waiting to happen. Channels that are genuinely synchronization
+// points (close-only done channels, say) carry an explicit
+// `// haystack:unbounded <why>` annotation so the reasoning is in the
+// source, not in a reviewer's memory.
+package boundedchan
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags make(chan T) with no capacity argument.
+var Analyzer = &lint.Analyzer{
+	Name: "boundedchan",
+	Doc:  "make(chan T) without a capacity is forbidden outside _test.go files unless annotated // haystack:unbounded <why>",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		var ld *lint.LineDirectives // built lazily: most files have no chans
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				return true
+			}
+			tv := pass.TypesInfo.Types[call.Args[0]]
+			if !tv.IsType() {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Chan); !ok {
+				return true
+			}
+			if ld == nil {
+				ld = lint.FileDirectives(pass.Fset, file)
+			}
+			if d, ok := ld.At(call.Pos(), "unbounded"); ok {
+				if d.Args != "" {
+					return true
+				}
+				pass.Reportf(call.Pos(), "haystack:unbounded needs a reason: say why this channel cannot grow without bound")
+				return true
+			}
+			pass.Reportf(call.Pos(), "unbuffered channel: give it a capacity (bounded queues are the backpressure policy) or annotate // haystack:unbounded <why>")
+			return true
+		})
+	}
+	return nil
+}

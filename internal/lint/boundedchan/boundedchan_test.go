@@ -1,0 +1,12 @@
+package boundedchan_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/boundedchan"
+	"repro/internal/lint/linttest"
+)
+
+func TestBoundedChan(t *testing.T) {
+	linttest.Run(t, boundedchan.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Fixture for the backpressure policy: every channel gets a capacity
+// or a reason.
+package a
+
+func bad() chan int {
+	ch := make(chan int) // want "unbuffered channel"
+	return ch
+}
+
+func bounded() chan int {
+	return make(chan int, 16)
+}
+
+func annotatedSameLine() chan struct{} {
+	done := make(chan struct{}) // haystack:unbounded close-only shutdown signal; never carries data
+	return done
+}
+
+func annotatedAbove() chan struct{} {
+	// haystack:unbounded close-only shutdown signal; never carries data
+	done := make(chan struct{})
+	return done
+}
+
+func bareReason() chan struct{} {
+	// haystack:unbounded
+	ch := make(chan struct{}) // want "needs a reason"
+	return ch
+}
+
+func notAChan() []int {
+	return make([]int, 4) // single-arg make of a non-channel is fine
+}

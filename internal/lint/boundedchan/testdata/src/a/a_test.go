@@ -1,0 +1,7 @@
+// Test files are exempt: synchronous channels are the natural idiom
+// for test orchestration, and tests do not run at ingest rates.
+package a
+
+func testHelper() chan int {
+	return make(chan int)
+}

@@ -1,0 +1,112 @@
+package lint
+
+// haystack: directives — the annotation language the analyzers read.
+//
+//	// haystack:hotpath                      (function doc)
+//	// haystack:metrics-struct               (type doc)
+//	// haystack:metrics-export               (function doc)
+//	// haystack:unbounded <why>              (line of, or line above, a make(chan T))
+//	// haystack:allow <analyzer> <why>       (line of, or line above, a finding)
+//
+// Directives are ordinary line comments so they survive gofmt and
+// need no build-system support; like go:build lines they bind by
+// position, not parsing context.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix opens every haystacklint annotation.
+const directivePrefix = "haystack:"
+
+// Directive is one parsed annotation: its name (after "haystack:"),
+// its free-form argument tail, and where it appeared.
+type Directive struct {
+	Name string
+	Args string
+	Pos  token.Pos
+}
+
+// parseDirective extracts a directive from one comment's text, if any.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// DocDirective reports whether doc carries the named directive and
+// returns its argument tail.
+func DocDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// LineDirectives indexes every directive of a file by the source line
+// it governs: the line the comment sits on, which also covers the
+// following line when the comment stands alone (annotation above the
+// statement, the dominant style for long reasons).
+type LineDirectives struct {
+	fset  *token.FileSet
+	lines map[int][]Directive
+}
+
+// FileDirectives collects the line-anchored directives of one file.
+func FileDirectives(fset *token.FileSet, file *ast.File) *LineDirectives {
+	ld := &LineDirectives{fset: fset, lines: make(map[int][]Directive)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			ld.lines[line] = append(ld.lines[line], d)
+		}
+	}
+	return ld
+}
+
+// At returns the named directive governing pos: on the same line, or
+// on the line directly above (a standalone annotation comment).
+func (ld *LineDirectives) At(pos token.Pos, name string) (Directive, bool) {
+	line := ld.fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range ld.lines[l] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Suppressed reports whether a diagnostic at pos is waived by a
+// `// haystack:allow <analyzer> <why>` annotation. A bare allow with
+// no reason is ignored — the why is the point of the escape hatch.
+func Suppressed(fset *token.FileSet, files []*ast.File, d Diagnostic) bool {
+	for _, f := range files {
+		if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
+			ld := FileDirectives(fset, f)
+			if a, ok := ld.At(d.Pos, "allow"); ok {
+				name, why, _ := strings.Cut(a.Args, " ")
+				return name == d.Analyzer && strings.TrimSpace(why) != ""
+			}
+			return false
+		}
+	}
+	return false
+}

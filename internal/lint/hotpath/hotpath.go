@@ -1,0 +1,107 @@
+// Package hotpath polices the per-record ingest path. Functions
+// annotated `// haystack:hotpath` run once per datagram or per flow
+// record at ISP/IXP rates (millions per second), where a stray
+// time.Now, fmt call, reflection, map allocation, or closure is a
+// measurable regression — the cost classes the ROADMAP's 2.3M → 20M+
+// rec/s item attacks. Cold branches (error construction and the like)
+// belong in unannotated helper functions.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags slow-path operations inside haystack:hotpath
+// functions.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpath",
+	Doc:  "haystack:hotpath functions may not call time.Now/fmt/reflect or allocate maps/closures",
+	Run:  run,
+}
+
+// banned maps package path → specific banned functions; an empty set
+// bans every function of the package.
+var banned = map[string]map[string]bool{
+	"fmt":     nil,
+	"reflect": nil,
+	"time":    {"Now": true, "Since": true, "Until": true},
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := lint.DocDirective(fd.Doc, "hotpath"); !ok {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func check(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hotpath function %s allocates a closure; hoist it or drop the haystack:hotpath annotation", fd.Name.Name)
+			return false // the closure's own body is cold by definition
+		case *ast.CompositeLit:
+			if isMap(pass.TypesInfo.Types[n].Type) {
+				pass.Reportf(n.Pos(), "hotpath function %s allocates a map literal; preallocate it outside the hot path", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lint.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	// make(map[...]...) allocates on every call.
+	if b, ok := obj.(*types.Builtin); ok && b.Name() == "make" && len(call.Args) > 0 {
+		if isMap(pass.TypesInfo.Types[call.Args[0]].Type) {
+			pass.Reportf(call.Pos(), "hotpath function %s allocates a map; preallocate it outside the hot path", fd.Name.Name)
+		}
+		return
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return
+	}
+	names, ok := banned[pkg.Path()]
+	if !ok {
+		return
+	}
+	if names == nil || names[obj.Name()] {
+		pass.Reportf(call.Pos(), "hotpath function %s calls %s.%s; move it off the per-record path (outline cold branches into an unannotated helper)",
+			fd.Name.Name, pkg.Path(), obj.Name())
+	}
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

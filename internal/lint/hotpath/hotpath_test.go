@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Fixture mirroring the decode-path violations haystacklint found in
+// internal/netflow and internal/ipfix: fmt.Errorf inline on the
+// per-datagram path, plus the other banned cost classes.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+var errShortMsg = errors.New("short message")
+
+// decodeBad commits every hot-path sin at once.
+//
+// haystack:hotpath
+func decodeBad(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("short: %d", len(b)) // want "calls fmt.Errorf"
+	}
+	start := time.Now()    // want "calls time.Now"
+	_ = time.Since(start)  // want "calls time.Since"
+	m := map[int]int{1: 2} // want "allocates a map literal"
+	_ = m
+	n := make(map[string]int, 8) // want "allocates a map"
+	_ = n
+	f := func() { _ = time.Now() } // want "allocates a closure"
+	f()
+	return nil
+}
+
+// decodeGood is the sanctioned shape: static errors on the trivial
+// path, cold error construction outlined into an unannotated helper.
+//
+// haystack:hotpath
+func decodeGood(b []byte) error {
+	if len(b) == 0 {
+		return errShortMsg
+	}
+	if len(b) < 4 {
+		return errShort(len(b))
+	}
+	time.Sleep(0) // Sleep is deliberately not banned (error-path pacing)
+	return nil
+}
+
+// errShort is cold: it runs at most once per malformed message.
+func errShort(n int) error { return fmt.Errorf("short: %d", n) }
+
+// cold is unannotated, so anything goes.
+func cold() {
+	_ = time.Now()
+	_ = fmt.Sprintf("%d", 7)
+	_ = map[int]int{}
+}

@@ -1,0 +1,169 @@
+// Package linttest runs a haystacklint analyzer over a fixture
+// package and checks its findings against `// want "regexp"` comments
+// — the analysistest contract, reimplemented on the stdlib so the
+// offline build needs no golang.org/x/tools.
+//
+// Fixtures live under the analyzer's testdata/src/<pkg>/ and may
+// import the standard library (type-checked from GOROOT source). Every
+// diagnostic must be matched by a want comment on its line, and every
+// want comment must be matched by a diagnostic; haystack:allow
+// suppression is honored exactly as the real drivers honor it.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// stdlibMu serializes fixture type-checking: the from-source stdlib
+// importer is not safe for concurrent use.
+var stdlibMu sync.Mutex
+
+// Run analyzes testdata/src/<pkg> (relative to the caller's package
+// directory) with a and asserts its diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	stdlibMu.Lock()
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: lint.SourceImporter(fset)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	stdlibMu.Unlock()
+	if err != nil {
+		t.Fatalf("linttest: fixture %s does not type-check: %v", pkg, err)
+	}
+
+	var diags []lint.Diagnostic
+	facts := lint.NewFacts()
+	report := func(d lint.Diagnostic) {
+		if lint.Suppressed(fset, files, d) {
+			return
+		}
+		diags = append(diags, d)
+	}
+	if a.Collect != nil {
+		a.Collect(lint.NewPass(a, fset, files, tpkg, info, facts, func(lint.Diagnostic) {}))
+	}
+	if err := a.Run(lint.NewPass(a, fset, files, tpkg, info, facts, report)); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matchedWant := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matchedWant[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matchedWant[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments. The want
+// anchors to the line its comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				rest := strings.TrimSpace(text[idx+len("want "):])
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s: malformed want comment at %q", pos, rest)
+					}
+					q, err := quotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment: %v", pos, err)
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quotedPrefix returns the leading Go string literal of s.
+func quotedPrefix(s string) (string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string in %q", s)
+}

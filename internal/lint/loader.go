@@ -1,0 +1,176 @@
+package lint
+
+// A from-source package loader for the multichecker driver. It shells
+// out to `go list -deps -json` for build-system truth (file sets per
+// build constraints, import maps, dependency order) and type-checks
+// everything with go/types — dependencies with IgnoreFuncBodies, so
+// loading the module costs API-surface checking of the stdlib only.
+// This replaces golang.org/x/tools/go/packages, which the offline
+// build cannot depend on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Target     bool // named by the load patterns (vs. a dependency)
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds type-checker complaints. Fatal for targets
+	// (the runner refuses to analyze a package it cannot trust);
+	// tolerated for dependencies, whose bodies we skip anyway.
+	TypeErrors []error
+}
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load expands patterns (relative to dir; "" = cwd) and returns the
+// matched packages plus their dependencies, topologically ordered so
+// every package appears after its imports. Target packages are fully
+// type-checked with complete types.Info; dependencies are checked
+// signatures-only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: constraint-select the pure-Go file sets so from-source
+	// type-checking never meets a cgo-generated identifier.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	byPath := make(map[string]*types.Package, len(listed))
+	var pkgs []*Package
+
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		target := !lp.DepOnly
+		mode := parser.SkipObjectResolution
+		if target {
+			mode |= parser.ParseComments
+		}
+		var files []*ast.File
+		var parseErrs []error
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+			if f != nil {
+				files = append(files, f)
+			}
+			if err != nil {
+				parseErrs = append(parseErrs, err)
+			}
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Target:     target,
+			Fset:       fset,
+			Files:      files,
+			TypeErrors: parseErrs,
+		}
+		var info *types.Info
+		if target {
+			info = NewTypesInfo()
+		}
+		conf := types.Config{
+			Importer:         &mapImporter{byPath: byPath, importMap: lp.ImportMap},
+			Sizes:            sizes,
+			IgnoreFuncBodies: !target,
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+		}
+		name := lp.ImportPath
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if tpkg == nil {
+			tpkg = types.NewPackage(lp.ImportPath, name)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		byPath[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves imports against already-checked packages,
+// honoring the per-package ImportMap (vendored stdlib paths).
+type mapImporter struct {
+	byPath    map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not loaded (go list order violated?)", path)
+}
+
+// SourceImporter returns a from-source importer for fixture packages
+// (linttest): stdlib-only imports, resolved through GOROOT without the
+// go command. Not safe for concurrent use.
+func SourceImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

@@ -1,0 +1,97 @@
+package lint
+
+// The multichecker driver: load packages, run every analyzer's
+// Collect over the whole dependency-ordered set (facts flow down the
+// import graph), then Run over the target packages, printing
+// file:line:col findings. cmd/haystacklint wires this to the command
+// line; CI runs it over ./... and fails on any finding.
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// RunResult is one multichecker run's outcome.
+type RunResult struct {
+	Fset        *token.FileSet
+	Diagnostics []Diagnostic
+	// Suppressed counts findings waived by haystack:allow annotations
+	// (reported for transparency, not failure).
+	Suppressed int
+}
+
+// Run loads patterns from dir and applies every analyzer to the
+// target packages. Diagnostics come back ordered by position.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (*RunResult, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Target && len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: %s does not type-check: %v", p.ImportPath, p.TypeErrors[0])
+		}
+	}
+	facts := NewFacts()
+	res := &RunResult{}
+	if len(pkgs) > 0 {
+		res.Fset = pkgs[0].Fset
+	}
+	discard := func(Diagnostic) {}
+	// Collect runs over dependencies too: a fact about an imported
+	// package (an atomically-accessed exported field, say) must exist
+	// before a dependent's Run consults it. Dependencies carry no
+	// syntax or Info (bodies were skipped), so Collect implementations
+	// must tolerate empty Files.
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			if a.Collect != nil {
+				a.Collect(NewPass(a, p.Fset, p.Files, p.Types, p.Info, facts, discard))
+			}
+		}
+	}
+	for _, p := range pkgs {
+		if !p.Target {
+			continue
+		}
+		for _, a := range analyzers {
+			report := func(d Diagnostic) {
+				if Suppressed(p.Fset, p.Files, d) {
+					res.Suppressed++
+					return
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+			if err := a.Run(NewPass(a, p.Fset, p.Files, p.Types, p.Info, facts, report)); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+	}
+	sortDiagnostics(res.Fset, res.Diagnostics)
+	return res, nil
+}
+
+// sortDiagnostics orders by file position for stable output.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	if fset == nil {
+		return
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+}
+
+// Print writes findings in the canonical file:line:col: analyzer:
+// message form and reports whether any were printed.
+func (res *RunResult) Print(w io.Writer) bool {
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(w, "%s: %s: %s\n", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(res.Diagnostics) > 0
+}

@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/atomicfield"
+)
+
+// TestCrossPackageFacts drives the full multichecker stack — go list,
+// from-source type-checking, fact collection in dependency order —
+// over a two-package fixture where the atomic use (in lib) and the
+// plain read (in app) live in different packages.
+func TestCrossPackageFacts(t *testing.T) {
+	res, err := lint.Run(".", []*lint.Analyzer{atomicfield.Analyzer},
+		"./testdata/src/lib", "./testdata/src/app")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, expected exactly 1: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	pos := res.Fset.Position(d.Pos)
+	if !strings.Contains(pos.Filename, "app.go") {
+		t.Errorf("diagnostic at %s, expected it in app.go", pos)
+	}
+	if !strings.Contains(d.Message, "plain read of atomic field Dropped") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+	if !strings.Contains(d.Message, "lib.go") {
+		t.Errorf("message should cite the atomic use site in lib.go: %s", d.Message)
+	}
+}

@@ -1,0 +1,118 @@
+// Package statscomplete keeps the operator metrics surface complete.
+// Snapshot structs (collector.Stats, haystack.DetectorStats,
+// haystack.WindowResult, …) are filled field-by-field from atomic
+// counters by hand-written export code; when PR 5 added stream
+// transport counters, every one had to be plumbed into /metrics and
+// expvar manually, and nothing would have caught a forgotten field —
+// it would just export as a silent zero. This analyzer makes the
+// omission a vet failure: every exported field of a struct annotated
+// `// haystack:metrics-struct` must be referenced by some function in
+// the same package annotated `// haystack:metrics-export`.
+package statscomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer verifies metrics snapshot structs against their export
+// code.
+var Analyzer = &lint.Analyzer{
+	Name: "statscomplete",
+	Doc:  "every exported field of a haystack:metrics-struct must be referenced by a haystack:metrics-export function",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	type monitored struct {
+		name   string
+		spec   *ast.TypeSpec
+		fields []*types.Var // exported fields, declaration order
+	}
+	var structs []*monitored
+	var exporters []*ast.FuncDecl
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if _, ok := lint.DocDirective(d.Doc, "metrics-export"); ok && d.Body != nil {
+					exporters = append(exporters, d)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					_, ok = lint.DocDirective(ts.Doc, "metrics-struct")
+					if !ok {
+						// A single-spec `type` declaration hangs its doc
+						// on the GenDecl.
+						_, ok = lint.DocDirective(d.Doc, "metrics-struct")
+					}
+					if !ok {
+						continue
+					}
+					obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if obj == nil {
+						continue
+					}
+					st, ok := obj.Type().Underlying().(*types.Struct)
+					if !ok {
+						pass.Reportf(ts.Pos(), "haystack:metrics-struct %s is not a struct type", ts.Name.Name)
+						continue
+					}
+					m := &monitored{name: ts.Name.Name, spec: ts}
+					for i := 0; i < st.NumFields(); i++ {
+						if f := st.Field(i); f.Exported() {
+							m.fields = append(m.fields, f)
+						}
+					}
+					structs = append(structs, m)
+				}
+			}
+		}
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+	if len(exporters) == 0 {
+		for _, m := range structs {
+			pass.Reportf(m.spec.Pos(),
+				"metrics struct %s has no haystack:metrics-export function in package %s: its fields reach no operator surface",
+				m.name, pass.Pkg.Name())
+		}
+		return nil
+	}
+
+	// A field is covered if any exporter body mentions it — as a
+	// selector (st.Records), a composite-literal key (Records: …), or
+	// through an intermediate value; go/types resolves all of those
+	// identifier uses to the same field object.
+	referenced := make(map[*types.Var]bool)
+	for _, fd := range exporters {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if f, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && f.IsField() {
+				referenced[f] = true
+			}
+			return true
+		})
+	}
+	for _, m := range structs {
+		for _, f := range m.fields {
+			if !referenced[f] {
+				pass.Reportf(f.Pos(),
+					"metrics struct %s field %s is not referenced by any haystack:metrics-export function: it will export as a silent zero on /metrics and expvar",
+					m.name, f.Name())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package statscomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/statscomplete"
+)
+
+func TestMissingField(t *testing.T) {
+	linttest.Run(t, statscomplete.Analyzer, "a")
+}
+
+func TestNoExporter(t *testing.T) {
+	linttest.Run(t, statscomplete.Analyzer, "b")
+}

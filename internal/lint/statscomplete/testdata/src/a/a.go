@@ -1,0 +1,25 @@
+// Fixture for the forgotten-counter class: ReadErrors was added to the
+// snapshot struct but never plumbed into the export function, so it
+// would serve as a silent zero on /metrics.
+package a
+
+// Stats is the transport-health snapshot.
+//
+// haystack:metrics-struct
+type Stats struct {
+	Records    uint64
+	ReadErrors uint64 // want "field ReadErrors is not referenced"
+	internal   int
+}
+
+type server struct {
+	records    uint64
+	readErrors uint64
+}
+
+// Stats snapshots the counters.
+//
+// haystack:metrics-export
+func (s *server) Stats() Stats {
+	return Stats{Records: s.records}
+}

@@ -1,0 +1,8 @@
+// Fixture for a metrics struct with no export function at all: every
+// field is unreachable from the operator surface.
+package b
+
+// haystack:metrics-struct
+type Stats struct { // want "has no haystack:metrics-export function"
+	Records uint64
+}

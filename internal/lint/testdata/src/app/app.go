@@ -1,0 +1,11 @@
+// Package app is the consumer half of the cross-package fact fixture:
+// it reads lib's atomically-written counter plainly. Only the
+// atomicfield fact exported by lib's analysis can catch this — nothing
+// in this package mentions sync/atomic.
+package app
+
+import "repro/internal/lint/testdata/src/lib"
+
+func Stats(c *lib.Collector) uint64 {
+	return c.Dropped
+}

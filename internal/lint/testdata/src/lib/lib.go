@@ -1,0 +1,14 @@
+// Package lib is the provider half of the cross-package fact fixture:
+// it bumps an exported counter atomically, which obliges every
+// importer to do the same.
+package lib
+
+import "sync/atomic"
+
+type Collector struct {
+	Dropped uint64
+}
+
+func (c *Collector) Feed() {
+	atomic.AddUint64(&c.Dropped, 1)
+}

@@ -1,0 +1,173 @@
+package lint
+
+// The go-vet side of the driver. `go vet -vettool=haystacklint` does
+// not hand the tool a pattern list: for every package in the build
+// graph it writes a vet.cfg describing one type-checked unit (file
+// list, import map, export-data locations, fact files from
+// already-vetted dependencies) and invokes the tool with that config
+// as its sole argument. This file implements that contract — the
+// subset of it these analyzers need — on the stdlib gc importer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// vetConfig mirrors cmd/go's vet.cfg JSON (the fields we consume).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string // source import path → canonical package path
+	PackageFile map[string]string // package path → export data (.a) file
+	PackageVetx map[string]string // package path → vetx fact file from its vet run
+	VetxOnly    bool              // compute facts only; report nothing
+	VetxOutput  string            // where to write this unit's facts
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers over the single compilation unit described
+// by the vet.cfg at cfgPath and returns the process exit code: 0 clean,
+// 2 with diagnostics (printed to w), 1 on driver error (printed to w).
+func RunUnit(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "haystacklint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "haystacklint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "haystacklint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Two-step import resolution, as cmd/vet does it: the unit's
+	// ImportMap rewrites source-level import paths (vendoring, test
+	// variants), then the gc importer reads export data from the
+	// exact files the build produced.
+	gcImp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gcImp.Import(importPath)
+	})
+
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "haystacklint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Facts flow through vetx files: start from the union of every
+	// dependency's facts (each file already carries its own transitive
+	// closure), add this unit's, and re-export the union so importers
+	// of this package see the whole chain.
+	facts := NewFacts()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(w, "haystacklint: reading facts for %s: %v\n", path, err)
+			return 1
+		}
+		var m map[string]map[string]string
+		if err := json.Unmarshal(data, &m); err != nil {
+			fmt.Fprintf(w, "haystacklint: decoding facts for %s: %v\n", path, err)
+			return 1
+		}
+		facts.Merge(FactsFromMap(m))
+	}
+
+	discard := func(Diagnostic) {}
+	for _, a := range analyzers {
+		if a.Collect != nil {
+			a.Collect(NewPass(a, fset, files, tpkg, info, facts, discard))
+		}
+	}
+	if cfg.VetxOutput != "" {
+		out, err := json.Marshal(facts.Map())
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "haystacklint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		if Suppressed(fset, files, d) {
+			return
+		}
+		diags = append(diags, d)
+	}
+	for _, a := range analyzers {
+		if err := a.Run(NewPass(a, fset, files, tpkg, info, facts, report)); err != nil {
+			fmt.Fprintf(w, "haystacklint: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sortDiagnostics(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetTool exercises the `go vet -vettool=` protocol end to end:
+// the -V=full handshake, the -flags query, per-package vet.cfg
+// invocations, and cross-package fact flow through vetx files. It
+// builds the real binary and vets the same lib/app fixture pair the
+// multichecker test uses.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "haystacklint")
+	build := exec.Command("go", "build", "-o", tool, "repro/cmd/haystacklint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building haystacklint: %v\n%s", err, out)
+	}
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, pattern)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	if out, err := vet("./testdata/src/lib"); err != nil {
+		t.Errorf("clean package failed vet: %v\n%s", err, out)
+	}
+
+	out, err := vet("./testdata/src/app")
+	if err == nil {
+		t.Fatalf("dirty package passed vet; output:\n%s", out)
+	}
+	if !strings.Contains(out, "plain read of atomic field Dropped") {
+		t.Errorf("missing atomicfield diagnostic in vet output:\n%s", out)
+	}
+	if !strings.Contains(out, "lib.go") {
+		t.Errorf("diagnostic should cite lib's atomic use site (fact flow through vetx):\n%s", out)
+	}
+}

@@ -1,0 +1,23 @@
+package lint
+
+import "go/ast"
+
+// WalkStack traverses every file depth-first, calling fn with each
+// node and the stack of its ancestors (outermost first, not including
+// the node itself). fn returning false prunes the subtree.
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			ok := fn(n, stack)
+			if ok {
+				stack = append(stack, n)
+			}
+			return ok
+		})
+	}
+}

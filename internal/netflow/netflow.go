@@ -232,12 +232,15 @@ var (
 )
 
 // Feed parses one message and returns the decoded flow records.
+//
+// haystack:hotpath — runs once per datagram; error construction lives
+// in outlined cold helpers.
 func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	if len(msg) < headerLen {
 		return nil, ErrShortMessage
 	}
 	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return nil, errBadVersion(v)
 	}
 	unixSecs := binary.BigEndian.Uint32(msg[8:12])
 	seq := binary.BigEndian.Uint32(msg[12:16])
@@ -265,7 +268,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < 4 || setLen > len(rest) {
 			delete(c.lastSeq, sourceID)
-			return out, fmt.Errorf("netflow: flowset length %d exceeds remaining %d", setLen, len(rest))
+			return out, errSetOverrun(setLen, len(rest))
 		}
 		body := rest[4:setLen]
 		switch {
@@ -326,6 +329,8 @@ func templateKey(sourceID uint32, templateID uint16) uint64 {
 // parseData decodes one data FlowSet. The boolean reports whether the
 // set decoded fully (false when the template is missing, which leaves
 // the stream's sequence continuation untrusted).
+//
+// haystack:hotpath — runs once per data FlowSet.
 func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool, error) {
 	t, ok := c.templates[templateKey(sourceID, setID)]
 	if !ok {
@@ -334,7 +339,7 @@ func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour s
 	}
 	recLen := t.RecordLen()
 	if recLen == 0 {
-		return nil, false, fmt.Errorf("netflow: template %d has zero-length records", setID)
+		return nil, false, errZeroLenTemplate(setID)
 	}
 	var out []flow.Record
 	for len(body) >= recLen {
@@ -352,6 +357,22 @@ func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour s
 	return out, true, nil
 }
 
+// Cold-path error constructors, outlined so the haystack:hotpath
+// decode functions above stay fmt-free. Each fires at most once per
+// malformed message, never per record.
+func errBadVersion(v uint16) error { return fmt.Errorf("%w: %d", ErrBadVersion, v) }
+
+func errSetOverrun(setLen, remaining int) error {
+	return fmt.Errorf("netflow: flowset length %d exceeds remaining %d", setLen, remaining)
+}
+
+func errZeroLenTemplate(setID uint16) error {
+	return fmt.Errorf("netflow: template %d has zero-length records", setID)
+}
+
+// decodeField copies one template field into rec.
+//
+// haystack:hotpath — runs once per field per record.
 func decodeField(rec *flow.Record, f FieldSpec, b []byte) {
 	switch f.Type {
 	case FieldIPv4SrcAddr:
@@ -378,6 +399,9 @@ func decodeField(rec *flow.Record, f FieldSpec, b []byte) {
 }
 
 // beUint decodes a big-endian unsigned integer of 1–8 bytes.
+// beUint decodes a big-endian unsigned integer of any width.
+//
+// haystack:hotpath — runs several times per record.
 func beUint(b []byte) uint64 {
 	var v uint64
 	for _, x := range b {

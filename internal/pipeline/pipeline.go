@@ -195,6 +195,10 @@ func (p *Pipeline) SetFireHook(fn func(FireEvent)) {
 // number of completed Rotate/Reset cuts so far.
 func (p *Pipeline) Window() uint64 { return p.window.Load() }
 
+// run is a shard worker's loop: apply each batch to the shard engine
+// under the shard lock.
+//
+// haystack:hotpath — the inner loop runs once per observation.
 func (p *Pipeline) run(s *shard) {
 	defer p.workers.Done()
 	for batch := range s.ch {
@@ -231,11 +235,15 @@ func (p *Pipeline) waitQuiesced() {
 
 // shardOf maps a subscriber to its owning shard. SubIDs are often
 // sequential (line indices) or biased hashes, so mix before reducing.
+//
+// haystack:hotpath — runs once per observation.
 func (p *Pipeline) shardOf(sub detect.SubID) int {
 	return int(simrand.Mix64(uint64(sub)) % uint64(len(p.shards)))
 }
 
 // dispatch hands one full or flushed batch to its shard worker.
+//
+// haystack:hotpath — runs once per full batch.
 func (p *Pipeline) dispatch(s *shard, batch []Obs) {
 	p.inflightMu.Lock()
 	p.inflight++
@@ -276,6 +284,8 @@ func (p *Pipeline) NewProducer() *Producer {
 // detect.Engine.Observe it does not report newly-fired rules: firing
 // happens asynchronously on the owning shard. Use the pipeline's read
 // accessors (which synchronize) to inspect detections.
+//
+// haystack:hotpath — runs once per sampled flow observation.
 func (pr *Producer) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
 	p := pr.p
 	if p.closed.Load() {

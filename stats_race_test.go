@@ -1,0 +1,91 @@
+package haystack
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/netflow"
+	"repro/internal/simtime"
+)
+
+// TestStatsConcurrentWithFeeding is the -race regression guard for the
+// atomicfield invariant: every counter the metrics surface reads
+// (Feed.Stats → netflow/ipfix Dropped and Gaps, Detector.Stats,
+// Rotate's window deltas) is hammered by readers while feed goroutines
+// drive ingestion. A plain read or write sneaking into any of those
+// counters fails this test under -race before haystacklint even runs.
+func TestStatsConcurrentWithFeeding(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewShardedDetector(0.4, 2)
+	defer det.Close()
+
+	// A small valid stream, plus one untemplated message (data FlowSet
+	// before any template) so the Dropped counter moves too.
+	var recs []flow.Record
+	for j := 0; j < 40; j++ {
+		recs = append(recs, flow.Record{
+			Key: flow.Key{
+				Src:     netip.AddrFrom4([4]byte{10, 0, byte(j / 8), byte(j % 8)}),
+				Dst:     netip.AddrFrom4([4]byte{192, 0, 2, byte(j % 4)}),
+				SrcPort: uint16(50000 + j), DstPort: 443, Proto: flow.ProtoTCP,
+			},
+			Packets: uint64(j%5 + 1), Bytes: 900,
+			Hour: simtime.Hour(437_000 + j%24),
+		})
+	}
+	exp := netflow.NewExporter(7)
+	exp.TemplateEvery = 2 // leave some messages untemplated on replay
+	msgs, err := exp.Export(recs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const feeders = 2
+	stop := make(chan struct{}) // close-only: test shutdown signal
+	var wg sync.WaitGroup
+	for i := 0; i < feeders; i++ {
+		f := det.NewFeed()
+		wg.Add(1)
+		go func(f *Feed) {
+			defer wg.Done()
+			defer f.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, m := range msgs {
+					f.FeedNetFlow(m) // decode errors irrelevant; load is the point
+				}
+				_ = f.Stats() // FeedStats reads the decoders' atomics mid-feed
+			}
+		}(f)
+	}
+	// Concurrent readers of every exported counter surface.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = det.Stats()
+			_ = det.Rotate()
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := det.Stats()
+	if st.RecordsIPv4 == 0 {
+		t.Error("no records decoded; the race test exercised nothing")
+	}
+}

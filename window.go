@@ -31,6 +31,9 @@ type WindowConfig struct {
 // window's slice of the transport counters. After Rotate the detector
 // starts the next window empty, with feeds and template caches
 // intact.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
 type WindowResult struct {
 	// Seq is the window's sequence number (0 for the detector's first
 	// window); DetectionEvents carry it as Window.
@@ -90,6 +93,8 @@ func (d *Detector) cutBaselineLocked(now time.Time) windowBaseline {
 // requires quiescent feeds — observations in flight may land on
 // either side of the boundary. Rotations are serialized; each returns
 // a distinct, consecutive Seq.
+//
+// haystack:metrics-export
 func (d *Detector) Rotate() WindowResult {
 	d.rotateMu.Lock()
 	defer d.rotateMu.Unlock()
