@@ -352,6 +352,7 @@ func listen(sys *haystack.System, opts listenOpts) error {
 	if opts.events {
 		evCh, cancelEv := det.Subscribe()
 		defer cancelEv()
+		// haystack:allow golifetime the deferred cancelEv closes evCh, so the printer exits with the subscription
 		go func() {
 			for ev := range evCh {
 				fmt.Printf("event: window %d  %s  %-22s %-4s first seen %s\n",

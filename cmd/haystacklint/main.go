@@ -1,5 +1,6 @@
 // Command haystacklint runs the repository's invariant suite
-// (internal/lint): atomicfield, statscomplete, hotpath, boundedchan.
+// (internal/lint): atomicfield, boundedchan, deterministic,
+// golifetime, hotpath, lockorder, statscomplete, wirebounds.
 //
 // Two modes, chosen by the arguments:
 //
@@ -8,7 +9,21 @@
 //	go run ./cmd/haystacklint ./...
 //
 // loads the named packages (plus dependencies, for cross-package
-// facts), prints findings, and exits 1 if there are any.
+// facts), prints findings, and exits 1 if there are any outside the
+// baseline. Flags:
+//
+//	-tags TAGS        build tags, passed through to the go command
+//	-baseline FILE    suppression baseline (default
+//	                  .haystacklint-baseline.json if it exists);
+//	                  every entry needs a reviewed reason, and entries
+//	                  matching no finding fail the run
+//	-write-baseline   write the baseline covering current findings to
+//	                  the -baseline path and exit; stamped TODO
+//	                  reasons must be edited before the file loads
+//	-cache DIR        per-package result cache keyed on content hashes
+//	-json             machine-readable report on stdout
+//	-sarif FILE       SARIF 2.1.0 log ("-" for stdout); baselined
+//	                  findings appear as suppressed results
 //
 // Vet tool — the same analyzers under the go command's build cache:
 //
@@ -16,7 +31,8 @@
 //
 // In this mode cmd/go drives the tool once per package with a vet.cfg
 // file (and probes it with -V=full first); see internal/lint's
-// unitchecker for the protocol.
+// unitchecker for the protocol. Test variants are skipped so both
+// modes cover the same file sets.
 package main
 
 import (
@@ -29,16 +45,29 @@ import (
 	"repro/internal/lint"
 	"repro/internal/lint/atomicfield"
 	"repro/internal/lint/boundedchan"
+	"repro/internal/lint/deterministic"
+	"repro/internal/lint/golifetime"
 	"repro/internal/lint/hotpath"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/statscomplete"
+	"repro/internal/lint/wirebounds"
 )
 
 var analyzers = []*lint.Analyzer{
 	atomicfield.Analyzer,
 	boundedchan.Analyzer,
+	deterministic.Analyzer,
+	golifetime.Analyzer,
 	hotpath.Analyzer,
+	lockorder.Analyzer,
 	statscomplete.Analyzer,
+	wirebounds.Analyzer,
 }
+
+// defaultBaseline is picked up from the run directory when no
+// -baseline flag names one, so the checked-in baseline governs plain
+// `go run ./cmd/haystacklint ./...` invocations too.
+const defaultBaseline = ".haystacklint-baseline.json"
 
 func main() {
 	args := os.Args[1:]
@@ -67,12 +96,46 @@ func main() {
 		os.Exit(lint.RunUnit(os.Stderr, analyzers, args[len(args)-1]))
 	}
 
-	patterns := args[:0:0]
-	for _, a := range args {
+	var (
+		patterns      []string
+		jsonOut       bool
+		sarifPath     string
+		baselinePath  string
+		writeBaseline bool
+		cacheDir      string
+		tags          string
+	)
+	// takesValue consumes a flag's value from "-flag=v" or "-flag v".
+	takesValue := func(i *int, arg string) string {
+		if _, v, ok := strings.Cut(arg, "="); ok {
+			return v
+		}
+		*i++
+		if *i >= len(args) {
+			fmt.Fprintf(os.Stderr, "haystacklint: %s needs a value\n", arg)
+			os.Exit(1)
+		}
+		return args[*i]
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, _, _ := strings.Cut(a, "=")
 		switch {
 		case a == "-h" || a == "-help" || a == "--help":
 			usage()
 			return
+		case a == "-json":
+			jsonOut = true
+		case a == "-write-baseline":
+			writeBaseline = true
+		case name == "-sarif":
+			sarifPath = takesValue(&i, a)
+		case name == "-baseline":
+			baselinePath = takesValue(&i, a)
+		case name == "-cache":
+			cacheDir = takesValue(&i, a)
+		case name == "-tags":
+			tags = takesValue(&i, a)
 		case strings.HasPrefix(a, "-"):
 			fmt.Fprintf(os.Stderr, "haystacklint: unknown flag %s\n", a)
 			usage()
@@ -85,14 +148,97 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	res, err := lint.Run(".", analyzers, patterns...)
+	opts := lint.Options{Dir: ".", Tags: tags, CacheDir: cacheDir, SuiteKey: selfHash()}
+	res, err := lint.RunWithOptions(opts, analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "haystacklint: %v\n", err)
 		os.Exit(1)
 	}
-	if res.Print(os.Stderr) {
+
+	if writeBaseline {
+		path := baselinePath
+		if path == "" {
+			path = defaultBaseline
+		}
+		if err := lint.WriteBaselineFile(path, res.Findings); err != nil {
+			fmt.Fprintf(os.Stderr, "haystacklint: writing baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "haystacklint: wrote %d entries to %s — replace every TODO reason before checking it in\n", len(res.Findings), path)
+		return
+	}
+
+	if baselinePath == "" {
+		if _, err := os.Stat(defaultBaseline); err == nil {
+			baselinePath = defaultBaseline
+		}
+	}
+	kept := res.Findings
+	var baselined []Finding
+	var unused []lint.BaselineEntry
+	if baselinePath != "" {
+		b, err := lint.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haystacklint: %v\n", err)
+			os.Exit(1)
+		}
+		kept, baselined, unused = b.Apply(res.Findings)
+	}
+
+	if sarifPath != "" {
+		all := append(append([]Finding(nil), kept...), baselined...)
+		if err := writeOut(sarifPath, func(w io.Writer) error {
+			return lint.WriteSARIF(w, analyzers, all)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "haystacklint: writing SARIF: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if jsonOut {
+		rep := &lint.Report{
+			Findings:   kept,
+			Baselined:  baselined,
+			Suppressed: res.Suppressed,
+			CacheHits:  res.CacheHits,
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "haystacklint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range kept {
+			fmt.Fprintln(os.Stderr, f.String())
+		}
+	}
+
+	fail := len(kept) > 0
+	for _, e := range unused {
+		fail = true
+		fmt.Fprintf(os.Stderr, "haystacklint: stale baseline entry matches no finding (fix was landed? delete it): %s in %s: %s\n", e.Analyzer, e.File, e.Message)
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// Finding aliases the lint type for local brevity.
+type Finding = lint.Finding
+
+// writeOut writes through fn to path, with "-" meaning stdout.
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selfHash digests the running binary. "unknown" (on any error) still
@@ -116,7 +262,17 @@ func selfHash() string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: haystacklint [packages]\n\nAnalyzers:\n")
+	fmt.Fprintf(os.Stderr, `usage: haystacklint [flags] [packages]
+
+  -tags TAGS        build tags for package loading
+  -baseline FILE    suppression baseline (default %s if present)
+  -write-baseline   generate the baseline from current findings and exit
+  -cache DIR        per-package result cache
+  -json             machine-readable report on stdout
+  -sarif FILE       SARIF 2.1.0 log ("-" for stdout)
+
+Analyzers:
+`, defaultBaseline)
 	for _, a := range analyzers {
 		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 	}

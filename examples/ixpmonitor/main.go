@@ -73,6 +73,7 @@ func wireDemo(sys *haystack.System, feeds int) {
 	defer cancelEv()
 	events := 0
 	evDone := make(chan struct{}) // haystack:unbounded close-only drain-complete signal; never carries data
+	// haystack:allow golifetime det.Close (deferred above) closes evCh, so the drain exits with the detector
 	go func() {
 		defer close(evDone)
 		for range evCh {

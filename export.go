@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"syscall"
 	"time"
@@ -43,6 +44,10 @@ type exportRow struct {
 // exportHeader is the CSV header, matching exportRow.
 var exportHeader = []string{"window", "window_start", "window_end", "subscriber", "rule", "level", "first"}
 
+// rows streams the window's detections in their stored order —
+// deterministic because Rotate sorts them by subscriber then rule.
+//
+// haystack:deterministic
 func (res *WindowResult) rows(fn func(exportRow) error) error {
 	start := res.Start.UTC().Format(time.RFC3339)
 	end := res.End.UTC().Format(time.RFC3339)
@@ -66,6 +71,8 @@ func (res *WindowResult) rows(fn func(exportRow) error) error {
 // WriteWindowJSONL writes one JSON object per detection of the
 // window, newline-delimited — the streaming-friendly export format.
 // An empty window writes nothing.
+//
+// haystack:deterministic — export bytes are compared across runs.
 func WriteWindowJSONL(w io.Writer, res *WindowResult) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -77,6 +84,8 @@ func WriteWindowJSONL(w io.Writer, res *WindowResult) error {
 
 // WriteWindowCSV writes the window's detections as CSV with a header
 // row. An empty window writes only the header.
+//
+// haystack:deterministic — export bytes are compared across runs.
 func WriteWindowCSV(w io.Writer, res *WindowResult) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(exportHeader); err != nil {
@@ -93,6 +102,33 @@ func WriteWindowCSV(w io.Writer, res *WindowResult) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteWindowSummary writes a compact per-rule text summary of one
+// window: a header line, then one "rule  level-count" line per
+// detected rule in lexicographic rule order, drawn from the window's
+// RuleCounts map. Intended for logs and operator terminals, but the
+// bytes are still diffed across runs in tests, so ordering matters.
+//
+// haystack:deterministic — RuleCounts is a map; iteration must be
+// sorted before anything reaches w.
+func WriteWindowSummary(w io.Writer, res *WindowResult) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "window %d  %s → %s  subscribers %d  detected %d\n",
+		res.Seq,
+		res.Start.UTC().Format(time.RFC3339),
+		res.End.UTC().Format(time.RFC3339),
+		res.Subscribers,
+		res.DetectedSubscribers)
+	rules := make([]string, 0, len(res.RuleCounts))
+	for rule := range res.RuleCounts {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(bw, "  %-22s %d\n", rule, res.RuleCounts[rule])
+	}
+	return bw.Flush()
 }
 
 // ExportDir writes one export file per rotated window into a

@@ -288,3 +288,29 @@ func TestExportDirNamesStayLexicographic(t *testing.T) {
 		prev = name
 	}
 }
+
+// TestWriteWindowSummary pins the summary writer's exact bytes:
+// RuleCounts is a map, so the per-rule lines must come out in sorted
+// rule order every run — this is the invariant the deterministic
+// analyzer proves statically, pinned here dynamically too.
+func TestWriteWindowSummary(t *testing.T) {
+	res := testWindowResult()
+	res.RuleCounts = map[string]int{
+		"Meross Dooropener": 1,
+		"Alexa Enabled":     3,
+		"IKEA Gateway":      2,
+	}
+	want := "window 4  2019-11-15T00:00:00Z → 2019-11-15T01:00:00Z  subscribers 2  detected 2\n" +
+		"  Alexa Enabled          3\n" +
+		"  IKEA Gateway           2\n" +
+		"  Meross Dooropener      1\n"
+	for run := 0; run < 3; run++ {
+		var buf bytes.Buffer
+		if err := WriteWindowSummary(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String(); got != want {
+			t.Fatalf("run %d:\ngot:\n%q\nwant:\n%q", run, got, want)
+		}
+	}
+}

@@ -722,7 +722,14 @@ func (s *Server) decode(w *worker, d datagram) {
 		w.controls.Add(1)
 		return
 	}
-	msg := d.buf[:d.n]
+	// d.n is the datagram's read count into d.buf, so it never exceeds
+	// the buffer in practice; the clamp keeps the slice provably in
+	// bounds even if a future producer breaks that invariant.
+	n := d.n
+	if n > len(d.buf) {
+		n = len(d.buf)
+	}
+	msg := d.buf[:n]
 	proto := d.proto
 	if proto == ProtoAuto {
 		proto = sniff(msg)

@@ -322,9 +322,19 @@ func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour sim
 	var out []flow.Record
 	for len(body) >= recLen {
 		rec := flow.Record{Hour: hour}
-		off := 0
+		// Walk the record by slicing the front off a view of it, so
+		// every access is guarded by the view's remaining length —
+		// sum(field lengths) == recLen makes the guard dead code, but
+		// the decoder stays safe (and provably in bounds) even if a
+		// template ever lied.
+		fields := body[:recLen]
 		for _, f := range t.Fields {
-			fb := body[off : off+int(f.Length)]
+			n := int(f.Length)
+			if n > len(fields) {
+				break
+			}
+			fb := fields[:n]
+			fields = fields[n:]
 			switch f.ID {
 			case IESourceIPv4Address:
 				if len(fb) == 4 {
@@ -347,7 +357,6 @@ func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour sim
 			case IEOctetDeltaCount:
 				rec.Bytes = beUint(fb)
 			}
-			off += int(f.Length)
 		}
 		out = append(out, rec)
 		body = body[recLen:]

@@ -286,3 +286,94 @@ func BenchmarkCollect(b *testing.B) {
 		}
 	}
 }
+
+// TestFieldWalkSkipsUnknownFields pins parseData's guarded
+// shrinking-view record walk with a hand-assembled message: the
+// template interleaves IEs this collector does not decode (999, odd
+// length 3; 1000, length 5) between known fields, so decoding the
+// known fields correctly requires skipping exactly the unknown bytes.
+// Trailing set padding shorter than one record (RFC 7011 §3.3.1) must
+// also be tolerated without disturbing the record count.
+func TestFieldWalkSkipsUnknownFields(t *testing.T) {
+	be16 := binary.BigEndian.AppendUint16
+	be32 := binary.BigEndian.AppendUint32
+
+	var msg []byte
+	msg = be16(msg, Version)
+	msg = be16(msg, 0)    // message length, patched below
+	msg = be32(msg, 7200) // export time → hour 2
+	msg = be32(msg, 0)    // sequence
+	msg = be32(msg, 42)   // observation domain
+
+	// Template set: template 300, recLen = 3+4+2+5+4+1 = 19.
+	msg = be16(msg, templateSetID)
+	msg = be16(msg, 4+4+6*4)
+	msg = be16(msg, 300)
+	msg = be16(msg, 6)
+	for _, f := range [][2]uint16{
+		{999, 3},
+		{IESourceIPv4Address, 4},
+		{IESourcePort, 2},
+		{1000, 5},
+		{IEPacketDeltaCount, 4},
+		{IEProtocolIdentifier, 1},
+	} {
+		msg = be16(msg, f[0])
+		msg = be16(msg, f[1])
+	}
+
+	// Data set: two 19-byte records plus 3 bytes of padding.
+	msg = be16(msg, 300)
+	msg = be16(msg, 4+2*19+3)
+	msg = append(msg, 0xAA, 0xBB, 0xCC) // IE 999: must be skipped
+	msg = append(msg, 100, 64, 0, 1)    // source address
+	msg = be16(msg, 50000)              // source port
+	msg = append(msg, 1, 2, 3, 4, 5)    // IE 1000: must be skipped
+	msg = be32(msg, 77)                 // packet delta count
+	msg = append(msg, byte(flow.ProtoTCP))
+	msg = append(msg, 0, 0, 0)
+	msg = append(msg, 100, 64, 0, 2)
+	msg = be16(msg, 50001)
+	msg = append(msg, 5, 4, 3, 2, 1)
+	msg = be32(msg, 1)
+	msg = append(msg, byte(flow.ProtoUDP))
+	msg = append(msg, 0, 0, 0) // set padding
+	binary.BigEndian.PutUint16(msg[2:4], uint16(len(msg)))
+
+	col := NewCollector()
+	out, err := col.Feed(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(out))
+	}
+	want := []struct {
+		src     netip.Addr
+		port    uint16
+		packets uint64
+		proto   flow.Proto
+	}{
+		{netip.AddrFrom4([4]byte{100, 64, 0, 1}), 50000, 77, flow.ProtoTCP},
+		{netip.AddrFrom4([4]byte{100, 64, 0, 2}), 50001, 1, flow.ProtoUDP},
+	}
+	for i, w := range want {
+		r := out[i]
+		if r.Key.Src != w.src || r.Key.SrcPort != w.port ||
+			r.Packets != w.packets || r.Key.Proto != w.proto {
+			t.Errorf("record %d: got %+v, want src=%v port=%d packets=%d proto=%d",
+				i, r, w.src, w.port, w.packets, w.proto)
+		}
+		if r.Hour != 2 {
+			t.Errorf("record %d: hour %d, want 2", i, r.Hour)
+		}
+		// Fields absent from the template stay zero — the unknown
+		// bytes must not bleed into them.
+		if r.Key.Dst.IsValid() || r.Key.DstPort != 0 || r.Bytes != 0 {
+			t.Errorf("record %d: untemplated fields populated: %+v", i, r)
+		}
+	}
+	if col.Dropped.Load() != 0 || col.Gaps.Load() != 0 {
+		t.Fatalf("Dropped=%d Gaps=%d, want 0, 0", col.Dropped.Load(), col.Gaps.Load())
+	}
+}

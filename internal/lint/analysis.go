@@ -19,6 +19,21 @@
 //   - boundedchan: make(chan T) without a capacity is forbidden
 //     outside tests unless annotated `// haystack:unbounded <why>`.
 //
+// The dataflow layer (cfg, dataflow) adds four analyzers that prove
+// semantic invariants over per-function control-flow graphs:
+//
+//   - lockorder: the cross-package mutex-acquisition graph must stay
+//     acyclic, and every Lock must have an Unlock on every non-panic
+//     path to return;
+//   - golifetime: every goroutine started outside tests must have a
+//     provable stop path (context cancellation, a package-closed
+//     channel, or a joined WaitGroup);
+//   - deterministic: map iteration reaching exported bytes (functions
+//     annotated `// haystack:deterministic`) must pass through a sort
+//     on every path, so exports are byte-stable;
+//   - wirebounds: in `// haystack:hotpath` decode functions, every
+//     slice index and subslice must be dominated by a length guard.
+//
 // Drivers: cmd/haystacklint runs the suite either as a standalone
 // multichecker over `go list` patterns (loader.go, runner.go) or under
 // `go vet -vettool=` via the vet unitchecker protocol
@@ -103,10 +118,18 @@ func (p *Pass) FactKeys() []string {
 // boundaries.
 type Facts struct {
 	m map[string]map[string]string
+	// hook, when set, observes every exported fact. The multichecker
+	// points it at the result cache while one package Collects, so the
+	// cache entry records exactly what that package exported.
+	hook func(analyzer, key, value string)
 }
 
 // NewFacts returns an empty fact store.
 func NewFacts() *Facts { return &Facts{m: make(map[string]map[string]string)} }
+
+// SetHook installs (or, with nil, removes) an observer called on every
+// subsequent fact export.
+func (f *Facts) SetHook(hook func(analyzer, key, value string)) { f.hook = hook }
 
 func (f *Facts) set(analyzer, key, value string) {
 	a := f.m[analyzer]
@@ -115,6 +138,9 @@ func (f *Facts) set(analyzer, key, value string) {
 		f.m[analyzer] = a
 	}
 	a[key] = value
+	if f.hook != nil {
+		f.hook(analyzer, key, value)
+	}
 }
 
 func (f *Facts) get(analyzer, key string) (string, bool) {

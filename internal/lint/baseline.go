@@ -1,0 +1,148 @@
+package lint
+
+// The suppression baseline: a checked-in JSON file that waives known
+// findings the suite cannot prove safe but a human has reviewed and
+// justified. The contract is deliberately strict:
+//
+//   - every entry MUST carry a reason; an empty or "TODO"-prefixed
+//     reason fails the load, so -write-baseline output (which stamps
+//     TODO reasons) cannot be checked in unedited;
+//   - an entry that matches no current finding fails the run — stale
+//     suppressions must be deleted when the code they excused is
+//     fixed, or they would silently waive future regressions;
+//   - entries match on analyzer, file, and a message regexp, never on
+//     line numbers, so unrelated edits do not churn the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry waives findings from one analyzer in one file whose
+// message matches a regexp.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is the slash-separated path relative to the lint run's
+	// root, exactly as findings report it.
+	File string `json:"file"`
+	// Message is an RE2 regexp matched (unanchored) against the
+	// finding message.
+	Message string `json:"message"`
+	// Reason records why this finding is acceptable. Mandatory.
+	Reason string `json:"reason"`
+
+	re *regexp.Regexp
+}
+
+// Baseline is the file format: a free-form comment plus entries.
+type Baseline struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file. Every entry must
+// name an analyzer and a file, compile as a regexp, and carry a
+// human-written reason.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %v", path, err)
+	}
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		if e.Analyzer == "" || e.File == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d: analyzer and file are required", path, i)
+		}
+		reason := strings.TrimSpace(e.Reason)
+		if reason == "" || strings.HasPrefix(reason, "TODO") {
+			return nil, fmt.Errorf("lint: baseline %s entry %d (%s in %s): a real reason is required — explain why this finding is acceptable", path, i, e.Analyzer, e.File)
+		}
+		re, err := regexp.Compile(e.Message)
+		if err != nil {
+			return nil, fmt.Errorf("lint: baseline %s entry %d: bad message regexp: %v", path, i, err)
+		}
+		e.re = re
+	}
+	return &b, nil
+}
+
+// Apply partitions findings into live (kept) and baselined. Baselined
+// findings carry the matching entry's reason as their Justification.
+// unused lists entries that matched nothing — the caller must treat
+// those as an error.
+func (b *Baseline) Apply(findings []Finding) (kept, baselined []Finding, unused []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, f := range findings {
+		matched := false
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if e.Analyzer == f.Analyzer && e.File == f.File && e.re.MatchString(f.Message) {
+				used[i] = true
+				if !matched {
+					matched = true
+					f.Justification = e.Reason
+					baselined = append(baselined, f)
+				}
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	for i, u := range used {
+		if !u {
+			unused = append(unused, b.Entries[i])
+		}
+	}
+	return kept, baselined, unused
+}
+
+// WriteBaselineFile generates a baseline covering findings, one entry
+// per distinct (analyzer, file, message), with the message quoted as a
+// literal regexp. Reasons are stamped "TODO …" so the file is visibly
+// unreviewed — LoadBaseline refuses it until every reason is replaced
+// with a justification.
+func WriteBaselineFile(path string, findings []Finding) error {
+	type key struct{ analyzer, file, message string }
+	seen := make(map[key]bool)
+	b := Baseline{
+		Comment: "haystacklint suppression baseline. Every entry needs a reviewed reason; entries matching no finding fail the run.",
+		Entries: []BaselineEntry{},
+	}
+	for _, f := range findings {
+		k := key{f.Analyzer, f.File, f.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     f.File,
+			Message:  regexp.QuoteMeta(f.Message),
+			Reason:   "TODO: explain why this finding is acceptable",
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		ei, ej := b.Entries[i], b.Entries[j]
+		if ei.File != ej.File {
+			return ei.File < ej.File
+		}
+		if ei.Analyzer != ej.Analyzer {
+			return ei.Analyzer < ej.Analyzer
+		}
+		return ei.Message < ej.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

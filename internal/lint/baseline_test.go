@@ -1,0 +1,110 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	writeFile(t, path, `{
+  "entries": [
+    {"analyzer": "wirebounds", "file": "a/a.go", "message": "not proven", "reason": "modulo result is always in range"},
+    {"analyzer": "golifetime", "file": "b/b.go", "message": "not provably stopped", "reason": "process-lifetime goroutine"}
+  ]
+}`)
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	findings := []lint.Finding{
+		{File: "a/a.go", Line: 3, Analyzer: "wirebounds", Message: "slice index i is not proven < len(xs)"},
+		{File: "a/a.go", Line: 9, Analyzer: "wirebounds", Message: "slice index j is not proven < len(ys)"},
+		{File: "a/a.go", Line: 12, Analyzer: "hotpath", Message: "call to time.Now in hot path"},
+	}
+	kept, baselined, unused := b.Apply(findings)
+	// Both wirebounds findings match the one entry; hotpath survives.
+	if len(kept) != 1 || kept[0].Analyzer != "hotpath" {
+		t.Errorf("kept = %v, want the hotpath finding only", kept)
+	}
+	if len(baselined) != 2 {
+		t.Errorf("baselined = %v, want both wirebounds findings", baselined)
+	}
+	for _, f := range baselined {
+		if f.Justification != "modulo result is always in range" {
+			t.Errorf("baselined finding lost its justification: %+v", f)
+		}
+	}
+	// The golifetime entry matched nothing: stale.
+	if len(unused) != 1 || unused[0].Analyzer != "golifetime" {
+		t.Errorf("unused = %v, want the golifetime entry", unused)
+	}
+}
+
+func TestBaselineReasonRequired(t *testing.T) {
+	for name, entry := range map[string]string{
+		"empty": `{"analyzer": "hotpath", "file": "a.go", "message": "x", "reason": ""}`,
+		"todo":  `{"analyzer": "hotpath", "file": "a.go", "message": "x", "reason": "TODO: explain why this finding is acceptable"}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "baseline.json")
+			writeFile(t, path, `{"entries": [`+entry+`]}`)
+			if _, err := lint.LoadBaseline(path); err == nil {
+				t.Errorf("baseline with %s reason loaded; a reviewed reason must be mandatory", name)
+			}
+		})
+	}
+}
+
+func TestBaselineBadRegexp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	writeFile(t, path, `{"entries": [{"analyzer": "hotpath", "file": "a.go", "message": "(", "reason": "legit"}]}`)
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Error("baseline with invalid regexp loaded")
+	}
+}
+
+// TestWriteBaselineRoundTrip checks the generator's output is
+// structurally valid but unloadable until its TODO reasons are edited
+// — the policy that keeps unreviewed suppressions out of the tree.
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []lint.Finding{
+		{File: "p/p.go", Line: 1, Analyzer: "wirebounds", Message: "slice index i+1 is not proven <= len(b)"},
+		{File: "p/p.go", Line: 2, Analyzer: "wirebounds", Message: "slice index i+1 is not proven <= len(b)"}, // dedups
+	}
+	if err := lint.WriteBaselineFile(path, findings); err != nil {
+		t.Fatalf("WriteBaselineFile: %v", err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Fatal("generated baseline loaded with TODO reasons; it must require editing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.ReplaceAll(string(data), "TODO: explain why this finding is acceptable", "offsets bounded by the header check")
+	writeFile(t, path, edited)
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("edited baseline failed to load: %v", err)
+	}
+	if len(b.Entries) != 1 {
+		t.Errorf("got %d entries, want 1 (identical findings dedup)", len(b.Entries))
+	}
+	kept, baselined, unused := b.Apply(findings)
+	if len(kept) != 0 || len(baselined) != 2 || len(unused) != 0 {
+		t.Errorf("round trip: kept=%d baselined=%d unused=%d, want 0/2/0 (QuoteMeta must match the literal message)", len(kept), len(baselined), len(unused))
+	}
+}

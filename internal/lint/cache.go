@@ -1,0 +1,139 @@
+package lint
+
+// The result cache. A package's lint outcome is a pure function of the
+// tool, the analyzer suite, its own source bytes, and its
+// dependencies' outcomes (facts flow strictly down the import graph),
+// so each target package is cached under a key hashing exactly those
+// inputs. The key chains: a package's key folds in its direct imports'
+// keys, so editing any dependency — however deep — invalidates every
+// dependent. Standard-library packages hash as the toolchain version
+// instead of their file bytes; they only change when the toolchain
+// does.
+//
+// A cache entry stores the package's findings (positions resolved, so
+// no FileSet is needed to replay them), its source-suppression count,
+// and the facts its Collect exported — dependents analyzed on a cache
+// miss still see a hit package's facts.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheVersion invalidates every entry when the entry format or the
+// key derivation changes.
+const cacheVersion = "haystacklint-cache-v1"
+
+// cacheEntry is one package's stored outcome.
+type cacheEntry struct {
+	Version    string                       `json:"version"`
+	Findings   []Finding                    `json:"findings"`
+	Suppressed int                          `json:"suppressed"`
+	Facts      map[string]map[string]string `json:"facts,omitempty"`
+}
+
+// cacheKeys derives the content-hash key of every listed package, in
+// dependency order so import keys always exist before they are folded
+// into a dependent's hash. suiteKey identifies the tool build (the
+// binary's self-hash) so rebuilt analyzers invalidate the cache.
+func cacheKeys(listed []*listPackage, analyzers []*Analyzer, suiteKey string) (map[string]string, error) {
+	keys := make(map[string]string, len(listed))
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+
+	for _, lp := range listed {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n", cacheVersion, suiteKey)
+		for _, n := range names {
+			fmt.Fprintf(h, "analyzer %s\n", n)
+		}
+		fmt.Fprintf(h, "package %s\n", lp.ImportPath)
+
+		if lp.Standard || lp.ImportPath == "unsafe" {
+			// The stdlib's content is determined by the toolchain.
+			fmt.Fprintf(h, "stdlib %s\n", runtime.Version())
+		} else {
+			for _, name := range lp.GoFiles {
+				f, err := os.Open(filepath.Join(lp.Dir, name))
+				if err != nil {
+					return nil, fmt.Errorf("lint: hashing %s: %v", lp.ImportPath, err)
+				}
+				fmt.Fprintf(h, "file %s\n", name)
+				_, err = io.Copy(h, f)
+				f.Close()
+				if err != nil {
+					return nil, fmt.Errorf("lint: hashing %s: %v", lp.ImportPath, err)
+				}
+			}
+			imports := append([]string(nil), lp.Imports...)
+			sort.Strings(imports)
+			for _, imp := range imports {
+				if mapped, ok := lp.ImportMap[imp]; ok {
+					imp = mapped
+				}
+				dep, ok := keys[imp]
+				if !ok {
+					// Unresolvable dependency (go list -e tolerated an
+					// error): fold the raw path so the key is still
+					// deterministic, never reused across resolutions.
+					dep = "unresolved:" + imp
+				}
+				fmt.Fprintf(h, "import %s %s\n", imp, dep)
+			}
+		}
+		keys[lp.ImportPath] = fmt.Sprintf("%x", h.Sum(nil))
+	}
+	return keys, nil
+}
+
+// readCacheEntry loads the entry stored under key, or nil on any miss
+// (absent, unreadable, malformed, wrong version — the cache is an
+// optimization, never an error source).
+func readCacheEntry(cacheDir, key string) *cacheEntry {
+	data, err := os.ReadFile(cachePath(cacheDir, key))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion {
+		return nil
+	}
+	return &e
+}
+
+// writeCacheEntry stores e under key. Write failures are returned so
+// the driver can warn, but callers treat them as non-fatal.
+func writeCacheEntry(cacheDir, key string, e *cacheEntry) error {
+	e.Version = cacheVersion
+	if e.Findings == nil {
+		e.Findings = []Finding{}
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	path := cachePath(cacheDir, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename so a crashed run never leaves a torn entry for
+	// a later run to trust.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func cachePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key[:2], key+".json")
+}

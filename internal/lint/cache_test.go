@@ -1,0 +1,134 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/atomicfield"
+)
+
+// writeTempModule synthesizes a two-package module — lib exports an
+// atomically-written counter, app reads it plainly — mirroring the
+// checked-in cross-package fixture, but in a writable directory so the
+// test can edit sources and watch cache keys change.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, content := range map[string]string{
+		"go.mod": "module tmpcache\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+import "sync/atomic"
+
+type Collector struct {
+	Dropped uint64
+}
+
+func (c *Collector) Feed() {
+	atomic.AddUint64(&c.Dropped, 1)
+}
+`,
+		"app/app.go": `package app
+
+import "tmpcache/lib"
+
+func Stats(c *lib.Collector) uint64 {
+	return c.Dropped
+}
+`,
+	} {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestResultCache drives the cached runner end to end: a cold run
+// populates the cache, a warm run replays every package without
+// re-analysis, and an edit to one package invalidates exactly the
+// dependent chain — with cached facts still feeding the re-analysis.
+func TestResultCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list repeatedly")
+	}
+	dir := writeTempModule(t)
+	cache := filepath.Join(t.TempDir(), "lintcache")
+	opts := lint.Options{Dir: dir, CacheDir: cache, SuiteKey: "test-suite"}
+	analyzers := []*lint.Analyzer{atomicfield.Analyzer}
+
+	run := func() *lint.RunResult {
+		t.Helper()
+		res, err := lint.RunWithOptions(opts, analyzers, "./...")
+		if err != nil {
+			t.Fatalf("RunWithOptions: %v", err)
+		}
+		return res
+	}
+	check := func(res *lint.RunResult, why string) {
+		t.Helper()
+		if len(res.Findings) != 1 {
+			t.Fatalf("%s: got %d findings, want the one plain read: %v", why, len(res.Findings), res.Findings)
+		}
+		f := res.Findings[0]
+		if f.File != "app/app.go" || f.Analyzer != "atomicfield" {
+			t.Errorf("%s: unexpected finding %+v", why, f)
+		}
+	}
+
+	cold := run()
+	check(cold, "cold run")
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run reported %d cache hits", cold.CacheHits)
+	}
+
+	warm := run()
+	check(warm, "warm run")
+	if warm.CacheHits != 2 {
+		t.Errorf("warm run hit %d packages, want 2 (lib and app)", warm.CacheHits)
+	}
+
+	// Edit app only: lib must replay from cache, and the re-analysis
+	// of app must still see lib's cached atomicfield fact — the
+	// finding depends on it.
+	appPath := filepath.Join(dir, "app", "app.go")
+	data, err := os.ReadFile(appPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(appPath, append(data, []byte("\nfunc Twice(c *lib.Collector) uint64 { return Stats(c) * 2 }\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := run()
+	check(edited, "after editing app")
+	if edited.CacheHits != 1 {
+		t.Errorf("after editing app: %d cache hits, want 1 (lib only)", edited.CacheHits)
+	}
+
+	// Edit lib: the key chain must invalidate app too.
+	libPath := filepath.Join(dir, "lib", "lib.go")
+	data, err = os.ReadFile(libPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(libPath, append(data, []byte("\nfunc (c *Collector) Touch() {}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalidated := run()
+	check(invalidated, "after editing lib")
+	if invalidated.CacheHits != 0 {
+		t.Errorf("after editing lib: %d cache hits, want 0 (chain invalidation)", invalidated.CacheHits)
+	}
+
+	final := run()
+	check(final, "final warm run")
+	if final.CacheHits != 2 {
+		t.Errorf("final warm run hit %d packages, want 2", final.CacheHits)
+	}
+}

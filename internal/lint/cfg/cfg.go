@@ -1,0 +1,515 @@
+// Package cfg builds per-function control-flow graphs over go/ast for
+// the haystacklint dataflow analyzers (internal/lint/dataflow and the
+// analyzers built on it). It is deliberately smaller than
+// golang.org/x/tools/go/cfg — which the offline build cannot import —
+// but models everything the invariant suite needs: branch edges carry
+// their condition (and polarity) so flow analyses can refine facts,
+// range-loop body edges carry the *ast.RangeStmt so index variables
+// can be bounded, panic/os.Exit departures are distinguished from
+// normal returns, and defers are recorded in syntactic order.
+//
+// Function literals are NOT inlined: a FuncLit body is its own
+// function and gets its own graph. Analyzers walking Block.Nodes must
+// prune at *ast.FuncLit when descending subtrees.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Block is a straight-line sequence of AST nodes: no jumps in except
+// at the top, none out except at the bottom. Nodes holds statements
+// and, for branch heads, the condition expression last; subtrees of a
+// node never include statements that appear as separate nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge connects two blocks. A nil Cond is an unconditional jump; with
+// Cond set, the edge is taken when the condition evaluates to !Negate.
+// Range marks the body-entry edge of a range loop (the key/value
+// variables are freshly assigned along it). IsPanic marks departures
+// that skip the normal return path: panic, os.Exit, runtime.Goexit,
+// log.Fatal*.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Negate   bool
+	Range    *ast.RangeStmt
+	IsPanic  bool
+}
+
+// Graph is one function body's CFG. Exit is the sole sink: return
+// statements, falling off the end, and no-return calls all edge to it
+// (the latter with IsPanic set).
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in syntactic order. The graph
+	// does not expand defer execution at each exit; analyzers that care
+	// (lockorder) apply deferred effects when inspecting Exit edges.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of body. info, when non-nil, disambiguates the
+// panic builtin and package-qualified no-return calls from shadowing
+// locals; with a nil info the builder matches them syntactically.
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		info:   info,
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.jump(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+type target struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	g       *Graph
+	info    *types.Info
+	cur     *Block // nil while the current point is unreachable
+	targets []target
+	labels  map[string]*Block
+	pending string // label awaiting its loop/switch/select
+	fall    *Block // fallthrough target inside a switch clause
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// ensure revives the current block after unreachable code: dead
+// statements still get a (pred-less) block so analyzers and golden
+// dumps see them.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) edge(from, to *Block, e Edge) {
+	e.From, e.To = from, to
+	p := &e
+	from.Succs = append(from.Succs, p)
+	to.Preds = append(to.Preds, p)
+}
+
+func (b *builder) jump(from, to *Block) { b.edge(from, to, Edge{}) }
+
+func (b *builder) takeLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.noReturn(s.X) {
+			b.edge(b.cur, b.g.Exit, Edge{IsPanic: true})
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.jump(b.cur, lb)
+		}
+		b.cur = lb
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt,
+		// EmptyStmt: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	from := b.cur
+	b.cur = nil
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if s.Label == nil || t.label == s.Label.Name {
+				b.jump(from, t.brk)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont != nil && (s.Label == nil || t.label == s.Label.Name) {
+				b.jump(from, t.cont)
+				return
+			}
+		}
+	case token.GOTO:
+		b.jump(from, b.labelBlock(s.Label.Name))
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jump(from, b.fall)
+		}
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if lb, ok := b.labels[name]; ok {
+		return lb
+	}
+	lb := b.newBlock()
+	b.labels[name] = lb
+	return lb
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock()
+	after := b.newBlock()
+	b.edge(cond, then, Edge{Cond: s.Cond})
+	b.cur = then
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.jump(b.cur, after)
+	}
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els, Edge{Cond: s.Cond, Negate: true})
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.jump(b.cur, after)
+		}
+	} else {
+		b.edge(cond, after, Edge{Cond: s.Cond, Negate: true})
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	if b.cur != nil {
+		b.jump(b.cur, head)
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.jump(post, head)
+		cont = post
+	}
+	if s.Cond != nil {
+		b.edge(head, body, Edge{Cond: s.Cond})
+		b.edge(head, after, Edge{Cond: s.Cond, Negate: true})
+	} else {
+		b.jump(head, body)
+	}
+	b.targets = append(b.targets, target{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	if b.cur != nil {
+		b.jump(b.cur, cont)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	if b.cur != nil {
+		b.jump(b.cur, head)
+	}
+	// The range operand is evaluated once at the head. The RangeStmt
+	// itself is conveyed on the body edge (not as a node — its subtree
+	// contains the body, which would be walked twice).
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body, Edge{Range: s})
+	b.jump(head, after)
+	b.targets = append(b.targets, target{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	if b.cur != nil {
+		b.jump(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	cond := b.ensure()
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after})
+	clauses := s.Body.List
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	savedFall := b.fall
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cond, blocks[i], Edge{})
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		b.fall = nil
+		if i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.jump(b.cur, after)
+		}
+	}
+	b.fall = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	if !hasDefault {
+		b.jump(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	cond := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after})
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(cond, blk, Edge{})
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.jump(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	if !hasDefault {
+		b.jump(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	sel := b.ensure()
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(sel, blk, Edge{})
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.jump(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	// An empty select{} blocks forever: after keeps no preds and the
+	// tail is unreachable, which is exactly right.
+	b.cur = after
+}
+
+// noReturn reports whether the call expression never returns: the
+// panic builtin, os.Exit, runtime.Goexit, or log.Fatal*.
+func (b *builder) noReturn(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b.info != nil {
+			if _, isPkg := b.info.Uses[pkg].(*types.PkgName); !isPkg {
+				return false
+			}
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit",
+			pkg.Name == "runtime" && fun.Sel.Name == "Goexit",
+			pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the graph for golden tests: one paragraph per block,
+// nodes then successor edges, in construction order.
+func (g *Graph) String() string {
+	var buf bytes.Buffer
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&buf, "b%d%s:\n", b.Index, g.mark(b))
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&buf, "\t%s\n", nodeText(n))
+		}
+		for _, e := range b.Succs {
+			fmt.Fprintf(&buf, "\t-> b%d%s\n", e.To.Index, edgeText(e))
+		}
+	}
+	return buf.String()
+}
+
+func (g *Graph) mark(b *Block) string {
+	switch b {
+	case g.Entry:
+		return " (entry)"
+	case g.Exit:
+		return " (exit)"
+	}
+	return ""
+}
+
+func edgeText(e *Edge) string {
+	switch {
+	case e.IsPanic:
+		return " panic"
+	case e.Range != nil:
+		return " range"
+	case e.Cond != nil && e.Negate:
+		return " if !(" + nodeText(e.Cond) + ")"
+	case e.Cond != nil:
+		return " if " + nodeText(e.Cond)
+	}
+	return ""
+}
+
+// nodeText prints a node on one line, whitespace-collapsed and
+// truncated, for deterministic dumps.
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), n)
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

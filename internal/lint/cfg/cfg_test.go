@@ -1,0 +1,256 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// build parses src as a file, finds function name, and returns its
+// graph. Sources are type-check-free: cfg.New tolerates a nil
+// types.Info (syntactic panic matching).
+func build(t *testing.T, src, name string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return cfg.New(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func check(t *testing.T, g *cfg.Graph, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.String())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestDeferAndPanicPath(t *testing.T) {
+	g := build(t, `
+package p
+
+func f(ok bool) {
+	defer cleanup()
+	if !ok {
+		panic("bad")
+	}
+	work()
+}
+`, "f")
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	check(t, g, `
+b0 (entry):
+	defer cleanup()
+	!ok
+	-> b2 if !ok
+	-> b3 if !(!ok)
+b1 (exit):
+b2:
+	panic("bad")
+	-> b1 panic
+b3:
+	work()
+	-> b1
+`)
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g := build(t, `
+package p
+
+func f(rows [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(rows); i++ {
+		for _, v := range rows[i] {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+`, "f")
+	check(t, g, `
+b0 (entry):
+	total := 0
+	-> b2
+b1 (exit):
+b2:
+	i := 0
+	-> b3
+b3:
+	i < len(rows)
+	-> b4 if i < len(rows)
+	-> b5 if !(i < len(rows))
+b4:
+	-> b7
+b5:
+	return total
+	-> b1
+b6:
+	i++
+	-> b3
+b7:
+	rows[i]
+	-> b8 range
+	-> b9
+b8:
+	v < 0
+	-> b10 if v < 0
+	-> b11 if !(v < 0)
+b9:
+	-> b6
+b10:
+	break outer
+	-> b5
+b11:
+	v == 0
+	-> b12 if v == 0
+	-> b13 if !(v == 0)
+b12:
+	continue outer
+	-> b6
+b13:
+	total += v
+	-> b7
+`)
+	// The labeled-for's after-block is b5 (where `return total` lands);
+	// both the inner `break outer` (b10) and the natural exit reach it,
+	// and `continue outer` (b12) targets the outer post (b6), not the
+	// inner head.
+}
+
+func TestSelectPaths(t *testing.T) {
+	g := build(t, `
+package p
+
+func f(stop chan struct{}, in chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-in:
+			use(v)
+		}
+	}
+}
+`, "f")
+	check(t, g, `
+b0 (entry):
+	-> b2
+b1 (exit):
+b2:
+	-> b3
+b3:
+	-> b6
+	-> b7
+b4:
+	-> b1
+b5:
+	-> b2
+b6:
+	<-stop
+	return
+	-> b1
+b7:
+	v := <-in
+	use(v)
+	-> b5
+`)
+	// b4 is the for{}'s after-block: pred-less (the loop only exits via
+	// return) but still wired to the exit for the code that would
+	// follow. b5 is the select's after-block feeding back to the head.
+}
+
+func TestGotoAndFallthrough(t *testing.T) {
+	g := build(t, `
+package p
+
+func f(n int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		goto done
+	}
+	n *= 3
+done:
+	return n
+}
+`, "f")
+	check(t, g, `
+b0 (entry):
+	n
+	-> b3
+	-> b4
+	-> b5
+b1 (exit):
+b2:
+	n *= 3
+	-> b6
+b3:
+	0
+	n++
+	fallthrough
+	-> b4
+b4:
+	1
+	n += 2
+	-> b2
+b5:
+	goto done
+	-> b6
+b6:
+	return n
+	-> b1
+`)
+	// Fallthrough chains b3 into b4; case 1's natural exit runs the
+	// post-switch statement (b2) before reaching the labeled block
+	// (b6), while the default's goto skips straight there.
+}
+
+// TestUnreachableTail: statements after a no-return call land in a
+// pred-less block instead of vanishing.
+func TestUnreachableTail(t *testing.T) {
+	g := build(t, `
+package p
+
+func f() {
+	panic("always")
+	work()
+}
+`, "f")
+	if len(g.Blocks) < 3 {
+		t.Fatalf("blocks = %d, want >= 3", len(g.Blocks))
+	}
+	dead := g.Blocks[2]
+	if len(dead.Preds) != 0 {
+		t.Errorf("dead block has %d preds, want 0", len(dead.Preds))
+	}
+	if len(dead.Nodes) != 1 {
+		t.Errorf("dead block has %d nodes, want 1", len(dead.Nodes))
+	}
+}

@@ -1,0 +1,153 @@
+package dataflow
+
+// Bounds — the flow lattice behind wirebounds. A state is a
+// conjunction of difference constraints `x - y <= k` over opaque
+// string terms (the analyzer canonicalizes expressions like `off`,
+// `len(msg)`, or `off+int(f.Length)` to terms; the distinguished Zero
+// term anchors constants). Must-facts compose by intersection at
+// joins, and proving a query is a shortest-path reachability question
+// on the constraint graph — the classical difference-constraint
+// system, sized here for the handful of facts a length-guarded decode
+// function accumulates.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Zero is the constant-0 term: a constraint `x - Zero <= 5` means
+// x <= 5, and `Zero - x <= -5` means x >= 5.
+const Zero = "0"
+
+type boundKey struct{ x, y string }
+
+// Bounds is an immutable constraint set. The zero value is the empty
+// set (no facts).
+type Bounds struct {
+	m map[boundKey]int
+}
+
+// With returns b plus the fact `x - y <= k` (keeping the tighter bound
+// if one already exists). Adding a fact about identical terms is a
+// no-op: x - x <= k is vacuous for k >= 0 and a contradiction
+// otherwise, neither of which we track.
+func (b Bounds) With(x, y string, k int) Bounds {
+	if x == y {
+		return b
+	}
+	key := boundKey{x, y}
+	if old, ok := b.m[key]; ok && old <= k {
+		return b
+	}
+	m := make(map[boundKey]int, len(b.m)+1)
+	for kk, vv := range b.m {
+		m[kk] = vv
+	}
+	m[key] = k
+	return Bounds{m}
+}
+
+// WithEq returns b plus `x == y + k` (both directions).
+func (b Bounds) WithEq(x, y string, k int) Bounds {
+	return b.With(x, y, k).With(y, x, -k)
+}
+
+// Prove reports whether `x - y <= k` follows from the constraint set,
+// by relaxing the difference-constraint graph (edge y'→x' of weight
+// k' per fact `x' - y' <= k'`) from y.
+func (b Bounds) Prove(x, y string, k int) bool {
+	if x == y {
+		return k >= 0
+	}
+	if len(b.m) == 0 {
+		return false
+	}
+	dist := map[string]int{y: 0}
+	// Bellman-Ford: |terms| rounds bound simple paths; the constraint
+	// sets here are tiny, so the quadratic worst case is irrelevant.
+	terms := make(map[string]bool, len(b.m))
+	for kk := range b.m {
+		terms[kk.x] = true
+		terms[kk.y] = true
+	}
+	for range len(terms) + 1 {
+		changed := false
+		for kk, w := range b.m {
+			dy, ok := dist[kk.y]
+			if !ok {
+				continue
+			}
+			if dx, ok := dist[kk.x]; !ok || dy+w < dx {
+				dist[kk.x] = dy + w
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	dx, ok := dist[x]
+	return ok && dx <= k
+}
+
+// Kill returns b without any constraint mentioning a term for which
+// stale returns true (Zero excepted — constants never go stale).
+func (b Bounds) Kill(stale func(term string) bool) Bounds {
+	var m map[boundKey]int
+	for kk, vv := range b.m {
+		if (kk.x != Zero && stale(kk.x)) || (kk.y != Zero && stale(kk.y)) {
+			continue
+		}
+		if m == nil {
+			m = make(map[boundKey]int, len(b.m))
+		}
+		m[kk] = vv
+	}
+	if len(m) == len(b.m) {
+		return b
+	}
+	return Bounds{m}
+}
+
+// JoinBounds intersects two fact sets: a constraint survives only if
+// both branches establish it, at the looser of the two bounds.
+func JoinBounds(a, b Bounds) Bounds {
+	var m map[boundKey]int
+	for kk, va := range a.m {
+		if vb, ok := b.m[kk]; ok {
+			if m == nil {
+				m = make(map[boundKey]int)
+			}
+			if vb > va {
+				m[kk] = vb
+			} else {
+				m[kk] = va
+			}
+		}
+	}
+	return Bounds{m}
+}
+
+// EqualBounds reports set equality.
+func EqualBounds(a, b Bounds) bool {
+	if len(a.m) != len(b.m) {
+		return false
+	}
+	for kk, va := range a.m {
+		if vb, ok := b.m[kk]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the constraints sorted, for tests and debugging.
+func (b Bounds) String() string {
+	parts := make([]string, 0, len(b.m))
+	for kk, vv := range b.m {
+		parts = append(parts, fmt.Sprintf("%s-%s<=%d", kk.x, kk.y, vv))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,84 @@
+// Package dataflow provides the fixpoint machinery the haystacklint
+// invariant analyzers share: a generic forward worklist solver over
+// internal/lint/cfg graphs, a reaching-definitions analysis, and the
+// Bounds lattice — a set of difference constraints used by wirebounds
+// to prove that slice accesses are dominated by length guards.
+//
+// Everything here is per-function and flow-sensitive; cross-package
+// reasoning stays in the analyzers, which exchange summaries through
+// the lint.Facts mechanism.
+package dataflow
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/cfg"
+)
+
+// Problem describes one forward dataflow analysis over a CFG. States
+// are treated as immutable values: Transfer and Refine must return
+// fresh states (or the input unchanged) rather than mutate in place.
+type Problem[S any] struct {
+	// Entry is the state on function entry.
+	Entry S
+	// Join merges two states where control-flow paths meet. For a
+	// must-analysis (facts that hold on every path) Join is
+	// intersection; for a may-analysis it is union.
+	Join func(a, b S) S
+	// Equal detects convergence.
+	Equal func(a, b S) bool
+	// Transfer applies one block node.
+	Transfer func(s S, n ast.Node) S
+	// Refine, when non-nil, specializes the state along a branch edge
+	// (e.g. admitting the edge's condition as a fact).
+	Refine func(s S, e *cfg.Edge) S
+}
+
+// Result carries the fixpoint: the state at each block's entry and
+// exit. Blocks unreachable from Entry are absent from both maps.
+type Result[S any] struct {
+	In, Out map[*cfg.Block]S
+}
+
+// Solve runs p to fixpoint over g with a standard worklist.
+func Solve[S any](g *cfg.Graph, p Problem[S]) *Result[S] {
+	res := &Result[S]{
+		In:  make(map[*cfg.Block]S),
+		Out: make(map[*cfg.Block]S),
+	}
+	res.In[g.Entry] = p.Entry
+	work := []*cfg.Block{g.Entry}
+	inWork := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		s := res.In[b]
+		for _, n := range b.Nodes {
+			s = p.Transfer(s, n)
+		}
+		res.Out[b] = s
+
+		for _, e := range b.Succs {
+			es := s
+			if p.Refine != nil {
+				es = p.Refine(es, e)
+			}
+			old, seen := res.In[e.To]
+			next := es
+			if seen {
+				next = p.Join(old, es)
+				if p.Equal(next, old) {
+					continue
+				}
+			}
+			res.In[e.To] = next
+			if !inWork[e.To] {
+				work = append(work, e.To)
+				inWork[e.To] = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,206 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// buildTyped parses and type-checks src, returning the named
+// function's CFG plus the info needed by the analyses.
+func buildTyped(t *testing.T, src, fn string) (*cfg.Graph, *ast.File, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return cfg.New(fd.Body, info), f, info, fset
+		}
+	}
+	t.Fatalf("no function %q", fn)
+	return nil, nil, nil, nil
+}
+
+func TestReachingDefsThroughBranch(t *testing.T) {
+	g, f, info, _ := buildTyped(t, `
+package p
+
+type s struct{ ch chan int }
+
+func f(d *s, cond bool) {
+	ch := d.ch
+	if cond {
+		ch = make(chan int)
+	}
+	close(ch)
+}
+`, "f")
+	defs := dataflow.ReachingDefs(g, info)
+
+	// Locate the close call's block node and ch's object.
+	var closeStmt ast.Node
+	var chObj types.Object
+	ast.Inspect(f, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+					closeStmt = es
+					chObj = info.Uses[call.Args[0].(*ast.Ident)]
+				}
+			}
+		}
+		return true
+	})
+	if closeStmt == nil || chObj == nil {
+		t.Fatal("close(ch) not found")
+	}
+	got := defs.At(closeStmt, chObj)
+	if len(got) != 2 {
+		t.Fatalf("defs reaching close(ch) = %d, want 2 (init + branch)", len(got))
+	}
+	// Both definitions are assignments; the first is the alias of the
+	// field (ch := d.ch).
+	first, ok := got[0].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("first def is %T, want *ast.AssignStmt", got[0])
+	}
+	if _, ok := first.Rhs[0].(*ast.SelectorExpr); !ok {
+		t.Errorf("first def RHS is %T, want field selector", first.Rhs[0])
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	g, f, info, _ := buildTyped(t, `
+package p
+
+func f() int {
+	x := 1
+	x = 2
+	return x
+}
+`, "f")
+	defs := dataflow.ReachingDefs(g, info)
+	var ret ast.Node
+	var xObj types.Object
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.ReturnStmt); ok {
+			ret = rs
+			xObj = info.Uses[rs.Results[0].(*ast.Ident)]
+		}
+		return true
+	})
+	got := defs.At(ret, xObj)
+	if len(got) != 1 {
+		t.Fatalf("defs at return = %d, want 1 (x = 2 kills x := 1)", len(got))
+	}
+	as := got[0].(*ast.AssignStmt)
+	if as.Tok != token.ASSIGN {
+		t.Errorf("surviving def token = %v, want =", as.Tok)
+	}
+}
+
+func TestReachingDefsImpure(t *testing.T) {
+	g, f, info, _ := buildTyped(t, `
+package p
+
+func g(p *int)
+
+func f() int {
+	x := 1
+	g(&x)
+	return x
+}
+`, "f")
+	defs := dataflow.ReachingDefs(g, info)
+	var ret ast.Node
+	var xObj types.Object
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.ReturnStmt); ok {
+			ret = rs
+			xObj = info.Uses[rs.Results[0].(*ast.Ident)]
+		}
+		return true
+	})
+	if got := defs.At(ret, xObj); got != nil {
+		t.Fatalf("address-taken variable reported defs %v, want nil (unknown)", got)
+	}
+}
+
+func TestBoundsProveTransitive(t *testing.T) {
+	var b dataflow.Bounds
+	// off+L <= recLen, recLen <= len(body)  =>  off+L <= len(body)
+	b = b.With("off+L", "recLen", 0)
+	b = b.With("recLen", "len(body)", 0)
+	if !b.Prove("off+L", "len(body)", 0) {
+		t.Error("transitive bound not proven")
+	}
+	if b.Prove("len(body)", "off+L", 0) {
+		t.Error("reverse bound should not be provable")
+	}
+}
+
+func TestBoundsConstants(t *testing.T) {
+	var b dataflow.Bounds
+	// len(msg) >= 16  is  Zero - len(msg) <= -16
+	b = b.With(dataflow.Zero, "len(msg)", -16)
+	// query: 4 <= len(msg)  is  Zero - len(msg) <= -4
+	if !b.Prove(dataflow.Zero, "len(msg)", -4) {
+		t.Error("weaker constant bound not proven")
+	}
+	if b.Prove(dataflow.Zero, "len(msg)", -17) {
+		t.Error("stronger constant bound should not be provable")
+	}
+}
+
+func TestBoundsJoinIntersects(t *testing.T) {
+	var a, b dataflow.Bounds
+	a = a.With("x", "len(s)", 0).With(dataflow.Zero, "len(s)", -8)
+	b = b.With("x", "len(s)", -1)
+	j := dataflow.JoinBounds(a, b)
+	if !j.Prove("x", "len(s)", 0) {
+		t.Error("common fact lost at join")
+	}
+	if j.Prove("x", "len(s)", -1) {
+		t.Error("join kept the tighter one-sided bound")
+	}
+	if j.Prove(dataflow.Zero, "len(s)", -8) {
+		t.Error("join kept a one-branch fact")
+	}
+}
+
+func TestBoundsKill(t *testing.T) {
+	var b dataflow.Bounds
+	b = b.With("off", "len(body)", 0).With(dataflow.Zero, "len(body)", -4)
+	b = b.Kill(func(term string) bool { return term == "off" })
+	if b.Prove("off", "len(body)", 0) {
+		t.Error("killed fact still provable")
+	}
+	if !b.Prove(dataflow.Zero, "len(body)", -4) {
+		t.Error("unrelated fact lost by kill")
+	}
+}
+
+func TestBoundsEq(t *testing.T) {
+	var b dataflow.Bounds
+	// n == len(s): slicing s[:n] (n <= len(s)) and indexing by
+	// anything < n are both fine.
+	b = b.WithEq("n", "len(s)", 0)
+	if !b.Prove("n", "len(s)", 0) || !b.Prove("len(s)", "n", 0) {
+		t.Error("equality did not yield both directions")
+	}
+}

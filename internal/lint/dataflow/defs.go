@@ -1,0 +1,222 @@
+package dataflow
+
+// Reaching definitions: which assignments can have produced the value
+// of a local variable at a given program point. The golifetime
+// analyzer uses this to resolve close(ch) through local aliases
+// (ch := d.evCh; ...; close(ch) closes the field), and it is the
+// canonical client of Solve for tests.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/cfg"
+)
+
+type defSet map[ast.Node]bool
+
+type defState map[types.Object]defSet
+
+// Defs is the result of a reaching-definitions analysis over one
+// function body.
+type Defs struct {
+	info   *types.Info
+	res    *Result[defState]
+	loc    map[ast.Node]nodeLoc
+	impure map[types.Object]bool
+}
+
+type nodeLoc struct {
+	b *cfg.Block
+	i int
+}
+
+// ReachingDefs analyzes g. Definitions are AssignStmt, IncDecStmt,
+// ValueSpec, and RangeStmt nodes; variables whose address is taken or
+// that are referenced by a function literal are conservatively
+// "impure" and report no definitions.
+func ReachingDefs(g *cfg.Graph, info *types.Info) *Defs {
+	d := &Defs{
+		info:   info,
+		loc:    make(map[ast.Node]nodeLoc),
+		impure: make(map[types.Object]bool),
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			d.loc[n] = nodeLoc{b, i}
+			d.scanImpure(n)
+		}
+	}
+	d.res = Solve(g, Problem[defState]{
+		Entry:    defState{},
+		Join:     joinDefs,
+		Equal:    equalDefs,
+		Transfer: d.transfer,
+		Refine:   d.refine,
+	})
+	return d
+}
+
+// At returns the definitions of obj reaching node n (which must be a
+// block node: a statement or branch condition), ordered by position.
+// nil means "unknown": obj is impure, n is unreachable or not in the
+// graph, or the value predates the function (parameter, captured or
+// package-level state).
+func (d *Defs) At(n ast.Node, obj types.Object) []ast.Node {
+	if obj == nil || d.impure[obj] {
+		return nil
+	}
+	l, ok := d.loc[n]
+	if !ok {
+		return nil
+	}
+	s, ok := d.res.In[l.b]
+	if !ok {
+		return nil
+	}
+	for _, m := range l.b.Nodes[:l.i] {
+		s = d.transfer(s, m)
+	}
+	set := s[obj]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]ast.Node, 0, len(set))
+	for def := range set {
+		out = append(out, def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func (d *Defs) transfer(s defState, n ast.Node) defState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			s = d.define(s, lhs, n)
+		}
+	case *ast.IncDecStmt:
+		s = d.define(s, n.X, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						s = d.define(s, name, vs)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (d *Defs) refine(s defState, e *cfg.Edge) defState {
+	if e.Range == nil {
+		return s
+	}
+	if e.Range.Key != nil {
+		s = d.define(s, e.Range.Key, e.Range)
+	}
+	if e.Range.Value != nil {
+		s = d.define(s, e.Range.Value, e.Range)
+	}
+	return s
+}
+
+func (d *Defs) define(s defState, lhs ast.Expr, node ast.Node) defState {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return s
+	}
+	obj := d.varObj(id)
+	if obj == nil {
+		return s
+	}
+	ns := make(defState, len(s)+1)
+	for k, v := range s {
+		ns[k] = v
+	}
+	ns[obj] = defSet{node: true}
+	return ns
+}
+
+func (d *Defs) varObj(id *ast.Ident) types.Object {
+	if v, ok := d.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := d.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// scanImpure marks objects reaching beyond simple local dataflow:
+// address-taken variables and anything a function literal touches.
+func (d *Defs) scanImpure(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(y ast.Node) bool {
+				if id, ok := y.(*ast.Ident); ok {
+					if v, ok := d.info.Uses[id].(*types.Var); ok {
+						d.impure[v] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if v, ok := d.info.Uses[id].(*types.Var); ok {
+						d.impure[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func joinDefs(a, b defState) defState {
+	out := make(defState, len(a)+len(b))
+	for obj, set := range a {
+		out[obj] = set
+	}
+	for obj, set := range b {
+		if cur, ok := out[obj]; ok {
+			merged := make(defSet, len(cur)+len(set))
+			for n := range cur {
+				merged[n] = true
+			}
+			for n := range set {
+				merged[n] = true
+			}
+			out[obj] = merged
+		} else {
+			out[obj] = set
+		}
+	}
+	return out
+}
+
+func equalDefs(a, b defState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, as := range a {
+		bs, ok := b[obj]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for n := range as {
+			if !bs[n] {
+				return false
+			}
+		}
+	}
+	return true
+}

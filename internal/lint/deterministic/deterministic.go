@@ -1,0 +1,445 @@
+// Package deterministic proves that exported bytes do not depend on
+// Go's randomized map iteration order. Functions on the export path
+// carry a `haystack:deterministic` doc directive; inside them (and
+// transitively, through taint facts that follow the import graph)
+// every map range must be neutralized one of three ways:
+//
+//   - the loop body is order-insensitive: it only accumulates with
+//     commutative ops (+=, counters) or writes distinct map keys;
+//   - the collected result provably passes a sort on every path from
+//     the loop to the function's exit — sort/slices calls, or a
+//     helper this analyzer marked as a sorter;
+//   - the loop carries `haystack:allow deterministic <why>`.
+//
+// Calls to tainted helpers (functions whose result leaks iteration
+// order) are findings at the call site unless the result is sorted
+// before exit. encoding/json needs no annotations: it sorts map keys
+// itself.
+package deterministic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+)
+
+// Analyzer is the deterministic analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:    "deterministic",
+	Doc:     "exported bytes independent of map iteration order",
+	Collect: collect,
+	Run:     run,
+}
+
+// sortFuncs are the stdlib calls that establish order.
+var sortFuncs = map[string]bool{
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true,
+	"sort.SliceStable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true,
+	"slices.Sort":   true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// pkgTaint is what one package knows about its functions.
+type pkgTaint struct {
+	tainted map[string]bool // result leaks map iteration order
+	sorter  map[string]bool // calling it sorts its argument
+}
+
+func collect(pass *lint.Pass) {
+	if pass.TypesInfo == nil {
+		return // dependency package loaded without bodies/types
+	}
+	pt := compute(pass)
+	for k := range pt.tainted {
+		pass.ExportFact("taint:"+k, "1")
+	}
+	for k := range pt.sorter {
+		pass.ExportFact("sorter:"+k, "1")
+	}
+}
+
+func run(pass *lint.Pass) error {
+	pt := compute(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := lint.DocDirective(fd.Doc, "deterministic"); !ok {
+				continue
+			}
+			checkExportFunc(pass, pt, fd)
+		}
+	}
+	return nil
+}
+
+// checkExportFunc reports every unneutralized map range and every
+// unsorted call to a tainted helper inside an annotated function.
+func checkExportFunc(pass *lint.Pass, pt *pkgTaint, fd *ast.FuncDecl) {
+	g := cfg.New(fd.Body, pass.TypesInfo)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if !isMapRange(pass.TypesInfo, n) || orderInsensitive(pass.TypesInfo, n) {
+				return true
+			}
+			if sortedAfterRange(pass, pt, g, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "map iteration order reaches the exported output; sort what this loop collects before writing, or mark it haystack:allow deterministic <why>")
+		case *ast.CallExpr:
+			key, ok := calleeKey(pass.TypesInfo, n)
+			if !ok || !isTainted(pass, pt, key) {
+				return true
+			}
+			if sortedAfterCall(pass, pt, g, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s iterates a map in nondeterministic order; sort its result before export, or mark the call haystack:allow deterministic <why>", shortName(key))
+		}
+		return true
+	})
+}
+
+// compute derives the package's taint and sorter sets: direct sorts
+// and unneutralized ranges first, then a fixpoint over same-package
+// calls (imported callees resolve through facts).
+func compute(pass *lint.Pass) *pkgTaint {
+	pt := &pkgTaint{tainted: make(map[string]bool), sorter: make(map[string]bool)}
+
+	type fn struct {
+		key string
+		fd  *ast.FuncDecl
+		g   *cfg.Graph
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := funcKey(pass.TypesInfo, fd)
+			if key == "" {
+				continue
+			}
+			fns = append(fns, fn{key, fd, nil})
+		}
+	}
+
+	// Direct sorters: any body with a stdlib sort call.
+	for _, f := range fns {
+		direct := false
+		ast.Inspect(f.fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && stdlibSortCall(pass.TypesInfo, call) {
+				direct = true
+			}
+			return !direct
+		})
+		if direct {
+			pt.sorter[f.key] = true
+		}
+	}
+
+	// Direct taint: an unneutralized map range anywhere in the body
+	// (closures included — they run as part of the function).
+	for i := range fns {
+		f := &fns[i]
+		f.g = cfg.New(f.fd.Body, pass.TypesInfo)
+		ast.Inspect(f.fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.TypesInfo, rs) {
+				return true
+			}
+			if orderInsensitive(pass.TypesInfo, rs) || allowedAt(pass, rs.Pos()) {
+				return true
+			}
+			if sortedAfterRange(pass, pt, f.g, rs) {
+				return true
+			}
+			pt.tainted[f.key] = true
+			return true
+		})
+	}
+
+	// Call taint: calling a tainted function taints the caller unless
+	// the result is sorted before exit or the call is allowed.
+	for changed := true; changed; {
+		changed = false
+		for i := range fns {
+			f := &fns[i]
+			if pt.tainted[f.key] {
+				continue
+			}
+			ast.Inspect(f.fd.Body, func(n ast.Node) bool {
+				if pt.tainted[f.key] {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, ok := calleeKey(pass.TypesInfo, call)
+				if !ok || !isTainted(pass, pt, key) {
+					return true
+				}
+				if allowedAt(pass, call.Pos()) || sortedAfterCall(pass, pt, f.g, call) {
+					return true
+				}
+				pt.tainted[f.key] = true
+				changed = true
+				return false
+			})
+		}
+	}
+	return pt
+}
+
+func isTainted(pass *lint.Pass, pt *pkgTaint, key string) bool {
+	if pt.tainted[key] {
+		return true
+	}
+	_, ok := pass.Fact("taint:" + key)
+	return ok
+}
+
+func isSorter(pass *lint.Pass, pt *pkgTaint, key string) bool {
+	if pt.sorter[key] {
+		return true
+	}
+	_, ok := pass.Fact("sorter:" + key)
+	return ok
+}
+
+// isMapRange reports whether rs iterates a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderInsensitive accepts loop bodies whose effect is the same under
+// any iteration order: commutative accumulation (+=, -=, |=, &=, ^=,
+// ++/--), writes to distinct map keys, and delete — optionally under
+// branches. Anything else (append, scalar assignment, I/O) is
+// order-sensitive.
+func orderInsensitive(info *types.Info, rs *ast.RangeStmt) bool {
+	var stmtOK func(s ast.Stmt) bool
+	stmtsOK := func(list []ast.Stmt) bool {
+		for _, s := range list {
+			if !stmtOK(s) {
+				return false
+			}
+		}
+		return true
+	}
+	stmtOK = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN:
+				return true
+			case token.ASSIGN:
+				for _, lhs := range s.Lhs {
+					ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						return false
+					}
+					if tv, ok := info.Types[ix.X]; !ok {
+						return false
+					} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return false
+					}
+				}
+				return true
+			}
+			return false
+		case *ast.IncDecStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.IfStmt:
+			if !stmtsOK(s.Body.List) {
+				return false
+			}
+			if s.Else != nil {
+				return stmtOK(s.Else)
+			}
+			return true
+		case *ast.BlockStmt:
+			return stmtsOK(s.List)
+		case *ast.BranchStmt:
+			return s.Tok == token.CONTINUE
+		}
+		return false
+	}
+	return stmtsOK(rs.Body.List)
+}
+
+// sortedAfterRange reports whether every path from the loop's exit to
+// the function's exit passes a sort. Ranges with no edge in g (inside
+// closures) have no provable after-path and return false.
+func sortedAfterRange(pass *lint.Pass, pt *pkgTaint, g *cfg.Graph, rs *ast.RangeStmt) bool {
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Range == rs {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		return false
+	}
+	for _, e := range head.Succs {
+		if e.Range == rs {
+			continue // into the loop body
+		}
+		if !sortedFrom(pass, pt, g, e.To, 0, make(map[*cfg.Block]bool)) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfterCall reports whether every path from the call's node to
+// the exit passes a sort. A sort in the same node (the call feeding a
+// sorter directly) counts.
+func sortedAfterCall(pass *lint.Pass, pt *pkgTaint, g *cfg.Graph, call *ast.CallExpr) bool {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= call.Pos() && call.End() <= n.End() {
+				if nodeSorts(pass, pt, n, call) {
+					return true
+				}
+				return sortedFrom(pass, pt, g, b, i+1, make(map[*cfg.Block]bool))
+			}
+		}
+	}
+	return false
+}
+
+// sortedFrom walks forward from b.Nodes[idx:]: true when every path
+// reaching Exit passes a sorting node first.
+func sortedFrom(pass *lint.Pass, pt *pkgTaint, g *cfg.Graph, b *cfg.Block, idx int, seen map[*cfg.Block]bool) bool {
+	if b == g.Exit {
+		return false
+	}
+	for _, n := range b.Nodes[idx:] {
+		if nodeSorts(pass, pt, n, nil) {
+			return true
+		}
+	}
+	if seen[b] {
+		return true // a cycle reaches Exit only via some other path
+	}
+	seen[b] = true
+	for _, e := range b.Succs {
+		if !sortedFrom(pass, pt, g, e.To, 0, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeSorts reports whether n contains a sorting call other than
+// except.
+func nodeSorts(pass *lint.Pass, pt *pkgTaint, n ast.Node, except *ast.CallExpr) bool {
+	sorts := false
+	ast.Inspect(n, func(sub ast.Node) bool {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok || call == except || sorts {
+			return !sorts
+		}
+		if stdlibSortCall(pass.TypesInfo, call) {
+			sorts = true
+			return false
+		}
+		if key, ok := calleeKey(pass.TypesInfo, call); ok && isSorter(pass, pt, key) {
+			sorts = true
+			return false
+		}
+		return true
+	})
+	return sorts
+}
+
+// stdlibSortCall matches the sort/slices calls in sortFuncs.
+func stdlibSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return sortFuncs[fn.Pkg().Path()+"."+fn.Name()]
+}
+
+// allowedAt reports a haystack:allow deterministic directive with a
+// reason at pos — honored during taint computation so a documented
+// source does not taint its callers.
+func allowedAt(pass *lint.Pass, pos token.Pos) bool {
+	return lint.Suppressed(pass.Fset, pass.Files, lint.Diagnostic{
+		Pos:      pos,
+		Analyzer: "deterministic",
+	})
+}
+
+// calleeKey resolves a statically known callee to its cross-package
+// key; interface methods and function values return false.
+func calleeKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.FullName(), true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return "", false
+		}
+		if sel, ok := info.Selections[fun]; ok && types.IsInterface(sel.Recv()) {
+			return "", false
+		}
+		return fn.FullName(), true
+	}
+	return "", false
+}
+
+func funcKey(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// shortName trims a FullName like "(*path/to/pkg.T).M" to "pkg.T.M"
+// for messages.
+func shortName(key string) string {
+	key = strings.TrimPrefix(key, "(*")
+	key = strings.TrimPrefix(key, "(")
+	key = strings.Replace(key, ")", "", 1)
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}

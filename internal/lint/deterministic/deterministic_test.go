@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/deterministic"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterministic(t *testing.T) {
+	linttest.Run(t, deterministic.Analyzer, "det")
+}

@@ -1,0 +1,174 @@
+package det
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCounts collects keys, sorts, then writes: ok.
+//
+// haystack:deterministic
+func WriteCounts(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// WriteCountsUnsorted streams straight out of the map.
+//
+// haystack:deterministic
+func WriteCountsUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches the exported output"
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// WriteCountsSortedSometimes sorts on one path only.
+//
+// haystack:deterministic
+func WriteCountsSortedSometimes(w io.Writer, m map[string]int, fast bool) {
+	var keys []string
+	for k := range m { // want "map iteration order reaches the exported output"
+		keys = append(keys, k)
+	}
+	if !fast {
+		sort.Strings(keys)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Total only accumulates commutatively: ok.
+//
+// haystack:deterministic
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes distinct map keys: ok.
+//
+// haystack:deterministic
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Prune deletes and counts under a branch: ok.
+//
+// haystack:deterministic
+func Prune(m map[string]int) int {
+	dropped := 0
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// keysOf leaks iteration order to its caller: tainted.
+func keysOf(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sortKeys is a sorter: calling it neutralizes taint.
+func sortKeys(ks []string) {
+	sort.Strings(ks)
+}
+
+// WriteViaHelperUnsorted consumes a tainted result directly.
+//
+// haystack:deterministic
+func WriteViaHelperUnsorted(w io.Writer, m map[string]int) {
+	for _, k := range keysOf(m) { // want "det.keysOf iterates a map in nondeterministic order"
+		fmt.Fprintln(w, k)
+	}
+}
+
+// WriteViaHelperSorted sorts the tainted result first: ok.
+//
+// haystack:deterministic
+func WriteViaHelperSorted(w io.Writer, m map[string]int) {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// WriteViaSorterHelper sorts through a package helper: ok.
+//
+// haystack:deterministic
+func WriteViaSorterHelper(w io.Writer, m map[string]int) {
+	ks := keysOf(m)
+	sortKeys(ks)
+	for _, k := range ks {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Fanout's delivery order is unordered by contract: allowed.
+//
+// haystack:deterministic
+func Fanout(m map[string]chan int) {
+	// haystack:allow deterministic delivery order across subscribers is unordered by contract
+	for _, ch := range m {
+		ch <- 1
+	}
+}
+
+// relay calls keysOf but sorts before returning: not tainted, so the
+// annotated caller below is clean.
+func relay(m map[string]int) []string {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteViaRelay: taint stops at relay's sort: ok.
+//
+// haystack:deterministic
+func WriteViaRelay(w io.Writer, m map[string]int) {
+	for _, k := range relay(m) {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// notAnnotated is outside the contract: no findings here.
+func notAnnotated(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Closure ranges inside a function literal — still part of this
+// function's output.
+//
+// haystack:deterministic
+func Closure(w io.Writer, m map[string]int) {
+	emit := func() {
+		for k := range m { // want "map iteration order reaches the exported output"
+			fmt.Fprintln(w, k)
+		}
+	}
+	emit()
+}

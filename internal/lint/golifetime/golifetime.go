@@ -1,0 +1,362 @@
+// Package golifetime checks that every goroutine started outside
+// test files has a provable stop path. A goroutine passes when its
+// body (a function literal or a same-package function) shows one of:
+//
+//   - a receive from a context's Done channel;
+//   - a receive or range over a channel that this package (or a
+//     dependency, via facts) provably closes — matched by identity:
+//     the owning struct field, a package-level var, or a local whose
+//     definitions all alias such a channel;
+//   - a sync.WaitGroup Done whose WaitGroup is Waited on — matched by
+//     field, package var, or captured-variable identity;
+//   - a straight-line body: no loops, selects, or channel operations,
+//     so the goroutine terminates when its calls do.
+//
+// This is evidence checking, not a termination proof: the analyzer
+// confirms the shutdown signal exists and is connected, and leaves
+// "the signal fires" to the runtime tests. Goroutines whose lifetime
+// is bounded externally carry `haystack:allow golifetime <why>`.
+package golifetime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the golifetime analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:    "golifetime",
+	Doc:     "every goroutine has a provable stop path (cancel, close, or join)",
+	Collect: collect,
+	Run:     run,
+}
+
+// evidence is the package-wide shutdown inventory: channels that get
+// closed and WaitGroups that get waited, by identity.
+type evidence struct {
+	closedKeys map[string]bool
+	closedObjs map[types.Object]bool
+	waitKeys   map[string]bool
+	waitObjs   map[types.Object]bool
+}
+
+func collect(pass *lint.Pass) {
+	if pass.TypesInfo == nil {
+		return // dependency package loaded without bodies/types
+	}
+	ev := gather(pass)
+	for k := range ev.closedKeys {
+		pass.ExportFact("closed:"+k, "1")
+	}
+	for k := range ev.waitKeys {
+		pass.ExportFact("waited:"+k, "1")
+	}
+}
+
+func run(pass *lint.Pass) error {
+	ev := gather(pass)
+	for _, key := range pass.FactKeys() {
+		if k, ok := strings.CutPrefix(key, "closed:"); ok {
+			ev.closedKeys[k] = true
+		}
+		if k, ok := strings.CutPrefix(key, "waited:"); ok {
+			ev.waitKeys[k] = true
+		}
+	}
+
+	// Map from function objects to their declarations, to resolve
+	// `go s.loop()` bodies.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[pass.TypesInfo.Defs[fd.Name]] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := resolveBody(pass, decls, g.Call)
+			if body != nil && hasStopEvidence(pass, ev, body) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine is not provably stopped: no context cancel, no receive on a package-closed channel, no joined WaitGroup in its body")
+			return true
+		})
+	}
+	return nil
+}
+
+// gather scans every non-test function body for close() calls and
+// WaitGroup Waits, recording the identities they discharge.
+func gather(pass *lint.Pass) *evidence {
+	ev := &evidence{
+		closedKeys: make(map[string]bool),
+		closedObjs: make(map[types.Object]bool),
+		waitKeys:   make(map[string]bool),
+		waitObjs:   make(map[types.Object]bool),
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) == 1 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					arg := ast.Unparen(call.Args[0])
+					if key, ok := globalKey(info, arg); ok {
+						ev.closedKeys[key] = true
+					} else if obj := localObj(info, arg); obj != nil {
+						ev.closedObjs[obj] = true
+						// close(ch) where ch aliases a field: credit
+						// the field too (the closeEvents pattern).
+						for _, k := range aliasKeys(pass, obj) {
+							ev.closedKeys[k] = true
+						}
+					}
+				}
+				return true
+			}
+			if recv, ok := syncMethod(info, call, "Wait", "sync.WaitGroup"); ok {
+				if key, ok := globalKey(info, recv); ok {
+					ev.waitKeys[key] = true
+				} else if obj := localObj(info, recv); obj != nil {
+					ev.waitObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+// hasStopEvidence scans a goroutine body (pruning nested go
+// statements, which are their own goroutines) for any accepted stop
+// path.
+func hasStopEvidence(pass *lint.Pass, ev *evidence, body *ast.BlockStmt) bool {
+	info := pass.TypesInfo
+	found := false
+	unbounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine is its own analysis unit: neither its
+			// evidence nor its loops belong to this body.
+			return false
+		case *ast.ForStmt, *ast.SelectStmt:
+			unbounded = true
+		case *ast.RangeStmt:
+			if ch, ok := info.Types[n.X]; ok {
+				if _, isChan := ch.Type.Underlying().(*types.Chan); isChan {
+					if chanMatches(pass, ev, n.X) {
+						found = true
+						return false
+					}
+				}
+			}
+			unbounded = true
+		case *ast.SendStmt:
+			unbounded = true
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			unbounded = true
+			x := ast.Unparen(n.X)
+			if call, ok := x.(*ast.CallExpr); ok {
+				if _, ok := syncMethod(info, call, "Done", "context.Context"); ok {
+					found = true // <-ctx.Done()
+					return false
+				}
+				return true
+			}
+			if chanMatches(pass, ev, x) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if recv, ok := syncMethod(info, n, "Done", "sync.WaitGroup"); ok && wgMatches(info, ev, recv) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found || !unbounded
+}
+
+// chanMatches reports whether the channel denoted by e is provably
+// closed: by identity, or through aliases of a closed identity.
+func chanMatches(pass *lint.Pass, ev *evidence, e ast.Expr) bool {
+	info := pass.TypesInfo
+	if key, ok := globalKey(info, e); ok {
+		return ev.closedKeys[key]
+	}
+	obj := localObj(info, e)
+	if obj == nil {
+		return false
+	}
+	if ev.closedObjs[obj] {
+		return true
+	}
+	for _, k := range aliasKeys(pass, obj) {
+		if ev.closedKeys[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func wgMatches(info *types.Info, ev *evidence, recv ast.Expr) bool {
+	if key, ok := globalKey(info, recv); ok {
+		return ev.waitKeys[key]
+	}
+	if obj := localObj(info, recv); obj != nil {
+		return ev.waitObjs[obj]
+	}
+	return false
+}
+
+// resolveBody returns the goroutine's body: the literal itself, or
+// the declaration of a same-package function or method. Nil when the
+// callee is a function value or lives in another package.
+func resolveBody(pass *lint.Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.TypesInfo.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.TypesInfo.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// aliasKeys returns the global identities assigned to obj anywhere in
+// the package: for `ch := d.evCh`, the evCh field key.
+func aliasKeys(pass *lint.Pass, obj types.Object) []string {
+	info := pass.TypesInfo
+	var keys []string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.ObjectOf(id) != obj {
+					continue
+				}
+				if key, ok := globalKey(info, ast.Unparen(as.Rhs[i])); ok {
+					keys = append(keys, key)
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// syncMethod reports whether call invokes the named method on a
+// receiver of exactly type typ (e.g. "sync.WaitGroup",
+// "context.Context"), returning the receiver expression.
+func syncMethod(info *types.Info, call *ast.CallExpr, name, typ string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if types.TypeString(rt, nil) != typ {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// globalKey names a struct field ("pkgpath.Type.field") or a
+// package-level var ("pkgpath.name").
+func globalKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name() + "." + e.Sel.Name, true
+				}
+			}
+			return "", false
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+// localObj returns the variable object behind a plain identifier (a
+// local or captured channel/WaitGroup), or nil.
+func localObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.ObjectOf(id).(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func isTestFile(pass *lint.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package golifetime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/golifetime"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolifetime(t *testing.T) {
+	linttest.Run(t, golifetime.Analyzer, "life")
+}

@@ -1,0 +1,140 @@
+package life
+
+import (
+	"context"
+	"sync"
+)
+
+type Broker struct {
+	events chan int
+	done   chan struct{}
+	subs   chan string
+	tasks  sync.WaitGroup
+}
+
+// Start's goroutine ranges over a field channel that Close below
+// provably closes: ok.
+func (b *Broker) Start() {
+	go func() {
+		for range b.events {
+		}
+		close(b.done)
+	}()
+}
+
+// loop is launched by name; its receive on b.events still counts: ok.
+func (b *Broker) StartNamed() {
+	go b.loop()
+}
+
+func (b *Broker) loop() {
+	for range b.events {
+	}
+}
+
+// Close closes b.events through a local alias — identity resolution
+// must see through `ch := b.events`.
+func (b *Broker) Close() {
+	ch := b.events
+	close(ch)
+	<-b.done
+}
+
+// StartWorker joins via a field WaitGroup that Drain waits on: ok.
+func (b *Broker) StartWorker() {
+	b.tasks.Add(1)
+	go func() {
+		defer b.tasks.Done()
+		for range b.subs { // never closed, but the join is enough
+		}
+	}()
+}
+
+func (b *Broker) Drain() {
+	b.tasks.Wait()
+}
+
+// Orphan loops on a channel nobody closes and joins nothing.
+func (b *Broker) Orphan() {
+	go func() { // want "not provably stopped"
+		for range b.subs {
+		}
+	}()
+}
+
+// Ticker exits on context cancel: ok.
+func Ticker(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// Spin loops forever with no signal at all.
+func Spin() {
+	go func() { // want "not provably stopped"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// Straight runs to completion without loops or channel ops: ok.
+func Straight(fn func()) {
+	go func() {
+		fn()
+	}()
+}
+
+// LocalJoin captures a local WaitGroup that the caller waits on: ok.
+func LocalJoin(parts []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				total++ // data race, but not this analyzer's problem
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Opaque launches a function value: nothing to inspect.
+func Opaque(fn func()) {
+	go fn() // want "not provably stopped"
+}
+
+// Allowed documents an externally bounded goroutine.
+func Allowed(ch chan int) {
+	// haystack:allow golifetime subscription channel is closed by the cancel func returned to the caller
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// CondUser: sync.Cond.Wait must not be mistaken for WaitGroup
+// evidence.
+type CondUser struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (c *CondUser) Watch() {
+	go func() { // want "not provably stopped"
+		c.mu.Lock()
+		for {
+			c.cond.Wait()
+		}
+	}()
+}

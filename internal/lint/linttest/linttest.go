@@ -1,13 +1,16 @@
-// Package linttest runs a haystacklint analyzer over a fixture
-// package and checks its findings against `// want "regexp"` comments
+// Package linttest runs a haystacklint analyzer over fixture
+// packages and checks its findings against `// want "regexp"` comments
 // — the analysistest contract, reimplemented on the stdlib so the
 // offline build needs no golang.org/x/tools.
 //
 // Fixtures live under the analyzer's testdata/src/<pkg>/ and may
-// import the standard library (type-checked from GOROOT source). Every
-// diagnostic must be matched by a want comment on its line, and every
-// want comment must be matched by a diagnostic; haystack:allow
-// suppression is honored exactly as the real drivers honor it.
+// import the standard library (type-checked from GOROOT source) and,
+// with RunMulti, earlier fixture packages by their bare name — which
+// exercises cross-package facts exactly as the real drivers flow them
+// down the import graph. Every diagnostic must be matched by a want
+// comment on its line, and every want comment must be matched by a
+// diagnostic; haystack:allow suppression is honored exactly as the
+// real drivers honor it.
 package linttest
 
 import (
@@ -37,57 +40,90 @@ var stdlibMu sync.Mutex
 // want comments.
 func Run(t *testing.T, a *lint.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatalf("linttest: no fixture files in %s", dir)
-	}
+	RunMulti(t, a, pkg)
+}
+
+// RunMulti analyzes several fixture packages in order with one shared
+// fact store: each package is Collected then Run before the next
+// package is touched, so facts flow strictly down the import graph —
+// exactly the order both real drivers (multichecker and unitchecker)
+// guarantee. A later package may import an earlier one by its fixture
+// name. Wants are asserted in every listed package.
+func RunMulti(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	stdlibMu.Lock()
+	defer stdlibMu.Unlock()
 
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	imp := &fixtureImporter{
+		base:    lint.SourceImporter(fset),
+		checked: make(map[string]*types.Package),
+	}
+
+	type loadedPkg struct {
+		name  string
+		files []*ast.File
+		tpkg  *types.Package
+		info  *types.Info
+	}
+	var loaded []loadedPkg
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		dir := filepath.Join("testdata", "src", pkg)
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatalf("linttest: %v", err)
 		}
-		files = append(files, f)
-	}
-
-	stdlibMu.Lock()
-	info := lint.NewTypesInfo()
-	conf := types.Config{Importer: lint.SourceImporter(fset)}
-	tpkg, err := conf.Check(pkg, fset, files, info)
-	stdlibMu.Unlock()
-	if err != nil {
-		t.Fatalf("linttest: fixture %s does not type-check: %v", pkg, err)
-	}
-
-	var diags []lint.Diagnostic
-	facts := lint.NewFacts()
-	report := func(d lint.Diagnostic) {
-		if lint.Suppressed(fset, files, d) {
-			return
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
 		}
-		diags = append(diags, d)
-	}
-	if a.Collect != nil {
-		a.Collect(lint.NewPass(a, fset, files, tpkg, info, facts, func(lint.Diagnostic) {}))
-	}
-	if err := a.Run(lint.NewPass(a, fset, files, tpkg, info, facts, report)); err != nil {
-		t.Fatalf("linttest: %s: %v", a.Name, err)
+		sort.Strings(names)
+		if len(names) == 0 {
+			t.Fatalf("linttest: no fixture files in %s", dir)
+		}
+
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			files = append(files, f)
+		}
+
+		info := lint.NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg, fset, files, info)
+		if err != nil {
+			t.Fatalf("linttest: fixture %s does not type-check: %v", pkg, err)
+		}
+		imp.checked[pkg] = tpkg
+		loaded = append(loaded, loadedPkg{pkg, files, tpkg, info})
+		allFiles = append(allFiles, files...)
 	}
 
-	wants := collectWants(t, fset, files)
+	facts := lint.NewFacts()
+	var diags []lint.Diagnostic
+	for _, lp := range loaded {
+		if a.Collect != nil {
+			a.Collect(lint.NewPass(a, fset, lp.files, lp.tpkg, lp.info, facts, func(lint.Diagnostic) {}))
+		}
+		files := lp.files
+		report := func(d lint.Diagnostic) {
+			if lint.Suppressed(fset, files, d) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(lint.NewPass(a, fset, lp.files, lp.tpkg, lp.info, facts, report)); err != nil {
+			t.Fatalf("linttest: %s on %s: %v", a.Name, lp.name, err)
+		}
+	}
+
+	wants := collectWants(t, fset, allFiles)
 	matchedWant := make([]bool, len(wants))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -107,6 +143,21 @@ func Run(t *testing.T, a *lint.Analyzer, pkg string) {
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
+}
+
+// fixtureImporter resolves fixture packages checked earlier in this
+// RunMulti call, deferring everything else (the stdlib) to the
+// from-source GOROOT importer.
+type fixtureImporter struct {
+	base    types.Importer
+	checked map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.checked[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
 }
 
 type want struct {

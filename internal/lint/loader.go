@@ -30,10 +30,16 @@ type Package struct {
 	ImportPath string
 	Dir        string
 	Target     bool // named by the load patterns (vs. a dependency)
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	Standard   bool // part of the standard library
+	// GoFiles are the build-selected source files (absolute paths) and
+	// Imports the source-level import paths — retained so the result
+	// cache can key a package on its content and its dependencies.
+	GoFiles []string
+	Imports []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 	// TypeErrors holds type-checker complaints. Fatal for targets
 	// (the runner refuses to analyze a package it cannot trust);
 	// tolerated for dependencies, whose bodies we skip anyway.
@@ -58,7 +64,29 @@ type listPackage struct {
 // type-checked with complete types.Info; dependencies are checked
 // signatures-only.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	return LoadWithTags(dir, "", patterns...)
+}
+
+// LoadWithTags is Load with a -tags argument passed through to the go
+// command, so the standalone driver selects the same build-constrained
+// file sets a tagged build (and `go vet -tags`) would.
+func LoadWithTags(dir, tags string, patterns ...string) ([]*Package, error) {
+	listed, err := listPackages(dir, tags, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return checkPackages(listed)
+}
+
+// listPackages shells out to `go list -e -deps -json` and decodes the
+// dependency-ordered package stream. It is the cheap half of loading:
+// the result cache hashes these file lists without type-checking.
+func listPackages(dir, tags string, patterns ...string) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-deps", "-json"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	// CGO off: constraint-select the pure-Go file sets so from-source
@@ -82,7 +110,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		listed = append(listed, lp)
 	}
+	return listed, nil
+}
 
+// checkPackages parses and type-checks a dependency-ordered package
+// list from go list.
+func checkPackages(listed []*listPackage) ([]*Package, error) {
 	fset := token.NewFileSet()
 	sizes := types.SizesFor("gc", runtime.GOARCH)
 	byPath := make(map[string]*types.Package, len(listed))
@@ -103,8 +136,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		var files []*ast.File
 		var parseErrs []error
+		var goFiles []string
 		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+			path := filepath.Join(lp.Dir, name)
+			goFiles = append(goFiles, path)
+			f, err := parser.ParseFile(fset, path, nil, mode)
 			if f != nil {
 				files = append(files, f)
 			}
@@ -116,6 +152,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			ImportPath: lp.ImportPath,
 			Dir:        lp.Dir,
 			Target:     target,
+			Standard:   lp.Standard,
+			GoFiles:    goFiles,
+			Imports:    lp.Imports,
 			Fset:       fset,
 			Files:      files,
 			TypeErrors: parseErrs,

@@ -1,0 +1,646 @@
+// Package lockorder proves two mutex invariants across the repo:
+// every sync.Mutex/RWMutex acquired on a path is released on every
+// non-panic path to return, and the global lock-acquisition graph —
+// assembled from per-function summaries that flow between packages as
+// facts — is acyclic, so no two call paths can acquire the same pair
+// of locks in opposite orders.
+//
+// Lock identity is structural: a mutex field is named by its owning
+// struct type ("repro/internal/pipeline.Pipeline.mu"), a package-level
+// mutex by its package path, and a function-local mutex by its
+// declaration. Local locks are checked for balance but excluded from
+// the ordering graph: they cannot be contended across functions.
+//
+// Acquisitions inside defer and go statements do not affect the
+// caller's held-set: goroutine bodies and deferred closures are
+// analyzed as functions in their own right. sync.Cond.Wait and
+// TryLock are deliberately ignored — Wait is held-neutral, and a
+// TryLock that can fail establishes no ordering.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:    "lockorder",
+	Doc:     "mutexes released on every path; global acquisition graph acyclic",
+	Collect: collect,
+	Run:     run,
+}
+
+// mutexMethods maps the sync method names we model to whether they
+// acquire (true) or release (false).
+var mutexMethods = map[string]bool{
+	"Lock":    true,
+	"RLock":   true,
+	"Unlock":  false,
+	"RUnlock": false,
+}
+
+// lockKey names a mutex. Global keys are stable across packages;
+// local keys are unique within a function and never exported.
+type lockKey struct {
+	name  string
+	local bool
+}
+
+// heldEntry tracks one may-held lock: how many times it may be held
+// and where it was first acquired (for reporting).
+type heldEntry struct {
+	count int
+	pos   token.Pos
+}
+
+// heldMap is the dataflow state: locks that may be held. Missing key
+// means definitely not held.
+type heldMap map[string]heldEntry
+
+func joinHeld(a, b heldMap) heldMap {
+	out := make(heldMap, len(a)+len(b))
+	for k, e := range a {
+		out[k] = e
+	}
+	for k, e := range b {
+		if o, ok := out[k]; ok {
+			if o.count > e.count {
+				e.count = o.count
+			}
+			if o.pos < e.pos {
+				e.pos = o.pos
+			}
+		}
+		out[k] = e
+	}
+	return out
+}
+
+func equalHeld(a, b heldMap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, e := range a {
+		if o, ok := b[k]; !ok || o != e {
+			return false
+		}
+	}
+	return true
+}
+
+// edge is one observed acquisition order: to was locked while from
+// was held.
+type edge struct {
+	from, to string
+}
+
+// analysis is the per-package result shared by Collect and Run.
+type analysis struct {
+	pass *lint.Pass
+	// locks maps function key -> global locks it may acquire,
+	// transitively through same-package and imported callees.
+	locks map[string]map[string]bool
+	// edges maps each acquisition-order edge to the position where it
+	// was first observed in this package.
+	edges map[edge]token.Pos
+	// leaks are balance violations, reported at the acquisition.
+	leaks []leak
+}
+
+type leak struct {
+	pos token.Pos
+	key string
+}
+
+// funcNode is one analyzable body: a declared function or a function
+// literal (goroutine, deferred closure, callback).
+type funcNode struct {
+	key  string // "" for function literals
+	body *ast.BlockStmt
+}
+
+func collect(pass *lint.Pass) {
+	if pass.TypesInfo == nil {
+		return // dependency package loaded without bodies/types
+	}
+	a := analyze(pass)
+	for fn, locks := range a.locks {
+		if len(locks) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(locks))
+		for l := range locks {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		pass.ExportFact("fn:"+fn, strings.Join(names, " "))
+	}
+	for e := range a.edges {
+		pass.ExportFact("edge:"+e.from+"|"+e.to, "1")
+	}
+}
+
+func run(pass *lint.Pass) error {
+	a := analyze(pass)
+
+	for _, l := range a.leaks {
+		pass.Reportf(l.pos, "%s is locked here but not released on every path to return", display(l.key))
+	}
+
+	// Assemble the global acquisition graph: edges observed in this
+	// package plus every edge fact exported by dependencies.
+	adj := make(map[string][]string)
+	addEdge := func(from, to string) {
+		adj[from] = append(adj[from], to)
+	}
+	for _, key := range pass.FactKeys() {
+		rest, ok := strings.CutPrefix(key, "edge:")
+		if !ok {
+			continue
+		}
+		from, to, ok := strings.Cut(rest, "|")
+		if !ok {
+			continue
+		}
+		addEdge(from, to)
+	}
+	for e := range a.edges {
+		addEdge(e.from, e.to)
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+
+	// A cycle through a local edge is reported at that edge. Walking
+	// only from local edges keeps each package's findings its own.
+	local := make([]edge, 0, len(a.edges))
+	for e := range a.edges {
+		local = append(local, e)
+	}
+	sort.Slice(local, func(i, j int) bool {
+		if local[i].from != local[j].from {
+			return local[i].from < local[j].from
+		}
+		return local[i].to < local[j].to
+	})
+	for _, e := range local {
+		if path := findPath(adj, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			pass.Reportf(a.edges[e],
+				"acquiring %s while holding %s creates a lock-order cycle: %s",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+	return nil
+}
+
+// findPath returns a path from -> ... -> to in adj, or nil. A
+// self-edge (from == to with an edge) counts as a path of length one.
+func findPath(adj map[string][]string, from, to string) []string {
+	type item struct {
+		node string
+		prev int
+	}
+	items := []item{{from, -1}}
+	seen := map[string]bool{from: true}
+	for i := 0; i < len(items); i++ {
+		for _, next := range adj[items[i].node] {
+			if next == to {
+				path := []string{to}
+				for j := i; j >= 0; j = items[j].prev {
+					path = append(path, items[j].node)
+				}
+				for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+					path[l], path[r] = path[r], path[l]
+				}
+				return path
+			}
+			if !seen[next] {
+				seen[next] = true
+				items = append(items, item{next, i})
+			}
+		}
+	}
+	return nil
+}
+
+// analyze runs the per-function held-set dataflow over every function
+// body in the package and folds the results into summaries, ordering
+// edges, and balance findings.
+func analyze(pass *lint.Pass) *analysis {
+	a := &analysis{
+		pass:  pass,
+		locks: make(map[string]map[string]bool),
+		edges: make(map[edge]token.Pos),
+	}
+
+	var fns []funcNode
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fns = append(fns, funcNode{key: funcKey(pass.TypesInfo, fd), body: fd.Body})
+			// Function literals anywhere inside (including go and
+			// defer bodies) are separate analysis units.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					fns = append(fns, funcNode{body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 1 — syntactic summaries: direct global locks and resolved
+	// callees per declared function, then a fixpoint folding in
+	// same-package summaries and imported "fn:" facts. Function
+	// literals are folded into their enclosing declared function:
+	// a closure's locks are (conservatively) its caller's locks.
+	direct := make(map[string]map[string]bool)
+	callees := make(map[string]map[string]bool)
+	for _, fn := range fns {
+		if fn.key == "" {
+			continue
+		}
+		dl, dc := directLocksAndCallees(pass.TypesInfo, fn.body)
+		if d, ok := direct[fn.key]; ok { // redeclaration across build shapes
+			for k := range dl {
+				d[k] = true
+			}
+		} else {
+			direct[fn.key] = dl
+		}
+		if c, ok := callees[fn.key]; ok {
+			for k := range dc {
+				c[k] = true
+			}
+		} else {
+			callees[fn.key] = dc
+		}
+	}
+	for fn, dl := range direct {
+		set := make(map[string]bool, len(dl))
+		for k := range dl {
+			set[k] = true
+		}
+		a.locks[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			set := a.locks[fn]
+			for callee := range cs {
+				for _, l := range calleeLocks(pass, a.locks, callee) {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2 — flow-sensitive held-set per body: ordering edges at
+	// each acquisition and call site, balance at each non-panic exit.
+	for _, fn := range fns {
+		a.analyzeBody(fn)
+	}
+	return a
+}
+
+// analyzeBody solves the may-held dataflow for one body, then replays
+// each reachable block to record ordering edges and check balance.
+func (a *analysis) analyzeBody(fn funcNode) {
+	info := a.pass.TypesInfo
+	g := cfg.New(fn.body, info)
+
+	transfer := func(s heldMap, n ast.Node) heldMap { return a.transfer(s, n, nil) }
+	res := dataflow.Solve(g, dataflow.Problem[heldMap]{
+		Entry:    heldMap{},
+		Join:     joinHeld,
+		Equal:    equalHeld,
+		Transfer: transfer,
+	})
+
+	// Replay for edges: at every acquisition or lock-taking call,
+	// every may-held lock orders before the incoming ones.
+	for _, b := range g.Blocks {
+		s, ok := res.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			s = a.transfer(s, n, func(acquired []string, pos token.Pos, held heldMap) {
+				for h, e := range held {
+					if e.count == 0 || strings.HasPrefix(h, "local:") {
+						continue
+					}
+					for _, l := range acquired {
+						if l == h || strings.HasPrefix(l, "local:") {
+							continue
+						}
+						key := edge{from: h, to: l}
+						if old, ok := a.edges[key]; !ok || pos < old {
+							a.edges[key] = pos
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Balance: deferred unlocks discharge held locks at every exit;
+	// anything left on a non-panic exit edge is a leak.
+	deferred := make(map[string]int)
+	for _, d := range g.Defers {
+		for key, n := range deferredUnlocks(info, d) {
+			deferred[key] += n
+		}
+	}
+	reported := make(map[string]bool)
+	for _, e := range g.Exit.Preds {
+		if e.IsPanic {
+			continue
+		}
+		s, ok := res.Out[e.From]
+		if !ok {
+			continue
+		}
+		keys := make([]string, 0, len(s))
+		for k := range s {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			entry := s[k]
+			if entry.count-deferred[k] <= 0 || reported[k] {
+				continue
+			}
+			reported[k] = true
+			a.leaks = append(a.leaks, leak{pos: entry.pos, key: k})
+		}
+	}
+}
+
+// transfer applies one CFG node to the held-set. When onAcquire is
+// non-nil it is invoked with the locks the node acquires (directly or
+// through a summarized callee) and the held-set in force before them.
+func (a *analysis) transfer(s heldMap, n ast.Node, onAcquire func([]string, token.Pos, heldMap)) heldMap {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred unlocks apply at exit; goroutine and deferred
+		// closure bodies are separate analysis units.
+		return s
+	}
+	info := a.pass.TypesInfo
+	out := s
+	mutated := false
+	mutate := func() {
+		if !mutated {
+			cp := make(heldMap, len(out)+1)
+			for k, v := range out {
+				cp[k] = v
+			}
+			out = cp
+			mutated = true
+		}
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, key, ok := mutexOp(info, call); ok {
+			if op { // acquire
+				if onAcquire != nil {
+					onAcquire([]string{key.name}, call.Pos(), out)
+				}
+				mutate()
+				e := out[key.name]
+				// Saturate at 2: "held more than once" is all the
+				// balance and ordering checks distinguish, and an
+				// unbounded count would never reach a fixpoint when a
+				// loop acquires without releasing on the back edge.
+				if e.count < 2 {
+					e.count++
+				}
+				if e.pos == token.NoPos {
+					e.pos = call.Pos()
+				}
+				out[key.name] = e
+			} else if e, held := out[key.name]; held {
+				mutate()
+				e.count--
+				if e.count <= 0 {
+					delete(out, key.name)
+				} else {
+					out[key.name] = e
+				}
+			}
+			return true
+		}
+		if callee, ok := calleeKey(info, call); ok && onAcquire != nil {
+			if locks := calleeLocks(a.pass, a.locks, callee); len(locks) > 0 {
+				onAcquire(locks, call.Pos(), out)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeLocks returns the sorted global locks callee may acquire,
+// from this package's summaries or an imported "fn:" fact.
+func calleeLocks(pass *lint.Pass, local map[string]map[string]bool, callee string) []string {
+	if set, ok := local[callee]; ok {
+		out := make([]string, 0, len(set))
+		for l := range set {
+			out = append(out, l)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if v, ok := pass.Fact("fn:" + callee); ok {
+		return strings.Fields(v)
+	}
+	return nil
+}
+
+// directLocksAndCallees scans a body (pruning nested function
+// literals) for global lock acquisitions and statically resolved
+// callees.
+func directLocksAndCallees(info *types.Info, body *ast.BlockStmt) (locks, callees map[string]bool) {
+	locks = make(map[string]bool)
+	callees = make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, key, ok := mutexOp(info, call); ok {
+			if op && !key.local {
+				locks[key.name] = true
+			}
+			return true
+		}
+		if callee, ok := calleeKey(info, call); ok {
+			callees[callee] = true
+		}
+		return true
+	})
+	return locks, callees
+}
+
+// deferredUnlocks returns the unlocks a defer statement performs at
+// function exit: a direct mu.Unlock() or the top-level unlocks of a
+// deferred closure.
+func deferredUnlocks(info *types.Info, d *ast.DeferStmt) map[string]int {
+	out := make(map[string]int)
+	if op, key, ok := mutexOp(info, d.Call); ok {
+		if !op {
+			out[key.name]++
+		}
+		return out
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, key, ok := mutexOp(info, call); ok && !op {
+					out[key.name]++
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexOp reports whether call is a modeled sync.Mutex/RWMutex method
+// call, returning true for acquisitions and the lock's identity. Calls
+// on lock expressions we cannot name (map elements, function results)
+// are ignored entirely so acquire/release stay balanced.
+func mutexOp(info *types.Info, call *ast.CallExpr) (acquire bool, key lockKey, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false, lockKey{}, false
+	}
+	acquire, modeled := mutexMethods[sel.Sel.Name]
+	if !modeled {
+		return false, lockKey{}, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false, lockKey{}, false
+	}
+	key, named := keyForLockExpr(info, sel.X)
+	if !named {
+		return false, lockKey{}, false
+	}
+	return acquire, key, true
+}
+
+// keyForLockExpr names the mutex denoted by e. Struct fields are
+// named by their owning type, package-level vars by their package,
+// locals by their declaration position.
+func keyForLockExpr(info *types.Info, e ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				return lockKey{name: qualify(obj.Pkg(), obj.Name()) + "." + e.Sel.Name}, true
+			}
+			return lockKey{}, false
+		}
+		// Qualified reference to another package's var: pkg.Mu.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return lockKey{name: qualify(v.Pkg(), v.Name())}, true
+		}
+		return lockKey{}, false
+	case *ast.Ident:
+		v, ok := info.ObjectOf(e).(*types.Var)
+		if !ok {
+			return lockKey{}, false
+		}
+		if isPackageLevel(v) {
+			return lockKey{name: qualify(v.Pkg(), v.Name())}, true
+		}
+		return lockKey{name: fmt.Sprintf("local:%s@%d", v.Name(), v.Pos()), local: true}, true
+	}
+	return lockKey{}, false
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func qualify(pkg *types.Package, name string) string {
+	if pkg == nil {
+		return name
+	}
+	return pkg.Path() + "." + name
+}
+
+// calleeKey resolves a call to a statically known function or method
+// and returns its stable cross-package key. Interface methods and
+// function values are not resolvable and return false.
+func calleeKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.FullName(), true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return "", false
+		}
+		if sel, ok := info.Selections[fun]; ok && types.IsInterface(sel.Recv()) {
+			return "", false
+		}
+		return fn.FullName(), true
+	}
+	return "", false
+}
+
+// funcKey returns the stable cross-package key of a declared
+// function, matching what calleeKey resolves at call sites.
+func funcKey(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// display strips the local: prefix for messages.
+func display(key string) string {
+	if rest, ok := strings.CutPrefix(key, "local:"); ok {
+		name, _, _ := strings.Cut(rest, "@")
+		return name
+	}
+	return key
+}

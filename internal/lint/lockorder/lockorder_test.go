@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.RunMulti(t, lockorder.Analyzer, "lock", "lockuser")
+}

@@ -1,0 +1,171 @@
+package lock
+
+import "sync"
+
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Index struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// Pool and Gate export their mutexes so the lockuser fixture can
+// build cross-package orderings against them.
+type Pool struct {
+	Mu  sync.Mutex
+	hot bool
+}
+
+type Gate struct {
+	Mu   sync.Mutex
+	open bool
+}
+
+// Get is balanced by defer: ok.
+func (r *Registry) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+// Put unlocks manually on both paths: ok.
+func (r *Registry) Put(k string, v int) bool {
+	r.mu.Lock()
+	if r.items == nil {
+		r.mu.Unlock()
+		return false
+	}
+	r.items[k] = v
+	r.mu.Unlock()
+	return true
+}
+
+// Leak returns early with the lock held.
+func (r *Registry) Leak(k string) int {
+	r.mu.Lock() // want "not released on every path to return"
+	if v, ok := r.items[k]; ok {
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// MustGet exits with the lock held only by panicking: ok.
+func (r *Registry) MustGet(k string) int {
+	r.mu.Lock()
+	v, ok := r.items[k]
+	if !ok {
+		panic("lock: missing " + k)
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// Sum locks and unlocks per iteration: ok.
+func (r *Registry) Sum(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		r.mu.Lock()
+		n += r.items[k]
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// Lookup read-locks with defer: ok.
+func (ix *Index) Lookup(k string) int {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	return ix.m[k]
+}
+
+// LeakyLookup misses the RUnlock on the zero path.
+func (ix *Index) LeakyLookup(k string) int {
+	ix.rw.RLock() // want "not released on every path to return"
+	v := ix.m[k]
+	if v == 0 {
+		return 0
+	}
+	ix.rw.RUnlock()
+	return v
+}
+
+// Spawn's goroutine body is its own analysis unit and leaks.
+func Spawn(r *Registry) {
+	go func() {
+		r.mu.Lock() // want "not released on every path to return"
+		r.items["spawned"]++
+	}()
+}
+
+// SpawnClean's goroutine releases via defer: ok.
+func SpawnClean(r *Registry) {
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.items["spawned"]++
+	}()
+}
+
+// LocalBalance: function-local mutex, balanced: ok.
+func LocalBalance() int {
+	var mu sync.Mutex
+	mu.Lock()
+	x := 1
+	mu.Unlock()
+	return x
+}
+
+// lockBoth and lockBothReversed acquire the same pair in opposite
+// orders; each acquisition that completes the cycle is flagged.
+func lockBoth(r *Registry, j *Journal) {
+	r.mu.Lock()
+	j.mu.Lock() // want "cycle: lock.Registry.mu -> lock.Journal.mu -> lock.Registry.mu"
+	j.n++
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func lockBothReversed(r *Registry, j *Journal) {
+	j.mu.Lock()
+	r.mu.Lock() // want "cycle: lock.Journal.mu -> lock.Registry.mu -> lock.Journal.mu"
+	j.n++
+	r.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// Pump re-acquires on every iteration without releasing on the back
+// edge. The held count must saturate (not grow without bound — the
+// solver has to reach a fixpoint) and the leak must still be flagged.
+func (r *Registry) Pump(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock() // want "not released on every path to return"
+	}
+}
+
+// Mark's lock set becomes a cross-package summary fact.
+func (p *Pool) Mark() {
+	p.Mu.Lock()
+	p.hot = true
+	p.Mu.Unlock()
+}
+
+// Chain orders Pool.Mu before Gate.Mu. lockuser.Close orders them the
+// other way, but facts flow only down the import graph: the cycle is
+// reported in lockuser (which sees this edge as a fact), not here
+// (this package is analyzed before lockuser even exists).
+func Chain(p *Pool, g *Gate) {
+	p.Mu.Lock()
+	g.Mu.Lock()
+	g.open = p.hot
+	g.Mu.Unlock()
+	p.Mu.Unlock()
+}

@@ -1,0 +1,56 @@
+package lockuser
+
+import (
+	"sync"
+
+	"lock"
+)
+
+type Cache struct {
+	mu   sync.Mutex
+	pool *lock.Pool
+	warm bool
+}
+
+// Refresh calls Mark while holding Cache.mu: the callee's lock set
+// arrives as a cross-package summary fact, and Evict below reverses
+// the order, so the call site completes a cycle.
+func (c *Cache) Refresh() {
+	c.mu.Lock()
+	c.pool.Mark() // want "cycle: lockuser.Cache.mu -> lock.Pool.Mu -> lockuser.Cache.mu"
+	c.warm = true
+	c.mu.Unlock()
+}
+
+// Evict takes Pool.Mu then Cache.mu — the reverse of Refresh.
+func (c *Cache) Evict() {
+	c.pool.Mu.Lock()
+	c.mu.Lock() // want "cycle: lock.Pool.Mu -> lockuser.Cache.mu -> lock.Pool.Mu"
+	c.warm = false
+	c.mu.Unlock()
+	c.pool.Mu.Unlock()
+}
+
+// Close orders Gate.Mu before Pool.Mu; lock.Chain orders them the
+// other way, and that edge arrives purely as a dependency fact.
+func Close(g *lock.Gate, p *lock.Pool) {
+	g.Mu.Lock()
+	p.Mu.Lock() // want "cycle: lock.Gate.Mu -> lock.Pool.Mu -> lock.Gate.Mu"
+	p.Mu.Unlock()
+	g.Mu.Unlock()
+}
+
+// Warm holds only one lock at a time: ok.
+func (c *Cache) Warm() {
+	c.mu.Lock()
+	c.warm = true
+	c.mu.Unlock()
+	c.pool.Mark()
+}
+
+// allowEscape: a deliberate, documented leak stays quiet.
+func (c *Cache) Pin() {
+	// haystack:allow lockorder handed to Unpin which releases it; pin/unpin pairs are asserted in tests
+	c.mu.Lock()
+	c.warm = true
+}

@@ -1,0 +1,217 @@
+package lint
+
+// Position-resolved findings and their serializations. Diagnostics
+// carry token.Pos, which only means something next to the FileSet that
+// produced it; a Finding is the portable form — file, line, column —
+// that the result cache stores, the baseline matches against, and the
+// JSON/SARIF writers emit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is one resolved diagnostic. File is slash-separated and
+// relative to the directory the run was rooted at whenever the file
+// lives under it, so findings compare stably across checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Justification is set when a baseline entry waived this finding;
+	// it carries the entry's reason into the SARIF suppression record.
+	Justification string `json:"justification,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// resolveFinding turns a Diagnostic into a Finding with its file path
+// relativized against absDir ("" keeps paths as the FileSet has them).
+func resolveFinding(fset *token.FileSet, absDir string, d Diagnostic) Finding {
+	pos := fset.Position(d.Pos)
+	file := pos.Filename
+	if absDir != "" {
+		if rel, err := filepath.Rel(absDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return Finding{
+		File:     filepath.ToSlash(file),
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// Report is the machine-readable summary of one run, emitted by the
+// -json flag.
+type Report struct {
+	// Findings are the live, actionable findings: not suppressed in
+	// source and not covered by the baseline.
+	Findings []Finding `json:"findings"`
+	// Baselined findings matched a baseline entry; each carries the
+	// entry's reason as its Justification.
+	Baselined []Finding `json:"baselined,omitempty"`
+	// Suppressed counts findings waived by haystack:allow annotations.
+	Suppressed int `json:"suppressed"`
+	// CacheHits counts target packages whose results were replayed
+	// from the content-hash cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SARIF 2.1.0 — the slice of the schema the suite emits. Baselined
+// findings are included as suppressed results (kind "external", the
+// baseline reason as justification) so a SARIF viewer shows the whole
+// picture while CI gates only on unsuppressed results.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF emits a SARIF 2.1.0 log of findings to w. Every analyzer
+// becomes a rule (so rule metadata is stable even on clean runs);
+// findings with a Justification become suppressed results.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	driver := sarifDriver{Name: "haystacklint", Rules: []sarifRule{}}
+	ruleIndex := make(map[string]int, len(analyzers))
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: firstSentence(a.Doc)},
+		})
+	}
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			// A finding from an unregistered analyzer (cached results
+			// after a suite change): register a bare rule for it.
+			idx = len(driver.Rules)
+			ruleIndex[f.Analyzer] = idx
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               f.Analyzer,
+				ShortDescription: sarifMessage{Text: f.Analyzer},
+			})
+		}
+		r := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       f.File,
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Justification != "" {
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: f.Justification}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// firstSentence trims doc to its first sentence for SARIF rule
+// descriptions.
+func firstSentence(doc string) string {
+	doc = strings.TrimSpace(doc)
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	if i := strings.Index(doc, ".\n"); i >= 0 {
+		return doc[:i+1]
+	}
+	return doc
+}

@@ -1,31 +1,101 @@
 package lint
 
-// The multichecker driver: load packages, run every analyzer's
-// Collect over the whole dependency-ordered set (facts flow down the
-// import graph), then Run over the target packages, printing
-// file:line:col findings. cmd/haystacklint wires this to the command
-// line; CI runs it over ./... and fails on any finding.
+// The multichecker driver: load packages, then walk them in dependency
+// order, Collecting and Running each package before the next, so facts
+// flow strictly down the import graph — the same order the vet
+// unitchecker guarantees, and the property that makes per-package
+// result caching sound. cmd/haystacklint wires this to the command
+// line; CI runs it over ./... and fails on any finding outside the
+// checked-in baseline.
 
 import (
 	"fmt"
-	"go/token"
 	"io"
+	"path/filepath"
 	"sort"
 )
 
+// Options configures a run beyond the defaults of Run.
+type Options struct {
+	// Dir is the directory patterns resolve in ("" = cwd). Finding
+	// paths are reported relative to it.
+	Dir string
+	// Tags is passed to the go command as -tags, so the standalone
+	// driver selects the same files a tagged build would.
+	Tags string
+	// CacheDir enables the per-package result cache when non-empty.
+	CacheDir string
+	// SuiteKey identifies the tool build inside cache keys (the
+	// binary's self-hash); an empty key still caches, but rebuilding
+	// the analyzers will not invalidate entries.
+	SuiteKey string
+}
+
 // RunResult is one multichecker run's outcome.
 type RunResult struct {
-	Fset        *token.FileSet
-	Diagnostics []Diagnostic
+	// Findings are position-resolved diagnostics, ordered by file,
+	// line, column.
+	Findings []Finding
 	// Suppressed counts findings waived by haystack:allow annotations
 	// (reported for transparency, not failure).
 	Suppressed int
+	// CacheHits counts target packages replayed from the result cache.
+	CacheHits int
 }
 
 // Run loads patterns from dir and applies every analyzer to the
-// target packages. Diagnostics come back ordered by position.
+// target packages.
 func Run(dir string, analyzers []*Analyzer, patterns ...string) (*RunResult, error) {
-	pkgs, err := Load(dir, patterns...)
+	return RunWithOptions(Options{Dir: dir}, analyzers, patterns...)
+}
+
+// RunWithOptions is Run with build tags and the result cache.
+func RunWithOptions(opts Options, analyzers []*Analyzer, patterns ...string) (*RunResult, error) {
+	listed, err := listPackages(opts.Dir, opts.Tags, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var keys map[string]string
+	entries := make(map[string]*cacheEntry)
+	if opts.CacheDir != "" {
+		keys, err = cacheKeys(listed, analyzers, opts.SuiteKey)
+		if err != nil {
+			return nil, err
+		}
+		// Fast path: when every target hits, the run needs no parsing
+		// or type-checking at all — just replay the stored findings.
+		allHit := true
+		for _, lp := range listed {
+			if lp.DepOnly {
+				continue
+			}
+			e := readCacheEntry(opts.CacheDir, keys[lp.ImportPath])
+			if e == nil {
+				allHit = false
+				break
+			}
+			entries[lp.ImportPath] = e
+		}
+		if allHit {
+			res := &RunResult{}
+			for _, lp := range listed {
+				if e := entries[lp.ImportPath]; e != nil {
+					res.Findings = append(res.Findings, e.Findings...)
+					res.Suppressed += e.Suppressed
+					res.CacheHits++
+				}
+			}
+			sortFindings(res.Findings)
+			return res, nil
+		}
+	}
+
+	absDir, err := filepath.Abs(firstNonEmpty(opts.Dir, "."))
+	if err != nil {
+		absDir = ""
+	}
+	pkgs, err := checkPackages(listed)
 	if err != nil {
 		return nil, err
 	}
@@ -34,64 +104,105 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) (*RunResult, err
 			return nil, fmt.Errorf("lint: %s does not type-check: %v", p.ImportPath, p.TypeErrors[0])
 		}
 	}
+
 	facts := NewFacts()
 	res := &RunResult{}
-	if len(pkgs) > 0 {
-		res.Fset = pkgs[0].Fset
-	}
 	discard := func(Diagnostic) {}
-	// Collect runs over dependencies too: a fact about an imported
-	// package (an atomically-accessed exported field, say) must exist
-	// before a dependent's Run consults it. Dependencies carry no
-	// syntax or Info (bodies were skipped), so Collect implementations
-	// must tolerate empty Files.
 	for _, p := range pkgs {
+		// A cached target package contributes its stored findings and
+		// facts without re-analysis; dependents analyzed below still
+		// see everything its Collect would have exported.
+		if e, ok := entries[p.ImportPath]; ok {
+			res.Findings = append(res.Findings, e.Findings...)
+			res.Suppressed += e.Suppressed
+			res.CacheHits++
+			facts.Merge(FactsFromMap(e.Facts))
+			continue
+		}
+
+		// Collect runs over dependencies too: a fact about an imported
+		// package (an atomically-accessed exported field, say) must
+		// exist before a dependent's Run consults it. Dependencies
+		// carry no syntax or Info (bodies were skipped), so Collect
+		// implementations must tolerate empty Files.
+		var exported map[string]map[string]string
+		if p.Target && opts.CacheDir != "" {
+			exported = make(map[string]map[string]string)
+			facts.SetHook(func(analyzer, key, value string) {
+				a := exported[analyzer]
+				if a == nil {
+					a = make(map[string]string)
+					exported[analyzer] = a
+				}
+				a[key] = value
+			})
+		}
 		for _, a := range analyzers {
 			if a.Collect != nil {
 				a.Collect(NewPass(a, p.Fset, p.Files, p.Types, p.Info, facts, discard))
 			}
 		}
-	}
-	for _, p := range pkgs {
+		facts.SetHook(nil)
+
 		if !p.Target {
 			continue
 		}
+		var pkgFindings []Finding
+		suppressed := 0
 		for _, a := range analyzers {
 			report := func(d Diagnostic) {
 				if Suppressed(p.Fset, p.Files, d) {
-					res.Suppressed++
+					suppressed++
 					return
 				}
-				res.Diagnostics = append(res.Diagnostics, d)
+				pkgFindings = append(pkgFindings, resolveFinding(p.Fset, absDir, d))
 			}
 			if err := a.Run(NewPass(a, p.Fset, p.Files, p.Types, p.Info, facts, report)); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, p.ImportPath, err)
 			}
 		}
+		res.Findings = append(res.Findings, pkgFindings...)
+		res.Suppressed += suppressed
+		if opts.CacheDir != "" {
+			e := &cacheEntry{Findings: pkgFindings, Suppressed: suppressed, Facts: exported}
+			// Write failure is non-fatal: the cache is an optimization.
+			_ = writeCacheEntry(opts.CacheDir, keys[p.ImportPath], e)
+		}
 	}
-	sortDiagnostics(res.Fset, res.Diagnostics)
+	sortFindings(res.Findings)
 	return res, nil
 }
 
-// sortDiagnostics orders by file position for stable output.
-func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
-	if fset == nil {
-		return
-	}
-	sort.SliceStable(ds, func(i, j int) bool {
-		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+// sortFindings orders findings by file, then position, then analyzer,
+// for stable output across cached and live runs.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return pi.Offset < pj.Offset
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
 	})
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // Print writes findings in the canonical file:line:col: analyzer:
 // message form and reports whether any were printed.
 func (res *RunResult) Print(w io.Writer) bool {
-	for _, d := range res.Diagnostics {
-		fmt.Fprintf(w, "%s: %s: %s\n", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	for _, f := range res.Findings {
+		fmt.Fprintln(w, f.String())
 	}
-	return len(res.Diagnostics) > 0
+	return len(res.Findings) > 0
 }

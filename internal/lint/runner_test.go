@@ -18,18 +18,20 @@ func TestCrossPackageFacts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(res.Diagnostics) != 1 {
-		t.Fatalf("got %d diagnostics, expected exactly 1: %v", len(res.Diagnostics), res.Diagnostics)
+	if len(res.Findings) != 1 {
+		t.Fatalf("got %d findings, expected exactly 1: %v", len(res.Findings), res.Findings)
 	}
-	d := res.Diagnostics[0]
-	pos := res.Fset.Position(d.Pos)
-	if !strings.Contains(pos.Filename, "app.go") {
-		t.Errorf("diagnostic at %s, expected it in app.go", pos)
+	f := res.Findings[0]
+	if !strings.Contains(f.File, "app.go") {
+		t.Errorf("finding at %s, expected it in app.go", f.File)
 	}
-	if !strings.Contains(d.Message, "plain read of atomic field Dropped") {
-		t.Errorf("unexpected message: %s", d.Message)
+	if strings.Contains(f.File, "..") || strings.HasPrefix(f.File, "/") {
+		t.Errorf("finding path should be relative to the run dir: %s", f.File)
 	}
-	if !strings.Contains(d.Message, "lib.go") {
-		t.Errorf("message should cite the atomic use site in lib.go: %s", d.Message)
+	if !strings.Contains(f.Message, "plain read of atomic field Dropped") {
+		t.Errorf("unexpected message: %s", f.Message)
+	}
+	if !strings.Contains(f.Message, "lib.go") {
+		t.Errorf("message should cite the atomic use site in lib.go: %s", f.Message)
 	}
 }

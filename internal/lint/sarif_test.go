@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestWriteSARIF round-trips the emitted log through encoding/json and
+// checks the structure a SARIF viewer (or GitHub code scanning)
+// depends on: schema/version, one rule per analyzer, results bound to
+// rules by id and index, physical locations, and suppression records
+// for baselined findings.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*lint.Analyzer{
+		{Name: "wirebounds", Doc: "prove decode indexing in bounds. Second sentence."},
+		{Name: "hotpath", Doc: "no allocation on hot paths"},
+	}
+	findings := []lint.Finding{
+		{File: "internal/ipfix/ipfix.go", Line: 327, Col: 9, Analyzer: "wirebounds", Message: "slice bound off+4 is not proven <= len(body)"},
+		{File: "internal/pipeline/pipeline.go", Line: 295, Col: 2, Analyzer: "wirebounds", Message: "slice index h is not proven < len(shards)",
+			Justification: "index is a modulo over len(shards)"},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, analyzers, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct{ Text string }
+					}
+				}
+			}
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						}
+						Region struct{ StartLine, StartColumn int }
+					}
+				}
+				Suppressions []struct{ Kind, Justification string }
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version %q schema %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "haystacklint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("got %d rules, want one per analyzer", len(run.Tool.Driver.Rules))
+	}
+	if got := run.Tool.Driver.Rules[0].ShortDescription.Text; got != "prove decode indexing in bounds." {
+		t.Errorf("rule description not trimmed to first sentence: %q", got)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results", len(run.Results))
+	}
+	for i, r := range run.Results {
+		f := findings[i]
+		if r.RuleID != f.Analyzer || r.Level != "error" || r.Message.Text != f.Message {
+			t.Errorf("result %d: %+v does not reflect %+v", i, r, f)
+		}
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not point at %s", i, r.RuleIndex, r.RuleID)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != f.File || loc.Region.StartLine != f.Line || loc.Region.StartColumn != f.Col {
+			t.Errorf("result %d location %+v does not match finding %+v", i, loc, f)
+		}
+	}
+	if len(run.Results[0].Suppressions) != 0 {
+		t.Error("live finding carries a suppression")
+	}
+	sup := run.Results[1].Suppressions
+	if len(sup) != 1 || sup[0].Kind != "external" || sup[0].Justification == "" {
+		t.Errorf("baselined finding suppressions = %+v, want one external with justification", sup)
+	}
+}

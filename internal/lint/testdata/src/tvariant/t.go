@@ -1,0 +1,16 @@
+// Package tvariant is the test-variant consistency fixture: the
+// package itself is clean, but its _test.go file reads the atomic
+// counter plainly. The standalone driver never loads test files, so
+// the vet driver must skip test variants too — both modes cover
+// exactly the same file sets.
+package tvariant
+
+import "sync/atomic"
+
+type Gauge struct {
+	N uint64
+}
+
+func (g *Gauge) Inc() {
+	atomic.AddUint64(&g.N, 1)
+}

@@ -1,0 +1,13 @@
+package tvariant
+
+import "testing"
+
+// TestInc reads g.N plainly — an atomicfield violation if test files
+// were analyzed. Neither driver must report it.
+func TestInc(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	if g.N != 1 {
+		t.Fatal("not incremented")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 )
 
 // vetConfig mirrors cmd/go's vet.cfg JSON (the fields we consume).
@@ -53,9 +55,32 @@ func RunUnit(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
 		return 1
 	}
 
+	// Test files are outside the suite's coverage: the standalone
+	// driver loads GoFiles only (go list without -test), and the two
+	// modes must agree on what the suite covers. cmd/go hands the tool
+	// test code three ways — _test.go files folded into the package's
+	// own unit (same ID, no marker), external "p_test" packages whose
+	// files are all _test.go, and the generated "p.test" main — so
+	// drop _test.go files from every unit and skip .test mains
+	// entirely. Units left empty still forward dependency facts so the
+	// go command's fact chain stays unbroken.
+	goFiles := cfg.GoFiles[:0:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 || isTestVariant(cfg.ID) || isTestVariant(cfg.ImportPath) {
+		facts, code := loadDepFacts(w, &cfg)
+		if code != 0 {
+			return code
+		}
+		return writeVetx(w, &cfg, facts)
+	}
+
 	fset := token.NewFileSet()
 	var files []*ast.File
-	for _, name := range cfg.GoFiles {
+	for _, name := range goFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
@@ -110,19 +135,9 @@ func RunUnit(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
 	// dependency's facts (each file already carries its own transitive
 	// closure), add this unit's, and re-export the union so importers
 	// of this package see the whole chain.
-	facts := NewFacts()
-	for path, vetx := range cfg.PackageVetx {
-		data, err := os.ReadFile(vetx)
-		if err != nil {
-			fmt.Fprintf(w, "haystacklint: reading facts for %s: %v\n", path, err)
-			return 1
-		}
-		var m map[string]map[string]string
-		if err := json.Unmarshal(data, &m); err != nil {
-			fmt.Fprintf(w, "haystacklint: decoding facts for %s: %v\n", path, err)
-			return 1
-		}
-		facts.Merge(FactsFromMap(m))
+	facts, code := loadDepFacts(w, &cfg)
+	if code != 0 {
+		return code
 	}
 
 	discard := func(Diagnostic) {}
@@ -131,18 +146,8 @@ func RunUnit(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
 			a.Collect(NewPass(a, fset, files, tpkg, info, facts, discard))
 		}
 	}
-	if cfg.VetxOutput != "" {
-		out, err := json.Marshal(facts.Map())
-		if err == nil {
-			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
-		}
-		if err != nil {
-			fmt.Fprintf(w, "haystacklint: writing facts: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
+	if code := writeVetx(w, &cfg, facts); code != 0 || cfg.VetxOnly {
+		return code
 	}
 
 	var diags []Diagnostic
@@ -166,6 +171,60 @@ func RunUnit(w io.Writer, analyzers []*Analyzer, cfgPath string) int {
 		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	return 2
+}
+
+// sortDiagnostics orders by file position for stable output.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+}
+
+// isTestVariant reports whether an import path names a test build of
+// a package: "p [p.test]" (internal test variant), "p_test [p.test]"
+// (external test package), or "p.test" (the generated test main).
+func isTestVariant(importPath string) bool {
+	return strings.Contains(importPath, " [") || strings.HasSuffix(importPath, ".test")
+}
+
+// loadDepFacts unions every dependency's vetx facts. Returns a
+// non-zero exit code on failure.
+func loadDepFacts(w io.Writer, cfg *vetConfig) (*Facts, int) {
+	facts := NewFacts()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(w, "haystacklint: reading facts for %s: %v\n", path, err)
+			return nil, 1
+		}
+		var m map[string]map[string]string
+		if err := json.Unmarshal(data, &m); err != nil {
+			fmt.Fprintf(w, "haystacklint: decoding facts for %s: %v\n", path, err)
+			return nil, 1
+		}
+		facts.Merge(FactsFromMap(m))
+	}
+	return facts, 0
+}
+
+// writeVetx serializes facts to the unit's VetxOutput, if requested.
+func writeVetx(w io.Writer, cfg *vetConfig, facts *Facts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	out, err := json.Marshal(facts.Map())
+	if err == nil {
+		err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "haystacklint: writing facts: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -46,4 +46,11 @@ func TestVetTool(t *testing.T) {
 	if !strings.Contains(out, "lib.go") {
 		t.Errorf("diagnostic should cite lib's atomic use site (fact flow through vetx):\n%s", out)
 	}
+
+	// Test-variant consistency: tvariant's _test.go reads an atomic
+	// field plainly, but test files are outside the suite's coverage
+	// in both modes — vet must skip the "p [p.test]" unit and pass.
+	if out, err := vet("./testdata/src/tvariant"); err != nil {
+		t.Errorf("test-variant package failed vet — test files must be skipped, as the standalone driver skips them: %v\n%s", err, out)
+	}
 }

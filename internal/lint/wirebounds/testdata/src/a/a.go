@@ -1,0 +1,187 @@
+package a
+
+import "encoding/binary"
+
+const headerLen = 16
+const setHeaderLen = 4
+
+type fieldSpec struct {
+	ID     uint16
+	Length uint16
+}
+
+// haystack:hotpath
+func guardedHeader(msg []byte) (uint32, bool) {
+	if len(msg) < headerLen {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint32(msg[4:8]) // constant bounds under len guard: ok
+	return v, true
+}
+
+// haystack:hotpath
+func unguardedHeader(msg []byte) uint32 {
+	return binary.BigEndian.Uint32(msg[4:8]) // want "slice bound 8 is not proven <= len\\(msg\\)"
+}
+
+// haystack:hotpath
+func lengthField(msg []byte) []byte {
+	if len(msg) < headerLen {
+		return nil
+	}
+	length := int(binary.BigEndian.Uint16(msg[2:4]))
+	if length < headerLen || length > len(msg) {
+		return nil
+	}
+	return msg[headerLen:length] // lo <= hi <= len all proven: ok
+}
+
+// haystack:hotpath
+func lengthFieldMissingUpper(msg []byte) []byte {
+	if len(msg) < headerLen {
+		return nil
+	}
+	length := int(binary.BigEndian.Uint16(msg[2:4]))
+	if length < headerLen {
+		return nil
+	}
+	return msg[headerLen:length] // want "slice bound length is not proven <= len\\(msg\\)"
+}
+
+// haystack:hotpath
+func setWalk(rest []byte) int {
+	n := 0
+	for len(rest) >= setHeaderLen {
+		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if setLen < setHeaderLen || setLen > len(rest) {
+			return n
+		}
+		body := rest[setHeaderLen:setLen] // loop + guard facts: ok
+		n += len(body)
+		rest = rest[setLen:] // setLen <= len(rest) still holds: ok
+	}
+	return n
+}
+
+// haystack:hotpath
+func setWalkGuardKilled(rest []byte) int {
+	n := 0
+	for len(rest) >= setHeaderLen {
+		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
+		if setLen < setHeaderLen || setLen > len(rest) {
+			return n
+		}
+		rest = rest[setHeaderLen:]
+		n += int(rest[setLen]) // want "index setLen is not proven < len\\(rest\\)"
+	}
+	return n
+}
+
+// fieldWalk models the fixed parseData shape: per-record slice, then
+// per-field advance under an explicit guard.
+//
+// haystack:hotpath
+func fieldWalk(body []byte, fields []fieldSpec, recLen int) int {
+	n := 0
+	for len(body) >= recLen {
+		if recLen <= 0 {
+			return n
+		}
+		rec := body[:recLen] // loop condition: ok
+		for _, f := range fields {
+			if int(f.Length) > len(rec) {
+				break
+			}
+			fb := rec[:f.Length] // guarded: ok
+			n += len(fb)
+			rec = rec[f.Length:] // guarded: ok
+		}
+		body = body[recLen:] // loop condition: ok
+	}
+	return n
+}
+
+// haystack:hotpath
+func fieldWalkUnguarded(body []byte, fields []fieldSpec, recLen int) int {
+	n := 0
+	for len(body) >= recLen {
+		if recLen <= 0 {
+			return n
+		}
+		off := 0
+		for _, f := range fields {
+			fb := body[off : off+int(f.Length)] // want "slice bound off\\+int\\(f.Length\\) is not proven <= len\\(body\\)"
+			n += len(fb)
+			off += int(f.Length)
+		}
+		body = body[recLen:]
+	}
+	return n
+}
+
+// haystack:hotpath
+func arrayConv(fb []byte) [4]byte {
+	if len(fb) == 4 {
+		return [4]byte(fb) // equality guard: ok
+	}
+	return [4]byte{}
+}
+
+// haystack:hotpath
+func arrayConvUnguarded(fb []byte) [4]byte {
+	return [4]byte(fb) // want "conversion to \\[4\\]byte is not proven safe"
+}
+
+// haystack:hotpath
+func rangeIndex(recs []int) int {
+	n := 0
+	for i := range recs {
+		n += recs[i] // range binds i < len(recs): ok
+	}
+	return n
+}
+
+// haystack:hotpath
+func staleIndex(recs []int, i int) int {
+	if i >= 0 && i < len(recs) {
+		recs = recs[1:] // i >= 0 and i < len make len >= 1: ok
+		return recs[i]  // want "index i is not proven < len\\(recs\\)"
+	}
+	return 0
+}
+
+// haystack:hotpath
+func clampedBuf(buf []byte, n int) []byte {
+	m := min(n, len(buf))
+	return buf[:m] // min() bound: ok
+}
+
+// haystack:hotpath
+func resetBuf(b []byte) []byte {
+	return b[:0] // len is never negative, no guard needed: ok
+}
+
+// haystack:hotpath
+func modIndex(shards []int, h uint64) int {
+	i := int(h % uint64(len(shards)))
+	return shards[i] // modulo by len: ok
+}
+
+// haystack:hotpath
+func shortCircuit(b []byte, i int) byte {
+	if i >= 0 && i < len(b) && b[i] != 0 { // refined under &&: ok
+		return b[i] // both conjuncts hold here: ok
+	}
+	return 0
+}
+
+// haystack:hotpath
+func allowEscape(b []byte, i int) byte {
+	// haystack:allow wirebounds caller contract guarantees i < len(b), documented at the call sites
+	return b[i]
+}
+
+// notHot is out of scope: no hotpath annotation, no findings.
+func notHot(b []byte) byte {
+	return b[9]
+}

@@ -1,0 +1,753 @@
+// Package wirebounds proves that `haystack:hotpath` decode functions
+// cannot panic on malformed wire input: every slice index, subslice,
+// and slice→array conversion must be dominated by a length guard.
+//
+// The proof is a forward must-analysis over the function's CFG
+// (internal/lint/cfg) with the dataflow.Bounds lattice: branch
+// conditions contribute difference constraints (`setLen <= len(rest)`,
+// `len(msg) >= 16`), assignments kill constraints over overwritten
+// terms and contribute equalities (`n := len(s)`, `v := min(a, b)`,
+// modulo-by-len), range loops bound their index variable, and each
+// access site is discharged by shortest-path reasoning over the
+// constraint graph. What cannot be proven is reported — a finding
+// means "a crafted datagram picks the path that panics here", which
+// the repo's fuzz targets can only sample but this analyzer decides.
+//
+// Scope: function declarations annotated `// haystack:hotpath`.
+// Function literals inside them are skipped (none of the decode paths
+// use closures); map indexing and constant-index array access are
+// compile-time-safe and ignored. The analysis does not track
+// lower-bound negativity of signed index expressions except where a
+// fact or unsigned origin proves it, and treats any call taking &x or
+// a pointer-receiver method on x as clobbering facts about x.
+package wirebounds
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "wirebounds",
+	Doc:  "slice accesses in haystack:hotpath decode functions must be dominated by length guards",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := lint.DocDirective(fd.Doc, "hotpath"); !ok {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *lint.Pass
+}
+
+func (w *walker) check(body *ast.BlockStmt) {
+	g := cfg.New(body, w.pass.TypesInfo)
+	res := dataflow.Solve(g, dataflow.Problem[dataflow.Bounds]{
+		Join:  dataflow.JoinBounds,
+		Equal: dataflow.EqualBounds,
+		Transfer: func(s dataflow.Bounds, n ast.Node) dataflow.Bounds {
+			return w.transfer(s, n, false)
+		},
+		Refine: w.refine,
+	})
+	// Second, deterministic pass with the fixpoint in-states: same
+	// transfer, but access sites are verified and reported.
+	for _, b := range g.Blocks {
+		s, ok := res.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			s = w.transfer(s, n, true)
+		}
+	}
+}
+
+// transfer applies one block node: walks its expressions (verifying
+// access sites when report is set), then applies assignment effects.
+func (w *walker) transfer(s dataflow.Bounds, n ast.Node, report bool) dataflow.Bounds {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			s = w.walkExpr(s, rhs, report)
+		}
+		for _, lhs := range n.Lhs {
+			s = w.walkExpr(s, lhs, report)
+		}
+		s = w.assign(s, n)
+	case *ast.IncDecStmt:
+		s = w.walkExpr(s, n.X, report)
+		s = w.killPath(s, n.X)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s = w.walkExpr(s, v, report)
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							s = w.genAssign(s, name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	case ast.Expr:
+		s = w.walkExpr(s, n, report)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			s = w.walkExpr(s, r, report)
+		}
+	case *ast.SendStmt:
+		s = w.walkExpr(s, n.Chan, report)
+		s = w.walkExpr(s, n.Value, report)
+	case *ast.ExprStmt:
+		s = w.walkExpr(s, n.X, report)
+	case *ast.DeferStmt:
+		s = w.walkExpr(s, n.Call, report)
+	case *ast.GoStmt:
+		s = w.walkExpr(s, n.Call, report)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// A statement kind we do not model: drop all facts.
+		s = dataflow.Bounds{}
+	}
+	return s
+}
+
+// assign applies one assignment statement's effects: kills facts over
+// the overwritten paths, then records equalities the RHS implies.
+func (w *walker) assign(s dataflow.Bounds, n *ast.AssignStmt) dataflow.Bounds {
+	for _, lhs := range n.Lhs {
+		s = w.killPath(s, lhs)
+	}
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		s = w.genAssign(s, n.Lhs[0], n.Rhs[0])
+	}
+	return s
+}
+
+// genAssign records facts implied by `lhs = rhs`, provided rhs does
+// not mention lhs (self-referential updates only kill).
+func (w *walker) genAssign(s dataflow.Bounds, lhs, rhs ast.Expr) dataflow.Bounds {
+	lt, loff, ok := w.canon(lhs)
+	if !ok || lt == dataflow.Zero {
+		return s
+	}
+	marker := lt
+	rhs = ast.Unparen(rhs)
+
+	// v := min(a, b, ...) — v <= each argument.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "min" {
+			if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range call.Args {
+					if at, aoff, ok := w.canon(arg); ok && !strings.Contains(at, marker) {
+						s = s.With(lt, at, aoff-loff)
+					}
+				}
+				return s
+			}
+		}
+	}
+
+	// v := x % uint?(len(p)) — v <= len(p)-1, v >= 0 for unsigned x.
+	if t, nonneg, ok := w.modLen(rhs); ok && !strings.Contains(t, marker) {
+		s = s.With(lt, t, -1-loff)
+		if nonneg {
+			s = s.With(dataflow.Zero, lt, loff)
+		}
+		return s
+	}
+
+	// v := <canonical expr> — equality.
+	if rt, roff, ok := w.canon(rhs); ok && !strings.Contains(rt, marker) {
+		s = s.WithEq(lt, rt, roff-loff)
+	}
+
+	// v := s[lo:hi] with constant lo — len(v) == hi - lo (an omitted
+	// high bound means len(s)).
+	if se, ok := rhs.(*ast.SliceExpr); ok && !se.Slice3 {
+		lo := 0
+		okLo := se.Low == nil
+		if se.Low != nil {
+			if lt2, c, ok := w.canon(se.Low); ok && lt2 == dataflow.Zero {
+				lo, okLo = c, true
+			}
+		}
+		if okLo {
+			var ht string
+			var hoff int
+			okHi := false
+			if se.High != nil {
+				ht, hoff, okHi = w.canon(se.High)
+			} else if t, ok := w.lenTermOf(se.X, w.exprType(se.X)); ok {
+				ht, okHi = t, true
+			}
+			if okHi && !strings.Contains(ht, marker) {
+				s = s.WithEq("len("+lt+")", ht, hoff-lo)
+			}
+		}
+	}
+	return s
+}
+
+// modLen matches `x % len(p)` through integer conversions, returning
+// len(p)'s term and whether x is of unsigned origin.
+func (w *walker) modLen(e ast.Expr) (term string, nonneg, ok bool) {
+	be, isBin := ast.Unparen(w.unconvert(e)).(*ast.BinaryExpr)
+	if !isBin || be.Op != token.REM {
+		return "", false, false
+	}
+	rhs := ast.Unparen(w.unconvert(be.Y))
+	call, isCall := rhs.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 1 {
+		return "", false, false
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "len" {
+		return "", false, false
+	}
+	t, off, okArg := w.canon(call.Args[0])
+	if !okArg || off != 0 {
+		return "", false, false
+	}
+	return "len(" + t + ")", w.isUnsigned(be.X), true
+}
+
+// walkExpr visits e in evaluation order, refining across && and ||
+// and verifying slice accesses when report is set. The returned state
+// reflects kills from calls that may mutate operands.
+func (w *walker) walkExpr(s dataflow.Bounds, e ast.Expr, report bool) dataflow.Bounds {
+	if e == nil {
+		return s
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.walkExpr(s, e.X, report)
+	case *ast.FuncLit:
+		return s // separate function; not part of this proof
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			// Short-circuit: the right operand only evaluates under the
+			// left's truth (&&) or falsity (||), so it is checked under
+			// the refined state. The state after the whole expression is
+			// the join of "stopped early" and "evaluated both".
+			s1 := w.walkExpr(s, e.X, report)
+			s2 := w.walkExpr(w.refineCond(s1, e.X, e.Op == token.LAND), e.Y, report)
+			return dataflow.JoinBounds(s1, s2)
+		}
+		s = w.walkExpr(s, e.X, report)
+		return w.walkExpr(s, e.Y, report)
+	case *ast.IndexExpr:
+		s = w.walkExpr(s, e.X, report)
+		s = w.walkExpr(s, e.Index, report)
+		if report {
+			w.checkIndex(s, e)
+		}
+		return s
+	case *ast.SliceExpr:
+		s = w.walkExpr(s, e.X, report)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			s = w.walkExpr(s, b, report)
+		}
+		if report {
+			w.checkSlice(s, e)
+		}
+		return s
+	case *ast.CallExpr:
+		s = w.walkExpr(s, e.Fun, report)
+		for _, a := range e.Args {
+			s = w.walkExpr(s, a, report)
+		}
+		if report {
+			w.checkArrayConv(s, e)
+		}
+		return w.killCallEffects(s, e)
+	case *ast.SelectorExpr:
+		return w.walkExpr(s, e.X, report)
+	case *ast.StarExpr:
+		return w.walkExpr(s, e.X, report)
+	case *ast.UnaryExpr:
+		return w.walkExpr(s, e.X, report)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s = w.walkExpr(s, el, report)
+		}
+		return s
+	case *ast.KeyValueExpr:
+		s = w.walkExpr(s, e.Key, report)
+		return w.walkExpr(s, e.Value, report)
+	case *ast.TypeAssertExpr:
+		return w.walkExpr(s, e.X, report)
+	case *ast.IndexListExpr:
+		return w.walkExpr(s, e.X, report)
+	default:
+		return s
+	}
+}
+
+// killCallEffects drops facts about operands a call may mutate: &x
+// arguments and pointer-receiver method targets.
+func (w *walker) killCallEffects(s dataflow.Bounds, call *ast.CallExpr) dataflow.Bounds {
+	for _, a := range call.Args {
+		if ue, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			s = w.killPath(s, ue.X)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := w.pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if sig, ok := selection.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+				if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+					s = w.killPath(s, sel.X)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (w *walker) checkIndex(s dataflow.Bounds, e *ast.IndexExpr) {
+	t := w.exprType(e.X)
+	lenTerm, ok := w.lenTermOf(e.X, t)
+	if !ok {
+		return
+	}
+	if !w.proveLE(s, e.Index, 0, lenTerm, -1) {
+		w.reportf(e, "index %s is not proven < %s", render(e.Index), lenOf(e.X))
+	}
+}
+
+func (w *walker) checkSlice(s dataflow.Bounds, e *ast.SliceExpr) {
+	t := w.exprType(e.X)
+	lenTerm, ok := w.lenTermOf(e.X, t)
+	if !ok {
+		return
+	}
+	// High (and Max) against len; Low against High (or len).
+	for _, hi := range []ast.Expr{e.High, e.Max} {
+		if hi == nil {
+			continue
+		}
+		if !w.proveLE(s, hi, 0, lenTerm, 0) {
+			w.reportf(e, "slice bound %s is not proven <= %s", render(hi), lenOf(e.X))
+		}
+	}
+	if e.Low != nil {
+		upper, upperTerm := e.High, ""
+		if upper == nil {
+			upperTerm = lenTerm
+		}
+		if !w.proveLoHi(s, e.Low, upper, upperTerm) {
+			limit := lenOf(e.X)
+			if e.High != nil {
+				limit = render(e.High)
+			}
+			w.reportf(e, "slice bound %s is not proven <= %s", render(e.Low), limit)
+		}
+	}
+}
+
+// checkArrayConv verifies slice→array conversions: [N]T(s) panics
+// when len(s) < N.
+func (w *walker) checkArrayConv(s dataflow.Bounds, call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	target := tv.Type
+	if p, isPtr := target.Underlying().(*types.Pointer); isPtr {
+		target = p.Elem()
+	}
+	arr, isArr := target.Underlying().(*types.Array)
+	if !isArr {
+		return
+	}
+	arg := call.Args[0]
+	if _, isSlice := w.exprType(arg).(*types.Slice); !isSlice {
+		return
+	}
+	lenTerm, ok := w.lenTermOf(arg, w.exprType(arg))
+	if !ok {
+		return
+	}
+	n := int(arr.Len())
+	// Need len(s) >= n: Zero - len(s) <= -n.
+	if !w.prove(s, dataflow.Zero, lenTerm, -n) {
+		w.reportf(call, "conversion to [%d]%s is not proven safe: need len(%s) >= %d",
+			n, arr.Elem(), render(arg), n)
+	}
+}
+
+// proveLE proves canon(e)+eoff <= term+off.
+func (w *walker) proveLE(s dataflow.Bounds, e ast.Expr, eoff int, term string, off int) bool {
+	t, c, ok := w.canon(e)
+	if !ok {
+		return false
+	}
+	return w.prove(s, t, term, off-c-eoff)
+}
+
+// prove wraps Bounds.Prove with the axiom that length terms are
+// non-negative, so e.g. b[:0] needs no explicit guard.
+func (w *walker) prove(s dataflow.Bounds, x, y string, k int) bool {
+	for _, t := range [2]string{x, y} {
+		if strings.HasPrefix(t, "len(") {
+			s = s.With(dataflow.Zero, t, 0)
+		}
+	}
+	return s.Prove(x, y, k)
+}
+
+// proveLoHi proves lo <= hi (hi nil means the term upperTerm), with
+// the `s[x : x+k]` special case: when hi is syntactically lo + K, the
+// obligation reduces to 0 <= K.
+func (w *walker) proveLoHi(s dataflow.Bounds, lo, hi ast.Expr, upperTerm string) bool {
+	lt, lc, ok := w.canon(lo)
+	if !ok {
+		return false
+	}
+	if hi == nil {
+		return w.prove(s, lt, upperTerm, -lc)
+	}
+	if be, ok := ast.Unparen(hi).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		for _, p := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			x, k := p[0], p[1]
+			if xt, xc, ok := w.canon(x); ok && xt == lt && xc == lc {
+				if w.isUnsigned(w.unconvert(k)) {
+					return true
+				}
+				if kt, kc, ok := w.canon(k); ok && w.prove(s, dataflow.Zero, kt, kc) {
+					return true
+				}
+			}
+		}
+	}
+	ht, hc, ok := w.canon(hi)
+	if !ok {
+		return false
+	}
+	return w.prove(s, lt, ht, hc-lc)
+}
+
+// refine admits an edge's condition (or range bound) into the state.
+func (w *walker) refine(s dataflow.Bounds, e *cfg.Edge) dataflow.Bounds {
+	if e.Range != nil {
+		return w.refineRange(s, e.Range)
+	}
+	if e.Cond != nil {
+		return w.refineCond(s, e.Cond, !e.Negate)
+	}
+	return s
+}
+
+// refineRange kills and re-bounds the key variable of `for k := range s`.
+func (w *walker) refineRange(s dataflow.Bounds, rs *ast.RangeStmt) dataflow.Bounds {
+	if rs.Key != nil {
+		s = w.killPath(s, rs.Key)
+	}
+	if rs.Value != nil {
+		s = w.killPath(s, rs.Value)
+	}
+	if rs.Key == nil {
+		return s
+	}
+	switch t := w.exprType(rs.X).(type) {
+	case *types.Slice:
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return s
+		}
+	default:
+		return s // maps/channels/arrays: no slice-length bound to learn
+	}
+	kt, koff, ok := w.canon(rs.Key)
+	if !ok || koff != 0 {
+		return s
+	}
+	if lenTerm, ok := w.lenTermOf(rs.X, w.exprType(rs.X)); ok {
+		s = s.With(kt, lenTerm, -1)
+		s = s.With(dataflow.Zero, kt, 0)
+	}
+	return s
+}
+
+// refineCond folds a branch condition (with polarity) into facts.
+func (w *walker) refineCond(s dataflow.Bounds, cond ast.Expr, truth bool) dataflow.Bounds {
+	cond = ast.Unparen(cond)
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		return w.refineCond(s, ue.X, !truth)
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return s
+	}
+	switch be.Op {
+	case token.LAND:
+		if truth {
+			return w.refineCond(w.refineCond(s, be.X, true), be.Y, true)
+		}
+		return s
+	case token.LOR:
+		if !truth {
+			return w.refineCond(w.refineCond(s, be.X, false), be.Y, false)
+		}
+		return s
+	}
+	op := be.Op
+	if !truth {
+		switch op {
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.EQL:
+			op = token.NEQ
+		case token.NEQ:
+			op = token.EQL
+		default:
+			return s
+		}
+	}
+	lt, lc, okL := w.canon(be.X)
+	rt, rc, okR := w.canon(be.Y)
+	if !okL || !okR {
+		return s
+	}
+	switch op {
+	case token.LSS:
+		return s.With(lt, rt, rc-lc-1)
+	case token.LEQ:
+		return s.With(lt, rt, rc-lc)
+	case token.GTR:
+		return s.With(rt, lt, lc-rc-1)
+	case token.GEQ:
+		return s.With(rt, lt, lc-rc)
+	case token.EQL:
+		return s.WithEq(lt, rt, rc-lc)
+	}
+	return s
+}
+
+// killPath drops constraints over the assigned expression's path (and
+// anything reached through it). Element stores (s[i] = v) change no
+// tracked term — facts range over variables, field paths, and their
+// lengths — but a pointer store (*p = v) may alias any of them, so it
+// clears the state.
+func (w *walker) killPath(s dataflow.Bounds, lhs ast.Expr) dataflow.Bounds {
+	lhs = ast.Unparen(lhs)
+	t, _, ok := w.canon(lhs)
+	if ok && t != dataflow.Zero {
+		return s.Kill(func(term string) bool { return strings.Contains(term, t) })
+	}
+	switch lhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return s
+	}
+	return dataflow.Bounds{}
+}
+
+// canon maps an expression to (term, constant offset). Constants fold
+// to (Zero, value); identifiers and field paths become stable
+// name@pos terms; len(x) of arrays folds to the array length;
+// integer conversions unwrap (both occurrences of a guarded value
+// canonicalize identically); +/- of a constant folds into the offset;
+// other binary combinations become opaque composite terms, so a guard
+// over the same syntactic expression still matches.
+func (w *walker) canon(e ast.Expr) (term string, off int, ok bool) {
+	e = ast.Unparen(e)
+	if tv, found := w.pass.TypesInfo.Types[e]; found && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return dataflow.Zero, int(v), true
+		}
+		return "", 0, false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, isVar := w.pass.TypesInfo.ObjectOf(e).(*types.Var); isVar {
+			return fmt.Sprintf("%s@%d", v.Name(), v.Pos()), 0, true
+		}
+	case *ast.SelectorExpr:
+		base, _, okBase := w.canon(e.X)
+		if okBase && base != dataflow.Zero {
+			if sel, found := w.pass.TypesInfo.Selections[e]; found && sel.Kind() == types.FieldVal {
+				return base + "." + e.Sel.Name, 0, true
+			}
+		}
+	case *ast.CallExpr:
+		// len(x)
+		if id, isIdent := ast.Unparen(e.Fun).(*ast.Ident); isIdent && id.Name == "len" && len(e.Args) == 1 {
+			if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				argT := w.exprType(e.Args[0])
+				if arr, isArr := w.arrayOf(argT); isArr {
+					return dataflow.Zero, int(arr.Len()), true
+				}
+				if t, c, okArg := w.canon(e.Args[0]); okArg && c == 0 && t != dataflow.Zero {
+					return "len(" + t + ")", 0, true
+				}
+			}
+			return "", 0, false
+		}
+		// Integer conversion: unwrap.
+		if tv, found := w.pass.TypesInfo.Types[e.Fun]; found && tv.IsType() && len(e.Args) == 1 {
+			if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsInteger != 0 {
+				return w.canon(e.Args[0])
+			}
+		}
+	case *ast.BinaryExpr:
+		lt, lc, okL := w.canon(e.X)
+		rt, rc, okR := w.canon(e.Y)
+		if !okL || !okR {
+			return "", 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			switch {
+			case lt == dataflow.Zero:
+				return rt, rc + lc, true
+			case rt == dataflow.Zero:
+				return lt, lc + rc, true
+			default:
+				return lt + "+" + rt, lc + rc, true
+			}
+		case token.SUB:
+			if rt == dataflow.Zero {
+				return lt, lc - rc, true
+			}
+			if lt != dataflow.Zero {
+				return lt + "-" + rt, lc - rc, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// unconvert strips integer type conversions.
+func (w *walker) unconvert(e ast.Expr) ast.Expr {
+	for {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, found := w.pass.TypesInfo.Types[call.Fun]
+		if !found || !tv.IsType() {
+			return e
+		}
+		if b, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsInteger == 0 {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+func (w *walker) exprType(e ast.Expr) types.Type {
+	if tv, ok := w.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// lenTermOf returns the term standing for len(x), or ok=false when the
+// operand is not a checkable sequence (maps) or is an array (constant
+// length handled by the caller via canon; here we only skip index
+// checks the compiler already performs for constant operands).
+func (w *walker) lenTermOf(x ast.Expr, t types.Type) (string, bool) {
+	switch t := t.(type) {
+	case *types.Slice:
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return "", false
+		}
+	case *types.Array, *types.Pointer:
+		return "", false // constant length; compile-time checked for consts, rare otherwise
+	default:
+		return "", false
+	}
+	term, off, ok := w.canon(x)
+	if !ok || off != 0 || term == dataflow.Zero {
+		return "", false
+	}
+	return "len(" + term + ")", true
+}
+
+func (w *walker) arrayOf(t types.Type) (*types.Array, bool) {
+	if t == nil {
+		return nil, false
+	}
+	arr, ok := t.(*types.Array)
+	return arr, ok
+}
+
+func (w *walker) isUnsigned(e ast.Expr) bool {
+	t := w.exprType(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+func (w *walker) reportf(n ast.Node, format string, args ...any) {
+	w.pass.Reportf(n.Pos(), format+" on this path; a malformed datagram could panic here — add or restore a length guard", args...)
+}
+
+// render prints an expression for diagnostics (positions stripped).
+var atPos = regexp.MustCompile(`@\d+`)
+
+func render(e ast.Expr) string {
+	return atPos.ReplaceAllString(exprString(e), "")
+}
+
+func lenOf(e ast.Expr) string { return "len(" + render(e) + ")" }
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return exprString(e.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "expr"
+	}
+}

@@ -344,11 +344,19 @@ func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour s
 	var out []flow.Record
 	for len(body) >= recLen {
 		rec := flow.Record{Hour: hour}
-		off := 0
+		// Walk the record by slicing the front off a view of it, so
+		// every access is guarded by the view's remaining length —
+		// sum(field lengths) == recLen makes the guard dead code, but
+		// the decoder stays safe (and provably in bounds) even if a
+		// template ever lied.
+		fields := body[:recLen]
 		for _, f := range t.Fields {
-			fb := body[off : off+int(f.Length)]
-			decodeField(&rec, f, fb)
-			off += int(f.Length)
+			n := int(f.Length)
+			if n > len(fields) {
+				break
+			}
+			decodeField(&rec, f, fields[:n])
+			fields = fields[n:]
 		}
 		out = append(out, rec)
 		body = body[recLen:]

@@ -423,3 +423,88 @@ func BenchmarkCollect(b *testing.B) {
 		}
 	}
 }
+
+// TestFieldWalkSkipsUnknownFields pins parseData's guarded
+// shrinking-view record walk with a hand-assembled v9 packet: the
+// template interleaves a vendor field type this collector does not
+// decode (999, odd length 3) between known fields, so the known fields
+// only decode correctly if exactly the unknown bytes are skipped.
+// Trailing FlowSet padding shorter than one record must be tolerated.
+func TestFieldWalkSkipsUnknownFields(t *testing.T) {
+	be16 := binary.BigEndian.AppendUint16
+	be32 := binary.BigEndian.AppendUint32
+
+	var msg []byte
+	msg = be16(msg, Version)
+	msg = be16(msg, 3)      // count: 1 template + 2 data records
+	msg = be32(msg, 123456) // sysUptime
+	msg = be32(msg, 7200)   // unix seconds → hour 2
+	msg = be32(msg, 0)      // sequence
+	msg = be32(msg, 9)      // source id
+
+	// Template FlowSet: template 400, recLen = 4+3+2+4+1 = 14.
+	msg = be16(msg, 0)
+	msg = be16(msg, 4+4+5*4)
+	msg = be16(msg, 400)
+	msg = be16(msg, 5)
+	for _, f := range [][2]uint16{
+		{FieldIPv4SrcAddr, 4},
+		{999, 3},
+		{FieldL4SrcPort, 2},
+		{FieldInPkts, 4},
+		{FieldProtocol, 1},
+	} {
+		msg = be16(msg, f[0])
+		msg = be16(msg, f[1])
+	}
+
+	// Data FlowSet: two 14-byte records plus 2 bytes of padding.
+	msg = be16(msg, 400)
+	msg = be16(msg, 4+2*14+2)
+	msg = append(msg, 10, 0, 0, 1)      // source address
+	msg = append(msg, 0xAA, 0xBB, 0xCC) // field 999: must be skipped
+	msg = be16(msg, 4242)               // source port
+	msg = be32(msg, 9)                  // packets
+	msg = append(msg, byte(flow.ProtoTCP))
+	msg = append(msg, 10, 0, 0, 2)
+	msg = append(msg, 0, 0, 0)
+	msg = be16(msg, 4243)
+	msg = be32(msg, 2)
+	msg = append(msg, byte(flow.ProtoUDP))
+	msg = append(msg, 0, 0) // FlowSet padding
+
+	col := NewCollector()
+	out, err := col.Feed(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(out))
+	}
+	want := []struct {
+		src     netip.Addr
+		port    uint16
+		packets uint64
+		proto   flow.Proto
+	}{
+		{netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4242, 9, flow.ProtoTCP},
+		{netip.AddrFrom4([4]byte{10, 0, 0, 2}), 4243, 2, flow.ProtoUDP},
+	}
+	for i, w := range want {
+		r := out[i]
+		if r.Key.Src != w.src || r.Key.SrcPort != w.port ||
+			r.Packets != w.packets || r.Key.Proto != w.proto {
+			t.Errorf("record %d: got %+v, want src=%v port=%d packets=%d proto=%d",
+				i, r, w.src, w.port, w.packets, w.proto)
+		}
+		if r.Hour != 2 {
+			t.Errorf("record %d: hour %d, want 2", i, r.Hour)
+		}
+		if r.Key.Dst.IsValid() || r.Key.DstPort != 0 || r.Bytes != 0 {
+			t.Errorf("record %d: untemplated fields populated: %+v", i, r)
+		}
+	}
+	if col.Dropped.Load() != 0 || col.Gaps.Load() != 0 {
+		t.Fatalf("Dropped=%d Gaps=%d, want 0, 0", col.Dropped.Load(), col.Gaps.Load())
+	}
+}
