@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/experiments"
+)
+
+// usageError marks a command-line usage mistake — a bad flag value or
+// an unknown scenario name. main prints it and exits 2 (the
+// conventional usage-error status) instead of 1, so scripts can tell
+// "you called me wrong" from "the run failed".
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// cmdAdversary runs the adversarial scenario matrix: N seeded trials
+// per scenario against a fresh population and a fresh sharded
+// pipeline, scored against the population's ground-truth device
+// assignment. All flag validation happens before the (expensive) lab
+// build so usage mistakes fail fast with exit 2.
+func cmdAdversary(fs *flag.FlagSet, rest []string, seed *uint64, lines, shards *int, format *string) error {
+	scenario := fs.String("scenario", "all", "scenario: all|"+adversary.ScenarioNames())
+	trials := fs.Int("trials", 3, "independently seeded trials per scenario (>= 1)")
+	hours := fs.Int("hours", 48, "observation window length in hours")
+	samplingN := fs.Uint64("sampling", 0, "1-in-N vantage-point sampling override (0 = scenario default)")
+	threshold := fs.Float64("threshold", 0.4, "detection threshold D")
+	perRule := fs.Bool("per-rule", false, "include the per-rule quality breakdown (text/jsonl)")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{err}
+	}
+
+	usage := func(err error) error {
+		fmt.Fprintln(os.Stderr, "haystack adversary:", err)
+		fs.Usage()
+		return usageError{err}
+	}
+
+	// The adversary's population default is experiment-scale (2000
+	// lines), not the wild-sweep default; an explicit -lines wins.
+	expLines := 2000
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "lines" {
+			expLines = *lines
+		}
+	})
+
+	switch *format {
+	case "text", "csv", "jsonl":
+	default:
+		return usage(fmt.Errorf("unknown format %q (adversary formats: text|csv|jsonl)", *format))
+	}
+	if *scenario != "all" {
+		if _, err := adversary.ParseScenario(*scenario); err != nil {
+			return usage(err)
+		}
+	}
+	base := adversary.DefaultConfig(adversary.ScenarioBaseline, *seed)
+	base.Trials = *trials
+	base.Population.Lines = expLines
+	base.WindowHours = *hours
+	base.Threshold = *threshold
+	base.Shards = *shards
+	if *samplingN > 0 {
+		base.Sampling = *samplingN
+	}
+	if err := base.Validate(); err != nil {
+		return usage(err)
+	}
+
+	lab, err := experiments.NewLab(experiments.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	runner := adversary.NewRunner(lab)
+
+	var results []*adversary.ExperimentResult
+	if *scenario == "all" {
+		if results, err = runner.RunAll(base); err != nil {
+			return err
+		}
+	} else {
+		sc, _ := adversary.ParseScenario(*scenario) // validated above
+		cfg := adversary.DefaultConfig(sc, *seed)
+		cfg.Trials = base.Trials
+		cfg.Population = base.Population
+		cfg.WindowHours = base.WindowHours
+		cfg.Threshold = base.Threshold
+		cfg.Shards = base.Shards
+		if *samplingN > 0 {
+			cfg.Sampling = *samplingN
+		}
+		res, err := runner.Run(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	switch *format {
+	case "csv":
+		return adversary.WriteMatrixCSV(os.Stdout, results)
+	case "jsonl":
+		return adversary.WriteMatrixJSONL(os.Stdout, results)
+	}
+	return adversary.WriteMatrixText(os.Stdout, results, *perRule)
+}

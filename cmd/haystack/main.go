@@ -9,6 +9,7 @@
 //	haystack list                            list experiment IDs
 //	haystack detect [-proto P] [-i file]     detect from a flowgen stream
 //	haystack listen [-listen spec]...        collect NetFlow/IPFIX over UDP or TCP
+//	haystack adversary [flags]               run the adversarial scenario matrix
 //
 // Flags:
 //
@@ -18,7 +19,22 @@
 //	-shards N     parallel detection-engine shards for the wild sweeps
 //	              and the wire-fed detect/listen commands (default 1;
 //	              any value produces identical outputs)
-//	-format F     text | csv | summary (default text)
+//	-format F     text | csv | summary (default text; the adversary
+//	              matrix renders text | csv | jsonl)
+//
+// adversary flags (see EXPERIMENTS.md "Adversarial scenarios"):
+//
+//	-scenario S   all, or one of baseline|evasive|nat-churn|sampling|
+//	              exporter (default all)
+//	-trials N     independently seeded trials per scenario (default 3)
+//	-hours N      observation window length in hours (default 48)
+//	-sampling N   1-in-N vantage-point sampling override (0 = scenario
+//	              default)
+//	-threshold D  detection threshold (default 0.4)
+//	-per-rule     include the per-rule quality breakdown
+//
+// Usage mistakes (unknown scenario, -trials 0, bad format) exit 2;
+// run failures exit 1.
 //
 // listen flags (see docs/OPERATIONS.md for the operator guide):
 //
@@ -69,13 +85,17 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "haystack:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all|detect|listen [flags]")
+		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all|detect|listen|adversary [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -173,6 +193,9 @@ func run(args []string) error {
 			exportFormat: *exportFormat,
 			events:       *events,
 		})
+
+	case "adversary":
+		return cmdAdversary(fs, rest, seed, lines, shards, format)
 
 	case "catalog", "rules":
 		if err := fs.Parse(rest); err != nil {

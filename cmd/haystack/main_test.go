@@ -1,0 +1,102 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestAdversaryUsageErrors pins the exit-2 contract: bad flag values
+// and unknown scenario names must surface as a usageError at
+// flag-parse time — before the lab build — so main exits 2 with usage
+// rather than 1.
+func TestAdversaryUsageErrors(t *testing.T) {
+	// fs.Usage writes to stderr; silence it for the table run.
+	old := os.Stderr
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = null
+	defer func() {
+		os.Stderr = old
+		null.Close()
+	}()
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero trials", []string{"adversary", "-trials", "0"}},
+		{"negative trials", []string{"adversary", "-trials", "-3"}},
+		{"unknown scenario", []string{"adversary", "-scenario", "wormhole"}},
+		{"non-adversary format", []string{"adversary", "-format", "summary"}},
+		{"unparsable flag", []string{"adversary", "-trials", "many"}},
+		{"zero window", []string{"adversary", "-hours", "0"}},
+		{"huge sampling", []string{"adversary", "-sampling", "2000000"}},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) succeeded, want usage error", tc.name, tc.args)
+			continue
+		}
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: run(%v) = %v; not a usageError (would exit 1, want 2)", tc.name, tc.args, err)
+		}
+	}
+}
+
+// TestAdversaryRunErrorsAreNotUsageErrors: only usage mistakes map to
+// exit 2; other command errors stay exit 1.
+func TestAdversaryRunErrorsAreNotUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"unknown-command"},
+		{},
+	} {
+		err := run(args)
+		if err == nil {
+			t.Fatalf("run(%v) succeeded", args)
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
+			t.Errorf("run(%v) = usageError %v; want a plain (exit 1) error", args, err)
+		}
+	}
+}
+
+// TestAdversaryCLISmoke runs one tiny baseline experiment end to end
+// through the subcommand, with output redirected away.
+func TestAdversaryCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a lab")
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	runErr := run([]string{"adversary", "-scenario", "baseline",
+		"-trials", "1", "-hours", "24", "-lines", "200", "-format", "csv"})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("adversary baseline run: %v", runErr)
+	}
+	if len(out) == 0 {
+		t.Fatal("adversary run produced no output")
+	}
+	want := "scenario,trials,tpr,fpr,fnr"
+	if got := string(out[:min(len(out), len(want))]); got != want {
+		t.Errorf("csv output starts %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,472 @@
+// Package adversary is the adversarial experiment harness: it
+// measures how detection quality degrades when the world stops
+// cooperating with the paper's methodology.
+//
+// The paper (§6–§7) validates the detection rules against cooperative
+// ground truth. This package stresses the same compiled dictionary and
+// the same sharded pipeline against conditions a production deployment
+// meets first: devices that evade, NAT identifier churn, vantage-point
+// sampling, and misbehaving exporters on the wire. The shape follows
+// the classic experiment-runner pattern: an ExperimentConfig runs N
+// seeded-deterministic trials and aggregates TPR/FPR/FNR plus
+// per-rule quality into one ExperimentResult per scenario.
+//
+// Ground truth is the isp.Population device assignment: a (line, rule)
+// pair is a positive when the line's devices can, under full
+// visibility, cover the rule's compiled evidence requirement (and its
+// parent chain). Detections come from a fresh sharded pipeline run per
+// trial, so every result is also shard-count invariant — the matrix
+// bytes are identical at 1 and 8 shards.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/experiments"
+	"repro/internal/isp"
+	"repro/internal/pipeline"
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// Scenario names one adversarial condition.
+type Scenario string
+
+// The shipped scenarios. Baseline is the cooperative reference every
+// adversarial scenario is read against.
+const (
+	// ScenarioBaseline is cooperative ground truth: unsampled
+	// emissions, stable identifiers, honest exporters.
+	ScenarioBaseline Scenario = "baseline"
+	// ScenarioEvasive models devices that try not to be detected:
+	// sticky per-(line, endpoint) port jitter moves a fraction of
+	// backend flows off the dictionary's (ip, port) hitlist, and
+	// per-observation packet counts are held under the
+	// detect.UsageThreshold active-use boundary.
+	ScenarioEvasive Scenario = "evasive"
+	// ScenarioNATChurn remaps subscriber lines to new detect.SubIDs
+	// mid-window (carrier-grade NAT / forced reassignment), splitting
+	// each line's evidence across identities, observed under ISP
+	// sampling.
+	ScenarioNATChurn Scenario = "nat-churn"
+	// ScenarioSampling routes every emitted packet through a
+	// per-packet sampler (sampling.Deterministic or sampling.Uniform)
+	// at a configurable 1-in-N rate.
+	ScenarioSampling Scenario = "sampling"
+	// ScenarioExporter runs wire-level trials: emissions are encoded
+	// as real NetFlow v9 and IPFIX messages, sequence lies and
+	// template churn are injected, and detections come from the
+	// collector decode path.
+	ScenarioExporter Scenario = "exporter"
+)
+
+// Scenarios returns all scenarios in canonical (report) order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		ScenarioBaseline, ScenarioEvasive, ScenarioNATChurn,
+		ScenarioSampling, ScenarioExporter,
+	}
+}
+
+// ParseScenario maps a CLI name to a Scenario.
+func ParseScenario(s string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if string(sc) == s {
+			return sc, nil
+		}
+	}
+	return "", fmt.Errorf("unknown scenario %q (want %s)", s, ScenarioNames())
+}
+
+// ScenarioNames returns the canonical names as a "|"-joined list, for
+// CLI usage strings and error messages.
+func ScenarioNames() string {
+	names := ""
+	for i, sc := range Scenarios() {
+		if i > 0 {
+			names += "|"
+		}
+		names += string(sc)
+	}
+	return names
+}
+
+// ExperimentConfig sizes one experiment: a scenario run Trials times
+// with seeded determinism.
+type ExperimentConfig struct {
+	Scenario Scenario
+	// Trials is the number of independently seeded populations to run.
+	Trials int
+	// Seed derives every trial's RNG stream.
+	Seed uint64
+	// Population sizes the per-trial wild population. SamplingRate and
+	// IdentifierChurn are owned by the scenario (the harness forces
+	// the population itself to emit unsampled with stable
+	// identifiers, then applies the scenario's distortion explicitly).
+	Population isp.Config
+	// WindowHours is the observation window length, anchored at the
+	// start of simtime.WildWindow.
+	WindowHours int
+	// Threshold is the detection threshold D.
+	Threshold float64
+	// Shards is the pipeline shard count; results are shard-invariant.
+	Shards int
+
+	// Sampling is the vantage-point 1-in-N denominator for scenarios
+	// that sample (nat-churn, sampling, exporter). 1 = unsampled.
+	Sampling uint64
+	// DeterministicSampler selects count-based 1-in-N sampling
+	// (sampling.Deterministic) instead of uniform per-packet sampling
+	// for ScenarioSampling.
+	DeterministicSampler bool
+
+	// EvasionFraction is the sticky probability that an evasive
+	// device moves one (line, endpoint) flow to a jittered port.
+	EvasionFraction float64
+	// ChurnEveryHours is the NAT identifier remap period.
+	ChurnEveryHours int
+
+	// RestartEveryHours is the misbehaving exporter's restart period:
+	// each restart switches to a fresh source ID and loses the
+	// template announcement.
+	RestartEveryHours int
+	// TemplateEvery is the misbehaving exporter's template refresh
+	// cadence in messages.
+	TemplateEvery int
+	// SeqLieEvery injects a lying sequence number into every N-th
+	// exported message.
+	SeqLieEvery int
+}
+
+// DefaultConfig returns the test-scale configuration for one scenario.
+func DefaultConfig(sc Scenario, seed uint64) ExperimentConfig {
+	pop := isp.DefaultConfig()
+	pop.Lines = 2000
+	cfg := ExperimentConfig{
+		Scenario:          sc,
+		Trials:            3,
+		Seed:              seed,
+		Population:        pop,
+		WindowHours:       48,
+		Threshold:         0.4,
+		Shards:            1,
+		Sampling:          1,
+		EvasionFraction:   0.7,
+		ChurnEveryHours:   6,
+		RestartEveryHours: 6,
+		TemplateEvery:     8,
+		SeqLieEvery:       7,
+	}
+	switch sc {
+	case ScenarioNATChurn, ScenarioExporter:
+		cfg.Sampling = sampling.RateISP
+	case ScenarioSampling:
+		cfg.Sampling = 1000
+	}
+	return cfg
+}
+
+// maxWindowHours bounds WindowHours to the wild study window the
+// dictionary is compiled for.
+var maxWindowHours = simtime.WildWindow.Hours()
+
+// Validate rejects configurations the runner cannot execute.
+func (c *ExperimentConfig) Validate() error {
+	if _, err := ParseScenario(string(c.Scenario)); err != nil {
+		return err
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("trials must be >= 1 (got %d)", c.Trials)
+	}
+	if c.Population.Lines < 1 || c.Population.Lines > 1<<24 {
+		return fmt.Errorf("population must have 1..%d lines (got %d)", 1<<24, c.Population.Lines)
+	}
+	if c.WindowHours < 1 || c.WindowHours > maxWindowHours {
+		return fmt.Errorf("window must be 1..%d hours (got %d)", maxWindowHours, c.WindowHours)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("threshold must be in (0, 1] (got %g)", c.Threshold)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("shards must be >= 1 (got %d)", c.Shards)
+	}
+	if err := sampling.Validate(c.Sampling); err != nil {
+		return err
+	}
+	if c.Sampling > 1_000_000 {
+		return fmt.Errorf("sampling denominator %d is implausible (max 1000000)", c.Sampling)
+	}
+	if c.EvasionFraction < 0 || c.EvasionFraction > 1 {
+		return fmt.Errorf("evasion fraction must be in [0, 1] (got %g)", c.EvasionFraction)
+	}
+	if c.ChurnEveryHours < 1 {
+		return fmt.Errorf("churn period must be >= 1 hour (got %d)", c.ChurnEveryHours)
+	}
+	if c.RestartEveryHours < 1 {
+		return fmt.Errorf("exporter restart period must be >= 1 hour (got %d)", c.RestartEveryHours)
+	}
+	if c.TemplateEvery < 1 {
+		return fmt.Errorf("template refresh cadence must be >= 1 message (got %d)", c.TemplateEvery)
+	}
+	if c.SeqLieEvery < 1 {
+		return fmt.Errorf("sequence-lie cadence must be >= 1 message (got %d)", c.SeqLieEvery)
+	}
+	return nil
+}
+
+// window anchors the configured duration at the wild window start.
+func (c *ExperimentConfig) window() simtime.Window {
+	start := simtime.WildWindow.Start
+	return simtime.Window{Start: start, End: start + simtime.Hour(c.WindowHours)}
+}
+
+// RuleQuality is the aggregated confusion of one rule across trials.
+type RuleQuality struct {
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	FN int `json:"fn"`
+	// TPR is TP/(TP+FN); 1 when the rule has no positives.
+	TPR float64 `json:"tpr"`
+	// FPR is FP over the rule's negative (line, trial) pairs.
+	FPR float64 `json:"fpr"`
+}
+
+// TrialResult is the confusion of one trial over all (line, rule)
+// pairs.
+type TrialResult struct {
+	Trial int `json:"trial"`
+	TP    int `json:"tp"`
+	FP    int `json:"fp"`
+	FN    int `json:"fn"`
+	TN    int `json:"tn"`
+	// MeanDelayHours averages, over true positives, the hours from
+	// window start to the firing observation.
+	MeanDelayHours float64 `json:"mean_delay_hours"`
+	// TemplateDrops and SequenceGaps are the wire decoders' counters
+	// (ScenarioExporter only).
+	TemplateDrops uint64 `json:"template_drops"`
+	SequenceGaps  uint64 `json:"sequence_gaps"`
+}
+
+// ExperimentResult aggregates one scenario's trials.
+type ExperimentResult struct {
+	Scenario Scenario      `json:"scenario"`
+	Trials   []TrialResult `json:"trials"`
+
+	TP, FP, FN, TN int
+	// TPR is the true-positive rate over all expected (line, rule)
+	// pairs; FPR the false-positive rate over all unexpected pairs;
+	// FNR = 1 - TPR.
+	TPR float64 `json:"tpr"`
+	FPR float64 `json:"fpr"`
+	FNR float64 `json:"fnr"`
+	// MeanDetectionDelayHours averages detection delay over all true
+	// positives of all trials.
+	MeanDetectionDelayHours float64 `json:"mean_detection_delay_hours"`
+	// TemplateDrops and SequenceGaps sum the decoders' counters over
+	// all trials (ScenarioExporter only).
+	TemplateDrops uint64 `json:"template_drops"`
+	SequenceGaps  uint64 `json:"sequence_gaps"`
+	// PerRule breaks the confusion down by rule name.
+	PerRule map[string]RuleQuality `json:"-"`
+}
+
+// Runner executes experiments against one compiled lab (world +
+// dictionary). The lab is the expensive part; populations are rebuilt
+// per trial from the trial's seed.
+type Runner struct {
+	lab *experiments.Lab
+}
+
+// NewRunner wraps a lab.
+func NewRunner(lab *experiments.Lab) *Runner { return &Runner{lab: lab} }
+
+// pair identifies one (line, rule) cell of the confusion matrix.
+type pair struct {
+	line int32
+	rule int
+}
+
+// Run executes the configured scenario and aggregates its trials.
+func (r *Runner) Run(cfg ExperimentConfig) (*ExperimentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	window := cfg.window()
+	or := newOracle(r.lab, cfg.Threshold)
+
+	res := &ExperimentResult{Scenario: cfg.Scenario}
+	nRules := len(r.lab.Dict.Rules)
+	ruleTP := make([]int, nRules)
+	ruleFP := make([]int, nRules)
+	ruleFN := make([]int, nRules)
+	rulePos := make([]int, nRules)
+	var delaySum float64
+	var delayN int
+
+	for t := 0; t < cfg.Trials; t++ {
+		tr, err := r.runTrial(cfg, t, window, or, ruleTP, ruleFP, ruleFN, rulePos, &delaySum, &delayN)
+		if err != nil {
+			return nil, err
+		}
+		res.Trials = append(res.Trials, tr)
+		res.TP += tr.TP
+		res.FP += tr.FP
+		res.FN += tr.FN
+		res.TN += tr.TN
+		res.TemplateDrops += tr.TemplateDrops
+		res.SequenceGaps += tr.SequenceGaps
+	}
+
+	res.TPR = ratio(res.TP, res.TP+res.FN, 1)
+	res.FPR = ratio(res.FP, res.FP+res.TN, 0)
+	res.FNR = 1 - res.TPR
+	if delayN > 0 {
+		res.MeanDetectionDelayHours = delaySum / float64(delayN)
+	}
+
+	res.PerRule = make(map[string]RuleQuality, nRules)
+	lines := cfg.Trials * cfg.Population.Lines
+	for ri := range r.lab.Dict.Rules {
+		neg := lines - rulePos[ri]
+		res.PerRule[r.lab.Dict.Rules[ri].Name] = RuleQuality{
+			TP:  ruleTP[ri],
+			FP:  ruleFP[ri],
+			FN:  ruleFN[ri],
+			TPR: ratio(ruleTP[ri], rulePos[ri], 1),
+			FPR: ratio(ruleFP[ri], neg, 0),
+		}
+	}
+	return res, nil
+}
+
+// RunAll runs every scenario with the base config's sizing, returning
+// results in canonical scenario order.
+func (r *Runner) RunAll(base ExperimentConfig) ([]*ExperimentResult, error) {
+	var out []*ExperimentResult
+	for _, sc := range Scenarios() {
+		cfg := DefaultConfig(sc, base.Seed)
+		cfg.Trials = base.Trials
+		cfg.Population = base.Population
+		cfg.WindowHours = base.WindowHours
+		cfg.Threshold = base.Threshold
+		cfg.Shards = base.Shards
+		if base.Sampling > 1 {
+			cfg.Sampling = base.Sampling
+		}
+		res, err := r.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func ratio(num, den int, empty float64) float64 {
+	if den == 0 {
+		return empty
+	}
+	return float64(num) / float64(den)
+}
+
+// runTrial builds one seeded population, drives it through a fresh
+// sharded pipeline under the scenario's distortion, and scores the
+// detections against the oracle's expected pairs.
+func (r *Runner) runTrial(cfg ExperimentConfig, trial int, window simtime.Window, or *oracle,
+	ruleTP, ruleFP, ruleFN, rulePos []int, delaySum *float64, delayN *int) (TrialResult, error) {
+
+	rng := simrand.New(cfg.Seed).Fork(fmt.Sprintf("adversary-%s-trial-%d", cfg.Scenario, trial))
+
+	// The population emits unsampled with stable identifiers; every
+	// distortion (sampling, churn, wire loss) is applied explicitly by
+	// the scenario so the measured degradation is attributable.
+	popCfg := cfg.Population
+	popCfg.SamplingRate = 1
+	popCfg.IdentifierChurn = 0
+	pop := isp.NewPopulation(rng.Fork("pop"), r.lab.W.Catalog, popCfg, window)
+
+	expected := or.expectedPairs(pop)
+
+	pipe := pipeline.New(r.lab.Dict, cfg.Threshold, cfg.Shards)
+	defer pipe.Close()
+
+	var drive *trialDrive
+	var err error
+	if cfg.Scenario == ScenarioExporter {
+		drive, err = r.runWireTrial(cfg, rng, pop, pipe, window)
+	} else {
+		drive, err = r.runEmitTrial(cfg, rng, pop, pipe, window)
+	}
+	if err != nil {
+		return TrialResult{}, err
+	}
+
+	// Score: earliest firing hour per (line, rule), any identity of
+	// the line counting for the line.
+	detected := make(map[pair]simtime.Hour)
+	pipe.EachDetected(func(sub detect.SubID, rule int, first simtime.Hour) {
+		line, ok := drive.subLine[sub]
+		if !ok {
+			return // never happens: every fed sub is recorded
+		}
+		k := pair{line: line, rule: rule}
+		if h, ok := detected[k]; !ok || first < h {
+			detected[k] = first
+		}
+	})
+
+	tr := TrialResult{
+		Trial:         trial,
+		TemplateDrops: drive.templateDrops,
+		SequenceGaps:  drive.sequenceGaps,
+	}
+	var trialDelay float64
+	for k := range expected {
+		rulePos[k.rule]++
+		if first, ok := detected[k]; ok {
+			tr.TP++
+			ruleTP[k.rule]++
+			d := float64(first - window.Start)
+			trialDelay += d
+			*delaySum += d
+			*delayN++
+		} else {
+			tr.FN++
+			ruleFN[k.rule]++
+		}
+	}
+	for k := range detected {
+		if !expected[k] {
+			tr.FP++
+			ruleFP[k.rule]++
+		}
+	}
+	tr.TN = cfg.Population.Lines*len(r.lab.Dict.Rules) - tr.TP - tr.FP - tr.FN
+	if tr.TP > 0 {
+		tr.MeanDelayHours = trialDelay / float64(tr.TP)
+	}
+	return tr, nil
+}
+
+// trialDrive is what a scenario's emission drive hands back to the
+// scorer: the identity→line mapping and the wire decoders' counters.
+type trialDrive struct {
+	subLine       map[detect.SubID]int32
+	templateDrops uint64
+	sequenceGaps  uint64
+}
+
+// SortedRules returns the result's per-rule breakdown in rule-name
+// order — the deterministic iteration every renderer uses.
+func (res *ExperimentResult) SortedRules() []string {
+	names := make([]string, 0, len(res.PerRule))
+	for name := range res.PerRule {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,277 @@
+package adversary
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The suite shares one lab (world + dictionary) and caches experiment
+// results per (scenario, shards): the band assertions and the
+// shard-invariance assertions read the same runs.
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+
+	resMu    sync.Mutex
+	resCache = map[string]*ExperimentResult{}
+)
+
+func sharedLab(t testing.TB) *experiments.Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		lab = experiments.MustNewLab(experiments.DefaultConfig(1))
+	})
+	return lab
+}
+
+// testConfig is the suite-scale experiment sizing: small enough to run
+// all scenarios at two shard counts, large enough for stable bands.
+func testConfig(sc Scenario, shards int) ExperimentConfig {
+	cfg := DefaultConfig(sc, 7)
+	cfg.Population.Lines = 1200
+	cfg.Trials = 2
+	cfg.WindowHours = 48
+	cfg.Shards = shards
+	return cfg
+}
+
+func runScenario(t testing.TB, sc Scenario, shards int) *ExperimentResult {
+	t.Helper()
+	key := string(sc) + "/" + strings.Repeat("x", shards)
+	resMu.Lock()
+	defer resMu.Unlock()
+	if res, ok := resCache[key]; ok {
+		return res
+	}
+	r := NewRunner(sharedLab(t))
+	res, err := r.Run(testConfig(sc, shards))
+	if err != nil {
+		t.Fatalf("%s: %v", sc, err)
+	}
+	resCache[key] = res
+	return res
+}
+
+// matrixBytes renders results the way the CLI does; byte equality is
+// the determinism contract.
+func matrixBytes(t testing.TB, results []*ExperimentResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMatrixJSONL(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixText(&buf, results, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAdversaryScenariosShardInvariant is the acceptance contract:
+// same seed ⇒ byte-identical matrix at shards 1 and 8, for every
+// scenario.
+func TestAdversaryScenariosShardInvariant(t *testing.T) {
+	var one, eight []*ExperimentResult
+	for _, sc := range Scenarios() {
+		one = append(one, runScenario(t, sc, 1))
+		eight = append(eight, runScenario(t, sc, 8))
+	}
+	b1 := matrixBytes(t, one)
+	b8 := matrixBytes(t, eight)
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("matrix differs between 1 and 8 shards:\n--- shards=1\n%s\n--- shards=8\n%s", b1, b8)
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty matrix")
+	}
+}
+
+// TestBaselineCooperativeBands pins the cooperative reference: with
+// full visibility and stable identifiers the detector must find what
+// the ground-truth oracle says is findable, and must not invent
+// detections.
+func TestBaselineCooperativeBands(t *testing.T) {
+	res := runScenario(t, ScenarioBaseline, 1)
+	if res.TP+res.FN == 0 {
+		t.Fatal("baseline has no positive (line, rule) pairs; population broken")
+	}
+	if res.TPR < 0.9 {
+		t.Errorf("baseline TPR = %.4f, want >= 0.9", res.TPR)
+	}
+	if res.FPR > 0.001 {
+		t.Errorf("baseline FPR = %.6f, want ~0", res.FPR)
+	}
+	if res.MeanDetectionDelayHours < 0 || res.MeanDetectionDelayHours >= 48 {
+		t.Errorf("baseline mean delay %.1f h out of window", res.MeanDetectionDelayHours)
+	}
+}
+
+// TestEvasiveBelowBaseline: sticky port jitter plus active-use pacing
+// must strictly cost detection coverage — the harness can tell an
+// evading population from a cooperative one.
+func TestEvasiveBelowBaseline(t *testing.T) {
+	base := runScenario(t, ScenarioBaseline, 1)
+	ev := runScenario(t, ScenarioEvasive, 1)
+	if ev.TPR >= base.TPR {
+		t.Errorf("evasive TPR %.4f not strictly below baseline %.4f", ev.TPR, base.TPR)
+	}
+	if ev.FPR > 0.001 {
+		t.Errorf("evasive FPR = %.6f, want ~0 (jitter must not invent matches)", ev.FPR)
+	}
+}
+
+// TestSamplingDistortsDetection: per-packet 1-in-N sampling costs
+// coverage relative to the unsampled baseline, and the deterministic
+// (count-based) sampler is a valid drop-in for the uniform one.
+func TestSamplingDistortsDetection(t *testing.T) {
+	base := runScenario(t, ScenarioBaseline, 1)
+	smp := runScenario(t, ScenarioSampling, 1)
+	if smp.TPR >= base.TPR {
+		t.Errorf("sampled TPR %.4f not below baseline %.4f", smp.TPR, base.TPR)
+	}
+	if smp.FPR > 0.001 {
+		t.Errorf("sampling FPR = %.6f, want ~0", smp.FPR)
+	}
+
+	cfg := testConfig(ScenarioSampling, 1)
+	cfg.DeterministicSampler = true
+	det, err := NewRunner(sharedLab(t)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.TP+det.FN == 0 || det.TPR <= 0 {
+		t.Errorf("deterministic sampler found nothing (tpr=%.4f)", det.TPR)
+	}
+	if det.TPR >= base.TPR {
+		t.Errorf("deterministic-sampled TPR %.4f not below baseline %.4f", det.TPR, base.TPR)
+	}
+}
+
+// TestNATChurnSplitsEvidence: identifier churn under ISP sampling
+// splits each line's evidence across identities and must cost
+// coverage beyond sampling alone at the same rate.
+func TestNATChurnSplitsEvidence(t *testing.T) {
+	base := runScenario(t, ScenarioBaseline, 1)
+	churn := runScenario(t, ScenarioNATChurn, 1)
+	if churn.TPR >= base.TPR {
+		t.Errorf("churn TPR %.4f not below baseline %.4f", churn.TPR, base.TPR)
+	}
+
+	// Same sampling rate, no churn: evidence accumulates on one
+	// identity, so coverage must be at least the churned coverage.
+	cfg := testConfig(ScenarioNATChurn, 1)
+	cfg.ChurnEveryHours = cfg.WindowHours // one epoch = no mid-window remap
+	stable, err := NewRunner(sharedLab(t)).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.TPR >= stable.TPR {
+		t.Errorf("churned TPR %.4f not below stable-identity TPR %.4f at the same sampling rate",
+			churn.TPR, stable.TPR)
+	}
+}
+
+// TestExporterMisbehaviorOnTheWire: the wire trials must actually
+// exercise the misbehavior (drops and gaps observed by the real
+// collector codecs) and lose coverage relative to the baseline, while
+// decoded records must never produce false detections.
+func TestExporterMisbehaviorOnTheWire(t *testing.T) {
+	base := runScenario(t, ScenarioBaseline, 1)
+	wire := runScenario(t, ScenarioExporter, 1)
+	if wire.TemplateDrops == 0 {
+		t.Error("no template drops: template churn was not exercised")
+	}
+	if wire.SequenceGaps == 0 {
+		t.Error("no sequence gaps: sequence lies were not exercised")
+	}
+	if wire.TPR >= base.TPR {
+		t.Errorf("wire TPR %.4f not below baseline %.4f", wire.TPR, base.TPR)
+	}
+	if wire.TPR <= 0 {
+		t.Error("wire TPR is zero: the decode path fed nothing")
+	}
+	if wire.FPR > 0.001 {
+		t.Errorf("wire FPR = %.6f, want ~0", wire.FPR)
+	}
+}
+
+// TestPerRuleQualityConsistent: the per-rule breakdown must sum to the
+// scenario totals and the per-rule confusion must be self-consistent.
+func TestPerRuleQualityConsistent(t *testing.T) {
+	res := runScenario(t, ScenarioBaseline, 1)
+	var tp, fp, fn int
+	for _, name := range res.SortedRules() {
+		q := res.PerRule[name]
+		tp += q.TP
+		fp += q.FP
+		fn += q.FN
+		if q.TPR < 0 || q.TPR > 1 || q.FPR < 0 || q.FPR > 1 {
+			t.Errorf("%s: rates out of range: tpr=%v fpr=%v", name, q.TPR, q.FPR)
+		}
+	}
+	if tp != res.TP || fp != res.FP || fn != res.FN {
+		t.Errorf("per-rule sums (tp=%d fp=%d fn=%d) != totals (tp=%d fp=%d fn=%d)",
+			tp, fp, fn, res.TP, res.FP, res.FN)
+	}
+}
+
+// TestExperimentConfigValidate pins the error surface the CLI maps to
+// exit 2.
+func TestExperimentConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ExperimentConfig)
+		want string
+	}{
+		{"zero trials", func(c *ExperimentConfig) { c.Trials = 0 }, "trials"},
+		{"unknown scenario", func(c *ExperimentConfig) { c.Scenario = "wormhole" }, "unknown scenario"},
+		{"zero sampling", func(c *ExperimentConfig) { c.Sampling = 0 }, "sampling"},
+		{"huge sampling", func(c *ExperimentConfig) { c.Sampling = 2_000_000 }, "implausible"},
+		{"zero window", func(c *ExperimentConfig) { c.WindowHours = 0 }, "window"},
+		{"over-long window", func(c *ExperimentConfig) { c.WindowHours = 10_000 }, "window"},
+		{"bad threshold", func(c *ExperimentConfig) { c.Threshold = 0 }, "threshold"},
+		{"zero shards", func(c *ExperimentConfig) { c.Shards = 0 }, "shards"},
+		{"bad evasion", func(c *ExperimentConfig) { c.EvasionFraction = 1.5 }, "evasion"},
+		{"zero churn period", func(c *ExperimentConfig) { c.ChurnEveryHours = 0 }, "churn"},
+		{"zero restart period", func(c *ExperimentConfig) { c.RestartEveryHours = 0 }, "restart"},
+		{"zero template cadence", func(c *ExperimentConfig) { c.TemplateEvery = 0 }, "template"},
+		{"zero lie cadence", func(c *ExperimentConfig) { c.SeqLieEvery = 0 }, "sequence-lie"},
+		{"no lines", func(c *ExperimentConfig) { c.Population.Lines = 0 }, "lines"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(ScenarioBaseline, 1)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	good := DefaultConfig(ScenarioEvasive, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestParseScenario covers the CLI name mapping.
+func TestParseScenario(t *testing.T) {
+	for _, sc := range Scenarios() {
+		got, err := ParseScenario(string(sc))
+		if err != nil || got != sc {
+			t.Errorf("ParseScenario(%q) = %v, %v", sc, got, err)
+		}
+	}
+	if _, err := ParseScenario("nope"); err == nil {
+		t.Error("ParseScenario accepted an unknown name")
+	}
+}

@@ -1,0 +1,157 @@
+package adversary
+
+// Export writers for the per-scenario detection-quality matrix,
+// following the root export.go conventions: sorted deterministic
+// rows, a declared CSV header matching the JSON field order, and the
+// haystack:deterministic lint contract on everything that reaches an
+// io.Writer — the matrix bytes are diffed across runs and across
+// shard counts in tests.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// matrixRow is one scenario in the export schema, shared by the CSV
+// and JSONL writers (CSV emits the fields in declaration order).
+type matrixRow struct {
+	Scenario      string  `json:"scenario"`
+	Trials        int     `json:"trials"`
+	TPR           float64 `json:"tpr"`
+	FPR           float64 `json:"fpr"`
+	FNR           float64 `json:"fnr"`
+	MeanDelay     float64 `json:"mean_detection_delay_hours"`
+	TP            int     `json:"tp"`
+	FP            int     `json:"fp"`
+	FN            int     `json:"fn"`
+	TN            int     `json:"tn"`
+	TemplateDrops uint64  `json:"template_drops"`
+	SequenceGaps  uint64  `json:"sequence_gaps"`
+
+	// PerRule is the rule-name-sorted quality breakdown (JSONL only).
+	PerRule []ruleRow `json:"per_rule,omitempty"`
+}
+
+// ruleRow is one rule's quality in the JSONL schema.
+type ruleRow struct {
+	Rule string  `json:"rule"`
+	TP   int     `json:"tp"`
+	FP   int     `json:"fp"`
+	FN   int     `json:"fn"`
+	TPR  float64 `json:"tpr"`
+	FPR  float64 `json:"fpr"`
+}
+
+// matrixHeader is the CSV header, matching matrixRow.
+var matrixHeader = []string{
+	"scenario", "trials", "tpr", "fpr", "fnr", "mean_detection_delay_hours",
+	"tp", "fp", "fn", "tn", "template_drops", "sequence_gaps",
+}
+
+// sortedRows renders results as export rows in scenario-name order.
+//
+// haystack:deterministic
+func sortedRows(results []*ExperimentResult, perRule bool) []matrixRow {
+	rows := make([]matrixRow, 0, len(results))
+	for _, res := range results {
+		row := matrixRow{
+			Scenario:      string(res.Scenario),
+			Trials:        len(res.Trials),
+			TPR:           res.TPR,
+			FPR:           res.FPR,
+			FNR:           res.FNR,
+			MeanDelay:     res.MeanDetectionDelayHours,
+			TP:            res.TP,
+			FP:            res.FP,
+			FN:            res.FN,
+			TN:            res.TN,
+			TemplateDrops: res.TemplateDrops,
+			SequenceGaps:  res.SequenceGaps,
+		}
+		if perRule {
+			for _, name := range res.SortedRules() {
+				q := res.PerRule[name]
+				row.PerRule = append(row.PerRule, ruleRow{
+					Rule: name, TP: q.TP, FP: q.FP, FN: q.FN, TPR: q.TPR, FPR: q.FPR,
+				})
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Scenario < rows[j].Scenario })
+	return rows
+}
+
+// f4 renders a rate with fixed precision so bytes are comparable.
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteMatrixText writes the scenario matrix as an aligned table,
+// optionally followed by a per-rule quality block per scenario.
+//
+// haystack:deterministic — the table bytes are compared across runs
+// and shard counts.
+func WriteMatrixText(w io.Writer, results []*ExperimentResult, perRule bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-10s %6s %7s %7s %7s %9s %7s %5s %7s %6s %5s\n",
+		"scenario", "trials", "tpr", "fpr", "fnr", "delay(h)", "tp", "fp", "fn", "drops", "gaps")
+	rows := sortedRows(results, perRule)
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%-10s %6d %7s %7s %7s %9.1f %7d %5d %7d %6d %5d\n",
+			r.Scenario, r.Trials, f4(r.TPR), f4(r.FPR), f4(r.FNR), r.MeanDelay,
+			r.TP, r.FP, r.FN, r.TemplateDrops, r.SequenceGaps)
+	}
+	if perRule {
+		for _, r := range rows {
+			fmt.Fprintf(bw, "\n%s per-rule quality:\n", r.Scenario)
+			for _, q := range r.PerRule {
+				fmt.Fprintf(bw, "  %-22s tpr=%s fpr=%s tp=%d fp=%d fn=%d\n",
+					q.Rule, f4(q.TPR), f4(q.FPR), q.TP, q.FP, q.FN)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrixCSV writes the scenario matrix as CSV with a header row.
+//
+// haystack:deterministic — export bytes are compared across runs.
+func WriteMatrixCSV(w io.Writer, results []*ExperimentResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(matrixHeader); err != nil {
+		return err
+	}
+	for _, r := range sortedRows(results, false) {
+		err := cw.Write([]string{
+			r.Scenario, strconv.Itoa(r.Trials),
+			f4(r.TPR), f4(r.FPR), f4(r.FNR), f4(r.MeanDelay),
+			strconv.Itoa(r.TP), strconv.Itoa(r.FP), strconv.Itoa(r.FN), strconv.Itoa(r.TN),
+			strconv.FormatUint(r.TemplateDrops, 10), strconv.FormatUint(r.SequenceGaps, 10),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMatrixJSONL writes one JSON object per scenario, including the
+// rule-name-sorted per-rule breakdown — the machine-readable form of
+// the matrix.
+//
+// haystack:deterministic — export bytes are compared across runs.
+func WriteMatrixJSONL(w io.Writer, results []*ExperimentResult) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range sortedRows(results, true) {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,136 @@
+package adversary
+
+import (
+	"math/bits"
+
+	"repro/internal/catalog"
+	"repro/internal/experiments"
+	"repro/internal/rules"
+)
+
+// cov is a per-rule evidence-domain bitset, wide enough for the
+// largest compiled rule (≤ 64 domains today, 128 for headroom; the
+// detect engine uses the same width).
+type cov [2]uint64
+
+func (c *cov) set(i int)  { c[i>>6] |= 1 << (i & 63) }
+func (c *cov) or(d cov)   { c[0] |= d[0]; c[1] |= d[1] }
+func (c *cov) count() int { return bits.OnesCount64(c[0]) + bits.OnesCount64(c[1]) }
+
+// oracle computes ground truth: which (line, rule) pairs the engine
+// would detect under full visibility, given the line's device
+// assignment. A rule is expected when the union of the line's
+// products' emission-reachable domains covers the rule's compiled
+// evidence requirement and the rule's parent chain is itself expected
+// — exactly the engine's firing condition with no packets lost.
+type oracle struct {
+	rules   []rules.Rule
+	minDoms []int
+	// perProduct maps a catalog product to its per-rule coverage of
+	// compiled evidence domains.
+	perProduct map[*catalog.Product][]cov
+}
+
+func newOracle(lab *experiments.Lab, threshold float64) *oracle {
+	dict := lab.Dict
+	o := &oracle{
+		rules:      dict.Rules,
+		minDoms:    make([]int, len(dict.Rules)),
+		perProduct: make(map[*catalog.Product][]cov, len(lab.W.Catalog.Products)),
+	}
+	// domainBit[d] lists the (rule, bit) positions of compiled
+	// evidence domain d.
+	type target struct{ rule, bit int }
+	domainBit := map[string][]target{}
+	for ri := range dict.Rules {
+		r := &dict.Rules[ri]
+		o.minDoms[ri] = r.MinDomains(threshold)
+		for bit, d := range r.Domains {
+			domainBit[d] = append(domainBit[d], target{rule: ri, bit: bit})
+		}
+	}
+	for _, prod := range lab.W.Catalog.Products {
+		var pc []cov
+		for ui := range prod.Uses {
+			use := &prod.Uses[ui]
+			if !emissionReachable(prod, use) {
+				continue
+			}
+			for _, t := range domainBit[use.Domain.Name] {
+				if pc == nil {
+					pc = make([]cov, len(dict.Rules))
+				}
+				pc[t.rule].set(t.bit)
+			}
+		}
+		if pc != nil {
+			o.perProduct[prod] = pc
+		}
+	}
+	return o
+}
+
+// emissionReachable mirrors isp.SimulateHour's traffic model: a use
+// emits when it idles (IdlePPH > 0) or when the product's diurnal
+// class is non-flat, which adds interactive background on top of
+// ActivePPH. Flat-class products never see active traffic.
+func emissionReachable(prod *catalog.Product, use *catalog.Use) bool {
+	if use.IdlePPH > 0 {
+		return true
+	}
+	nonFlat := prod.Category == catalog.CatAudio || prod.Category == catalog.CatVideo
+	return nonFlat && use.ActivePPH > 0
+}
+
+// expectedPairs returns the positive (line, rule) pairs of a placed
+// population.
+func (o *oracle) expectedPairs(pop interface {
+	EachInstance(func(line int32, prod *catalog.Product))
+}) map[pair]bool {
+	perLine := map[int32][]cov{}
+	pop.EachInstance(func(line int32, prod *catalog.Product) {
+		pc := o.perProduct[prod]
+		if pc == nil {
+			return
+		}
+		lc, ok := perLine[line]
+		if !ok {
+			lc = make([]cov, len(o.rules))
+			perLine[line] = lc
+		}
+		for ri := range lc {
+			lc[ri].or(pc[ri])
+		}
+	})
+
+	expected := make(map[pair]bool)
+	fired := make([]bool, len(o.rules))
+	for line, lc := range perLine {
+		for i := range fired {
+			fired[i] = false
+		}
+		// Fixpoint over the parent hierarchy: a child's evidence only
+		// counts once its parent is itself expected, and confirming a
+		// parent can release children (the engine's evaluate loop).
+		for changed := true; changed; {
+			changed = false
+			for ri := range o.rules {
+				if fired[ri] || lc[ri].count() < o.minDoms[ri] {
+					continue
+				}
+				r := &o.rules[ri]
+				if r.RequireParent && r.Parent >= 0 && !fired[r.Parent] {
+					continue
+				}
+				fired[ri] = true
+				changed = true
+			}
+		}
+		for ri, f := range fired {
+			if f {
+				expected[pair{line: line, rule: ri}] = true
+			}
+		}
+	}
+	return expected
+}

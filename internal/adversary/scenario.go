@@ -1,0 +1,110 @@
+package adversary
+
+import (
+	"net/netip"
+
+	"repro/internal/detect"
+	"repro/internal/isp"
+	"repro/internal/pipeline"
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+)
+
+// runEmitTrial drives the in-memory scenarios: the population's
+// emissions pass through the scenario's distortion and straight into
+// pipeline observations. Single producer, hour-ordered — the
+// observation stream is deterministic and shard-invariant.
+func (r *Runner) runEmitTrial(cfg ExperimentConfig, rng *simrand.RNG, pop *isp.Population,
+	pipe *pipeline.Pipeline, window simtime.Window) (*trialDrive, error) {
+
+	drive := &trialDrive{subLine: map[detect.SubID]int32{}}
+	prod := pipe.NewProducer()
+	salt := rng.Fork("scenario-salt").Uint64()
+	thinRng := rng.Fork("thin")
+
+	// ScenarioSampling's per-packet sampler is shared across the whole
+	// trial, so Deterministic's count phase carries from one
+	// observation to the next — the semantics the sampling edge-case
+	// tests pin.
+	var smp sampling.Sampler
+	if cfg.Scenario == ScenarioSampling {
+		if cfg.DeterministicSampler {
+			smp = sampling.NewDeterministic(cfg.Sampling)
+		} else {
+			smp = sampling.NewUniform(cfg.Sampling, rng.Fork("uniform-sampler"))
+		}
+	}
+
+	emit := func(line int32, sub detect.SubID, h simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+		switch cfg.Scenario {
+		case ScenarioEvasive:
+			// Sticky per-(line, endpoint) decision: evasive firmware
+			// pins a fraction of its backend flows to jittered ports,
+			// moving them off the (ip, port) hitlist for good, and
+			// paces every flow under the active-use threshold.
+			if jittered(salt, line, ip, cfg.EvasionFraction) {
+				port = jitterPort(salt, line, ip)
+			}
+			if pkts >= detect.UsageThreshold {
+				pkts = detect.UsageThreshold - 1
+			}
+		case ScenarioNATChurn:
+			// The line's identifier rotates every ChurnEveryHours,
+			// splitting evidence across identities; the vantage point
+			// samples at the ISP rate, so each identity must
+			// re-accumulate evidence from sparse observations.
+			epoch := uint64(h-window.Start) / uint64(cfg.ChurnEveryHours)
+			sub = detect.SubID(simrand.Mix64(salt ^ uint64(line)<<20 ^ epoch))
+			pkts = sampling.Thin(thinRng, pkts, cfg.Sampling)
+		case ScenarioSampling:
+			var sampled uint64
+			for i := uint64(0); i < pkts; i++ {
+				if smp.Sample() {
+					sampled++
+				}
+			}
+			pkts = sampled
+		}
+		if pkts == 0 {
+			return
+		}
+		drive.subLine[sub] = line
+		prod.Observe(sub, h, ip, port, pkts)
+	}
+
+	pop.SimulateWindow(window, func(d simtime.Day) isp.Resolver {
+		return r.lab.W.ResolverOn(d)
+	}, emit)
+	prod.Close()
+	return drive, nil
+}
+
+// jittered is the sticky evasion decision for one (line, endpoint)
+// flow, derived from a hash so it is stable across the window and
+// identical across shard counts.
+func jittered(salt uint64, line int32, ip netip.Addr, frac float64) bool {
+	h := evasionHash(salt, line, ip)
+	return float64(h>>11)/(1<<53) < frac
+}
+
+// jitterPort picks the evasive flow's high port. The dictionary's
+// hitlist holds real service ports, so anything in the ephemeral
+// range never matches.
+func jitterPort(salt uint64, line int32, ip netip.Addr) uint16 {
+	return uint16(40000 + evasionHash(salt^0x5bf0_3635, line, ip)%20000)
+}
+
+func evasionHash(salt uint64, line int32, ip netip.Addr) uint64 {
+	var v uint64
+	if ip.Is4() {
+		b := ip.As4()
+		v = uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	} else {
+		b := ip.As16()
+		for _, x := range b[8:] {
+			v = v<<8 | uint64(x)
+		}
+	}
+	return simrand.Mix64(salt ^ uint64(line)<<32 ^ v)
+}

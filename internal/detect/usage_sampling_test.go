@@ -1,0 +1,94 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/simrand"
+)
+
+// TestActiveUseBoundaryUnderSampling pins the documented interaction
+// between the §7.1 usage threshold and vantage-point sampling: the
+// threshold applies to SAMPLED packet counts, full stop. A device
+// emitting exactly UsageThreshold (10) raw packets per hour is active
+// use when observed unsampled — the bound is inclusive — but under
+// 1-in-100 sampling the engine sees the thinned count, so:
+//
+//   - detection (domain-bit evidence) survives exactly when at least
+//     one packet is sampled — nothing flips silently, the flow is
+//     simply invisible when every packet is dropped (RulePackets == 0
+//     makes that auditable), and
+//   - active use requires >= 10 SAMPLED packets, which for a raw
+//     10-packet flow means all ten survive 1-in-100 sampling
+//     (P = 10^-20) — operationally never.
+//
+// The adversary harness's evasive scenario leans on exactly this
+// contract (it paces flows to UsageThreshold-1 raw packets); if the
+// semantics ever change to rescale sampled counts back to raw rates,
+// this test is the tripwire that forces that decision to be explicit.
+func TestActiveUseBoundaryUnderSampling(t *testing.T) {
+	dict, w := testDict(t)
+	h := w.Window.Start
+	ips := w.ResolverOn(h.Day()).Resolve("avs-alexa.simamazon.example")
+	if len(ips) == 0 {
+		t.Fatal("avs-alexa.simamazon.example does not resolve")
+	}
+	alexa := dict.RuleIndex("Alexa Enabled")
+
+	// Unsampled: exactly 10 raw packets is active use (inclusive), 9 is
+	// not — the boundary itself.
+	for _, tc := range []struct {
+		pkts uint64
+		want bool
+	}{{9, false}, {10, true}, {11, true}} {
+		e := New(dict, 0.4)
+		e.Observe(1, h, ips[0], 443, tc.pkts)
+		if !e.Detected(1, alexa) {
+			t.Fatalf("%d unsampled packets: not detected", tc.pkts)
+		}
+		if got := e.ActiveUse(1, alexa); got != tc.want {
+			t.Fatalf("%d unsampled packets: ActiveUse = %v, want %v", tc.pkts, got, tc.want)
+		}
+	}
+
+	// Sampled at 1-in-100: feed the thinned count, as every sampling
+	// vantage point in the repo does. Track how often detection and
+	// active use survive.
+	rng := simrand.New(42)
+	const trials = 4000
+	detected, active := 0, 0
+	for i := 0; i < trials; i++ {
+		e := New(dict, 0.4)
+		s := sampling.Thin(rng, UsageThreshold, 100)
+		if s > 0 {
+			e.Observe(1, h, ips[0], 443, s)
+		}
+		if e.Detected(1, alexa) {
+			detected++
+			if s == 0 {
+				t.Fatal("detected with zero sampled packets")
+			}
+		} else if s > 0 {
+			t.Fatalf("one sampled packet (%d) did not detect", s)
+		}
+		if e.ActiveUse(1, alexa) {
+			active++
+			if s < UsageThreshold {
+				t.Fatalf("ActiveUse with %d sampled packets (< %d)", s, UsageThreshold)
+			}
+		}
+	}
+
+	// Detection survives iff >= 1 of the 10 packets is sampled:
+	// P = 1 - 0.99^10 ≈ 0.0956.
+	frac := float64(detected) / trials
+	if frac < 0.06 || frac > 0.14 {
+		t.Errorf("sampled detection fraction %v, want ~0.096 (1 - 0.99^10)", frac)
+	}
+	// Active use needs all 10 packets sampled (P = 10^-20): observing
+	// it would mean the threshold was rescaled to raw rates.
+	if active != 0 {
+		t.Errorf("a 10-packet/h device was flagged active under 1-in-100 sampling %d times; "+
+			"the documented contract is sampled-count thresholding", active)
+	}
+}

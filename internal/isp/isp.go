@@ -120,6 +120,16 @@ func (p *Population) ProductCount(name string) int {
 	return 0
 }
 
+// EachInstance visits every placed device instance in placement order
+// (line-major). It is the ground-truth view of the population: the
+// adversarial experiment harness derives its expected (line, rule)
+// pairs from exactly this assignment.
+func (p *Population) EachInstance(fn func(line int32, prod *catalog.Product)) {
+	for _, in := range p.instances {
+		fn(in.line, p.cat.Products[in.product])
+	}
+}
+
 // LinesWithAny returns the number of distinct lines hosting at least
 // one device.
 func (p *Population) LinesWithAny() int {

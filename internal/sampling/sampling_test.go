@@ -164,6 +164,121 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestThinEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		packets uint64
+		n       uint64
+		// wantMax bounds the result; wantExact pins it (when maxOnly is
+		// false the result must equal wantMax).
+		wantMax uint64
+		exact   bool
+	}{
+		{"zero packets", 0, RateISP, 0, true},
+		{"zero packets unsampled", 0, 1, 0, true},
+		{"identity at n=1", 7, 1, 7, true},
+		{"identity at n=1 large", 1 << 40, 1, 1 << 40, true},
+		{"one packet sparse", 1, 1 << 20, 1, false},
+		{"packets below denominator", 5, RateISP, 5, false},
+		{"packets equal denominator", RateISP, RateISP, RateISP, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := simrand.New(11)
+			got := Thin(rng, tc.packets, tc.n)
+			if got > tc.wantMax {
+				t.Fatalf("Thin(%d, %d) = %d, want <= %d", tc.packets, tc.n, got, tc.wantMax)
+			}
+			if tc.exact && got != tc.wantMax {
+				t.Fatalf("Thin(%d, %d) = %d, want exactly %d", tc.packets, tc.n, got, tc.wantMax)
+			}
+		})
+	}
+}
+
+func TestThinFewerPacketsThanDenominator(t *testing.T) {
+	// packets < n must still be a fair binomial — over many trials a
+	// 5-packet flow under 1:1024 shows up with P = 1-(1-1/1024)^5 ≈
+	// 0.0049, never with more packets than it had.
+	rng := simrand.New(12)
+	const trials = 100_000
+	visible := 0
+	for i := 0; i < trials; i++ {
+		got := Thin(rng, 5, RateISP)
+		if got > 5 {
+			t.Fatalf("thinned 5 packets into %d", got)
+		}
+		if got > 0 {
+			visible++
+		}
+	}
+	frac := float64(visible) / trials
+	want := 1 - math.Pow(1-1.0/RateISP, 5)
+	if math.Abs(frac-want) > 0.002 {
+		t.Fatalf("5-packet visibility %v, want ~%v", frac, want)
+	}
+}
+
+func TestDeterministicPhaseAcrossCalls(t *testing.T) {
+	// The count phase persists across call batches: feeding 10 packets
+	// as 10×1 or 2×5 must select the same positions as 1×10. This is
+	// what lets the adversary harness share one sampler across an
+	// entire trial's observations.
+	sel := func(batches []int) []int {
+		s := NewDeterministic(4)
+		var picks []int
+		pos := 0
+		for _, b := range batches {
+			for i := 0; i < b; i++ {
+				if s.Sample() {
+					picks = append(picks, pos)
+				}
+				pos++
+			}
+		}
+		return picks
+	}
+	whole := sel([]int{20})
+	split := sel([]int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	chunk := sel([]int{5, 5, 5, 5})
+	if len(whole) != 5 {
+		t.Fatalf("1-in-4 over 20 packets selected %d", len(whole))
+	}
+	for i := range whole {
+		if whole[i] != split[i] || whole[i] != chunk[i] {
+			t.Fatalf("phase broke across call batches: whole=%v split=%v chunk=%v", whole, split, chunk)
+		}
+	}
+}
+
+func TestDeterministicRateOne(t *testing.T) {
+	// n == 1 selects every packet: 1-in-1 sampling is the identity for
+	// the per-packet sampler just as Thin is for aggregates.
+	s := NewDeterministic(1)
+	for i := 0; i < 100; i++ {
+		if !s.Sample() {
+			t.Fatalf("1-in-1 sampler skipped packet %d", i)
+		}
+	}
+}
+
+func TestSamplerPanicsOnZero(t *testing.T) {
+	for name, f := range map[string]func(){
+		"deterministic": func() { NewDeterministic(0) },
+		"uniform":       func() { NewUniform(0, simrand.New(1)) },
+		"thin":          func() { Thin(simrand.New(1), 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: 1-in-0 accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func BenchmarkThin(b *testing.B) {
 	rng := simrand.New(1)
 	for i := 0; i < b.N; i++ {

@@ -89,3 +89,129 @@ func TestStatsConcurrentWithFeeding(t *testing.T) {
 		t.Error("no records decoded; the race test exercised nothing")
 	}
 }
+
+// TestSubscribeConcurrentWithRotate is the -race regression guard for
+// the event path: Subscribe consumers draining (and churning — cancel
+// and resubscribe mid-run) while Rotate closes windows and multiple
+// feeds ingest. The broker, the subscriber registry, and the window
+// baseline all interleave here; an unsynchronized touch on any of
+// them fails under -race.
+func TestSubscribeConcurrentWithRotate(t *testing.T) {
+	s := sharedSystem(t)
+	det := s.NewShardedDetector(0.4, 2)
+	defer det.Close()
+
+	// The same ingest load as TestStatsConcurrentWithFeeding, but with
+	// repeated (src, dst) evidence so detections — and therefore
+	// events — actually fire while windows rotate.
+	var recs []flow.Record
+	for j := 0; j < 40; j++ {
+		recs = append(recs, flow.Record{
+			Key: flow.Key{
+				Src:     netip.AddrFrom4([4]byte{10, 1, 0, byte(j % 8)}),
+				Dst:     netip.AddrFrom4([4]byte{192, 0, 2, byte(j % 4)}),
+				SrcPort: uint16(40000 + j), DstPort: 443, Proto: flow.ProtoTCP,
+			},
+			Packets: uint64(j%7 + 1), Bytes: 1200,
+			Hour: simtime.Hour(437_000 + j%24),
+		})
+	}
+	exp := netflow.NewExporter(9)
+	msgs, err := exp.Export(recs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{}) // close-only: test shutdown signal
+	var wg sync.WaitGroup
+
+	const feeders = 3
+	for i := 0; i < feeders; i++ {
+		f := det.NewFeed()
+		wg.Add(1)
+		go func(f *Feed) {
+			defer wg.Done()
+			defer f.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, m := range msgs {
+					f.FeedNetFlow(m)
+				}
+			}
+		}(f)
+	}
+
+	// Two kinds of subscribers: a long-lived one draining for the whole
+	// run, and a churner that cancels and resubscribes in a tight loop,
+	// racing the registry against the broker and Rotate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch, cancel := det.Subscribe()
+		defer cancel()
+		for {
+			select {
+			case <-stop:
+				return
+			case _, ok := <-ch:
+				if !ok {
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ch, cancel := det.Subscribe()
+			// Drain whatever is queued right now, then drop the
+			// subscription while the broker may be mid-delivery.
+			for drained := false; !drained; {
+				select {
+				case _, ok := <-ch:
+					drained = !ok
+				default:
+					drained = true
+				}
+			}
+			cancel()
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res := det.Rotate()
+			_ = len(res.Detections)
+			_ = det.Stats()
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := det.Stats()
+	if st.RecordsIPv4 == 0 {
+		t.Error("no records decoded; the race test exercised nothing")
+	}
+	if st.Windows == 0 {
+		t.Error("no windows rotated; the race test exercised nothing")
+	}
+}
