@@ -9,6 +9,7 @@
 //	haystack list                            list experiment IDs
 //	haystack detect [-proto P] [-i file]     detect from a flowgen stream
 //	haystack listen [-listen spec]...        collect NetFlow/IPFIX over UDP or TCP
+//	haystack tail [-addr URL|-log-dir P]     stream a deployment's event log
 //	haystack adversary [flags]               run the adversarial scenario matrix
 //
 // Flags:
@@ -56,8 +57,29 @@
 //	                 printing (and with -export-dir, exporting) each
 //	                 closed window (0 = the whole run is one window)
 //	-export-dir P    write one export file per window into P
-//	-export-format F jsonl | csv (default jsonl)
+//	-export-format F jsonl | csv | summary (default jsonl)
 //	-events          print every detection event as it fires
+//	-log-dir P       durable event log: append every detection event
+//	                 and window marker to segment files under P, and
+//	                 replay the open window from P on startup (crash
+//	                 recovery); enables GET /events on -metrics-addr
+//	-log-fsync F     log durability: window (default) | event | timer
+//	-log-segment-bytes N / -log-segment-age D   segment rotation
+//	-log-retain-bytes N  / -log-retain-age D    retention (0 = keep all)
+//
+// SIGHUP rotates the current window immediately (same as the -window
+// timer firing), useful before reading the export directory.
+//
+// tail flags (one of -addr or -log-dir is required):
+//
+//	-addr URL     deployment's metrics address (http://host:port);
+//	              streams GET /events over long-poll NDJSON
+//	-log-dir P    read the log directory directly (works while the
+//	              writer is live, or post-mortem)
+//	-from N       start offset (default: oldest retained)
+//	-follow       keep waiting for new records (otherwise exit once
+//	              caught up)
+//	-pretty       human-readable lines instead of NDJSON
 package main
 
 import (
@@ -78,6 +100,7 @@ import (
 
 	haystack "repro"
 	"repro/internal/collector"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -95,7 +118,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all|detect|listen|adversary [flags]")
+		return fmt.Errorf("usage: haystack catalog|rules|list|experiment <ID>|all|detect|listen|tail|adversary [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -157,15 +180,31 @@ func run(args []string) error {
 		reportEvery := fs.Duration("report", 0, "print transport stats at this interval (0 = off)")
 		window := fs.Duration("window", 0, "aggregation window: rotate and report every D (0 = one window per run)")
 		exportDir := fs.String("export-dir", "", "write one export file per rotated window into this directory")
-		exportFormat := fs.String("export-format", "jsonl", "export file format: jsonl|csv")
+		exportFormat := fs.String("export-format", "jsonl", "export file format: jsonl|csv|summary")
 		events := fs.Bool("events", false, "print each detection event as it fires")
+		logDir := fs.String("log-dir", "", "durable event log directory (empty = no log)")
+		logFsync := fs.String("log-fsync", "", "log fsync policy: window|event|timer (default window)")
+		logSegmentBytes := fs.Int64("log-segment-bytes", 0, "log segment size before rotation (0 = default 64 MiB)")
+		logSegmentAge := fs.Duration("log-segment-age", 0, "log segment age before rotation (0 = size-only)")
+		logRetainBytes := fs.Int64("log-retain-bytes", 0, "delete oldest log segments past this total size (0 = keep all)")
+		logRetainAge := fs.Duration("log-retain-age", 0, "delete log segments older than this (0 = keep all)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
 		switch *exportFormat {
-		case "jsonl", "csv":
+		case "jsonl", "csv", "summary":
 		default:
-			return fmt.Errorf("unknown -export-format %q (want jsonl or csv)", *exportFormat)
+			return fmt.Errorf("unknown -export-format %q (want jsonl, csv, or summary)", *exportFormat)
+		}
+		if *logDir == "" {
+			for _, name := range []string{"log-fsync", "log-segment-bytes", "log-segment-age", "log-retain-bytes", "log-retain-age"} {
+				name := name
+				fs.Visit(func(f *flag.Flag) {
+					if f.Name == name {
+						fmt.Fprintf(os.Stderr, "haystack: -%s has no effect without -log-dir\n", name)
+					}
+				})
+			}
 		}
 		if *exportDir == "" {
 			fs.Visit(func(f *flag.Flag) {
@@ -192,7 +231,18 @@ func run(args []string) error {
 			exportDir:    *exportDir,
 			exportFormat: *exportFormat,
 			events:       *events,
+			log: haystack.EventLogConfig{
+				Dir:          *logDir,
+				SegmentBytes: *logSegmentBytes,
+				SegmentAge:   *logSegmentAge,
+				RetainBytes:  *logRetainBytes,
+				RetainAge:    *logRetainAge,
+				Fsync:        *logFsync,
+			},
 		})
+
+	case "tail":
+		return cmdTail(fs, rest)
 
 	case "adversary":
 		return cmdAdversary(fs, rest, seed, lines, shards, format)
@@ -327,6 +377,7 @@ type listenOpts struct {
 	exportDir    string
 	exportFormat string
 	events       bool
+	log          haystack.EventLogConfig
 }
 
 // listen runs the live collector: bind the UDP sockets, ingest until
@@ -392,6 +443,7 @@ func listen(sys *haystack.System, opts listenOpts) error {
 			RatePerFeed: opts.ratePerFeed,
 		},
 		Window: haystack.WindowConfig{Every: opts.window, OnRotate: onRotate},
+		Log:    opts.log,
 	}
 	srv, err := det.Listen(cfg)
 	if err != nil {
@@ -405,23 +457,48 @@ func listen(sys *haystack.System, opts listenOpts) error {
 	if opts.window > 0 {
 		fmt.Printf("rotating aggregation windows every %s\n", opts.window)
 	}
+	if opts.log.Dir != "" {
+		rp := srv.Replay()
+		fsync := opts.log.Fsync
+		if fsync == "" {
+			fsync = "window"
+		}
+		fmt.Printf("event log %s: fsync=%s, %d records replayed, resuming window %d (%d detections restored)\n",
+			opts.log.Dir, fsync, rp.Records, rp.ResumedWindow, rp.Restored)
+	}
 
 	if opts.metricsAddr != "" {
 		mux := http.NewServeMux()
 		// One JSON document for the whole deployment: the transport
-		// counters plus the detector's window/event counters.
+		// counters plus the detector's window/event counters, and —
+		// when the event log is on — the log, replay, writer, and
+		// tail-consumer counters.
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			enc.Encode(struct {
-				Transport collector.Stats        `json:"transport"`
-				Detector  haystack.DetectorStats `json:"detector"`
-			}{srv.Stats(), det.Stats()})
+			doc := struct {
+				Transport collector.Stats               `json:"transport"`
+				Detector  haystack.DetectorStats        `json:"detector"`
+				EventLog  *eventlog.Stats               `json:"eventlog,omitempty"`
+				LogWriter *haystack.EventLogWriterStats `json:"log_writer,omitempty"`
+				Replay    *haystack.ReplayStats         `json:"replay,omitempty"`
+				Tail      *haystack.TailStats           `json:"tail,omitempty"`
+			}{Transport: srv.Stats(), Detector: det.Stats()}
+			if l := srv.EventLog(); l != nil {
+				ls, ws, rp, ts := l.Stats(), srv.LogWriterStats(), srv.Replay(), srv.TailHandler().Stats()
+				doc.EventLog, doc.LogWriter, doc.Replay, doc.Tail = &ls, &ws, &rp, &ts
+			}
+			enc.Encode(doc)
 		})
 		mux.Handle("/debug/vars", expvar.Handler())
 		expvar.Publish("haystack.collector", expvar.Func(func() any { return srv.Stats() }))
 		expvar.Publish("haystack.detector", expvar.Func(func() any { return det.Stats() }))
+		if tail := srv.TailHandler(); tail != nil {
+			mux.Handle("/events", tail)
+			expvar.Publish("haystack.eventlog", expvar.Func(func() any { return srv.EventLog().Stats() }))
+			expvar.Publish("haystack.tail", expvar.Func(func() any { return tail.Stats() }))
+		}
 		msrv := &http.Server{Addr: opts.metricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -430,10 +507,31 @@ func listen(sys *haystack.System, opts listenOpts) error {
 		}()
 		defer msrv.Close()
 		fmt.Printf("metrics on http://%s/metrics\n", opts.metricsAddr)
+		if srv.TailHandler() != nil {
+			fmt.Printf("event tail on http://%s/events\n", opts.metricsAddr)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP cuts the current window on demand — same path as the
+	// -window timer, so the export and the log marker both happen.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	// haystack:allow golifetime exits with ctx at shutdown
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				res := srv.RotateNow()
+				fmt.Printf("SIGHUP: rotated window %d (%d detections)\n", res.Seq, len(res.Detections))
+			}
+		}
+	}()
 	if opts.report > 0 {
 		go func() {
 			t := time.NewTicker(opts.report)
@@ -475,6 +573,12 @@ func listen(sys *haystack.System, opts listenOpts) error {
 	if ds.EventsDropped > 0 || ds.SubscriberDrops > 0 {
 		fmt.Printf("events: %d emitted, %d queue drops, %d subscriber drops\n",
 			ds.EventsEmitted, ds.EventsDropped, ds.SubscriberDrops)
+	}
+	if opts.log.Dir != "" {
+		ws := srv.LogWriterStats()
+		ls := srv.EventLog().Stats()
+		fmt.Printf("event log: %d events appended (%d errors), %d records retained in %d segments (%d bytes)\n",
+			ws.EventsAppended, ws.AppendErrors, ls.NextOffset-ls.OldestOffset, ls.Segments, ls.Bytes)
 	}
 	// Every detection was delivered through a WindowResult (the run is
 	// at least one window); summarize the windowed view with the

@@ -1,0 +1,208 @@
+package main
+
+// The tail subcommand: stream a deployment's durable event log,
+// either remotely over the /events long-poll API (-addr) or by
+// reading the log directory straight off disk (-log-dir — works while
+// the writer is live, and post-mortem on a dead deployment's
+// directory). Records print as NDJSON (the TailRecord wire form) or,
+// with -pretty, as human-readable lines.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	haystack "repro"
+	"repro/internal/eventlog"
+)
+
+// tailPollWait is the long-poll hold in remote follow mode: long
+// enough to keep request churn negligible, short enough that a dead
+// connection is noticed.
+const tailPollWait = 30 * time.Second
+
+func cmdTail(fs *flag.FlagSet, rest []string) error {
+	addr := fs.String("addr", "", "deployment metrics address, e.g. http://127.0.0.1:8080 (streams /events)")
+	logDir := fs.String("log-dir", "", "read this log directory directly instead of over HTTP")
+	from := fs.Int64("from", -1, "start offset (-1 = oldest retained)")
+	follow := fs.Bool("follow", false, "keep waiting for new records instead of exiting once caught up")
+	pretty := fs.Bool("pretty", false, "human-readable lines instead of NDJSON")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if (*addr == "") == (*logDir == "") {
+		return usageError{fmt.Errorf("tail: exactly one of -addr or -log-dir is required")}
+	}
+	if *from < -1 {
+		return usageError{fmt.Errorf("tail: bad -from %d", *from)}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	print := printTailNDJSON
+	if *pretty {
+		print = printTailPretty
+	}
+	if *logDir != "" {
+		return tailDir(ctx, out, *logDir, *from, *follow, print)
+	}
+	return tailRemote(ctx, out, *addr, *from, *follow, print)
+}
+
+// printTailNDJSON re-encodes the record exactly as the wire form.
+func printTailNDJSON(w io.Writer, rec *haystack.TailRecord) error {
+	return json.NewEncoder(w).Encode(rec)
+}
+
+// printTailPretty renders one record as a human line, mirroring the
+// listen command's -events printer plus the offset column.
+func printTailPretty(w io.Writer, rec *haystack.TailRecord) error {
+	if rec.Window != nil {
+		_, err := fmt.Fprintf(w, "%8d  window %d closed [%s – %s]: %d/%d subscribers detected, %d records\n",
+			rec.Offset, rec.Window.Seq,
+			rec.Window.Start.Format(time.TimeOnly), rec.Window.End.Format(time.TimeOnly),
+			rec.Window.DetectedSubscribers, rec.Window.Subscribers, rec.Window.Records)
+		return err
+	}
+	ev := rec.Event
+	_, err := fmt.Fprintf(w, "%8d  window %d  %s  %-22s %-4s first seen %s\n",
+		rec.Offset, ev.Window, haystack.SubscriberHex(ev.Subscriber), ev.Rule, ev.Level,
+		ev.First.Format("2006-01-02 15h"))
+	return err
+}
+
+// tailDir reads a log directory with an eventlog.Follower: deliver
+// everything readable, and in follow mode poll until interrupted.
+func tailDir(ctx context.Context, out *bufio.Writer, dir string, from int64, follow bool, print func(io.Writer, *haystack.TailRecord) error) error {
+	if from < 0 {
+		from = 0 // the follower clamps to the oldest retained offset
+	}
+	f := eventlog.NewFollower(dir, uint64(from))
+	for {
+		var perr error
+		if err := f.Poll(func(off uint64, rec eventlog.Record) bool {
+			line := haystack.NewTailRecord(off, &rec)
+			perr = print(out, &line)
+			return perr == nil
+		}); err != nil {
+			return err
+		}
+		if perr != nil {
+			return perr
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+		if !follow {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	if n := f.Skipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "haystack: tail: %d records were deleted by retention before they could be read\n", n)
+	}
+	return nil
+}
+
+// tailRemote drains /events over long-poll NDJSON: each response is
+// one batch, X-Next-Offset is the next request's from. Without
+// -follow it exits at the first empty batch (caught up); with it, the
+// wait parameter holds each at-the-tail request open server-side.
+func tailRemote(ctx context.Context, out *bufio.Writer, addr string, from int64, follow bool, print func(io.Writer, *haystack.TailRecord) error) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	evURL, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("tail: bad -addr: %w", err)
+	}
+	evURL = evURL.JoinPath("/events")
+
+	for {
+		q := url.Values{}
+		if from >= 0 {
+			q.Set("from", strconv.FormatInt(from, 10))
+		}
+		if follow {
+			q.Set("wait", tailPollWait.String())
+		}
+		evURL.RawQuery = q.Encode()
+		next, n, err := tailPollOnce(ctx, evURL.String(), out, print)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted mid-request
+			}
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+		if next >= 0 {
+			from = next
+		}
+		if n == 0 && !follow {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+}
+
+// tailPollOnce performs one /events request, printing every record in
+// the response; it returns the advertised next offset (-1 if the
+// header was absent) and the number of records in the batch.
+func tailPollOnce(ctx context.Context, u string, out *bufio.Writer, print func(io.Writer, *haystack.TailRecord) error) (next int64, n int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return -1, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return -1, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return -1, 0, fmt.Errorf("tail: %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	next = -1
+	if v := resp.Header.Get("X-Next-Offset"); v != "" {
+		if parsed, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+			next = parsed
+		}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec haystack.TailRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return next, n, nil
+			}
+			return next, n, fmt.Errorf("tail: decoding response: %w", err)
+		}
+		n++
+		if err := print(out, &rec); err != nil {
+			return next, n, err
+		}
+	}
+}

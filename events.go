@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pipeline"
@@ -77,7 +78,11 @@ const (
 
 // eventSub is one Subscribe registration.
 type eventSub struct {
-	ch chan DetectionEvent
+	ch   chan DetectionEvent
+	name string
+	// drops counts deliveries skipped because this subscriber's buffer
+	// was full — surfaced per subscriber in DetectorStats.EventQueues.
+	drops atomic.Uint64
 }
 
 // Subscribe registers a live detection stream: every DetectionEvent
@@ -89,6 +94,15 @@ type eventSub struct {
 // closed by cancel (idempotent) or by Detector.Close. Subscribing to
 // a closed detector returns an already-closed channel.
 func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
+	return d.SubscribeNamed("")
+}
+
+// SubscribeNamed is Subscribe with an operator-visible name: the
+// subscriber's queue depth and drop count appear under that name in
+// DetectorStats.EventQueues (and therefore /metrics and expvar), so a
+// lagging consumer — the event-log writer, an exporter bridge — is
+// attributable. An empty name is assigned "sub-<n>".
+func (d *Detector) SubscribeNamed(name string) (<-chan DetectionEvent, func()) {
 	d.evMu.Lock()
 	defer d.evMu.Unlock()
 	if d.evClosed {
@@ -108,7 +122,11 @@ func (d *Detector) Subscribe() (<-chan DetectionEvent, func()) {
 		go d.broker()
 		d.pipe.SetFireHook(d.fire)
 	}
-	sub := &eventSub{ch: make(chan DetectionEvent, subscriberBuffer)}
+	if name == "" {
+		name = fmt.Sprintf("sub-%d", d.evNextID)
+	}
+	d.evNextID++
+	sub := &eventSub{ch: make(chan DetectionEvent, subscriberBuffer), name: name}
 	d.evSubs[sub] = struct{}{}
 	var once sync.Once
 	cancel := func() {
@@ -162,10 +180,16 @@ func (d *Detector) broker() {
 			select {
 			case sub.ch <- ev:
 			default:
+				sub.drops.Add(1)
 				d.subscriberDrops.Add(1)
 			}
 		}
 		d.evMu.Unlock()
+		// Count after fan-out: once eventsDelivered catches up with
+		// eventsEmitted-eventsDropped, every enqueued event has reached
+		// (or visibly missed) every subscriber channel — what
+		// flushEvents waits on before the event log is finalized.
+		d.eventsDelivered.Add(1)
 	}
 	d.evMu.Lock()
 	for sub := range d.evSubs {
@@ -173,6 +197,32 @@ func (d *Detector) broker() {
 		close(sub.ch)
 	}
 	d.evMu.Unlock()
+}
+
+// flushEvents blocks until the broker has fanned out every event the
+// shard workers enqueued so far — delivered to (or visibly dropped
+// from) every subscriber channel — or the timeout passes. Call it
+// with the pipeline quiescent (no fires in flight); it is how the
+// event-log writer's subscription is drained completely before being
+// canceled at shutdown. Returns false on timeout.
+func (d *Detector) flushEvents(timeout time.Duration) bool {
+	d.evMu.Lock()
+	started := d.evCh != nil
+	d.evMu.Unlock()
+	if !started {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		target := d.eventsEmitted.Load() - d.eventsDropped.Load()
+		if d.eventsDelivered.Load() >= target {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // closeEvents shuts the event path down. Called by Detector.Close

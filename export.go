@@ -8,10 +8,12 @@ package haystack
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -68,18 +70,116 @@ func (res *WindowResult) rows(fn func(exportRow) error) error {
 	return nil
 }
 
+// exportCRCTable is the CRC32C (Castagnoli) table for export
+// trailers — the same polynomial internal/eventlog frames records
+// with, so one checksum discipline covers both durability surfaces.
+var exportCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// exportTrailer is the final line of a JSONL export: row count plus
+// the CRC32C of every byte that precedes the trailer line. Backfill
+// readers use it (via VerifyWindowJSONL) to distinguish a complete
+// export from one truncated by a crash or a partial copy — the JSONL
+// body alone cannot tell, since any prefix of complete lines parses
+// cleanly. The window sequence is repeated in the trailer so a
+// reader can sanity-check a file against its name without parsing
+// any rows.
+type exportTrailer struct {
+	Trailer uint64 `json:"haystack_trailer"` // schema version, currently 1
+	Window  uint64 `json:"window"`
+	Rows    uint64 `json:"rows"`
+	CRC32C  string `json:"crc32c"` // 8 lowercase hex digits
+}
+
+// exportTrailerVersion is the trailer schema version written today.
+const exportTrailerVersion = 1
+
+// crcWriter tees writes into an io.Writer while folding them into a
+// running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, exportCRCTable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
 // WriteWindowJSONL writes one JSON object per detection of the
-// window, newline-delimited — the streaming-friendly export format.
-// An empty window writes nothing.
+// window, newline-delimited, then a trailer line carrying the row
+// count and the CRC32C of all preceding bytes (see exportTrailer).
+// An empty window writes only the trailer.
 //
 // haystack:deterministic — export bytes are compared across runs.
 func WriteWindowJSONL(w io.Writer, res *WindowResult) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := res.rows(func(r exportRow) error { return enc.Encode(r) }); err != nil {
+	cw := &crcWriter{w: bw}
+	enc := json.NewEncoder(cw)
+	rows := uint64(0)
+	err := res.rows(func(r exportRow) error {
+		rows++
+		return enc.Encode(r)
+	})
+	if err != nil {
+		return err
+	}
+	// The trailer is outside its own checksum; field order is fixed by
+	// exportTrailer's declaration order (encoding/json preserves it).
+	if err := json.NewEncoder(bw).Encode(exportTrailer{
+		Trailer: exportTrailerVersion,
+		Window:  res.Seq,
+		Rows:    rows,
+		CRC32C:  fmt.Sprintf("%08x", cw.crc),
+	}); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ErrExportTruncated reports a JSONL export whose trailer is missing
+// or does not match its body — the file was truncated, partially
+// copied, or corrupted after the write.
+var ErrExportTruncated = errors.New("haystack: export truncated or corrupt")
+
+// VerifyWindowJSONL checks a JSONL export against its trailer line
+// and returns the verified row count. Any mismatch — no trailer, body
+// bytes whose CRC32C differs, a row count that disagrees with the
+// lines actually present, or a final line cut mid-write — returns an
+// error wrapping ErrExportTruncated. This is the backfill reader's
+// first step before trusting window files from an export directory.
+func VerifyWindowJSONL(r io.Reader) (rows uint64, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return 0, fmt.Errorf("%w: no trailer line", ErrExportTruncated)
+	}
+	// The trailer is the last newline-terminated line; everything
+	// before it is the checksummed body.
+	body := data[:len(data)-1]
+	var line []byte
+	if i := bytes.LastIndexByte(body, '\n'); i >= 0 {
+		line = body[i+1:]
+		body = data[:i+1]
+	} else {
+		line = body
+		body = nil
+	}
+	var tr exportTrailer
+	if err := json.Unmarshal(line, &tr); err != nil || tr.Trailer != exportTrailerVersion {
+		return 0, fmt.Errorf("%w: last line is not a trailer", ErrExportTruncated)
+	}
+	if got := fmt.Sprintf("%08x", crc32.Checksum(body, exportCRCTable)); got != tr.CRC32C {
+		return 0, fmt.Errorf("%w: body crc32c %s, trailer says %s", ErrExportTruncated, got, tr.CRC32C)
+	}
+	if got := uint64(bytes.Count(body, []byte{'\n'})); got != tr.Rows {
+		return 0, fmt.Errorf("%w: %d rows present, trailer says %d", ErrExportTruncated, got, tr.Rows)
+	}
+	return tr.Rows, nil
 }
 
 // WriteWindowCSV writes the window's detections as CSV with a header
@@ -144,7 +244,8 @@ type ExportDir struct {
 }
 
 // NewExportDir prepares dir (creating it if needed) for per-window
-// exports in the given format, "jsonl" or "csv". Window files written
+// exports in the given format, "jsonl", "csv", or "summary" (the
+// WriteWindowSummary operator text). Window files written
 // by earlier releases with narrower zero-padding are renamed to the
 // current 12-digit form, so lexicographic order stays chronological
 // across an upgrade — without the migration, the first post-upgrade
@@ -152,9 +253,9 @@ type ExportDir struct {
 // window-000123.jsonl.
 func NewExportDir(dir, format string) (*ExportDir, error) {
 	switch format {
-	case "jsonl", "csv":
+	case "jsonl", "csv", "summary":
 	default:
-		return nil, fmt.Errorf("haystack: unknown export format %q (want jsonl or csv)", format)
+		return nil, fmt.Errorf("haystack: unknown export format %q (want jsonl, csv, or summary)", format)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("haystack: export dir: %w", err)
@@ -206,23 +307,39 @@ func migrateExportNames(dir string) error {
 }
 
 // Export writes the window to window-<seq>.<format> in the directory
-// and returns the file's path. The write is atomic and durable: the
-// file's contents are fsynced before the rename and the directory is
-// fsynced after it, so a consumer tailing the directory never reads
-// a half-written window and a crash right after Export returns
-// cannot lose the directory entry.
+// and returns the file's path. The write is atomic and durable
+// (writeFileAtomic) for every format — a consumer tailing the
+// directory never reads a half-written window, whichever writer
+// produced it.
 func (e *ExportDir) Export(res *WindowResult) (string, error) {
 	path := filepath.Join(e.dir, fmt.Sprintf("window-%012d.%s", res.Seq, e.format))
+	var write func(io.Writer, *WindowResult) error
+	switch e.format {
+	case "csv":
+		write = WriteWindowCSV
+	case "summary":
+		write = WriteWindowSummary
+	default:
+		write = WriteWindowJSONL
+	}
+	if err := writeFileAtomic(path, func(w io.Writer) error { return write(w, res) }); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// writeFileAtomic writes path via <path>.tmp → rename: the contents
+// are fsynced before the rename and the directory after it, so the
+// final name either does not exist or holds the complete bytes — a
+// crash mid-write leaves at worst a stale .tmp, never a truncated
+// export under its real name.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return "", err
+		return err
 	}
-	if e.format == "csv" {
-		err = WriteWindowCSV(f, res)
-	} else {
-		err = WriteWindowJSONL(f, res)
-	}
+	err = write(f)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -231,16 +348,13 @@ func (e *ExportDir) Export(res *WindowResult) (string, error) {
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return "", err
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return "", err
+		return err
 	}
-	if err := syncDir(e.dir); err != nil {
-		return "", err
-	}
-	return path, nil
+	return syncDir(filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a

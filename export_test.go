@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -102,8 +103,8 @@ func TestWriteWindowJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("wrote %d lines, want 2: %q", len(lines), buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 2 rows + trailer: %q", len(lines), buf.String())
 	}
 	var row struct {
 		Window      uint64 `json:"window"`
@@ -130,13 +131,67 @@ func TestWriteWindowJSONL(t *testing.T) {
 		t.Fatalf("first %q not RFC3339: %v", row.First, err)
 	}
 
-	// An empty window writes nothing.
+	// The export verifies against its own trailer.
+	if rows, err := VerifyWindowJSONL(bytes.NewReader(buf.Bytes())); err != nil || rows != 2 {
+		t.Fatalf("VerifyWindowJSONL = %d, %v; want 2, nil", rows, err)
+	}
+
+	// An empty window writes only the trailer, and it verifies too.
 	buf.Reset()
 	if err := WriteWindowJSONL(&buf, &WindowResult{Seq: 9}); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Len() != 0 {
-		t.Fatalf("empty window wrote %q", buf.String())
+	emptyLines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(emptyLines) != 1 {
+		t.Fatalf("empty window wrote %q, want just the trailer", buf.String())
+	}
+	var tr struct {
+		Trailer uint64 `json:"haystack_trailer"`
+		Window  uint64 `json:"window"`
+		Rows    uint64 `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(emptyLines[0]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Trailer != 1 || tr.Window != 9 || tr.Rows != 0 {
+		t.Fatalf("empty-window trailer = %+v", tr)
+	}
+	if rows, err := VerifyWindowJSONL(bytes.NewReader(buf.Bytes())); err != nil || rows != 0 {
+		t.Fatalf("VerifyWindowJSONL(empty) = %d, %v; want 0, nil", rows, err)
+	}
+}
+
+// TestVerifyWindowJSONLDetectsTruncation: the trailer's whole reason
+// to exist — any prefix of a JSONL export parses as valid JSONL, so
+// only the trailer can tell a backfill reader the file is short.
+func TestVerifyWindowJSONLDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWindowJSONL(&buf, testWindowResult()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := VerifyWindowJSONL(bytes.NewReader(full)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the file at every byte boundary: no truncation may verify.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := VerifyWindowJSONL(bytes.NewReader(full[:cut])); !errors.Is(err, ErrExportTruncated) {
+			t.Fatalf("truncation at byte %d/%d verified: %v", cut, len(full), err)
+		}
+	}
+
+	// A flipped body bit breaks the CRC.
+	corrupt := append([]byte(nil), full...)
+	corrupt[2] ^= 0x40
+	if _, err := VerifyWindowJSONL(bytes.NewReader(corrupt)); !errors.Is(err, ErrExportTruncated) {
+		t.Fatalf("bit flip verified: %v", err)
+	}
+
+	// A whole row deleted (trailer intact) breaks the row count or CRC.
+	firstNL := bytes.IndexByte(full, '\n')
+	if _, err := VerifyWindowJSONL(bytes.NewReader(full[firstNL+1:])); !errors.Is(err, ErrExportTruncated) {
+		t.Fatalf("dropped row verified: %v", err)
 	}
 }
 
@@ -185,8 +240,11 @@ func TestExportDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := strings.Count(string(body), "\n"); n != 2 {
-		t.Fatalf("exported %d lines, want 2", n)
+	if n := strings.Count(string(body), "\n"); n != 3 {
+		t.Fatalf("exported %d lines, want 2 rows + trailer", n)
+	}
+	if rows, err := VerifyWindowJSONL(bytes.NewReader(body)); err != nil || rows != 2 {
+		t.Fatalf("exported file fails verification: %d, %v", rows, err)
 	}
 	// No temp-file debris after a clean export.
 	entries, err := os.ReadDir(dir)
@@ -210,9 +268,51 @@ func TestExportDir(t *testing.T) {
 		t.Fatalf("csv export path = %q", path)
 	}
 
+	// The summary format goes through the same atomic tmp→rename path.
+	sumExp, err := NewExportDir(dir, "summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Seq = 6
+	path, err = sumExp.Export(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "window-000000000006.summary" {
+		t.Fatalf("summary export path = %q", path)
+	}
+	body, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteWindowSummary(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("summary export = %q, want %q", body, want.Bytes())
+	}
+	if strings.Contains(strings.Join(dirNames(t, dir), " "), ".tmp") {
+		t.Fatal("temp-file debris left after summary export")
+	}
+
 	if _, err := NewExportDir(dir, "xml"); err == nil {
 		t.Fatal("unknown export format accepted")
 	}
+}
+
+// dirNames lists a directory's entry names, for debris checks.
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names
 }
 
 // TestExportDirMigratesNarrowNames: opening an export directory left

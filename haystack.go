@@ -33,6 +33,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/collector"
 	"repro/internal/detect"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/ipfix"
@@ -294,8 +295,10 @@ type Detector struct {
 	evCh            chan pipeline.FireEvent
 	evDone          chan struct{}
 	evClosed        bool
+	evNextID        uint64 // guarded by evMu; names anonymous subscribers
 	eventsEmitted   atomic.Uint64
 	eventsDropped   atomic.Uint64
+	eventsDelivered atomic.Uint64
 	subscriberDrops atomic.Uint64
 
 	// Window rotation (window.go): baseline counters for stats deltas
@@ -548,6 +551,14 @@ type ListenConfig struct {
 	// OnRotate. With OnRotate set but Every zero, the whole run is one
 	// window, rotated and delivered at Close.
 	Window WindowConfig
+
+	// Log, when Log.Dir is set, gives the deployment a durable event
+	// log (internal/eventlog): before the sockets bind, the detector
+	// replays the log to resume the interrupted window — sequence
+	// number and fired set — and from then on a dedicated subscriber
+	// appends every DetectionEvent plus a marker per rotated window.
+	// See log.go and DESIGN.md "Durability & replay".
+	Log EventLogConfig
 }
 
 // Server is one running listening deployment: the collector socket
@@ -563,6 +574,20 @@ type Server struct {
 	stop     chan struct{} // stops the periodic rotator
 	rotDone  chan struct{}
 	stopOnce sync.Once
+	// cutMu serializes window cuts (periodic, RotateNow, final) so
+	// exports and log markers are delivered in sequence order.
+	cutMu sync.Mutex
+
+	// Event-log wiring (log.go). All nil/zero when ListenConfig.Log is
+	// unset.
+	log        *eventlog.Log
+	tail       *LogTail
+	replay     ReplayStats
+	logCancel  func()        // cancels the writer's subscription
+	logDone    chan struct{} // haystack:unbounded close-only writer-exit signal
+	logEvents  atomic.Uint64 // events appended by the writer
+	logErrs    atomic.Uint64 // failed appends (events and markers)
+	logClosErr error         // the log's Close error, folded into Close's return
 }
 
 // Listen binds the configured sockets — UDP datagram listeners and
@@ -584,11 +609,21 @@ func (d *Detector) Listen(cfg ListenConfig) (*Server, error) {
 	if cfg.MaxFeeds == 0 {
 		cfg.MaxFeeds = d.Shards()
 	}
+	s := &Server{det: d, window: cfg.Window}
+	if cfg.Log.Dir != "" {
+		// Replay, then subscribe the writer, and only then bind the
+		// sockets: state is rebuilt before any new observation arrives,
+		// and no event can fire into a pre-subscription gap.
+		if err := s.openLog(cfg.Log); err != nil {
+			return nil, err
+		}
+	}
 	inner, err := collector.Listen(cfg.Config, func() collector.Feed { return d.NewFeed() })
 	if err != nil {
+		s.teardownLog()
 		return nil, err
 	}
-	s := &Server{Server: inner, det: d, window: cfg.Window}
+	s.Server = inner
 	if cfg.Window.Every > 0 {
 		s.stop = make(chan struct{})    // haystack:unbounded close-only shutdown signal for the rotator
 		s.rotDone = make(chan struct{}) // haystack:unbounded close-only rotator-exit acknowledgement
@@ -607,16 +642,33 @@ func (s *Server) rotator() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			s.deliver(s.det.Rotate())
+			s.rotateAndDeliver()
 		}
 	}
 }
 
-func (s *Server) deliver(res WindowResult) {
+// rotateAndDeliver cuts one window and delivers it — OnRotate first,
+// then the log's window marker, so a marker in the log means the
+// window reached its consumers. cutMu keeps concurrent cut sources
+// (the periodic rotator, RotateNow, the final cut in Close) from
+// interleaving their deliveries out of sequence order.
+func (s *Server) rotateAndDeliver() WindowResult {
+	s.cutMu.Lock()
+	defer s.cutMu.Unlock()
+	res := s.det.Rotate()
 	if s.window.OnRotate != nil {
 		s.window.OnRotate(res)
 	}
+	s.appendMarker(&res)
+	return res
 }
+
+// RotateNow cuts the current aggregation window immediately —
+// delivering it to OnRotate, the export directory, and the event log
+// exactly as a periodic rotation would — and returns it. The CLI
+// drives it from SIGHUP; tests use it for deterministic window
+// boundaries.
+func (s *Server) RotateNow() WindowResult { return s.rotateAndDeliver() }
 
 // Close stops the sockets first — draining every queued datagram
 // through the feeds, so the detector is quiescent — then stops the
@@ -631,10 +683,36 @@ func (s *Server) Close() error {
 			close(s.stop)
 			<-s.rotDone
 		}
-		if s.window.Every > 0 || s.window.OnRotate != nil {
-			s.deliver(s.det.Rotate())
+		if s.window.Every > 0 || s.window.OnRotate != nil || s.log != nil {
+			s.rotateAndDeliver()
 		}
+		s.finishLog()
 	})
+	if err == nil {
+		err = s.logClosErr
+	}
+	return err
+}
+
+// Kill tears the server down without committing the in-progress
+// window: sockets drain, the rotator stops, but there is no final
+// Rotate — no export, no OnRotate call, no window marker. From the
+// event log's perspective this is exactly what SIGKILL leaves behind
+// (events of the open window with no closing marker), which is what
+// crash-replay tests simulate with it. The detector itself stays
+// open; callers own its Close.
+func (s *Server) Kill() error {
+	err := s.Server.Close()
+	s.stopOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+			<-s.rotDone
+		}
+		s.finishLog()
+	})
+	if err == nil {
+		err = s.logClosErr
+	}
 	return err
 }
 
@@ -697,16 +775,57 @@ type DetectorStats struct {
 	// that subscriber's channel buffer was full (slow consumer); other
 	// subscribers still receive the event.
 	SubscriberDrops uint64 `json:"subscriber_drops"`
+	// EventsDelivered counts events the broker has fanned out to the
+	// subscriber channels. EventsEmitted − EventsDropped −
+	// EventsDelivered is the broker's queue backlog.
+	EventsDelivered uint64 `json:"events_delivered"`
+	// EventQueues breaks the Subscribe fan-out down per subscriber:
+	// one entry per live channel, sorted by name, with its queue depth
+	// and drop count — how a lagging event-log writer or exporter
+	// bridge is told apart from a healthy one.
+	EventQueues []EventQueueStats `json:"event_queues,omitempty"`
+}
+
+// EventQueueStats is one Subscribe channel's health in DetectorStats.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
+type EventQueueStats struct {
+	// Name is the SubscribeNamed name ("sub-<n>" when auto-assigned).
+	Name string `json:"name"`
+	// Buffered and Capacity are the channel's current depth and size.
+	Buffered int `json:"buffered"`
+	Capacity int `json:"capacity"`
+	// Drops counts deliveries this subscriber alone missed because its
+	// buffer was full.
+	Drops uint64 `json:"drops"`
 }
 
 // Stats snapshots the detector's health counters. Safe to call while
 // feeds are running.
 //
+// Stats is also haystack:deterministic — the EventQueues slice feeds
+// /metrics JSON that tests diff, so the map iteration over
+// subscribers is sorted by name before export.
+//
 // haystack:metrics-export
 func (d *Detector) Stats() DetectorStats {
 	d.evMu.Lock()
 	subs := len(d.evSubs)
+	queues := make([]EventQueueStats, 0, subs)
+	for sub := range d.evSubs {
+		queues = append(queues, EventQueueStats{
+			Name:     sub.name,
+			Buffered: len(sub.ch),
+			Capacity: cap(sub.ch),
+			Drops:    sub.drops.Load(),
+		})
+	}
 	d.evMu.Unlock()
+	sort.Slice(queues, func(i, j int) bool { return queues[i].Name < queues[j].Name })
+	if len(queues) == 0 {
+		queues = nil
+	}
 	return DetectorStats{
 		RecordsIPv4:      d.recordsV4.Load(),
 		RecordsIPv6:      d.recordsV6.Load(),
@@ -719,5 +838,7 @@ func (d *Detector) Stats() DetectorStats {
 		EventsEmitted:    d.eventsEmitted.Load(),
 		EventsDropped:    d.eventsDropped.Load(),
 		SubscriberDrops:  d.subscriberDrops.Load(),
+		EventsDelivered:  d.eventsDelivered.Load(),
+		EventQueues:      queues,
 	}
 }

@@ -165,6 +165,31 @@ func (e *Engine) evaluate(sub SubID, st *subState, rule int, h simtime.Hour, fir
 	return fired
 }
 
+// Restore marks (sub, rule) as already detected with the given first
+// detection hour, without evidence bits and without firing OnFire —
+// the replay path rebuilding a window from a durable event log. A
+// restored detection behaves exactly like a fired one: evaluate skips
+// it (no double fire when live evidence arrives) and children gated
+// on RequireParent see the parent as confirmed. Restoring an
+// already-detected pair is a no-op, so replays are idempotent.
+func (e *Engine) Restore(sub SubID, rule int, first simtime.Hour) {
+	if rule < 0 || rule >= len(e.dict.Rules) {
+		return
+	}
+	st := e.subs[sub]
+	if st == nil {
+		st = &subState{}
+		e.subs[sub] = st
+	}
+	rs := st.get(rule)
+	if rs.detected {
+		return
+	}
+	rs.detected = true
+	rs.firstHour = first
+	e.detections[rule]++
+}
+
 // Detected reports whether the rule has fired for the subscriber.
 func (e *Engine) Detected(sub SubID, rule int) bool {
 	st := e.subs[sub]

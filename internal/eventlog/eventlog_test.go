@@ -1,0 +1,544 @@
+package eventlog
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testEvent builds a deterministic event record for offset i.
+func testEvent(i uint64) *Record {
+	return &Record{Type: TypeEvent, Event: Event{
+		Subscriber: 0x1000 + i,
+		Rule:       "meross-plug",
+		Level:      "device",
+		First:      time.Unix(0, int64(i)*int64(time.Hour)).UTC(),
+		Window:     i / 10,
+	}}
+}
+
+// testWindow builds a deterministic window marker for seq.
+func testWindow(seq uint64) *Record {
+	return &Record{Type: TypeWindow, Window: WindowMarker{
+		Seq:                 seq,
+		Start:               time.Unix(int64(seq)*100, 0).UTC(),
+		End:                 time.Unix(int64(seq)*100+60, 0).UTC(),
+		Subscribers:         42,
+		DetectedSubscribers: 7,
+		Records:             1000 * seq,
+		RecordsIPv4:         900 * seq,
+		RecordsIPv6:         100 * seq,
+		SkippedRecords:      seq,
+		EventsDropped:       0,
+		RuleCounts:          map[string]int{"meross-plug": 3, "alexa-echo": 4},
+	}}
+}
+
+func mustAppend(t *testing.T, l *Log, rec *Record) uint64 {
+	t.Helper()
+	off, err := l.Append(rec)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return off
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	want := []*Record{testEvent(0), testEvent(1), testWindow(0), testEvent(2), testWindow(1)}
+	for i, rec := range want {
+		if off := mustAppend(t, l, rec); off != uint64(i) {
+			t.Fatalf("offset %d, want %d", off, i)
+		}
+	}
+
+	var got []Record
+	next, err := l.ReadAt(0, func(off uint64, rec Record) bool {
+		if off != uint64(len(got)) {
+			t.Fatalf("offset %d out of order (want %d)", off, len(got))
+		}
+		got = append(got, rec)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if next != uint64(len(want)) {
+		t.Fatalf("next = %d, want %d", next, len(want))
+	}
+	for i, rec := range want {
+		if !reflect.DeepEqual(got[i], *rec) {
+			t.Errorf("record %d:\n got %+v\nwant %+v", i, got[i], *rec)
+		}
+	}
+
+	// A read from the middle sees only the suffix; a read past the end
+	// sees nothing and returns its clamped start.
+	var n int
+	if _, err := l.ReadAt(3, func(uint64, Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("ReadAt(3) visited %d records, want 2", n)
+	}
+	if next, err := l.ReadAt(99, func(uint64, Record) bool { t.Fatal("visited"); return false }); err != nil || next != 99 {
+		t.Errorf("ReadAt(99) = %d, %v; want 99, nil", next, err)
+	}
+}
+
+func TestRotationAndOffsetContinuity(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const total = 100
+	for i := uint64(0); i < total; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected >=3 segments at 256-byte rotation, got %d", st.Segments)
+	}
+	if st.NextOffset != total {
+		t.Fatalf("NextOffset = %d, want %d", st.NextOffset, total)
+	}
+
+	// Every offset readable, in order, across the segment boundaries.
+	var off uint64
+	if _, err := l.ReadAt(0, func(o uint64, rec Record) bool {
+		if o != off {
+			t.Fatalf("offset %d, want %d", o, off)
+		}
+		if rec.Event.Subscriber != 0x1000+o {
+			t.Fatalf("record %d has subscriber %#x", o, rec.Event.Subscriber)
+		}
+		off++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if off != total {
+		t.Fatalf("visited %d records, want %d", off, total)
+	}
+}
+
+func TestRetentionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256, RetainBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := uint64(0); i < 200; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	st := l.Stats()
+	if st.OldestOffset == 0 {
+		t.Fatal("retention never deleted a segment")
+	}
+	if st.RetentionSegments == 0 || st.RetentionRecords == 0 {
+		t.Fatalf("retention counters not advanced: %+v", st)
+	}
+	if st.Bytes > 600+256+int64(256) {
+		// Retention runs at rotation, so the budget can overshoot by
+		// at most one segment plus the fresh active one.
+		t.Fatalf("retained %d bytes against a 600-byte budget", st.Bytes)
+	}
+
+	// Reads from before the horizon clamp to OldestOffset.
+	first := uint64(0xffffffff)
+	if _, err := l.ReadAt(0, func(o uint64, _ Record) bool {
+		if o < first {
+			first = o
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if first != st.OldestOffset {
+		t.Fatalf("first visited offset %d, want OldestOffset %d", first, st.OldestOffset)
+	}
+
+	// Reopen: the oldest offset survives the restart.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.OldestOffset(); got != st.OldestOffset {
+		t.Fatalf("OldestOffset after reopen = %d, want %d", got, st.OldestOffset)
+	}
+	if got := l2.NextOffset(); got != 200 {
+		t.Fatalf("NextOffset after reopen = %d, want 200", got)
+	}
+}
+
+func TestReopenResumesOffsets(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if off := mustAppend(t, l, testEvent(10)); off != 10 {
+		t.Fatalf("append after reopen got offset %d, want 10", off)
+	}
+	var n int
+	if _, err := l.ReadAt(0, func(uint64, Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Fatalf("visited %d records, want 11", n)
+	}
+}
+
+// TestTornTailRecovery is the kill-mid-append regression test: a
+// crash can leave a partial frame at the tail of the active segment,
+// and Open must truncate it, resume at the right offset, and keep the
+// file appendable.
+func TestTornTailRecovery(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		cut  int // bytes to keep of the final frame
+	}{
+		{"mid-header", 3},
+		{"header-only", frameHeaderLen},
+		{"mid-payload", frameHeaderLen + 5},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 5; i++ {
+				mustAppend(t, l, testEvent(i))
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Simulate the torn write: a complete frame followed by a
+			// prefix of another, exactly what a kill mid-append leaves.
+			path := filepath.Join(dir, segName(0))
+			full, err := encodeRecord(nil, testEvent(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(full[:tear.cut]); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			l, err = Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("Open after torn write: %v", err)
+			}
+			defer l.Close()
+			if got := l.NextOffset(); got != 5 {
+				t.Fatalf("NextOffset = %d, want 5 (torn record must not count)", got)
+			}
+			if st := l.Stats(); st.RecoveryTruncatedBytes != int64(tear.cut) {
+				t.Fatalf("RecoveryTruncatedBytes = %d, want %d", st.RecoveryTruncatedBytes, tear.cut)
+			}
+
+			// The log must be appendable and fully readable after
+			// recovery — the new record lands on a clean boundary.
+			if off := mustAppend(t, l, testEvent(5)); off != 5 {
+				t.Fatalf("post-recovery append offset %d, want 5", off)
+			}
+			var n int
+			if _, err := l.ReadAt(0, func(uint64, Record) bool { n++; return true }); err != nil {
+				t.Fatalf("ReadAt after recovery: %v", err)
+			}
+			if n != 6 {
+				t.Fatalf("visited %d records, want 6", n)
+			}
+		})
+	}
+}
+
+func TestWaitAppend(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Already-satisfied wait returns immediately.
+	mustAppend(t, l, testEvent(0))
+	if err := l.WaitAppend(context.Background(), 0); err != nil {
+		t.Fatalf("WaitAppend(0): %v", err)
+	}
+
+	// A blocked wait wakes when the offset is appended.
+	done := make(chan error, 1)
+	go func() { done <- l.WaitAppend(context.Background(), 1) }()
+	time.Sleep(10 * time.Millisecond)
+	mustAppend(t, l, testEvent(1))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitAppend(1): %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAppend(1) never woke")
+	}
+
+	// Context cancellation unblocks.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.WaitAppend(ctx, 99); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitAppend(ctx) = %v, want deadline exceeded", err)
+	}
+
+	// Close unblocks with ErrClosed.
+	go func() { done <- l.WaitAppend(context.Background(), 99) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("WaitAppend after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAppend never woke on Close")
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	t.Run("event", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncEvent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := uint64(0); i < 5; i++ {
+			mustAppend(t, l, testEvent(i))
+		}
+		if st := l.Stats(); st.Syncs != 5 {
+			t.Fatalf("Syncs = %d, want 5 under FsyncEvent", st.Syncs)
+		}
+	})
+	t.Run("window", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncWindow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := uint64(0); i < 5; i++ {
+			mustAppend(t, l, testEvent(i))
+		}
+		if st := l.Stats(); st.Syncs != 0 {
+			t.Fatalf("Syncs = %d, want 0 before any window marker", st.Syncs)
+		}
+		mustAppend(t, l, testWindow(0))
+		if st := l.Stats(); st.Syncs != 1 {
+			t.Fatalf("Syncs = %d, want 1 after the window marker", st.Syncs)
+		}
+	})
+	t.Run("timer", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncTimer, FsyncInterval: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, l, testEvent(0))
+		deadline := time.Now().Add(5 * time.Second)
+		for l.Stats().Syncs == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if l.Stats().Syncs == 0 {
+			t.Fatal("timer policy never synced")
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncWindow, FsyncEvent, FsyncTimer} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("always"); err == nil {
+		t.Error("ParseFsyncPolicy accepted garbage")
+	}
+}
+
+func TestFollowerTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	fw := NewFollower(dir, 0)
+	collect := func() []uint64 {
+		var offs []uint64
+		if err := fw.Poll(func(off uint64, rec Record) bool {
+			offs = append(offs, off)
+			return true
+		}); err != nil {
+			t.Fatalf("Poll: %v", err)
+		}
+		return offs
+	}
+
+	if offs := collect(); len(offs) != 0 {
+		t.Fatalf("empty log delivered %v", offs)
+	}
+	for i := uint64(0); i < 40; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	offs := collect()
+	if len(offs) != 40 || offs[0] != 0 || offs[39] != 39 {
+		t.Fatalf("first poll delivered %d records (%v...)", len(offs), offs[:min(len(offs), 3)])
+	}
+	// Incremental: only new records on the next poll, across rotation.
+	for i := uint64(40); i < 80; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	offs = collect()
+	if len(offs) != 40 || offs[0] != 40 {
+		t.Fatalf("second poll delivered %d records starting at %v", len(offs), offs[0])
+	}
+	if fw.Offset() != 80 {
+		t.Fatalf("follower offset %d, want 80", fw.Offset())
+	}
+}
+
+// TestFollowerToleratesTornTail pins the live-tail behavior: a
+// partial frame at the end of the active segment is "not written
+// yet", not an error, and the record is delivered once complete.
+func TestFollowerToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, testEvent(0))
+
+	// Hand-write a partial frame after the complete record, as if the
+	// writer were mid-append.
+	full, err := encodeRecord(nil, testEvent(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatal(err)
+	}
+
+	fw := NewFollower(dir, 0)
+	var n int
+	if err := fw.Poll(func(uint64, Record) bool { n++; return true }); err != nil {
+		t.Fatalf("Poll over torn tail: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records, want 1 (torn frame must not surface)", n)
+	}
+
+	// Complete the append; the next poll delivers it.
+	if _, err := f.Write(full[len(full)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fw.Poll(func(off uint64, rec Record) bool {
+		n++
+		if off != 1 || rec.Event.Subscriber != 0x1001 {
+			t.Fatalf("completed frame decoded wrong: off=%d rec=%+v", off, rec)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d records total, want 2", n)
+	}
+}
+
+func TestCorruptMidLogIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		mustAppend(t, l, testEvent(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in the middle of the segment.
+	path := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open truncates at the flip (no panic, no silent skip: every
+	// record before it survives, nothing after it is visible).
+	l, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if st.NextOffset >= 10 || st.RecoveryTruncatedBytes == 0 {
+		t.Fatalf("corruption not detected: %+v", st)
+	}
+	var n uint64
+	if _, err := l.ReadAt(0, func(uint64, Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != st.NextOffset {
+		t.Fatalf("read %d records, want %d", n, st.NextOffset)
+	}
+}

@@ -1,0 +1,125 @@
+package eventlog
+
+// Follower reads a log directory that another process is writing —
+// the local-dir mode of `haystack tail`. It holds no lock and no
+// shared state with the writer, so it cannot know the writer's
+// complete-frame high-water mark; instead it treats any invalid frame
+// at the very tail of the newest segment as "not written yet" and
+// simply stops there, retrying on the next Poll. An invalid frame
+// anywhere else is real corruption and is reported.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Follower is a poll-based reader of a live log directory. Not safe
+// for concurrent use; run one Follower per consumer.
+type Follower struct {
+	dir string
+	off uint64
+	// skipped counts records the follower could not deliver because
+	// retention deleted them before it caught up.
+	skipped uint64
+}
+
+// NewFollower follows dir starting at offset from.
+func NewFollower(dir string, from uint64) *Follower {
+	return &Follower{dir: dir, off: from}
+}
+
+// Offset returns the next offset Poll will deliver.
+func (f *Follower) Offset() uint64 { return f.off }
+
+// Skipped returns how many records retention purged before the
+// follower reached them.
+func (f *Follower) Skipped() uint64 { return f.skipped }
+
+// Poll delivers every currently-readable record from the follower's
+// offset onward, in order, until fn returns false, then returns. A
+// clean tail (caught up with the writer, possibly mid-append) returns
+// nil; callers wait and Poll again. Corruption before the tail
+// returns an error wrapping ErrCorrupt.
+func (f *Follower) Poll(fn func(off uint64, rec Record) bool) error {
+	segs, err := listSegments(f.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	if f.off < segs[0].base {
+		f.skipped += segs[0].base - f.off
+		f.off = segs[0].base
+	}
+	// Segments that could hold f.off or later: the one containing it
+	// and everything after. f.off past the end of the newest segment
+	// means we are caught up.
+	i := 0
+	for i+1 < len(segs) && segs[i+1].base <= f.off {
+		i++
+	}
+	for ; i < len(segs); i++ {
+		seg := segs[i]
+		last := i == len(segs)-1
+		file, err := os.Open(seg.path)
+		if errors.Is(err, os.ErrNotExist) {
+			// Retention raced us: this segment (and our offset with
+			// it) is gone. Re-list on the next Poll.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		err = f.pollSegment(file, seg, last, fn)
+		file.Close()
+		if err == errStopped {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errStopped is pollSegment's signal that fn asked to stop.
+var errStopped = errors.New("eventlog: follower stopped")
+
+// pollSegment scans one segment, delivering records at or past f.off.
+// In the last (active) segment a torn or corrupt tail frame marks the
+// writer's in-progress append and ends the scan silently; in closed
+// segments it is corruption.
+func (f *Follower) pollSegment(file *os.File, seg segment, last bool, fn func(off uint64, rec Record) bool) error {
+	sc := newFrameScanner(file, -1)
+	off := seg.base
+	var rec Record
+	for {
+		payload, err := sc.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err == nil {
+			err = decodeRecord(payload, &rec)
+		}
+		if err != nil {
+			if last {
+				// The writer may be mid-append; what looks torn now
+				// will be complete on the next Poll. Stop cleanly
+				// without advancing past it.
+				return nil
+			}
+			return fmt.Errorf("eventlog: %s record %d: %w", seg.path, off-seg.base, err)
+		}
+		if off >= f.off {
+			if !fn(off, rec) {
+				f.off = off + 1
+				return errStopped
+			}
+			f.off = off + 1
+		}
+		off++
+	}
+}

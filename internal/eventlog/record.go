@@ -1,0 +1,310 @@
+package eventlog
+
+// Record framing and payload codecs. Every record on disk is one
+// frame:
+//
+//	+--------------+--------------+---------------------+
+//	| length (u32) | crc32c (u32) | payload (length B)  |
+//	+--------------+--------------+---------------------+
+//
+// with all integers big-endian and the CRC32C (Castagnoli) taken over
+// the payload bytes only. The payload's first byte is the record type;
+// the rest is the type's body. The framing is deliberately the same
+// shape as the JSONL export trailer (export.go) and the wire decoders:
+// fixed-width guards first, then a length-checked view walk, so the
+// wirebounds analyzer can prove the decode path panic-free and a
+// single flipped bit anywhere in a frame is detected by the checksum.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+)
+
+// Type discriminates the record payloads.
+type Type uint8
+
+const (
+	// TypeEvent is one DetectionEvent: a rule crossed threshold for a
+	// subscriber while a window was current.
+	TypeEvent Type = 1
+	// TypeWindow is a window-boundary marker: the WindowResult summary
+	// of a completed aggregation window. Everything before it up to the
+	// previous marker belongs to the closed window; replay resumes from
+	// the last marker.
+	TypeWindow Type = 2
+)
+
+// Event is the logged form of a detection event. It mirrors
+// haystack.DetectionEvent field for field; the types are distinct only
+// because the root package imports this one.
+type Event struct {
+	Subscriber uint64
+	Rule       string
+	Level      string
+	First      time.Time
+	Window     uint64
+}
+
+// WindowMarker is the logged form of a completed window's summary —
+// the WindowResult minus its detection list, which the preceding
+// Event records already hold.
+type WindowMarker struct {
+	Seq                 uint64
+	Start, End          time.Time
+	Subscribers         int
+	DetectedSubscribers int
+	Records             uint64
+	RecordsIPv4         uint64
+	RecordsIPv6         uint64
+	SkippedRecords      uint64
+	EventsDropped       uint64
+	RuleCounts          map[string]int
+}
+
+// Record is one decoded log record: exactly one of Event or Window is
+// meaningful, per Type.
+type Record struct {
+	Type   Type
+	Event  Event
+	Window WindowMarker
+}
+
+const (
+	// frameHeaderLen is the fixed frame prefix: u32 length + u32 CRC32C.
+	frameHeaderLen = 8
+	// MaxRecordLen bounds a payload. An append beyond it fails; a frame
+	// header declaring more is corruption, not a huge allocation.
+	MaxRecordLen = 1 << 20
+)
+
+// castagnoli is the CRC32C table, the polynomial storage systems use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame-level errors. ErrCorrupt wraps every mid-log integrity
+// failure; callers match it with errors.Is.
+var (
+	ErrCorrupt = errors.New("eventlog: corrupt record")
+	// errTruncated marks a frame that ends before its declared length —
+	// at the log tail this is a torn write, elsewhere corruption.
+	errTruncated = fmt.Errorf("%w: truncated frame", ErrCorrupt)
+)
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodeRecord appends rec's frame to dst. It fails only on records
+// that cannot be represented (oversized strings or payload) — never
+// on ordinary detector output.
+func encodeRecord(dst []byte, rec *Record) ([]byte, error) {
+	var payload []byte
+	var err error
+	switch rec.Type {
+	case TypeEvent:
+		payload, err = encodeEvent(&rec.Event)
+	case TypeWindow:
+		payload, err = encodeWindow(&rec.Window)
+	default:
+		return nil, fmt.Errorf("eventlog: encode: unknown record type %d", rec.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxRecordLen {
+		return nil, fmt.Errorf("eventlog: encode: %d-byte payload exceeds MaxRecordLen", len(payload))
+	}
+	return appendFrame(dst, payload), nil
+}
+
+// appendString appends a u16 length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// encodeEvent builds a TypeEvent payload: type byte, then subscriber,
+// window, first (UnixNano), rule (u16 length prefix), level (u8
+// length prefix), all big-endian.
+func encodeEvent(ev *Event) ([]byte, error) {
+	if len(ev.Rule) > 0xffff {
+		return nil, fmt.Errorf("eventlog: encode: %d-byte rule name", len(ev.Rule))
+	}
+	if len(ev.Level) > 0xff {
+		return nil, fmt.Errorf("eventlog: encode: %d-byte level", len(ev.Level))
+	}
+	p := make([]byte, 0, 1+8+8+8+2+len(ev.Rule)+1+len(ev.Level))
+	p = append(p, byte(TypeEvent))
+	p = binary.BigEndian.AppendUint64(p, ev.Subscriber)
+	p = binary.BigEndian.AppendUint64(p, ev.Window)
+	p = binary.BigEndian.AppendUint64(p, uint64(ev.First.UnixNano()))
+	p = appendString(p, ev.Rule)
+	p = append(p, byte(len(ev.Level)))
+	p = append(p, ev.Level...)
+	return p, nil
+}
+
+// encodeWindow builds a TypeWindow payload: type byte, the fixed
+// counters, then the rule-count table in lexicographic rule order.
+//
+// haystack:deterministic — log bytes are diffed across runs in tests
+// and replayed byte-for-byte to tail consumers, so the RuleCounts map
+// iteration must be sorted before anything is appended.
+func encodeWindow(wm *WindowMarker) ([]byte, error) {
+	rules := make([]string, 0, len(wm.RuleCounts))
+	for r := range wm.RuleCounts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+
+	p := make([]byte, 0, 1+8*8+4*3+len(rules)*16)
+	p = append(p, byte(TypeWindow))
+	p = binary.BigEndian.AppendUint64(p, wm.Seq)
+	p = binary.BigEndian.AppendUint64(p, uint64(wm.Start.UnixNano()))
+	p = binary.BigEndian.AppendUint64(p, uint64(wm.End.UnixNano()))
+	p = binary.BigEndian.AppendUint32(p, uint32(wm.Subscribers))
+	p = binary.BigEndian.AppendUint32(p, uint32(wm.DetectedSubscribers))
+	p = binary.BigEndian.AppendUint64(p, wm.Records)
+	p = binary.BigEndian.AppendUint64(p, wm.RecordsIPv4)
+	p = binary.BigEndian.AppendUint64(p, wm.RecordsIPv6)
+	p = binary.BigEndian.AppendUint64(p, wm.SkippedRecords)
+	p = binary.BigEndian.AppendUint64(p, wm.EventsDropped)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(rules)))
+	for _, r := range rules {
+		if len(r) > 0xffff {
+			return nil, fmt.Errorf("eventlog: encode: %d-byte rule name", len(r))
+		}
+		p = appendString(p, r)
+		p = binary.BigEndian.AppendUint32(p, uint32(wm.RuleCounts[r]))
+	}
+	return p, nil
+}
+
+// decodeRecord parses one framed payload (the bytes after the frame
+// header, already CRC-verified) into rec.
+//
+// haystack:hotpath — runs once per record on the replay and tail
+// paths; every index is dominated by a length guard (wirebounds).
+func decodeRecord(p []byte, rec *Record) error {
+	if len(p) < 1 {
+		return errTruncated
+	}
+	typ := Type(p[0])
+	body := p[1:]
+	*rec = Record{} // callers reuse rec across records; no stale fields
+	switch typ {
+	case TypeEvent:
+		rec.Type = TypeEvent
+		return decodeEvent(body, &rec.Event)
+	case TypeWindow:
+		rec.Type = TypeWindow
+		return decodeWindow(body, &rec.Window)
+	}
+	return errUnknownType(typ)
+}
+
+// eventFixedLen is the fixed front of a TypeEvent body: subscriber,
+// window, first, and the rule length prefix.
+const eventFixedLen = 8 + 8 + 8 + 2
+
+// decodeEvent parses a TypeEvent body.
+//
+// haystack:hotpath — see decodeRecord.
+func decodeEvent(b []byte, ev *Event) error {
+	if len(b) < eventFixedLen {
+		return errTruncated
+	}
+	ev.Subscriber = binary.BigEndian.Uint64(b[0:8])
+	ev.Window = binary.BigEndian.Uint64(b[8:16])
+	ev.First = time.Unix(0, int64(binary.BigEndian.Uint64(b[16:24]))).UTC()
+	rl := int(binary.BigEndian.Uint16(b[24:26]))
+	rest := b[eventFixedLen:]
+	if rl > len(rest) {
+		return errTruncated
+	}
+	ev.Rule = string(rest[:rl])
+	rest = rest[rl:]
+	if len(rest) < 1 {
+		return errTruncated
+	}
+	ll := int(rest[0])
+	rest = rest[1:]
+	if ll > len(rest) {
+		return errTruncated
+	}
+	ev.Level = string(rest[:ll])
+	rest = rest[ll:]
+	if len(rest) != 0 {
+		return errTrailingBytes(len(rest))
+	}
+	return nil
+}
+
+// windowFixedLen is the fixed front of a TypeWindow body: seven u64
+// counters, two u32 tallies, and the u32 rule-table length.
+const windowFixedLen = 8*8 + 4*3
+
+// decodeWindow parses a TypeWindow body.
+//
+// haystack:hotpath — see decodeRecord.
+func decodeWindow(b []byte, wm *WindowMarker) error {
+	if len(b) < windowFixedLen {
+		return errTruncated
+	}
+	wm.Seq = binary.BigEndian.Uint64(b[0:8])
+	wm.Start = time.Unix(0, int64(binary.BigEndian.Uint64(b[8:16]))).UTC()
+	wm.End = time.Unix(0, int64(binary.BigEndian.Uint64(b[16:24]))).UTC()
+	wm.Subscribers = int(binary.BigEndian.Uint32(b[24:28]))
+	wm.DetectedSubscribers = int(binary.BigEndian.Uint32(b[28:32]))
+	wm.Records = binary.BigEndian.Uint64(b[32:40])
+	wm.RecordsIPv4 = binary.BigEndian.Uint64(b[40:48])
+	wm.RecordsIPv6 = binary.BigEndian.Uint64(b[48:56])
+	wm.SkippedRecords = binary.BigEndian.Uint64(b[56:64])
+	wm.EventsDropped = binary.BigEndian.Uint64(b[64:72])
+	nrules := int(binary.BigEndian.Uint32(b[72:76]))
+	rest := b[windowFixedLen:]
+	wm.RuleCounts = nil
+	for i := 0; i < nrules; i++ {
+		if len(rest) < 2 {
+			return errTruncated
+		}
+		rl := int(binary.BigEndian.Uint16(rest[0:2]))
+		rest = rest[2:]
+		if rl > len(rest) {
+			return errTruncated
+		}
+		rule := string(rest[:rl])
+		rest = rest[rl:]
+		if len(rest) < 4 {
+			return errTruncated
+		}
+		n := int(binary.BigEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		if wm.RuleCounts == nil {
+			wm.RuleCounts = make(map[string]int, nrules) // haystack:allow hotpath one marker per window, not per event; the map is the record's payload
+		}
+		wm.RuleCounts[rule] = n
+	}
+	if len(rest) != 0 {
+		return errTrailingBytes(len(rest))
+	}
+	return nil
+}
+
+// Cold-path error constructors, outlined so the decode functions stay
+// fmt-free on the per-record path.
+func errUnknownType(t Type) error {
+	return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, t)
+}
+
+func errTrailingBytes(n int) error {
+	return fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, n)
+}

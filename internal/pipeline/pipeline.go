@@ -452,6 +452,38 @@ func (p *Pipeline) Rotate() (*detect.Snapshot, uint64) {
 	return detect.Merge(parts...), seq
 }
 
+// Restore marks (sub, rule) as already detected with first-detection
+// hour first, on the subscriber's owning shard — the replay path
+// rebuilding the current window from a durable event log (see
+// detect.Engine.Restore). No FireEvent is emitted and restoring an
+// already-detected pair is a no-op. Replay before starting producers;
+// a Restore racing live ingest is safe (same lock) but the
+// interleaving is unspecified.
+func (p *Pipeline) Restore(sub detect.SubID, rule int, first simtime.Hour) {
+	s := p.shards[p.shardOf(sub)]
+	s.mu.Lock()
+	s.eng.Restore(sub, rule, first)
+	s.mu.Unlock()
+}
+
+// SetWindow forces the aggregation-window sequence to seq on every
+// shard, without snapshotting or resetting anything — how a node
+// restarting from a durable log resumes the window series where the
+// crash interrupted it instead of restarting at zero. Call it while
+// the pipeline is quiescent (before producers start), normally
+// alongside the Restore pass.
+func (p *Pipeline) SetWindow(seq uint64) {
+	p.rotateMu.Lock()
+	defer p.rotateMu.Unlock()
+	p.Sync()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.window = seq
+		s.mu.Unlock()
+	}
+	p.window.Store(seq)
+}
+
 // Close flushes and closes all live producers, drains pending work and
 // stops the shard workers. The pipeline remains readable after Close
 // but must not Observe again.

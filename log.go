@@ -1,0 +1,292 @@
+package haystack
+
+// The durable detection event log, wired into the Detector/Server
+// layer. internal/eventlog owns the on-disk format (segments, CRC32C
+// framing, rotation, retention); this file owns the semantics on top:
+//
+//   - the log writer is an ordinary SubscribeNamed("eventlog")
+//     consumer appending every DetectionEvent, plus a WindowMarker
+//     appended after each rotated window's OnRotate delivery — so a
+//     marker for window n in the log means window n was cut AND
+//     reached its consumers (export directory included);
+//   - ReplayLog rebuilds the in-progress window after a crash: the
+//     resume sequence W is one past the highest marker, and every
+//     logged event stamped with window ≥ W is restored into the
+//     detector (fired set + first-detection hour), so the restarted
+//     node continues the window series instead of starting blind.
+//
+// What replay deliberately does NOT rebuild: partial evidence. A rule
+// at 2 of 3 required domains when the process died starts over — only
+// crossings that actually fired (and were appended) survive, which is
+// the honest reading of an event log. Events still queued in channels
+// at the instant of death are lost with the process; the fsync policy
+// (EventLogConfig.Fsync) bounds how much of what WAS appended can
+// additionally be lost by the kernel.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/eventlog"
+	"repro/internal/simtime"
+)
+
+// EventLogConfig configures the durable detection event log of a
+// listening deployment (ListenConfig.Log). The zero value disables
+// logging; a Dir enables it with defaults for everything else.
+type EventLogConfig struct {
+	// Dir is the log directory, created if needed.
+	Dir string
+	// SegmentBytes and SegmentAge drive segment rotation (defaults:
+	// 64 MiB, size-only).
+	SegmentBytes int64
+	SegmentAge   time.Duration
+	// RetainBytes and RetainAge bound the log: oldest whole segments
+	// are deleted past either budget (0 = unlimited).
+	RetainBytes int64
+	RetainAge   time.Duration
+	// Fsync is the durability policy: "window" (default; sync at every
+	// window marker), "event" (sync per record), or "timer" (sync
+	// every FsyncInterval, default 1s).
+	Fsync         string
+	FsyncInterval time.Duration
+}
+
+// options translates the public config into eventlog.Options.
+func (c EventLogConfig) options() (eventlog.Options, error) {
+	pol := eventlog.FsyncWindow
+	if c.Fsync != "" {
+		var err error
+		if pol, err = eventlog.ParseFsyncPolicy(c.Fsync); err != nil {
+			return eventlog.Options{}, err
+		}
+	}
+	return eventlog.Options{
+		Dir:           c.Dir,
+		SegmentBytes:  c.SegmentBytes,
+		SegmentAge:    c.SegmentAge,
+		RetainBytes:   c.RetainBytes,
+		RetainAge:     c.RetainAge,
+		Fsync:         pol,
+		FsyncInterval: c.FsyncInterval,
+	}, nil
+}
+
+// ReplayStats reports what ReplayLog rebuilt from a log directory.
+type ReplayStats struct {
+	// Records is the total log records scanned; Markers how many were
+	// window markers.
+	Records uint64 `json:"records"`
+	Markers uint64 `json:"markers"`
+	// ResumedWindow is the sequence number the detector resumed at:
+	// one past the highest committed marker (0 for a fresh log).
+	ResumedWindow uint64 `json:"resumed_window"`
+	// Restored counts detections restored into the resumed window;
+	// SkippedClosed counts event records belonging to already-
+	// committed windows (history, not state); UnknownRules counts
+	// events naming rules absent from the current dictionary.
+	Restored      int    `json:"restored"`
+	SkippedClosed uint64 `json:"skipped_closed"`
+	UnknownRules  uint64 `json:"unknown_rules"`
+}
+
+// ReplayLog rebuilds the detector's in-progress window from a durable
+// event log: it scans the whole retained log once to find the highest
+// committed window marker, restores every event stamped with a window
+// at or past the resume point into the pipeline (fired set and
+// first-detection hour — no re-fire, no Subscribe events), and
+// advances the window sequence so the next Rotate continues the
+// series. Call it on a fresh or quiescent detector, before any
+// ingestion; Listen does exactly that when ListenConfig.Log is set.
+//
+// The event/marker interleaving in the log is handled by the window
+// stamp, not by position: an event of a closed window appended after
+// its marker (the writer is asynchronous) is skipped, and an event of
+// the open window appended before the previous marker is restored.
+func (d *Detector) ReplayLog(l *eventlog.Log) (ReplayStats, error) {
+	var st ReplayStats
+	oldest := l.OldestOffset()
+
+	// Pass 1: the resume point. W = highest marker seq + 1.
+	resume := uint64(0)
+	if _, err := l.ReadAt(oldest, func(_ uint64, rec eventlog.Record) bool {
+		st.Records++
+		if rec.Type == eventlog.TypeWindow {
+			st.Markers++
+			if rec.Window.Seq+1 > resume {
+				resume = rec.Window.Seq + 1
+			}
+		}
+		return true
+	}); err != nil {
+		return st, fmt.Errorf("haystack: replay: %w", err)
+	}
+	st.ResumedWindow = resume
+
+	// Pass 2: restore the open window's events. Restore is idempotent,
+	// so duplicate events (or a replay of a replayed log) are safe.
+	dict := d.pipe.Dictionary()
+	if _, err := l.ReadAt(oldest, func(_ uint64, rec eventlog.Record) bool {
+		if rec.Type != eventlog.TypeEvent {
+			return true
+		}
+		if rec.Event.Window < resume {
+			st.SkippedClosed++
+			return true
+		}
+		ri := dict.RuleIndex(rec.Event.Rule)
+		if ri < 0 {
+			// The dictionary changed across the restart and this rule
+			// no longer exists; its detection cannot be represented.
+			st.UnknownRules++
+			return true
+		}
+		d.pipe.Restore(detect.SubID(rec.Event.Subscriber), ri, simtime.HourOf(rec.Event.First))
+		st.Restored++
+		return true
+	}); err != nil {
+		return st, fmt.Errorf("haystack: replay: %w", err)
+	}
+
+	d.pipe.SetWindow(resume)
+	d.rotateMu.Lock()
+	d.cutBaselineLocked(time.Now())
+	d.rotateMu.Unlock()
+	return st, nil
+}
+
+// openLog opens (and replays) the configured log and starts the
+// writer subscription. Called by Listen before the sockets bind.
+func (s *Server) openLog(cfg EventLogConfig) error {
+	opts, err := cfg.options()
+	if err != nil {
+		return err
+	}
+	l, err := eventlog.Open(opts)
+	if err != nil {
+		return err
+	}
+	replay, err := s.det.ReplayLog(l)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	s.log = l
+	s.replay = replay
+	s.tail = NewLogTail(l)
+	ch, cancel := s.det.SubscribeNamed("eventlog")
+	s.logCancel = cancel
+	s.logDone = make(chan struct{}) // haystack:unbounded close-only writer-exit acknowledgement
+	// haystack:allow golifetime the writer exits when its subscription channel closes (logCancel or Detector.Close), joined via logDone
+	go s.logWriter(ch)
+	return nil
+}
+
+// logWriter is the log's Subscribe consumer: one goroutine draining
+// the subscription into Append. It exits when the channel closes
+// (cancel or Detector.Close), after draining everything buffered —
+// which is why shutdown cancels only after flushEvents.
+func (s *Server) logWriter(ch <-chan DetectionEvent) {
+	defer close(s.logDone)
+	var rec eventlog.Record
+	for ev := range ch {
+		rec = eventlog.Record{Type: eventlog.TypeEvent, Event: eventlog.Event{
+			Subscriber: ev.Subscriber,
+			Rule:       ev.Rule,
+			Level:      ev.Level,
+			First:      ev.First,
+			Window:     ev.Window,
+		}}
+		if _, err := s.log.Append(&rec); err != nil {
+			s.logErrs.Add(1)
+		} else {
+			s.logEvents.Add(1)
+		}
+	}
+}
+
+// appendMarker commits one rotated window to the log. Runs under
+// cutMu after the window's OnRotate delivery.
+func (s *Server) appendMarker(res *WindowResult) {
+	if s.log == nil {
+		return
+	}
+	rec := eventlog.Record{Type: eventlog.TypeWindow, Window: eventlog.WindowMarker{
+		Seq:                 res.Seq,
+		Start:               res.Start,
+		End:                 res.End,
+		Subscribers:         res.Subscribers,
+		DetectedSubscribers: res.DetectedSubscribers,
+		Records:             res.Records,
+		RecordsIPv4:         res.RecordsIPv4,
+		RecordsIPv6:         res.RecordsIPv6,
+		SkippedRecords:      res.SkippedRecords,
+		EventsDropped:       res.EventsDropped,
+		RuleCounts:          res.RuleCounts,
+	}}
+	if _, err := s.log.Append(&rec); err != nil {
+		s.logErrs.Add(1)
+	}
+}
+
+// finishLog drains and closes the log at shutdown: flush the event
+// path so the writer's channel holds everything emitted, cancel the
+// subscription (the writer drains the buffered tail and exits), then
+// sync-close the log. Runs inside stopOnce.
+func (s *Server) finishLog() {
+	if s.log == nil {
+		return
+	}
+	s.det.pipe.Sync()
+	s.det.flushEvents(5 * time.Second)
+	s.logCancel()
+	<-s.logDone
+	s.logClosErr = s.log.Close()
+}
+
+// teardownLog aborts the log wiring when Listen fails after openLog.
+func (s *Server) teardownLog() {
+	if s.log == nil {
+		return
+	}
+	s.logCancel()
+	<-s.logDone
+	s.log.Close()
+}
+
+// EventLog returns the server's open log, or nil when ListenConfig.
+// Log was unset. The log is owned by the server; callers may read
+// (ReadAt, Stats, WaitAppend) but must not Close it.
+func (s *Server) EventLog() *eventlog.Log { return s.log }
+
+// TailHandler returns the HTTP handler streaming the log to remote
+// consumers (/events; see LogTail), or nil when logging is disabled.
+func (s *Server) TailHandler() *LogTail { return s.tail }
+
+// Replay reports what the startup replay rebuilt; all zeros when
+// logging is disabled or the log was fresh.
+func (s *Server) Replay() ReplayStats { return s.replay }
+
+// EventLogWriterStats is the log writer's slice of the metrics
+// surface; the log's own counters live in eventlog.Stats.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
+type EventLogWriterStats struct {
+	// EventsAppended counts events the writer appended; AppendErrors
+	// counts failed appends, events and window markers alike.
+	EventsAppended uint64 `json:"events_appended"`
+	AppendErrors   uint64 `json:"append_errors"`
+}
+
+// LogWriterStats snapshots the writer's counters (zeros when logging
+// is disabled).
+//
+// haystack:metrics-export
+func (s *Server) LogWriterStats() EventLogWriterStats {
+	return EventLogWriterStats{
+		EventsAppended: s.logEvents.Load(),
+		AppendErrors:   s.logErrs.Load(),
+	}
+}

@@ -1,0 +1,364 @@
+package haystack
+
+// HTTP streaming tail of the durable event log: GET /events?from=<N>
+// serves the log from offset N onward to remote consumers, so the
+// Subscribe stream is available without being in-process and without
+// loss on reconnect (the consumer resumes from its last offset).
+//
+// Two wire modes share the handler:
+//
+//   - SSE (Accept: text/event-stream): an unbounded stream; each
+//     record is one SSE message with `id:` set to the log offset, so
+//     EventSource reconnection carries the resume point natively.
+//   - long-poll NDJSON (default): one bounded batch per request, with
+//     the next offset in the X-Next-Offset header; "wait" holds an
+//     at-the-tail request open until data arrives or the wait passes.
+//
+// Consumers read at their own pace directly from disk — a slow remote
+// tail can never drop events the way a slow Subscribe channel does;
+// it only falls behind, visibly, in Stats (lag), and loses data only
+// when it falls behind retention (Skipped).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eventlog"
+)
+
+// tailPollBatch bounds one long-poll response.
+const tailPollBatch = 4096
+
+// maxTailWait caps the "wait" parameter of a long-poll request.
+const maxTailWait = 60 * time.Second
+
+// TailRecord is the wire form of one log record on the tail API, in
+// both the SSE data field and NDJSON lines. Exactly one of Event or
+// Window is set, per Type.
+type TailRecord struct {
+	Offset uint64 `json:"offset"`
+	// Type is "event" or "window".
+	Type  string          `json:"type"`
+	Event *DetectionEvent `json:"event,omitempty"`
+	// Window is the rotated window's summary marker.
+	Window *TailWindow `json:"window,omitempty"`
+}
+
+// TailWindow is the wire form of a window marker.
+type TailWindow struct {
+	Seq                 uint64         `json:"seq"`
+	Start               time.Time      `json:"start"`
+	End                 time.Time      `json:"end"`
+	Subscribers         int            `json:"subscribers"`
+	DetectedSubscribers int            `json:"detected_subscribers"`
+	Records             uint64         `json:"records"`
+	RecordsIPv4         uint64         `json:"records_ipv4"`
+	RecordsIPv6         uint64         `json:"records_ipv6"`
+	SkippedRecords      uint64         `json:"skipped_records"`
+	EventsDropped       uint64         `json:"events_dropped"`
+	RuleCounts          map[string]int `json:"rule_counts,omitempty"`
+}
+
+// NewTailRecord converts a log record at offset off to its wire form
+// — what `haystack tail -log-dir` prints when reading a log directory
+// without going through the HTTP endpoint.
+func NewTailRecord(off uint64, rec *eventlog.Record) TailRecord { return tailRecord(off, rec) }
+
+// tailRecord converts a log record to its wire form.
+func tailRecord(off uint64, rec *eventlog.Record) TailRecord {
+	if rec.Type == eventlog.TypeWindow {
+		w := rec.Window
+		return TailRecord{Offset: off, Type: "window", Window: &TailWindow{
+			Seq:                 w.Seq,
+			Start:               w.Start,
+			End:                 w.End,
+			Subscribers:         w.Subscribers,
+			DetectedSubscribers: w.DetectedSubscribers,
+			Records:             w.Records,
+			RecordsIPv4:         w.RecordsIPv4,
+			RecordsIPv6:         w.RecordsIPv6,
+			SkippedRecords:      w.SkippedRecords,
+			EventsDropped:       w.EventsDropped,
+			RuleCounts:          w.RuleCounts,
+		}}
+	}
+	e := rec.Event
+	return TailRecord{Offset: off, Type: "event", Event: &DetectionEvent{
+		Subscriber: e.Subscriber,
+		Rule:       e.Rule,
+		Level:      e.Level,
+		First:      e.First,
+		Window:     e.Window,
+	}}
+}
+
+// LogTail serves a Log over HTTP (GET /events) and accounts for its
+// consumers. Create with NewLogTail; Server.TailHandler returns the
+// listening deployment's instance.
+type LogTail struct {
+	log    *eventlog.Log
+	nextID atomic.Uint64
+	// retentionSkips counts records consumers requested but retention
+	// had already deleted (their from was clamped forward).
+	retentionSkips atomic.Uint64
+
+	mu        sync.Mutex
+	consumers map[*tailConsumer]struct{}
+}
+
+// tailConsumer is one live tail connection's accounting.
+type tailConsumer struct {
+	id     uint64
+	remote string
+	mode   string // "sse" or "poll"
+	offset atomic.Uint64
+	sent   atomic.Uint64
+}
+
+// NewLogTail returns an HTTP handler tailing l.
+func NewLogTail(l *eventlog.Log) *LogTail {
+	return &LogTail{log: l, consumers: make(map[*tailConsumer]struct{})}
+}
+
+// TailConsumerStats is one live tail connection in TailStats.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
+type TailConsumerStats struct {
+	ID     uint64 `json:"id"`
+	Remote string `json:"remote"`
+	// Mode is "sse" or "poll".
+	Mode string `json:"mode"`
+	// Offset is the next offset this consumer will read; Lag how many
+	// records it is behind the log head; Sent how many records it has
+	// been sent on this connection.
+	Offset uint64 `json:"offset"`
+	Lag    uint64 `json:"lag"`
+	Sent   uint64 `json:"sent"`
+}
+
+// TailStats is the tail endpoint's slice of the metrics surface.
+//
+// haystack:metrics-struct — every exported field must be filled by a
+// haystack:metrics-export function (enforced by haystacklint).
+type TailStats struct {
+	// Consumers lists the live connections, sorted by ID.
+	Consumers []TailConsumerStats `json:"consumers,omitempty"`
+	// RetentionSkips counts records consumers asked for after
+	// retention had deleted them (the read was clamped forward).
+	RetentionSkips uint64 `json:"retention_skips"`
+}
+
+// Stats snapshots the endpoint's consumer accounting.
+//
+// Stats is also haystack:deterministic — the consumer set is a map,
+// so the slice is sorted before it reaches the /metrics encoder.
+//
+// haystack:metrics-export
+func (t *LogTail) Stats() TailStats {
+	head := t.log.NextOffset()
+	t.mu.Lock()
+	out := TailStats{RetentionSkips: t.retentionSkips.Load()}
+	for c := range t.consumers {
+		off := c.offset.Load()
+		var lag uint64
+		if head > off {
+			lag = head - off
+		}
+		out.Consumers = append(out.Consumers, TailConsumerStats{
+			ID:     c.id,
+			Remote: c.remote,
+			Mode:   c.mode,
+			Offset: off,
+			Lag:    lag,
+			Sent:   c.sent.Load(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out.Consumers, func(i, j int) bool { return out.Consumers[i].ID < out.Consumers[j].ID })
+	return out
+}
+
+func (t *LogTail) register(c *tailConsumer) {
+	t.mu.Lock()
+	t.consumers[c] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *LogTail) unregister(c *tailConsumer) {
+	t.mu.Lock()
+	delete(t.consumers, c)
+	t.mu.Unlock()
+}
+
+// ServeHTTP implements GET /events?from=<offset>[&wait=<duration>].
+func (t *LogTail) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	from := t.log.OldestOffset()
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad from %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		from = n
+	}
+	c := &tailConsumer{id: t.nextID.Add(1), remote: r.RemoteAddr, mode: "poll"}
+	c.offset.Store(from)
+	if acceptsSSE(r) {
+		c.mode = "sse"
+	}
+	t.register(c)
+	defer t.unregister(c)
+	if c.mode == "sse" {
+		t.serveSSE(w, r, c)
+		return
+	}
+	t.servePoll(w, r, c)
+}
+
+// acceptsSSE reports whether the request negotiates Server-Sent
+// Events.
+func acceptsSSE(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "text/event-stream" {
+			return true
+		}
+	}
+	return false
+}
+
+// clampRetention advances from past a retention purge, counting what
+// the consumer lost.
+func (t *LogTail) clampRetention(from uint64) uint64 {
+	if oldest := t.log.OldestOffset(); from < oldest {
+		t.retentionSkips.Add(oldest - from)
+		return oldest
+	}
+	return from
+}
+
+// serveSSE streams records as Server-Sent Events until the client
+// disconnects or the log closes. Each message's id is the record's
+// offset — EventSource's Last-Event-ID makes reconnection lossless
+// (modulo retention) without any client bookkeeping.
+func (t *LogTail) serveSSE(w http.ResponseWriter, r *http.Request, c *tailConsumer) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	enc := json.NewEncoder(w) // haystack:allow deterministic encoding/json on structs is key-order stable
+	from := c.offset.Load()
+	for {
+		from = t.clampRetention(from)
+		var werr error
+		next, err := t.log.ReadAt(from, func(off uint64, rec eventlog.Record) bool {
+			line := tailRecord(off, &rec)
+			if _, werr = fmt.Fprintf(w, "id: %d\ndata: ", off); werr != nil {
+				return false
+			}
+			if werr = enc.Encode(&line); werr != nil { // Encode ends the data line with \n
+				return false
+			}
+			if _, werr = fmt.Fprint(w, "\n"); werr != nil {
+				return false
+			}
+			c.sent.Add(1)
+			return true
+		})
+		if werr != nil {
+			return // client gone
+		}
+		if err != nil {
+			if errors.Is(err, eventlog.ErrCorrupt) {
+				return // mid-log corruption: terminate rather than skip silently
+			}
+			// Retention deleted a segment under the read; clamp and
+			// retry from the new horizon.
+			from = t.clampRetention(next)
+			continue
+		}
+		c.offset.Store(next)
+		fl.Flush()
+		from = next
+		if err := t.log.WaitAppend(r.Context(), next); err != nil {
+			return // client disconnected or log closed
+		}
+	}
+}
+
+// servePoll answers one bounded NDJSON batch. An empty batch with
+// wait > 0 blocks until a record arrives or the wait passes; the
+// response's X-Next-Offset is the from of the follow-up request.
+func (t *LogTail) servePoll(w http.ResponseWriter, r *http.Request, c *tailConsumer) {
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("bad wait %q", v), http.StatusBadRequest)
+			return
+		}
+		wait = min(d, maxTailWait)
+	}
+	from := t.clampRetention(c.offset.Load())
+	if wait > 0 && from >= t.log.NextOffset() {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		err := t.log.WaitAppend(ctx, from)
+		cancel()
+		if err != nil && r.Context().Err() != nil {
+			return // client gone; timeout alone falls through to an empty batch
+		}
+		from = t.clampRetention(from)
+	}
+
+	type pending struct {
+		off uint64
+		rec eventlog.Record
+	}
+	batch := make([]pending, 0, 64)
+	next, err := t.log.ReadAt(from, func(off uint64, rec eventlog.Record) bool {
+		batch = append(batch, pending{off, rec})
+		return len(batch) < tailPollBatch
+	})
+	if err != nil && len(batch) == 0 {
+		if errors.Is(err, eventlog.ErrCorrupt) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Retention raced the read before anything was collected; the
+		// client retries from the advanced offset.
+		next = t.clampRetention(next)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Next-Offset", strconv.FormatUint(next, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w) // haystack:allow deterministic encoding/json on structs is key-order stable
+	for i := range batch {
+		line := tailRecord(batch[i].off, &batch[i].rec)
+		if enc.Encode(&line) != nil {
+			return
+		}
+		c.sent.Add(1)
+	}
+	c.offset.Store(next)
+}

@@ -1,0 +1,268 @@
+package haystack
+
+// Handler-level tests for the /events streaming tail: long-poll
+// NDJSON batches with offset continuation, the blocking wait path,
+// SSE framing with offsets as event IDs, and consumer accounting.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eventlog"
+)
+
+// newTestLog opens a log in a temp dir and appends n detection events
+// followed by one window marker.
+func newTestLog(t *testing.T, n int) *eventlog.Log {
+	t.Helper()
+	l, err := eventlog.Open(eventlog.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	first := time.Date(2019, time.November, 15, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		rec := eventlog.Record{Type: eventlog.TypeEvent, Event: eventlog.Event{
+			Subscriber: uint64(i + 1),
+			Rule:       "Meross Dooropener",
+			Level:      "Man.",
+			First:      first,
+			Window:     0,
+		}}
+		if _, err := l.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	marker := eventlog.Record{Type: eventlog.TypeWindow, Window: eventlog.WindowMarker{
+		Seq: 0, Start: first, End: first.Add(time.Hour),
+		Subscribers: n, DetectedSubscribers: n,
+	}}
+	if _, err := l.Append(&marker); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLogTailLongPoll(t *testing.T) {
+	l := newTestLog(t, 3)
+	tail := NewLogTail(l)
+	ts := httptest.NewServer(tail)
+	defer ts.Close()
+
+	// Full batch from offset 0: three events then the marker, with the
+	// next offset advertised for continuation.
+	resp, err := http.Get(ts.URL + "/?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if next := resp.Header.Get("X-Next-Offset"); next != "4" {
+		t.Fatalf("X-Next-Offset %q, want 4", next)
+	}
+	var recs []TailRecord
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var r TailRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("batch of %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Offset != uint64(i) {
+			t.Fatalf("record %d has offset %d", i, r.Offset)
+		}
+	}
+	if recs[0].Type != "event" || recs[0].Event == nil || recs[0].Event.Subscriber != 1 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[3].Type != "window" || recs[3].Window == nil || recs[3].Window.Subscribers != 3 {
+		t.Fatalf("record 3 = %+v", recs[3])
+	}
+
+	// Resuming mid-log yields only the suffix.
+	resp2, err := http.Get(ts.URL + "/?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n := 0
+	dec = json.NewDecoder(resp2.Body)
+	for dec.More() {
+		var r TailRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Offset != uint64(2+n) {
+			t.Fatalf("resumed record has offset %d, want %d", r.Offset, 2+n)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("resume from 2 returned %d records, want 2", n)
+	}
+
+	// At the head with no wait: an empty 200 batch, same next offset.
+	resp3, err := http.Get(ts.URL + "/?from=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.Header.Get("X-Next-Offset") != "4" {
+		t.Fatalf("head poll X-Next-Offset %q", resp3.Header.Get("X-Next-Offset"))
+	}
+	if dec = json.NewDecoder(resp3.Body); dec.More() {
+		t.Fatal("head poll returned records")
+	}
+
+	// Malformed requests are rejected.
+	if resp, err := http.Get(ts.URL + "/?from=banana"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: status %s", resp.Status)
+	}
+	if resp, err := http.Post(ts.URL, "text/plain", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status %s", resp.Status)
+	}
+}
+
+// TestLogTailLongPollWait: a request at the head with wait holds
+// until a record is appended, then returns it.
+func TestLogTailLongPollWait(t *testing.T) {
+	l := newTestLog(t, 1)
+	tail := NewLogTail(l)
+	ts := httptest.NewServer(tail)
+	defer ts.Close()
+
+	head := l.NextOffset()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+		rec := eventlog.Record{Type: eventlog.TypeEvent, Event: eventlog.Event{
+			Subscriber: 99, Rule: "Alexa Enabled", Level: "Pl.",
+			First: time.Unix(0, 0).UTC(), Window: 1,
+		}}
+		if _, err := l.Append(&rec); err != nil {
+			t.Error(err)
+		}
+	}()
+	start := time.Now()
+	resp, err := http.Get(fmt.Sprintf("%s/?from=%d&wait=5s", ts.URL, head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	<-done
+	var r TailRecord
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("waited poll returned no record after %v: %v", time.Since(start), err)
+	}
+	if r.Offset != head || r.Event == nil || r.Event.Subscriber != 99 {
+		t.Fatalf("waited poll returned %+v", r)
+	}
+}
+
+// TestLogTailSSE: the Accept: text/event-stream mode frames each
+// record as one SSE message whose id is the log offset.
+func TestLogTailSSE(t *testing.T) {
+	l := newTestLog(t, 2)
+	tail := NewLogTail(l)
+	ts := httptest.NewServer(tail)
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/?from=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// While the stream is open the consumer is visible in Stats.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := tail.Stats()
+		if len(st.Consumers) == 1 && st.Consumers[0].Mode == "sse" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SSE consumer never appeared in stats: %+v", tail.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Read the three live messages (2 events + marker) without waiting
+	// for the (unbounded) stream to end.
+	sc := bufio.NewScanner(resp.Body)
+	var ids []uint64
+	var datas []TailRecord
+	for sc.Scan() && len(datas) < 3 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		case strings.HasPrefix(line, "data: "):
+			var r TailRecord
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &r); err != nil {
+				t.Fatal(err)
+			}
+			datas = append(datas, r)
+		}
+	}
+	if len(ids) != 3 || len(datas) != 3 {
+		t.Fatalf("read %d ids, %d records, want 3 each", len(ids), len(datas))
+	}
+	for i := range datas {
+		if ids[i] != uint64(i) || datas[i].Offset != uint64(i) {
+			t.Fatalf("message %d: id %d, offset %d", i, ids[i], datas[i].Offset)
+		}
+	}
+	if datas[2].Type != "window" {
+		t.Fatalf("message 2 type %q", datas[2].Type)
+	}
+	st := tail.Stats()
+	if len(st.Consumers) != 1 || st.Consumers[0].Sent != 3 || st.Consumers[0].Offset != 3 || st.Consumers[0].Lag != 0 {
+		t.Fatalf("mid-stream stats = %+v", st)
+	}
+
+	// Disconnect: the consumer unregisters.
+	resp.Body.Close()
+	for {
+		if len(tail.Stats().Consumers) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer still registered after disconnect: %+v", tail.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
