@@ -292,6 +292,75 @@ func BenchmarkListenerIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkFeedInto measures arena decode throughput: one 30-record
+// NetFlow v9 message (template re-announced every message, as the
+// high-rate exporters do) decoded into a reused flow.Batch. Steady
+// state is allocation-free — run with -benchmem to confirm.
+func BenchmarkFeedInto(b *testing.B) {
+	s := benchSystem(b)
+	ips := s.ServiceIPs("avs-alexa.simamazon.example")
+	h := simtime.HourOf(s.StudyStart())
+	recs := make([]flow.Record, 30)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key: flow.Key{
+				Src:     netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)}),
+				Dst:     ips[i%len(ips)],
+				SrcPort: uint16(40000 + i), DstPort: 443, Proto: flow.ProtoTCP,
+			},
+			Packets: 2, Bytes: 1200, Hour: h,
+		}
+	}
+	exp := netflow.NewExporter(1)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(recs, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := msgs[0]
+
+	col := netflow.NewCollector()
+	arena := flow.NewBatch(64)
+	b.SetBytes(int64(len(msg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		if err := col.FeedInto(msg, arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkObserveBatch measures the producer-side batch path: 30-obs
+// hitlist-match batches partitioned across 8 shards under one lock
+// acquisition per batch. Compare with BenchmarkPipelineObserve for the
+// per-record producer path.
+func BenchmarkObserveBatch(b *testing.B) {
+	s := benchSystem(b)
+	ips := s.ServiceIPs("avs-alexa.simamazon.example")
+	h := simtime.HourOf(s.StudyStart())
+	obs := make([]pipeline.Obs, 30)
+	for i := range obs {
+		obs[i] = pipeline.Obs{
+			Sub:  detect.SubID(i * 2654435761),
+			Hour: h,
+			IP:   ips[i%len(ips)],
+			Port: 443,
+			Pkts: 1,
+		}
+	}
+	p := pipeline.New(s.lab.Dict, 0.4, 8)
+	defer p.Close()
+	prod := p.NewProducer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod.ObserveBatch(obs)
+	}
+	p.Sync()
+	b.ReportMetric(float64(len(obs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
 // BenchmarkEngineObserve measures raw engine throughput on hitlist
 // matches (flows/second an ISP deployment could sustain per core).
 func BenchmarkEngineObserve(b *testing.B) {

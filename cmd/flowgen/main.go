@@ -65,7 +65,11 @@ func main() {
 }
 
 type exporter interface {
-	Export(records []flow.Record, maxRecords int) ([][]byte, error)
+	// AppendMessage encodes the next wire message into buf's spare
+	// capacity, returning the extended buffer and how many records it
+	// consumed — the send loop reuses one encode buffer for the whole
+	// run instead of allocating per message.
+	AppendMessage(buf []byte, records []flow.Record, maxRecords int) ([]byte, int, error)
 }
 
 func run(proto string, hours int, seed uint64, out, udp, tcp string, pace time.Duration,
@@ -186,6 +190,10 @@ func run(proto string, hours int, seed uint64, out, udp, tcp string, pace time.D
 	curWindow := 0
 	messages, records := 0, 0
 	var emitErr error
+	// recs and msgBuf are reused across hours: the send path's only
+	// steady-state allocations are inside the emit transports.
+	var recs []flow.Record
+	var msgBuf []byte
 	gen.RunWindow(window, traffic.ModeIdle, func(h simtime.Hour, obs []traffic.Observation) {
 		if emitErr != nil {
 			return
@@ -202,23 +210,27 @@ func run(proto string, hours int, seed uint64, out, udp, tcp string, pace time.D
 				}
 			}
 		}
-		var recs []flow.Record
+		recs = recs[:0]
 		for _, ob := range obs {
 			if sampled, ok := vp.Observe(ob.Rec); ok {
 				recs = append(recs, sampled)
 			}
 		}
-		msgs, err := exp.Export(recs, 30)
-		if err != nil {
-			emitErr = err
-			return
-		}
-		for _, m := range msgs {
-			if err := emit(m); err != nil {
+		for rem := recs; len(rem) > 0; {
+			msgBuf = msgBuf[:0]
+			var n int
+			var err error
+			msgBuf, n, err = exp.AppendMessage(msgBuf, rem, 30)
+			if err != nil {
+				emitErr = err
+				return
+			}
+			if err := emit(msgBuf); err != nil {
 				emitErr = err
 				return
 			}
 			messages++
+			rem = rem[n:]
 		}
 		records += len(recs)
 	})

@@ -137,20 +137,27 @@ func wireDemo(sys *haystack.System, feeds int) {
 					})
 				}
 			}
-			msgs, err := exp.Export(recs, 30)
-			if err != nil {
-				log.Fatal(err)
-			}
-			for i, m := range msgs {
-				if _, err := conn.Write(m); err != nil {
+			// One reused encode buffer per member: AppendMessage is the
+			// allocation-free send path a sustained exporter uses.
+			var msgBuf []byte
+			msgs := 0
+			for rem := recs; len(rem) > 0; msgs++ {
+				msgBuf = msgBuf[:0]
+				var n int
+				msgBuf, n, err = exp.AppendMessage(msgBuf, rem, 30)
+				if err != nil {
 					log.Fatal(err)
 				}
-				if i%16 == 15 {
+				if _, err := conn.Write(msgBuf); err != nil {
+					log.Fatal(err)
+				}
+				rem = rem[n:]
+				if msgs%16 == 15 {
 					time.Sleep(time.Millisecond) // pace loopback bursts
 				}
 			}
 			sentMu.Lock()
-			sent += len(msgs)
+			sent += msgs
 			sentMu.Unlock()
 		}(fi)
 	}

@@ -335,6 +335,13 @@ type Feed struct {
 	nf      *netflow.Collector
 	ix      *ipfix.Collector
 	records atomic.Uint64
+	// arena receives decoded records for the zero-setup
+	// FeedNetFlow/FeedIPFIX entry points; the socket layer hands its
+	// own per-lane arena through FeedNetFlowBatch/FeedIPFIXBatch
+	// instead. obs is the reusable record→observation staging buffer
+	// shared by both paths. Single-goroutine, like the rest of Feed.
+	arena flow.Batch
+	obs   []pipeline.Obs
 }
 
 // NewFeed registers a new ingestion handle, one per collector
@@ -404,12 +411,16 @@ func subscriberKey(a netip.Addr) (id detect.SubID, v6, ok bool) {
 	return detect.SubID(x), true, true
 }
 
-// observe feeds decoded records to the pipeline, skipping (and
-// counting) records whose subscriber-side address is unusable.
+// observeBatch stages one decoded record batch as pipeline
+// observations in f.obs (reused across calls — steady state is
+// append-into-capacity) and hands the whole batch to the producer
+// under a single shard-map lock acquisition. Records whose
+// subscriber-side address is unusable are skipped and counted.
 //
 // haystack:hotpath — runs once per decoded message, looping per record.
-func (f *Feed) observe(recs []flow.Record) {
+func (f *Feed) observeBatch(recs []flow.Record) {
 	var v4, v6 uint64
+	f.obs = f.obs[:0]
 	for i := range recs {
 		r := &recs[i]
 		key, is6, ok := subscriberKey(r.Key.Src)
@@ -417,13 +428,20 @@ func (f *Feed) observe(recs []flow.Record) {
 			f.d.skipped.Add(1)
 			continue
 		}
-		f.prod.Observe(key, r.Hour, r.Key.Dst, r.Key.DstPort, r.Packets)
+		f.obs = append(f.obs, pipeline.Obs{
+			Sub:  key,
+			Hour: r.Hour,
+			IP:   r.Key.Dst,
+			Port: r.Key.DstPort,
+			Pkts: r.Packets,
+		})
 		if is6 {
 			v6++
 		} else {
 			v4++
 		}
 	}
+	f.prod.ObserveBatch(f.obs)
 	if v4 > 0 {
 		f.d.recordsV4.Add(v4)
 	}
@@ -439,15 +457,33 @@ func (f *Feed) observe(recs []flow.Record) {
 // the detection pipeline. The flow source is treated as the subscriber
 // side.
 func (f *Feed) FeedNetFlow(msg []byte) error {
-	recs, err := f.nf.Feed(msg)
-	f.observe(recs) // records decoded before a mid-message error still count
-	return err
+	f.arena.Reset()
+	return f.FeedNetFlowBatch(msg, &f.arena)
 }
 
 // FeedIPFIX parses one IPFIX message and feeds its records.
 func (f *Feed) FeedIPFIX(msg []byte) error {
-	recs, err := f.ix.Feed(msg)
-	f.observe(recs)
+	f.arena.Reset()
+	return f.FeedIPFIXBatch(msg, &f.arena)
+}
+
+// FeedNetFlowBatch parses one NetFlow v9 message into the caller's
+// arena and feeds the decoded batch to the pipeline. The arena must
+// arrive Reset; its backing storage is reused across messages, so the
+// whole decode-to-dispatch path runs without steady-state allocation.
+// Feed satisfies collector.ArenaFeed through this pair, which is how
+// the socket layer's per-lane arenas reach the decoders.
+func (f *Feed) FeedNetFlowBatch(msg []byte, arena *flow.Batch) error {
+	err := f.nf.FeedInto(msg, arena)
+	f.observeBatch(arena.Records()) // records decoded before a mid-message error still count
+	return err
+}
+
+// FeedIPFIXBatch parses one IPFIX message into the caller's arena and
+// feeds the decoded batch; see FeedNetFlowBatch.
+func (f *Feed) FeedIPFIXBatch(msg []byte, arena *flow.Batch) error {
+	err := f.ix.FeedInto(msg, arena)
+	f.observeBatch(arena.Records())
 	return err
 }
 
@@ -571,8 +607,12 @@ type Server struct {
 	det    *Detector
 	window WindowConfig
 
-	stop     chan struct{} // stops the periodic rotator
-	rotDone  chan struct{}
+	stop    chan struct{} // stops the periodic rotator
+	rotDone chan struct{}
+	// tuneStop/tuneDone bound the adaptive batch-size tuner, which
+	// follows the collector's smoothed ingest rate.
+	tuneStop chan struct{}
+	tuneDone chan struct{}
 	stopOnce sync.Once
 	// cutMu serializes window cuts (periodic, RotateNow, final) so
 	// exports and log markers are delivered in sequence order.
@@ -629,7 +669,33 @@ func (d *Detector) Listen(cfg ListenConfig) (*Server, error) {
 		s.rotDone = make(chan struct{}) // haystack:unbounded close-only rotator-exit acknowledgement
 		go s.rotator()
 	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	s.tuneStop = make(chan struct{}) // haystack:unbounded close-only shutdown signal for the tuner
+	s.tuneDone = make(chan struct{}) // haystack:unbounded close-only tuner-exit acknowledgement
+	go s.batchTuner(tick)
 	return s, nil
+}
+
+// batchTuner retunes the pipeline's dispatch threshold to the fan-in
+// controller's smoothed ingest rate, once per controller tick: higher
+// sustained rates earn larger batches (fewer handoffs per record),
+// while a quiet deployment keeps batches small so observations reach
+// the shards promptly. See pipeline.AdaptiveBatchSize for the policy.
+func (s *Server) batchTuner(tick time.Duration) {
+	defer close(s.tuneDone)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tuneStop:
+			return
+		case <-t.C:
+			s.det.pipe.SetBatchSize(pipeline.AdaptiveBatchSize(s.Server.Stats().RateEWMA))
+		}
+	}
 }
 
 // rotator cuts a window every cfg.Window.Every until Close.
@@ -683,6 +749,10 @@ func (s *Server) Close() error {
 			close(s.stop)
 			<-s.rotDone
 		}
+		if s.tuneStop != nil {
+			close(s.tuneStop)
+			<-s.tuneDone
+		}
 		if s.window.Every > 0 || s.window.OnRotate != nil || s.log != nil {
 			s.rotateAndDeliver()
 		}
@@ -707,6 +777,10 @@ func (s *Server) Kill() error {
 		if s.stop != nil {
 			close(s.stop)
 			<-s.rotDone
+		}
+		if s.tuneStop != nil {
+			close(s.tuneStop)
+			<-s.tuneDone
 		}
 		s.finishLog()
 	})
@@ -760,6 +834,10 @@ type DetectorStats struct {
 	// InflightBatches is the pipeline-side queue depth: observation
 	// batches dispatched to shard workers but not yet applied.
 	InflightBatches int `json:"inflight_batches"`
+	// BatchSize is the pipeline's current dispatch threshold
+	// (observations per shard batch). Under Listen it tracks the
+	// collector's smoothed ingest rate via pipeline.AdaptiveBatchSize.
+	BatchSize int `json:"batch_size"`
 	// Windows is the number of completed aggregation windows
 	// (Rotate/Reset cuts); the current window's sequence number.
 	Windows uint64 `json:"windows"`
@@ -833,6 +911,7 @@ func (d *Detector) Stats() DetectorStats {
 		Shards:           d.pipe.Shards(),
 		OpenFeeds:        d.pipe.Producers(),
 		InflightBatches:  d.pipe.Inflight(),
+		BatchSize:        d.pipe.BatchSize(),
 		Windows:          d.pipe.Window(),
 		EventSubscribers: subs,
 		EventsEmitted:    d.eventsEmitted.Load(),

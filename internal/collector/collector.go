@@ -45,6 +45,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/flow"
 )
 
 // FeedStats are the transport-health counters one ingestion feed
@@ -72,6 +74,19 @@ type Feed interface {
 	FeedIPFIX(msg []byte) error
 	Stats() FeedStats
 	Close()
+}
+
+// ArenaFeed is the optional batch extension of Feed: a feed that can
+// decode a wire message into a caller-owned record arena and observe
+// the whole batch before returning. Lanes probe for it once per
+// datagram and hand over their per-lane arena (recycled alongside the
+// receive buffers, one arena per lane regardless of how many sources
+// the lane carries), so a decode allocates nothing in steady state.
+// The feed gets the arena already Reset, may leave anything in it,
+// and must not retain it past the call.
+type ArenaFeed interface {
+	FeedNetFlowBatch(msg []byte, arena *flow.Batch) error
+	FeedIPFIXBatch(msg []byte, arena *flow.Batch) error
 }
 
 // Proto selects the wire protocol of a listener.
@@ -297,6 +312,10 @@ type socket struct {
 	idx   int
 	proto Proto
 	pc    net.PacketConn
+	// udp is pc when the socket is a plain UDP socket, enabling the
+	// ReadFromUDPAddrPort fast path: ReadFrom allocates a *net.UDPAddr
+	// per datagram, ReadFromUDPAddrPort returns a value netip.AddrPort.
+	udp *net.UDPConn
 }
 
 // sourceKey identifies one exporter stream: the listener it arrived
@@ -344,6 +363,12 @@ type worker struct {
 	idx     int
 	ch      chan datagram
 	started atomic.Bool
+
+	// arena is the lane's record arena: every ArenaFeed decode on this
+	// lane reuses it (reset-don't-free), so per-datagram decode costs
+	// no allocation once the arena has grown to the working set. Owned
+	// by the lane goroutine.
+	arena *flow.Batch
 
 	// feeds is written only by the worker goroutine (under mu, so
 	// metrics readers can iterate a consistent view); the worker's
@@ -451,6 +476,7 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 			idx:   i,
 			ch:    make(chan datagram, cfg.QueueLen),
 			feeds: make(map[sourceKey]Feed),
+			arena: flow.NewBatch(512),
 		}
 	}
 	closeAll := func() {
@@ -487,7 +513,8 @@ func Listen(cfg Config, newFeed func() Feed) (*Server, error) {
 				c.SetReadBuffer(cfg.ReadBuffer) // best effort; kernel may clamp
 			}
 		}
-		s.socks = append(s.socks, &socket{idx: i, proto: l.Proto, pc: pc})
+		udp, _ := pc.(*net.UDPConn)
+		s.socks = append(s.socks, &socket{idx: i, proto: l.Proto, pc: pc, udp: udp})
 		s.addrs[i] = pc.LocalAddr()
 	}
 	for _, sk := range s.socks {
@@ -599,7 +626,19 @@ func (s *Server) readLoop(sk *socket) {
 	defer s.readers.Done()
 	for {
 		buf := s.getBuf()
-		n, addr, err := sk.pc.ReadFrom(buf)
+		var (
+			n   int
+			err error
+			key = sourceKey{sock: sk.idx}
+		)
+		if sk.udp != nil {
+			// Fast path: no *net.UDPAddr allocated per datagram.
+			n, key.src, err = sk.udp.ReadFromUDPAddrPort(buf)
+		} else {
+			var addr net.Addr
+			n, addr, err = sk.pc.ReadFrom(buf)
+			key.src, key.raw = addrKey(addr)
+		}
 		if err != nil {
 			s.putBuf(buf)
 			if errors.Is(err, net.ErrClosed) {
@@ -619,8 +658,6 @@ func (s *Server) readLoop(sk *socket) {
 		}
 		s.datagrams.Add(1)
 		s.bytes.Add(uint64(n))
-		key := sourceKey{sock: sk.idx}
-		key.src, key.raw = addrKey(addr)
 		w := s.workerFor(key)
 		select {
 		case w.ch <- datagram{buf: buf, n: n, proto: sk.proto, src: key}:
@@ -750,7 +787,16 @@ func (s *Server) decode(w *worker, d datagram) {
 		w.mu.Unlock()
 	}
 	var err error
-	if proto == ProtoNetFlow {
+	if af, ok := feed.(ArenaFeed); ok {
+		// Batch hot path: decode the whole message into the lane's
+		// recycled arena; the feed observes the batch before returning.
+		w.arena.Reset()
+		if proto == ProtoNetFlow {
+			err = af.FeedNetFlowBatch(msg, w.arena)
+		} else {
+			err = af.FeedIPFIXBatch(msg, w.arena)
+		}
+	} else if proto == ProtoNetFlow {
 		err = feed.FeedNetFlow(msg)
 	} else {
 		err = feed.FeedIPFIX(msg)

@@ -133,6 +133,57 @@ func (e *Engine) Observe(sub SubID, h simtime.Hour, ip netip.Addr, port uint16, 
 	return fired
 }
 
+// Obs is one sampled flow observation: subscriber Sub exchanged Pkts
+// sampled packets with service endpoint (IP, Port) during Hour. It is
+// the element type of the batch observe path (internal/pipeline
+// aliases it), laid out once here so batches cross the pipeline
+// boundary without conversion.
+type Obs struct {
+	Sub  SubID
+	Hour simtime.Hour
+	IP   netip.Addr
+	Port uint16
+	Pkts uint64
+}
+
+// ObserveBatch feeds a batch of observations. It is semantically
+// identical to calling Observe for each element in order — OnFire
+// fires for exactly the same (subscriber, rule, hour) sequence — but
+// amortizes per-record costs: the subscriber-state map lookup is
+// hoisted across runs of consecutive same-subscriber observations,
+// the common shape after a decoded flow batch is partitioned by
+// shard. Newly-fired rules are reported only through OnFire.
+//
+// haystack:hotpath — runs once per shard batch, the innermost loop of
+// the socket-to-detection path.
+func (e *Engine) ObserveBatch(obs []Obs) {
+	var (
+		cur SubID
+		st  *subState
+	)
+	for i := range obs {
+		o := &obs[i]
+		targets := e.dict.Lookup(o.Hour.Day(), o.IP, o.Port)
+		if len(targets) == 0 {
+			continue
+		}
+		if st == nil || o.Sub != cur {
+			cur = o.Sub
+			st = e.subs[cur]
+			if st == nil {
+				st = &subState{}
+				e.subs[cur] = st
+			}
+		}
+		for _, t := range targets {
+			rs := st.get(t.Rule)
+			rs.bits.set(t.Bit)
+			rs.pkts += o.Pkts
+			e.evaluate(cur, st, t.Rule, o.Hour, nil)
+		}
+	}
+}
+
 // evaluate re-checks a rule (and its dependents) after new evidence.
 func (e *Engine) evaluate(sub SubID, st *subState, rule int, h simtime.Hour, fired []int) []int {
 	rs := st.lookup(rule)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 
 	"repro/internal/detect"
 	"repro/internal/isp"
@@ -191,7 +192,10 @@ func (l *Lab) wildRun() *wildRun {
 			flushDay(curDay)
 			curDay = h.Day()
 		}
-		pop.SimulateHour(h, l.W.ResolverOn(h.Day()), emit)
+		// The parallel sweep's merged emission order is byte-identical
+		// to the sequential sweep at any worker count, so the series
+		// below don't depend on GOMAXPROCS.
+		pop.SimulateHourParallel(h, l.W.ResolverOn(h.Day()), runtime.GOMAXPROCS(0), emit)
 		flushHour(h)
 	})
 	flushDay(curDay)

@@ -1,0 +1,59 @@
+package flow
+
+// Batch is a reusable arena of Records: the unit of work on the hot
+// path from socket to shard. Decoders append into a Batch owned by
+// the caller, the caller hands the filled batch to the observe layer,
+// then Resets it for the next datagram. Reset keeps the backing array
+// (reset-don't-free), so a warmed Batch sustains zero steady-state
+// allocations per message.
+//
+// A Batch is not safe for concurrent use; each collector lane owns
+// its own.
+type Batch struct {
+	recs []Record
+}
+
+// NewBatch returns a Batch with capacity for n records preallocated.
+func NewBatch(n int) *Batch {
+	return &Batch{recs: make([]Record, 0, n)}
+}
+
+// Reset empties the batch, keeping the backing storage for reuse.
+//
+// haystack:hotpath
+func (b *Batch) Reset() { b.recs = b.recs[:0] }
+
+// Len returns the number of records appended since the last Reset.
+//
+// haystack:hotpath
+func (b *Batch) Len() int { return len(b.recs) }
+
+// Records returns the appended records. The slice aliases the arena:
+// it is valid only until the next Reset and must not be retained.
+//
+// haystack:hotpath
+func (b *Batch) Records() []Record { return b.recs }
+
+// Append returns a pointer to the next record slot, zeroed and ready
+// to fill. The pointer aliases the arena and is valid only until the
+// next Append or Reset (Append may grow the backing array).
+//
+// haystack:hotpath
+func (b *Batch) Append() *Record {
+	// append writes a zero Record into the slot and extends in place
+	// whenever spare capacity exists — the steady state after warmup.
+	b.recs = append(b.recs, Record{})
+	return &b.recs[len(b.recs)-1]
+}
+
+// Truncate drops records appended at index n and beyond, keeping the
+// first n. It is used by decoders to roll back a partially decoded
+// set on error.
+//
+// haystack:hotpath
+func (b *Batch) Truncate(n int) {
+	if n < 0 || n > len(b.recs) {
+		return
+	}
+	b.recs = b.recs[:n]
+}

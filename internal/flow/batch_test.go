@@ -1,0 +1,71 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestBatchAppendReset(t *testing.T) {
+	b := NewBatch(2)
+	if b.Len() != 0 {
+		t.Fatalf("new batch len = %d, want 0", b.Len())
+	}
+	r := b.Append()
+	r.Key.Src = netip.MustParseAddr("10.0.0.1")
+	r.Packets = 7
+	r2 := b.Append()
+	r2.Packets = 9
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	recs := b.Records()
+	if recs[0].Packets != 7 || recs[1].Packets != 9 {
+		t.Fatalf("records = %+v", recs)
+	}
+
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len after reset = %d, want 0", b.Len())
+	}
+	// Reused slots must come back zeroed, not carrying stale fields.
+	r3 := b.Append()
+	if r3.Packets != 0 || r3.Key.Src.IsValid() {
+		t.Fatalf("reused slot not zeroed: %+v", *r3)
+	}
+}
+
+func TestBatchTruncate(t *testing.T) {
+	b := NewBatch(0)
+	for i := 0; i < 5; i++ {
+		b.Append().Packets = uint64(i + 1)
+	}
+	b.Truncate(2)
+	if b.Len() != 2 {
+		t.Fatalf("len after truncate = %d, want 2", b.Len())
+	}
+	if got := b.Records()[1].Packets; got != 2 {
+		t.Fatalf("record 1 packets = %d, want 2", got)
+	}
+	b.Truncate(-1) // out of range: no-op
+	b.Truncate(10)
+	if b.Len() != 2 {
+		t.Fatalf("len after bad truncates = %d, want 2", b.Len())
+	}
+}
+
+func TestBatchResetKeepsCapacity(t *testing.T) {
+	b := NewBatch(0)
+	for i := 0; i < 64; i++ {
+		b.Append()
+	}
+	b.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		for i := 0; i < 64; i++ {
+			b.Append()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Append allocates %v allocs/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,127 @@
+package ipfix
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// FeedInto is the hot decode entry point; Feed is its compatibility
+// wrapper. These tests pin the contract between them: identical wire
+// bytes produce identical records, counters move identically
+// (including the record-counting IPFIX sequence tracking), and the
+// arena path stays allocation-free once warmed.
+
+// AppendMessage is Export with a caller-owned buffer: the same wire
+// bytes — including the per-message Length field, which must be
+// patched relative to the append offset — one message per call.
+func TestAppendMessageMatchesExport(t *testing.T) {
+	recs := mkRecords(95, 1000)
+
+	expA := NewExporter(42)
+	msgs, err := expA.Export(recs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expB := NewExporter(42)
+	var buf []byte
+	for i, want := range msgs {
+		buf = buf[:0]
+		var n int
+		buf, n, err = expB.AppendMessage(buf, recs, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 || n > len(recs) {
+			t.Fatalf("msg %d: consumed %d of %d records", i, n, len(recs))
+		}
+		recs = recs[n:]
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatalf("msg %d: AppendMessage bytes diverge from Export", i)
+		}
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records left unconsumed", len(recs))
+	}
+}
+
+func TestFeedIntoMatchesFeed(t *testing.T) {
+	exp := NewExporter(42)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(mkRecords(95, 1000), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colA := NewCollector() // record path
+	colB := NewCollector() // batch path, one arena reused throughout
+	var b flow.Batch
+	for i, m := range msgs {
+		want, errA := colA.Feed(m)
+		b.Reset()
+		errB := colB.FeedInto(m, &b)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("msg %d: Feed err=%v, FeedInto err=%v", i, errA, errB)
+		}
+		if !reflect.DeepEqual(want, b.Records()) && !(len(want) == 0 && b.Len() == 0) {
+			t.Fatalf("msg %d: Feed and FeedInto decoded different records", i)
+		}
+	}
+	if g, w := colB.Gaps.Load(), colA.Gaps.Load(); g != w {
+		t.Fatalf("gap counters diverged: batch %d, record %d", g, w)
+	}
+	if g, w := colB.Dropped.Load(), colA.Dropped.Load(); g != w {
+		t.Fatalf("dropped counters diverged: batch %d, record %d", g, w)
+	}
+}
+
+// The IPFIX sequence number counts data records, and FeedInto appends
+// past whatever the caller left in the batch — the seq anchor must
+// advance by this message's records only, not the batch length.
+func TestFeedIntoAccumulatesWithoutSeqDrift(t *testing.T) {
+	exp := NewExporter(42)
+	exp.TemplateEvery = 1
+	msgs, err := exp.Export(mkRecords(60, 1000), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	var b flow.Batch
+	for _, m := range msgs {
+		if err := col.FeedInto(m, &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 60 {
+		t.Fatalf("accumulated %d records across %d messages, want 60", b.Len(), len(msgs))
+	}
+	if got := col.Gaps.Load(); got != 0 {
+		t.Fatalf("gaps = %d on an in-order stream, want 0 (seq anchor drifted)", got)
+	}
+}
+
+func TestFeedIntoZeroAllocs(t *testing.T) {
+	exp := NewExporter(42)
+	exp.TemplateEvery = 1 // the hard case: template set in every message
+	msgs, err := exp.Export(mkRecords(30, 1000), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := msgs[0]
+	col := NewCollector()
+	b := flow.NewBatch(64)
+	if err := col.FeedInto(msg, b); err != nil { // warm template cache + arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := col.FeedInto(msg, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FeedInto allocates %v allocs/run, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/flow"
 	"repro/internal/simrand"
 )
 
@@ -19,9 +20,12 @@ func TestFeedNeverPanicsOnRandomBytes(t *testing.T) {
 }
 
 // FuzzFeed is the native fuzz target behind the quick-check tests:
-// whatever bytes arrive, Feed must return without panicking, and
-// decoded records must carry only addresses the Detector feed path can
-// handle (4-byte or invalid — never a mis-sized Addr).
+// whatever bytes arrive, Feed must return without panicking, decoded
+// records must carry only addresses the Detector feed path can handle
+// (4-byte or invalid — never a mis-sized Addr), and the arena path
+// must agree with the record path byte-for-byte: FeedInto on a reused
+// batch decodes exactly what Feed decodes, with the same error
+// disposition.
 func FuzzFeed(f *testing.F) {
 	exp := NewExporter(1)
 	exp.TemplateEvery = 1
@@ -32,12 +36,28 @@ func FuzzFeed(f *testing.F) {
 	f.Add(msgs[0])
 	f.Add([]byte{})
 	f.Add([]byte{0, 10, 0, 16})
+	arena := flow.NewBatch(64) // reused across inputs: stale state must never leak
 	f.Fuzz(func(t *testing.T, data []byte) {
 		col := NewCollector()
-		recs, _ := col.Feed(data)
+		recs, err := col.Feed(data)
 		for i := range recs {
 			if a := recs[i].Key.Src; a.IsValid() && !a.Is4() {
 				t.Fatalf("decoded non-IPv4 source %v", a)
+			}
+		}
+		colB := NewCollector()
+		arena.Reset()
+		errB := colB.FeedInto(data, arena)
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("Feed err=%v, FeedInto err=%v", err, errB)
+		}
+		got := arena.Records()
+		if len(got) != len(recs) {
+			t.Fatalf("Feed decoded %d records, FeedInto %d", len(recs), len(got))
+		}
+		for i := range recs {
+			if recs[i] != got[i] {
+				t.Fatalf("record %d: Feed %+v, FeedInto %+v", i, recs[i], got[i])
 			}
 		}
 	})

@@ -95,6 +95,8 @@ func NewExporter(domainID uint32) *Exporter {
 }
 
 // Export encodes records into messages of at most maxRecords each.
+// Each message is its own allocation; send paths that reuse one
+// buffer should drive AppendMessage instead.
 func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, error) {
 	if maxRecords <= 0 {
 		maxRecords = 30
@@ -112,7 +114,29 @@ func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, erro
 	return msgs, nil
 }
 
+// AppendMessage encodes the next message — at most maxRecords of
+// records — into buf's spare capacity and returns the extended buffer
+// plus how many records it consumed. Callers loop, slicing consumed
+// records off and resetting buf to buf[:0] between messages, so a
+// sustained send path reuses one encode buffer instead of allocating
+// per message (Export's behavior). On error buf is returned unchanged.
+func (e *Exporter) AppendMessage(buf []byte, records []flow.Record, maxRecords int) ([]byte, int, error) {
+	if maxRecords <= 0 {
+		maxRecords = 30
+	}
+	n := min(maxRecords, len(records))
+	out, err := e.appendMessage(buf, records[:n])
+	if err != nil {
+		return buf, 0, err
+	}
+	return out, n, nil
+}
+
 func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
+	return e.appendMessage(make([]byte, 0, headerLen+len(records)*FlowTemplate.RecordLen()+64), records)
+}
+
+func (e *Exporter) appendMessage(buf []byte, records []flow.Record) ([]byte, error) {
 	withTemplate := e.messages == 0 || (e.TemplateEvery > 0 && e.messages%e.TemplateEvery == 0)
 	e.messages++
 
@@ -121,7 +145,7 @@ func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
 		exportTime = uint32(records[0].Hour.Time().Unix())
 	}
 
-	buf := make([]byte, 0, headerLen+len(records)*FlowTemplate.RecordLen()+64)
+	start := len(buf) // the Length field covers this message alone
 	buf = binary.BigEndian.AppendUint16(buf, Version)
 	buf = binary.BigEndian.AppendUint16(buf, 0) // length patched below
 	buf = binary.BigEndian.AppendUint32(buf, exportTime)
@@ -137,10 +161,10 @@ func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(buf) > 0xffff {
-		return nil, fmt.Errorf("ipfix: message length %d exceeds 65535", len(buf))
+	if len(buf)-start > 0xffff {
+		return nil, fmt.Errorf("ipfix: message length %d exceeds 65535", len(buf)-start)
 	}
-	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+	binary.BigEndian.PutUint16(buf[start+2:start+4], uint16(len(buf)-start))
 	return buf, nil
 }
 
@@ -212,20 +236,35 @@ var (
 	ErrBadLength    = errors.New("ipfix: bad message length")
 )
 
-// Feed parses one message and returns the decoded flow records.
+// Feed parses one message and returns the decoded flow records. It is
+// a thin compatibility wrapper over FeedInto: it decodes into a fresh
+// arena and returns the backing slice, allocating per call. Hot
+// callers should hold a reusable flow.Batch and call FeedInto.
+func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+	var b flow.Batch
+	err := c.FeedInto(msg, &b)
+	return b.Records(), err
+}
+
+// FeedInto parses one message, appending every decoded record to b.
+// The batch's prior contents are preserved, and records decoded
+// before a mid-message error remain appended — callers that need
+// all-or-nothing semantics can Truncate back to the pre-call length.
+// With a warmed batch and a stable template, FeedInto performs zero
+// steady-state allocations per message.
 //
 // haystack:hotpath — runs once per message; error construction lives
 // in outlined cold helpers.
-func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+func (c *Collector) FeedInto(msg []byte, b *flow.Batch) error {
 	if len(msg) < headerLen {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
-		return nil, errBadVersion(v)
+		return errBadVersion(v)
 	}
 	length := int(binary.BigEndian.Uint16(msg[2:4]))
 	if length < headerLen || length > len(msg) {
-		return nil, errBadLength(length, len(msg))
+		return errBadLength(length, len(msg))
 	}
 	exportTime := binary.BigEndian.Uint32(msg[4:8])
 	seq := binary.BigEndian.Uint32(msg[8:12])
@@ -246,7 +285,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	// and the anchor are deferred until the message is known clean;
 	// otherwise tracking is invalidated and re-anchored by the next
 	// clean message.
-	var out []flow.Record
+	start := b.Len()
 	counted := true
 	rest := msg[headerLen:length]
 	for len(rest) >= setHeaderLen {
@@ -254,21 +293,19 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < setHeaderLen || setLen > len(rest) {
 			delete(c.lastSeq, domain)
-			return out, errSetOverrun(setLen, len(rest))
+			return errSetOverrun(setLen, len(rest))
 		}
 		body := rest[setHeaderLen:setLen]
 		switch {
 		case setID == templateSetID:
 			if err := c.parseTemplates(domain, body); err != nil {
 				delete(c.lastSeq, domain)
-				return out, err
+				return err
 			}
 		case setID >= minDataSetID:
-			recs, ok := c.parseData(domain, setID, body, hour)
-			if !ok {
+			if !c.parseDataInto(domain, setID, body, hour, b) {
 				counted = false
 			}
-			out = append(out, recs...)
 		}
 		rest = rest[setLen:]
 	}
@@ -276,11 +313,13 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		if anchored && seq != want {
 			c.Gaps.Add(1)
 		}
-		c.lastSeq[domain] = seq + uint32(len(out))
+		// This message's record count is what was appended past the
+		// batch contents the caller handed in.
+		c.lastSeq[domain] = seq + uint32(b.Len()-start)
 	} else {
 		delete(c.lastSeq, domain)
 	}
-	return out, nil
+	return nil
 }
 
 func (c *Collector) parseTemplates(domain uint32, body []byte) error {
@@ -291,6 +330,14 @@ func (c *Collector) parseTemplates(domain uint32, body []byte) error {
 		if len(body) < n*4 {
 			return fmt.Errorf("ipfix: truncated template %d", id)
 		}
+		// Exporters re-announce templates periodically over UDP; skip
+		// the allocation when the announcement matches the cached
+		// layout, so steady-state decode stays allocation-free.
+		key := uint64(domain)<<16 | uint64(id)
+		if cached, ok := c.templates[key]; ok && templateEqual(cached, body[:n*4]) {
+			body = body[n*4:]
+			continue
+		}
 		t := Template{ID: id, Fields: make([]FieldSpec, n)}
 		for i := 0; i < n; i++ {
 			t.Fields[i] = FieldSpec{
@@ -299,29 +346,53 @@ func (c *Collector) parseTemplates(domain uint32, body []byte) error {
 			}
 		}
 		body = body[n*4:]
-		c.templates[uint64(domain)<<16|uint64(id)] = t
+		c.templates[key] = t
 	}
 	return nil
 }
 
-// parseData decodes one data set. The boolean reports whether the set's
-// record count is fully known (false when the template is missing or
-// degenerate).
+// templateEqual reports whether the cached template matches a wire
+// announcement (spec holds the (element ID, length) pairs, 4 bytes
+// each).
+//
+// haystack:hotpath — runs once per re-announced template.
+func templateEqual(t Template, spec []byte) bool {
+	if len(t.Fields)*4 != len(spec) {
+		return false
+	}
+	// Shrinking-view walk, like the data-record decoder: every read is
+	// against the guarded front of spec.
+	for i := range t.Fields {
+		if len(spec) < 4 {
+			return false
+		}
+		if t.Fields[i].ID != binary.BigEndian.Uint16(spec) ||
+			t.Fields[i].Length != binary.BigEndian.Uint16(spec[2:]) {
+			return false
+		}
+		spec = spec[4:]
+	}
+	return true
+}
+
+// parseDataInto decodes one data set into the caller's arena. The
+// boolean reports whether the set's record count is fully known
+// (false when the template is missing or degenerate).
 //
 // haystack:hotpath — runs once per data set.
-func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool) {
+func (c *Collector) parseDataInto(domain uint32, setID uint16, body []byte, hour simtime.Hour, b *flow.Batch) bool {
 	t, ok := c.templates[uint64(domain)<<16|uint64(setID)]
 	if !ok {
 		c.Dropped.Add(1)
-		return nil, false
+		return false
 	}
 	recLen := t.RecordLen()
 	if recLen == 0 {
-		return nil, false
+		return false
 	}
-	var out []flow.Record
 	for len(body) >= recLen {
-		rec := flow.Record{Hour: hour}
+		rec := b.Append()
+		rec.Hour = hour
 		// Walk the record by slicing the front off a view of it, so
 		// every access is guarded by the view's remaining length —
 		// sum(field lengths) == recLen makes the guard dead code, but
@@ -358,12 +429,11 @@ func (c *Collector) parseData(domain uint32, setID uint16, body []byte, hour sim
 				rec.Bytes = beUint(fb)
 			}
 		}
-		out = append(out, rec)
 		body = body[recLen:]
 	}
 	// Any remainder here is shorter than one record, which RFC 7011
 	// §3.3.1 permits as set padding, so the record count is exact.
-	return out, true
+	return true
 }
 
 // Cold-path error constructors, outlined so the haystack:hotpath

@@ -13,6 +13,7 @@ package isp
 
 import (
 	"net/netip"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/detect"
@@ -68,6 +69,13 @@ type Population struct {
 
 	instances []instance
 	adopters  int
+	// trafficSeed is the root of the per-(device, hour) draw streams:
+	// SimulateHour derives one stack RNG per device-hour from it, so
+	// traffic realizations are a pure function of (seed, line, product,
+	// hour) — independent of iteration order, which is what lets the
+	// parallel sweep chunk the instance list across goroutines without
+	// changing a single draw.
+	trafficSeed uint64
 	// perProduct counts placed devices by product index.
 	perProduct []int
 	// rotations[line] holds the days (relative to window start) on
@@ -98,6 +106,9 @@ func NewPopulation(rng *simrand.RNG, cat *catalog.Catalog, cfg Config, window si
 			}
 		}
 	}
+	// Drawn after the placement loop so placement realizations are
+	// unchanged from the sequential-stream releases.
+	p.trafficSeed = p.rng.Uint64()
 	return p
 }
 
@@ -261,13 +272,23 @@ type Emit func(line int32, sub detect.SubID, h simtime.Hour, ip netip.Addr, port
 //
 // The fast path exploits Poisson thinning: packets are Poisson(mean)
 // and sampling is Binomial(·, 1/rate), so the sampled count is
-// Poisson(mean/rate) — one draw per (device, domain, hour).
+// Poisson(mean/rate) — one draw per (device, domain, hour), from a
+// stack RNG derived from (trafficSeed, line, product, hour).
 func (p *Population) SimulateHour(h simtime.Hour, r Resolver, emit Emit) {
+	p.simulateSlice(h, r, p.instances, emit)
+}
+
+// simulateSlice is SimulateHour over a contiguous run of instances —
+// the unit of work the parallel sweep hands each goroutine. Draws
+// depend only on (trafficSeed, line, product, hour), never on slice
+// boundaries, so any contiguous partition reproduces the full-slice
+// emission sequence when chunks are concatenated in order.
+func (p *Population) simulateSlice(h simtime.Hour, r Resolver, instances []instance, emit Emit) {
 	day := h.Day()
 	local := h.LocalHour(simtime.ISPUTCOffset)
 	invRate := 1 / float64(p.Cfg.SamplingRate)
 
-	for _, in := range p.instances {
+	for _, in := range instances {
 		prod := p.cat.Products[in.product]
 		class := classOf(prod)
 		f := usageFactor(class, local)
@@ -280,6 +301,10 @@ func (p *Population) SimulateHour(h simtime.Hour, r Resolver, emit Emit) {
 				burst = 1 + float64(splitmix(uint64(h)^uint64(in.line))%5)
 			}
 		}
+
+		// The device-hour's private draw stream (see trafficSeed).
+		rng := simrand.NewFrom(splitmix(
+			p.trafficSeed ^ uint64(in.line)*0x9e3779b97f4a7c15 ^ uint64(in.product)<<40 ^ uint64(h)*0xbf58476d1ce4e5b9))
 
 		var sub detect.SubID
 		subSet := false
@@ -296,7 +321,7 @@ func (p *Population) SimulateHour(h simtime.Hour, r Resolver, emit Emit) {
 			if mean <= 0 {
 				continue
 			}
-			pkts := p.rng.Poisson(mean * invRate)
+			pkts := rng.Poisson(mean * invRate)
 			if pkts == 0 {
 				continue
 			}
@@ -310,6 +335,71 @@ func (p *Population) SimulateHour(h simtime.Hour, r Resolver, emit Emit) {
 				subSet = true
 			}
 			emit(in.line, sub, h, ip, use.Domain.Port, uint64(pkts))
+		}
+	}
+}
+
+// emission is one buffered SimulateHour observation, staged by a
+// parallel worker for the ordered merge.
+type emission struct {
+	line int32
+	sub  detect.SubID
+	ip   netip.Addr
+	port uint16
+	pkts uint64
+}
+
+// parallelMinInstances is the population size below which the
+// parallel sweep falls back to the sequential loop: goroutine and
+// merge overhead beats the win on small testbed populations.
+const parallelMinInstances = 4096
+
+// SimulateHourParallel is SimulateHour with the instance sweep split
+// across workers goroutines. The emission sequence is byte-identical
+// to SimulateHour's for every worker count — draws are a pure
+// function of (seed, line, product, hour), chunks are contiguous,
+// and workers stage emissions in per-chunk buffers that the caller's
+// goroutine merges in chunk order — so emit still runs on a single
+// goroutine and needs no locking. The Resolver must be safe for
+// concurrent reads (world.DayResolver is: its day views are
+// precomputed).
+func (p *Population) SimulateHourParallel(h simtime.Hour, r Resolver, workers int, emit Emit) {
+	if workers > len(p.instances) {
+		workers = len(p.instances)
+	}
+	if workers <= 1 || len(p.instances) < parallelMinInstances {
+		p.simulateSlice(h, r, p.instances, emit)
+		return
+	}
+	chunks := make([][]emission, workers)
+	per := (len(p.instances) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(p.instances) {
+			hi = len(p.instances)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		// Bounded worker: runs one chunk to completion and exits; the
+		// WaitGroup joins all of them before the merge below.
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := make([]emission, 0, (hi-lo)/2)
+			p.simulateSlice(h, r, p.instances[lo:hi], func(line int32, sub detect.SubID, _ simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+				buf = append(buf, emission{line: line, sub: sub, ip: ip, port: port, pkts: pkts})
+			})
+			chunks[w] = buf
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, buf := range chunks {
+		for i := range buf {
+			e := &buf[i]
+			emit(e.line, e.sub, h, e.ip, e.port, e.pkts)
 		}
 	}
 }

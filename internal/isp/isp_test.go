@@ -145,6 +145,80 @@ func TestDiurnalVisibility(t *testing.T) {
 	}
 }
 
+// The parallel sweep must reproduce the sequential emission sequence
+// byte-for-byte at every worker count — the same invariant the
+// detection pipeline pins for shard counts.
+func TestSimulateHourParallelMatchesSequential(t *testing.T) {
+	w := world.MustBuild(1)
+	pop := NewPopulation(simrand.New(8), w.Catalog, smallCfg(30_000), w.Window)
+	if pop.Devices() < parallelMinInstances {
+		t.Fatalf("population too small (%d devices) to exercise the parallel path", pop.Devices())
+	}
+	h := w.Window.Start + 19 // evening: bursts exercised
+	r := w.ResolverOn(h.Day())
+
+	type obs struct {
+		line int32
+		sub  detect.SubID
+		h    simtime.Hour
+		ip   netip.Addr
+		port uint16
+		pkts uint64
+	}
+	collect := func(workers int) []obs {
+		var out []obs
+		fn := func(line int32, sub detect.SubID, hh simtime.Hour, ip netip.Addr, port uint16, pkts uint64) {
+			out = append(out, obs{line, sub, hh, ip, port, pkts})
+		}
+		if workers == 0 {
+			pop.SimulateHour(h, r, fn)
+		} else {
+			pop.SimulateHourParallel(h, r, workers, fn)
+		}
+		return out
+	}
+
+	want := collect(0)
+	if len(want) == 0 {
+		t.Fatal("sequential sweep emitted nothing")
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d emissions, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: emission %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Repeated sweeps of the same hour must be identical: draws are
+// stateless, so simulating an hour twice (or out of order) cannot
+// perturb any other hour's realization.
+func TestSimulateHourStatelessDraws(t *testing.T) {
+	w := world.MustBuild(1)
+	pop := NewPopulation(simrand.New(9), w.Catalog, smallCfg(5_000), w.Window)
+	h := w.Window.Start + 19
+	r := w.ResolverOn(h.Day())
+	count := func() (n int, pk uint64) {
+		pop.SimulateHour(h, r, func(_ int32, _ detect.SubID, _ simtime.Hour, _ netip.Addr, _ uint16, p uint64) {
+			n++
+			pk += p
+		})
+		return
+	}
+	n1, p1 := count()
+	// An interleaved different hour must not shift the replay.
+	pop.SimulateHour(h+3, w.ResolverOn((h + 3).Day()), func(int32, detect.SubID, simtime.Hour, netip.Addr, uint16, uint64) {})
+	n2, p2 := count()
+	if n1 != n2 || p1 != p2 {
+		t.Fatalf("hour replay diverged: (%d, %d) then (%d, %d)", n1, p1, n2, p2)
+	}
+}
+
 func TestUsageFactorShape(t *testing.T) {
 	if usageFactor(diurnalEvening, 20) <= usageFactor(diurnalEvening, 3) {
 		t.Fatal("evening class not peaked in the evening")

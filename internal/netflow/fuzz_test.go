@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/flow"
 	"repro/internal/simrand"
 )
 
@@ -49,8 +50,11 @@ func TestFeedNeverPanicsOnMutatedMessages(t *testing.T) {
 
 // FuzzFeed is the native fuzz target behind the two quick-check tests
 // above: whatever bytes arrive, Feed must return without panicking,
-// and decoded records must carry only addresses the Detector feed path
-// can handle (4-byte or invalid — never a mis-sized Addr).
+// decoded records must carry only addresses the Detector feed path
+// can handle (4-byte or invalid — never a mis-sized Addr), and the
+// arena path must agree with the record path byte-for-byte: FeedInto
+// on a reused batch decodes exactly what Feed decodes, with the same
+// error disposition.
 func FuzzFeed(f *testing.F) {
 	exp := NewExporter(1)
 	exp.TemplateEvery = 1
@@ -70,12 +74,28 @@ func FuzzFeed(f *testing.F) {
 	short = append(short, 0, 0, 0, 12, 1, 0, 0, 1, 0, 8, 0, 2)            // template 256: srcaddr len 2
 	short = append(short, 1, 0, 0, 6, 10, 1)                              // data set, one 2-byte record
 	f.Add(short)
+	arena := flow.NewBatch(64) // reused across inputs: stale state must never leak
 	f.Fuzz(func(t *testing.T, data []byte) {
 		col := NewCollector()
-		recs, _ := col.Feed(data)
+		recs, err := col.Feed(data)
 		for i := range recs {
 			if a := recs[i].Key.Src; a.IsValid() && !a.Is4() {
 				t.Fatalf("decoded non-IPv4 source %v", a)
+			}
+		}
+		colB := NewCollector()
+		arena.Reset()
+		errB := colB.FeedInto(data, arena)
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("Feed err=%v, FeedInto err=%v", err, errB)
+		}
+		got := arena.Records()
+		if len(got) != len(recs) {
+			t.Fatalf("Feed decoded %d records, FeedInto %d", len(recs), len(got))
+		}
+		for i := range recs {
+			if recs[i] != got[i] {
+				t.Fatalf("record %d: Feed %+v, FeedInto %+v", i, recs[i], got[i])
 			}
 		}
 	})

@@ -96,7 +96,8 @@ func NewExporter(sourceID uint32) *Exporter {
 }
 
 // Export encodes records into one or more messages of at most
-// maxRecords data records each.
+// maxRecords data records each. Each message is its own allocation;
+// send paths that reuse one buffer should drive AppendMessage instead.
 func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, error) {
 	if maxRecords <= 0 {
 		maxRecords = 30
@@ -114,7 +115,30 @@ func (e *Exporter) Export(records []flow.Record, maxRecords int) ([][]byte, erro
 	return msgs, nil
 }
 
+// AppendMessage encodes the next message — at most maxRecords of
+// records — into buf's spare capacity and returns the extended buffer
+// plus how many records it consumed. Callers loop, slicing consumed
+// records off and resetting buf to buf[:0] between messages, so a
+// sustained send path reuses one encode buffer instead of allocating
+// per message (Export's behavior). On error buf is returned unchanged.
+func (e *Exporter) AppendMessage(buf []byte, records []flow.Record, maxRecords int) ([]byte, int, error) {
+	if maxRecords <= 0 {
+		maxRecords = 30
+	}
+	n := min(maxRecords, len(records))
+	out, err := e.appendMessage(buf, records[:n])
+	if err != nil {
+		return buf, 0, err
+	}
+	return out, n, nil
+}
+
 func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
+	count := len(records) + 1 // reserve for a template record
+	return e.appendMessage(make([]byte, 0, headerLen+count*(FlowTemplate.RecordLen()+8)), records)
+}
+
+func (e *Exporter) appendMessage(buf []byte, records []flow.Record) ([]byte, error) {
 	withTemplate := e.messages == 0 || (e.TemplateEvery > 0 && e.messages%e.TemplateEvery == 0)
 	e.messages++
 
@@ -130,7 +154,6 @@ func (e *Exporter) encodeMessage(records []flow.Record) ([]byte, error) {
 		count++ // template records count toward the header count
 	}
 
-	buf := make([]byte, 0, headerLen+count*(FlowTemplate.RecordLen()+8))
 	buf = binary.BigEndian.AppendUint16(buf, Version)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(count))
 	buf = binary.BigEndian.AppendUint32(buf, 3_600_000) // SysUptime: end of the hour bin
@@ -231,16 +254,31 @@ var (
 	ErrBadVersion   = errors.New("netflow: unexpected version")
 )
 
-// Feed parses one message and returns the decoded flow records.
+// Feed parses one message and returns the decoded flow records. It is
+// a thin compatibility wrapper over FeedInto: it decodes into a fresh
+// arena and returns the backing slice, allocating per call. Hot
+// callers should hold a reusable flow.Batch and call FeedInto.
+func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+	var b flow.Batch
+	err := c.FeedInto(msg, &b)
+	return b.Records(), err
+}
+
+// FeedInto parses one message, appending every decoded record to b.
+// The batch's prior contents are preserved, and records decoded
+// before a mid-message error remain appended — callers that need
+// all-or-nothing semantics can Truncate back to the pre-call length.
+// With a warmed batch and a stable template, FeedInto performs zero
+// steady-state allocations per message.
 //
 // haystack:hotpath — runs once per datagram; error construction lives
 // in outlined cold helpers.
-func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
+func (c *Collector) FeedInto(msg []byte, b *flow.Batch) error {
 	if len(msg) < headerLen {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	if v := binary.BigEndian.Uint16(msg[0:2]); v != Version {
-		return nil, errBadVersion(v)
+		return errBadVersion(v)
 	}
 	unixSecs := binary.BigEndian.Uint32(msg[8:12])
 	seq := binary.BigEndian.Uint32(msg[12:16])
@@ -260,7 +298,6 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	// the rest of the stream, so, exactly like internal/ipfix,
 	// sequence tracking is instead invalidated and re-anchored by the
 	// next clean message (gap accounting included).
-	var out []flow.Record
 	counted := true
 	rest := msg[headerLen:]
 	for len(rest) >= 4 {
@@ -268,25 +305,24 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 		setLen := int(binary.BigEndian.Uint16(rest[2:4]))
 		if setLen < 4 || setLen > len(rest) {
 			delete(c.lastSeq, sourceID)
-			return out, errSetOverrun(setLen, len(rest))
+			return errSetOverrun(setLen, len(rest))
 		}
 		body := rest[4:setLen]
 		switch {
 		case setID == 0:
 			if err := c.parseTemplates(sourceID, body); err != nil {
 				delete(c.lastSeq, sourceID)
-				return out, err
+				return err
 			}
 		case setID >= 256:
-			recs, ok, err := c.parseData(sourceID, setID, body, hour)
+			ok, err := c.parseDataInto(sourceID, setID, body, hour, b)
 			if err != nil {
 				delete(c.lastSeq, sourceID)
-				return out, err
+				return err
 			}
 			if !ok {
 				counted = false
 			}
-			out = append(out, recs...)
 		}
 		rest = rest[setLen:]
 	}
@@ -298,7 +334,7 @@ func (c *Collector) Feed(msg []byte) ([]flow.Record, error) {
 	} else {
 		delete(c.lastSeq, sourceID)
 	}
-	return out, nil
+	return nil
 }
 
 func (c *Collector) parseTemplates(sourceID uint32, body []byte) error {
@@ -309,6 +345,14 @@ func (c *Collector) parseTemplates(sourceID uint32, body []byte) error {
 		if len(body) < n*4 {
 			return fmt.Errorf("netflow: truncated template %d", id)
 		}
+		// RFC 3954 §9 exporters re-announce templates periodically over
+		// UDP; skip the allocation when the announcement matches the
+		// cached layout, so steady-state decode stays allocation-free.
+		key := templateKey(sourceID, id)
+		if cached, ok := c.templates[key]; ok && templateEqual(cached, body[:n*4]) {
+			body = body[n*4:]
+			continue
+		}
 		t := Template{ID: id, Fields: make([]FieldSpec, n)}
 		for i := 0; i < n; i++ {
 			t.Fields[i] = FieldSpec{
@@ -317,33 +361,57 @@ func (c *Collector) parseTemplates(sourceID uint32, body []byte) error {
 			}
 		}
 		body = body[n*4:]
-		c.templates[templateKey(sourceID, id)] = t
+		c.templates[key] = t
 	}
 	return nil
+}
+
+// templateEqual reports whether the cached template matches a wire
+// announcement (spec holds the (type, length) pairs, 4 bytes each).
+//
+// haystack:hotpath — runs once per re-announced template.
+func templateEqual(t Template, spec []byte) bool {
+	if len(t.Fields)*4 != len(spec) {
+		return false
+	}
+	// Shrinking-view walk, like the data-record decoder: every read is
+	// against the guarded front of spec.
+	for i := range t.Fields {
+		if len(spec) < 4 {
+			return false
+		}
+		if t.Fields[i].Type != binary.BigEndian.Uint16(spec) ||
+			t.Fields[i].Length != binary.BigEndian.Uint16(spec[2:]) {
+			return false
+		}
+		spec = spec[4:]
+	}
+	return true
 }
 
 func templateKey(sourceID uint32, templateID uint16) uint64 {
 	return uint64(sourceID)<<16 | uint64(templateID)
 }
 
-// parseData decodes one data FlowSet. The boolean reports whether the
-// set decoded fully (false when the template is missing, which leaves
-// the stream's sequence continuation untrusted).
+// parseDataInto decodes one data FlowSet into the caller's arena. The
+// boolean reports whether the set decoded fully (false when the
+// template is missing, which leaves the stream's sequence
+// continuation untrusted).
 //
 // haystack:hotpath — runs once per data FlowSet.
-func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour simtime.Hour) ([]flow.Record, bool, error) {
+func (c *Collector) parseDataInto(sourceID uint32, setID uint16, body []byte, hour simtime.Hour, b *flow.Batch) (bool, error) {
 	t, ok := c.templates[templateKey(sourceID, setID)]
 	if !ok {
 		c.Dropped.Add(1)
-		return nil, false, nil
+		return false, nil
 	}
 	recLen := t.RecordLen()
 	if recLen == 0 {
-		return nil, false, errZeroLenTemplate(setID)
+		return false, errZeroLenTemplate(setID)
 	}
-	var out []flow.Record
 	for len(body) >= recLen {
-		rec := flow.Record{Hour: hour}
+		rec := b.Append()
+		rec.Hour = hour
 		// Walk the record by slicing the front off a view of it, so
 		// every access is guarded by the view's remaining length —
 		// sum(field lengths) == recLen makes the guard dead code, but
@@ -355,14 +423,13 @@ func (c *Collector) parseData(sourceID uint32, setID uint16, body []byte, hour s
 			if n > len(fields) {
 				break
 			}
-			decodeField(&rec, f, fields[:n])
+			decodeField(rec, f, fields[:n])
 			fields = fields[n:]
 		}
-		out = append(out, rec)
 		body = body[recLen:]
 	}
 	// Remaining bytes < recLen are padding.
-	return out, true, nil
+	return true, nil
 }
 
 // Cold-path error constructors, outlined so the haystack:hotpath

@@ -52,14 +52,9 @@ import (
 )
 
 // Obs is one sampled flow observation, the unit of work handed to
-// shard workers.
-type Obs struct {
-	Sub  detect.SubID
-	Hour simtime.Hour
-	IP   netip.Addr
-	Port uint16
-	Pkts uint64
-}
+// shard workers. It is an alias of detect.Obs so batches flow from
+// producers to shard engines without per-record conversion.
+type Obs = detect.Obs
 
 // FireEvent is one first-fire notification from a shard worker: Rule
 // crossed its evidence threshold for Sub during hour bin Hour, while
@@ -76,6 +71,39 @@ type FireEvent struct {
 // DefaultBatchSize is the number of observations buffered per shard
 // before a batch is handed to its worker.
 const DefaultBatchSize = 512
+
+// MinBatchSize and MaxBatchSize bound SetBatchSize: below the floor
+// per-batch dispatch overhead dominates, above the ceiling batches
+// add latency and pin memory without amortizing anything further.
+const (
+	MinBatchSize = 64
+	MaxBatchSize = 4096
+)
+
+// batchLatencyBudget is the dwell time AdaptiveBatchSize aims for: a
+// partial batch should represent about this many seconds of ingest,
+// so dispatch overhead is amortized at high rates without letting
+// low-rate observations linger in producer buffers.
+const batchLatencyBudget = 0.002
+
+// AdaptiveBatchSize maps an observed ingest rate in records/s — in a
+// deployment, the fan-in controller's EWMA — to a dispatch threshold:
+// about batchLatencyBudget worth of records, clamped to
+// [MinBatchSize, MaxBatchSize]. A rate of zero or below (controller
+// not yet seeded) keeps DefaultBatchSize.
+func AdaptiveBatchSize(rate float64) int {
+	if rate <= 0 {
+		return DefaultBatchSize
+	}
+	n := int(rate * batchLatencyBudget)
+	if n < MinBatchSize {
+		return MinBatchSize
+	}
+	if n > MaxBatchSize {
+		return MaxBatchSize
+	}
+	return n
+}
 
 // shardBacklog bounds how many batches may queue per shard before a
 // producer blocks (backpressure instead of unbounded memory).
@@ -101,9 +129,12 @@ type shard struct {
 // Producer handles (NewProducer); engine work proceeds concurrently on
 // the shard workers; read accessors synchronize via Sync.
 type Pipeline struct {
-	dict      *rules.Dictionary
-	shards    []*shard
-	batchSize int
+	dict   *rules.Dictionary
+	shards []*shard
+	// batchSize is the per-shard dispatch threshold. Atomic so the
+	// fan-in controller can retune it (SetBatchSize) while producers
+	// are live.
+	batchSize atomic.Int32
 	workers   sync.WaitGroup
 
 	// inflight counts batches dispatched but not yet processed. A
@@ -147,9 +178,9 @@ func New(dict *rules.Dictionary, d float64, n int) *Pipeline {
 	}
 	p := &Pipeline{
 		dict:      dict,
-		batchSize: DefaultBatchSize,
 		producers: make(map[*Producer]struct{}),
 	}
+	p.batchSize.Store(DefaultBatchSize)
 	p.quiet = sync.NewCond(&p.inflightMu)
 	p.shards = make([]*shard, n)
 	for i := range p.shards {
@@ -196,17 +227,16 @@ func (p *Pipeline) SetFireHook(fn func(FireEvent)) {
 func (p *Pipeline) Window() uint64 { return p.window.Load() }
 
 // run is a shard worker's loop: apply each batch to the shard engine
-// under the shard lock.
+// under the shard lock. The whole batch goes through the engine's
+// batch entry point, so the per-record engine costs (subscriber map
+// lookup) are amortized there rather than paid per Observe call.
 //
-// haystack:hotpath — the inner loop runs once per observation.
+// haystack:hotpath — runs once per dispatched batch.
 func (p *Pipeline) run(s *shard) {
 	defer p.workers.Done()
 	for batch := range s.ch {
 		s.mu.Lock()
-		for i := range batch {
-			o := &batch[i]
-			s.eng.Observe(o.Sub, o.Hour, o.IP, o.Port, o.Pkts)
-		}
+		s.eng.ObserveBatch(batch)
 		s.mu.Unlock()
 		select {
 		case s.free <- batch[:0]:
@@ -291,6 +321,7 @@ func (pr *Producer) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, por
 	if p.closed.Load() {
 		panic("pipeline: Observe after Close")
 	}
+	size := int(p.batchSize.Load())
 	i := p.shardOf(sub)
 	s := p.shards[i]
 	pr.mu.Lock()
@@ -303,11 +334,11 @@ func (pr *Producer) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, por
 		select {
 		case b = <-s.free:
 		default:
-			b = make([]Obs, 0, p.batchSize)
+			b = make([]Obs, 0, size)
 		}
 	}
 	b = append(b, Obs{Sub: sub, Hour: h, IP: ip, Port: port, Pkts: pkts})
-	if len(b) >= p.batchSize {
+	if len(b) >= size {
 		p.dispatch(s, b)
 		b = nil
 	}
@@ -318,6 +349,53 @@ func (pr *Producer) Observe(sub detect.SubID, h simtime.Hour, ip netip.Addr, por
 	// case the store guarantees the next Sync flushes it. Setting
 	// dirty first would let a racing Sync clear it over an empty
 	// buffer and strand the observation invisible to later reads.
+	p.dirty.Store(true)
+	pr.mu.Unlock()
+}
+
+// ObserveBatch enqueues a whole batch of observations, partitioning
+// it across shards under one producer-mutex acquisition instead of
+// one per record. Ordering matches calling Observe per element; like
+// Observe, it does not report newly-fired rules. The obs slice is
+// copied into per-shard buffers and may be reused by the caller
+// immediately on return.
+//
+// haystack:hotpath — runs once per decoded flow batch.
+func (pr *Producer) ObserveBatch(obs []Obs) {
+	if len(obs) == 0 {
+		return
+	}
+	p := pr.p
+	if p.closed.Load() {
+		panic("pipeline: ObserveBatch after Close")
+	}
+	size := int(p.batchSize.Load())
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		panic("pipeline: ObserveBatch on closed Producer")
+	}
+	for j := range obs {
+		i := p.shardOf(obs[j].Sub)
+		s := p.shards[i]
+		b := pr.batch[i]
+		if b == nil {
+			select {
+			case b = <-s.free:
+			default:
+				b = make([]Obs, 0, size)
+			}
+		}
+		b = append(b, obs[j])
+		if len(b) >= size {
+			p.dispatch(s, b)
+			b = nil
+		}
+		pr.batch[i] = b
+	}
+	// Same ordering argument as Observe: set dirty after buffering,
+	// still under pr.mu, so a racing Sync can never clear the flag
+	// over a buffer that is about to receive these observations.
 	p.dirty.Store(true)
 	pr.mu.Unlock()
 }
@@ -402,6 +480,24 @@ func (p *Pipeline) Sync() {
 
 // Shards returns the number of engine shards.
 func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// BatchSize returns the current per-shard dispatch threshold.
+func (p *Pipeline) BatchSize() int { return int(p.batchSize.Load()) }
+
+// SetBatchSize retunes the per-shard dispatch threshold, clamped to
+// [MinBatchSize, MaxBatchSize]. Safe to call while producers are
+// live: buffers already allocated keep their capacity and dispatch at
+// whichever threshold their next append observes, so retuning never
+// loses or reorders observations.
+func (p *Pipeline) SetBatchSize(n int) {
+	if n < MinBatchSize {
+		n = MinBatchSize
+	}
+	if n > MaxBatchSize {
+		n = MaxBatchSize
+	}
+	p.batchSize.Store(int32(n))
+}
 
 // Dictionary returns the shared compiled dictionary.
 func (p *Pipeline) Dictionary() *rules.Dictionary { return p.dict }

@@ -23,7 +23,18 @@ type RNG struct {
 
 // New returns a generator seeded from the given seed using splitmix64.
 func New(seed uint64) *RNG {
-	r := &RNG{}
+	r := NewFrom(seed)
+	return &r
+}
+
+// NewFrom returns a generator value seeded exactly like New. It backs
+// stateless per-use draws: a hot loop constructs one on the stack per
+// (entity, time-bin) from a hash-derived seed, making every draw a
+// pure function of that seed — no shared stream to serialize on, so
+// the loop can be chunked across goroutines without changing any
+// realization.
+func NewFrom(seed uint64) RNG {
+	var r RNG
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15

@@ -454,7 +454,7 @@ fed:
 	// A v6 subscriber and an unusable record, via the second feed.
 	ips := s.lab.W.ResolverOn(h.Day()).Resolve("mqtt.simmeross.example")
 	dom := s.lab.W.Catalog.Domains["mqtt.simmeross.example"]
-	fb.observe([]flow.Record{
+	fb.observeBatch([]flow.Record{
 		{Key: flow.Key{Src: netip.MustParseAddr("2001:db8::9"), Dst: ips[0], DstPort: dom.Port, Proto: flow.ProtoTCP}, Packets: 2, Hour: h},
 		{Key: flow.Key{Dst: ips[0], DstPort: dom.Port, Proto: flow.ProtoTCP}, Packets: 2, Hour: h}, // no subscriber address
 	})
